@@ -1,0 +1,33 @@
+//! Micro-benchmark: analytical closed-form solve vs 2-D finite-difference
+//! field solve — the speed gap that motivates using the analytical engine
+//! for dataset generation and the FD engine only for verification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isop_em::fdsolver::{solve_odd_mode, FdConfig};
+use isop_em::simulator::{AnalyticalSolver, EmSimulator};
+use isop_em::stackup::DiffStripline;
+use std::hint::black_box;
+
+fn bench_em(c: &mut Criterion) {
+    let layer = DiffStripline::default();
+    let analytical = AnalyticalSolver::new();
+
+    c.bench_function("analytical_full_simulation", |b| {
+        b.iter(|| analytical.simulate(black_box(&layer)).expect("valid"))
+    });
+
+    let coarse = FdConfig {
+        cells_per_mil: 1.0,
+        tolerance: 1e-4,
+        ..FdConfig::default()
+    };
+    let mut g = c.benchmark_group("fd_solver");
+    g.sample_size(10);
+    g.bench_function("fd_odd_mode_coarse", |b| {
+        b.iter(|| solve_odd_mode(black_box(&layer), &coarse))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_em);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Micro-benchmark: binary encode/decode of the 73-bit `S_1` space
+//! (Eqs. 4–6) — this sits on the hot path of every Harmonica sample.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let space = isop::spaces::s1();
+    let mut rng = StdRng::seed_from_u64(0);
+    let levels: Vec<usize> = space
+        .cardinalities()
+        .iter()
+        .map(|&n| rng.gen_range(0..n))
+        .collect();
+    let bits = space.encode_levels(&levels);
+
+    c.bench_function("s1_encode_levels", |b| {
+        b.iter(|| space.encode_levels(black_box(&levels)))
+    });
+    c.bench_function("s1_decode_values", |b| {
+        b.iter(|| space.decode_values(black_box(&bits)).expect("valid"))
+    });
+    c.bench_function("s1_round_to_grid", |b| {
+        let values = space.values_of_levels(&levels);
+        b.iter(|| space.round_to_grid(black_box(&values)))
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Micro-benchmark: per-model inference throughput — the mechanism behind
+//! the paper's runtime gap between surrogate-driven search and EM
+//! simulation, and between the MLP/XGB and 1D-CNN surrogates (Tables
+//! VII/VIII runtime columns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isop::data::generate_dataset;
+use isop_em::simulator::AnalyticalSolver;
+use isop_ml::models::{Cnn1d, Cnn1dConfig, Mlp, MlpConfig, XgbRegressor};
+use isop_ml::Regressor;
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let data = generate_dataset(&isop::spaces::s1(), 600, &AnalyticalSolver::new(), 1)
+        .expect("dataset");
+    let probe = data.x.clone();
+
+    let mut mlp = Mlp::new(MlpConfig {
+        hidden: vec![96, 96, 48],
+        epochs: 3,
+        ..MlpConfig::default()
+    });
+    mlp.fit(&data).expect("mlp fits");
+
+    let mut cnn = Cnn1d::new(Cnn1dConfig {
+        epochs: 3,
+        ..Cnn1dConfig::default()
+    });
+    cnn.fit(&data).expect("cnn fits");
+
+    let mut xgb = XgbRegressor::new(60, 0.2, 6, 1.0, 0.0);
+    xgb.fit(&data).expect("xgb fits");
+
+    let mut g = c.benchmark_group("surrogate_inference_600rows");
+    g.sample_size(20);
+    g.bench_function("mlp", |b| b.iter(|| mlp.predict(black_box(&probe)).expect("ok")));
+    g.bench_function("cnn1d", |b| b.iter(|| cnn.predict(black_box(&probe)).expect("ok")));
+    g.bench_function("xgboost", |b| b.iter(|| xgb.predict(black_box(&probe)).expect("ok")));
+    g.finish();
+
+    c.bench_function("mlp_input_jacobian", |b| {
+        use isop_ml::Differentiable;
+        b.iter(|| mlp.input_jacobian(black_box(probe.row(0))).expect("ok"))
+    });
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

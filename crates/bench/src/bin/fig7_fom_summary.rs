@@ -1,0 +1,60 @@
+//! Regenerates paper **Fig. 7**: bar-chart data of FoM per optimization
+//! technique / surrogate combination across T1–T4 — the visual summary of
+//! Tables VII and VIII.
+//!
+//! Runs the three ablation variants on every task (space `S_1`) and emits
+//! one row per bar.
+
+use isop::tasks::TaskId;
+use isop_bench::experiments::run_ablation_variant;
+use isop_bench::{
+    cnn_surrogate, emit, mlp_xgb_surrogate, training_dataset, BenchConfig,
+};
+use isop::report::{fmt, Table};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let data = training_dataset(&cfg);
+    let cnn = cnn_surrogate(&cfg, &data).expect("CNN trains");
+    let mlp_xgb = mlp_xgb_surrogate(&cfg, &data).expect("MLP_XGB trains");
+    let s1 = isop::spaces::s1();
+
+    let mut table = Table::new(vec!["Task", "Variant", "FoM"]);
+    let mut per_task: Vec<(TaskId, Vec<(String, f64)>)> = Vec::new();
+    for task in TaskId::all() {
+        let mut bars = Vec::new();
+        for (technique, surrogate) in [
+            ("H", &mlp_xgb as &dyn isop::surrogate::Surrogate),
+            ("H", &cnn as &dyn isop::surrogate::Surrogate),
+            ("H_GD", &cnn as &dyn isop::surrogate::Surrogate),
+        ] {
+            if let Some(row) = run_ablation_variant(&cfg, surrogate, technique, task, "S1", &s1)
+            {
+                let label = format!("{}+{}", row.technique, row.model);
+                table.push_row(vec![task.name().to_string(), label.clone(), fmt(row.stats.fom, 3)]);
+                bars.push((label, row.stats.fom));
+            }
+        }
+        per_task.push((task, bars));
+    }
+    emit(&cfg, "fig7_fom_summary", "Fig. 7 — FoM by technique and surrogate", &table);
+
+    let mut wins = 0usize;
+    let mut cells = 0usize;
+    for (task, bars) in &per_task {
+        if let (Some(isop_plus), Some(isop_old)) = (
+            bars.iter().find(|(l, _)| l.starts_with("H_GD")),
+            bars.iter().find(|(l, _)| l.contains("MLP_XGB")),
+        ) {
+            cells += 1;
+            if isop_plus.1 <= isop_old.1 + 1e-9 {
+                wins += 1;
+            }
+            println!(
+                "{task}: ISOP+ FoM {:.3} vs ISOP(DATE'23) {:.3}",
+                isop_plus.1, isop_old.1
+            );
+        }
+    }
+    println!("\nShape check: ISOP+ <= ISOP FoM in {wins}/{cells} tasks (paper: all).");
+}

@@ -1,0 +1,63 @@
+//! Regenerates paper **Fig. 8**: bar-chart data of average runtime per
+//! optimization technique / surrogate combination across T1–T4 — the
+//! runtime companion of Fig. 7.
+//!
+//! The paper's claim: `H_GD + 1D-CNN` (ISOP+) is the fastest variant because
+//! gradient descent needs far fewer surrogate samples than a longer
+//! Harmonica run, despite the CNN being slower per inference than MLP/XGB.
+
+use isop::report::{fmt, Table};
+use isop::tasks::TaskId;
+use isop_bench::experiments::run_ablation_variant;
+use isop_bench::{cnn_surrogate, emit, mlp_xgb_surrogate, training_dataset, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let data = training_dataset(&cfg);
+    let cnn = cnn_surrogate(&cfg, &data).expect("CNN trains");
+    let mlp_xgb = mlp_xgb_surrogate(&cfg, &data).expect("MLP_XGB trains");
+    let s1 = isop::spaces::s1();
+
+    let mut table = Table::new(vec!["Task", "Variant", "Ave. runtime (s)", "Ave. samples"]);
+    let mut per_task: Vec<(TaskId, Vec<(String, f64, f64)>)> = Vec::new();
+    for task in TaskId::all() {
+        let mut bars = Vec::new();
+        for (technique, surrogate) in [
+            ("H", &mlp_xgb as &dyn isop::surrogate::Surrogate),
+            ("H", &cnn as &dyn isop::surrogate::Surrogate),
+            ("H_GD", &cnn as &dyn isop::surrogate::Surrogate),
+        ] {
+            if let Some(row) = run_ablation_variant(&cfg, surrogate, technique, task, "S1", &s1)
+            {
+                let label = format!("{}+{}", row.technique, row.model);
+                table.push_row(vec![
+                    task.name().to_string(),
+                    label.clone(),
+                    fmt(row.stats.avg_runtime, 2),
+                    fmt(row.stats.avg_samples, 0),
+                ]);
+                bars.push((label, row.stats.avg_runtime, row.stats.avg_samples));
+            }
+        }
+        per_task.push((task, bars));
+    }
+    emit(&cfg, "fig8_runtime_summary", "Fig. 8 — runtime by technique and surrogate", &table);
+
+    // Shape check: the GD variant sees no more samples than the H variants
+    // (the paper's ~16.7k vs ~25k sample gap).
+    let mut holds = 0usize;
+    let mut cells = 0usize;
+    for (task, bars) in &per_task {
+        if let (Some(gd), Some(h_cnn)) = (
+            bars.iter().find(|(l, _, _)| l.starts_with("H_GD")),
+            bars.iter().find(|(l, _, _)| l.starts_with("H+1D-CNN")),
+        ) {
+            cells += 1;
+            if gd.2 <= h_cnn.2 + 1e-9 {
+                holds += 1;
+            }
+            println!("{task}: samples H_GD {:.0} vs H {:.0}", gd.2, h_cnn.2);
+        }
+    }
+    println!("\nShape check: H_GD uses <= samples of H in {holds}/{cells} tasks (paper: always).");
+}

@@ -1,0 +1,47 @@
+//! Internal scaling probe (not part of the experiment index): measures
+//! dataset generation and surrogate training throughput/accuracy so the
+//! defaults in `BenchConfig` stay laptop-honest.
+
+use isop::data::{generate_dataset, generate_mixed_dataset};
+use isop_bench::{cnn_config, mlp_config};
+use isop_em::simulator::AnalyticalSolver;
+use isop_ml::metrics::{mae, mape, smape};
+use isop_ml::models::{Cnn1d, Mlp};
+use isop_ml::Regressor;
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::var("N").ok().and_then(|v| v.parse().ok()).unwrap_or(24_000);
+    let epochs: usize = std::env::var("E").ok().and_then(|v| v.parse().ok()).unwrap_or(50);
+    let data = generate_mixed_dataset(
+        &isop::spaces::training_space(), &isop::spaces::s2(), n, 0.4,
+        &AnalyticalSolver::new(), 1).expect("ok");
+    let (train, test) = data.train_test_split(0.2, 9);
+    let region = generate_dataset(&isop::spaces::s2(), 3000, &AnalyticalSolver::new(), 77)
+        .expect("ok");
+
+    let mut models: Vec<(&str, Box<dyn Regressor>)> = vec![
+        ("mlp", Box::new(Mlp::new(mlp_config(epochs)))),
+        ("cnn", Box::new(Cnn1d::new(cnn_config(epochs)))),
+    ];
+    for (name, model) in &mut models {
+        let t = Instant::now();
+        model.fit(&train).expect("ok");
+        let el = t.elapsed().as_secs_f64();
+        let pred = model.predict(&test.x).expect("ok");
+        let (tz, pz) = (test.y.col_vec(0), pred.col_vec(0));
+        let (tl, pl) = (test.y.col_vec(1), pred.col_vec(1));
+        let (tn, pn) = (test.y.col_vec(2), pred.col_vec(2));
+        println!(
+            "{name} n={n} e={epochs}: {el:.1}s  Z mae={:.3} mape={:.4}  L mae={:.4} mape={:.4}  NEXT mae={:.4} smape={:.3}",
+            mae(&tz, &pz), mape(&tz, &pz), mae(&tl, &pl), mape(&tl, &pl), mae(&tn, &pn), smape(&tn, &pn)
+        );
+        let rp = model.predict(&region.x).expect("ok");
+        println!(
+            "{name} region(S2): Z mae={:.3}  L mae={:.4}  NEXT mae={:.4}",
+            mae(&region.y.col_vec(0), &rp.col_vec(0)),
+            mae(&region.y.col_vec(1), &rp.col_vec(1)),
+            mae(&region.y.col_vec(2), &rp.col_vec(2)),
+        );
+    }
+}

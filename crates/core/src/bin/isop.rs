@@ -1,0 +1,211 @@
+//! `isop` — command-line interface to the stack-up optimizer.
+//!
+//! ```text
+//! isop simulate --w 5 --s 6 --d 30 [--dk 3.6] [--df 0.008] [--engine fd]
+//! isop optimize --task t1 --space s1 [--seed 42] [--trials 1] [--with-ic]
+//! isop spaces
+//! isop dataset --n 1000 --out dataset.json [--space training]
+//! ```
+//!
+//! The CLI is intentionally dependency-free (hand-rolled flag parsing); it
+//! exists so the library is usable from shell workflows without writing
+//! Rust.
+
+use isop::prelude::*;
+use isop_em::fdsolver::FdConfig;
+use isop_em::simulator::{AnalyticalSolver, EmSimulator, FieldSolver};
+use isop_em::stackup::DiffStripline;
+use isop_hpo::budget::Budget;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                map.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                map.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            eprintln!("warning: ignoring stray argument '{}'", args[i]);
+            i += 1;
+        }
+    }
+    map
+}
+
+fn flag_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> f64 {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn space_by_name(name: &str) -> Option<isop::params::ParamSpace> {
+    match name {
+        "s1" => Some(isop::spaces::s1()),
+        "s2" => Some(isop::spaces::s2()),
+        "s1p" | "s1'" | "s1prime" => Some(isop::spaces::s1_prime()),
+        "training" => Some(isop::spaces::training_space()),
+        _ => None,
+    }
+}
+
+fn task_by_name(name: &str) -> Option<TaskId> {
+    match name.to_lowercase().as_str() {
+        "t1" => Some(TaskId::T1),
+        "t2" => Some(TaskId::T2),
+        "t3" => Some(TaskId::T3),
+        "t4" => Some(TaskId::T4),
+        _ => None,
+    }
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let layer = DiffStripline::builder()
+        .trace_width(flag_f64(flags, "w", 5.0))
+        .trace_spacing(flag_f64(flags, "s", 6.0))
+        .pair_distance(flag_f64(flags, "d", 30.0))
+        .etch_factor(flag_f64(flags, "etch", 0.0))
+        .trace_height(flag_f64(flags, "ht", 1.2))
+        .core_height(flag_f64(flags, "hc", 6.0))
+        .prepreg_height(flag_f64(flags, "hp", 6.0))
+        .conductivity(flag_f64(flags, "sigma", 5.8e7))
+        .roughness(flag_f64(flags, "rough", 0.0))
+        .dk_trace(flag_f64(flags, "dk", 3.6))
+        .dk_core(flag_f64(flags, "dk", 3.6))
+        .dk_prepreg(flag_f64(flags, "dk", 3.6))
+        .df_trace(flag_f64(flags, "df", 0.008))
+        .df_core(flag_f64(flags, "df", 0.008))
+        .df_prepreg(flag_f64(flags, "df", 0.008))
+        .build()
+        .map_err(|e| e.to_string())?;
+    let result = match flags.get("engine").map(String::as_str) {
+        Some("fd") => FieldSolver::new(FdConfig::default())
+            .simulate(&layer)
+            .map_err(|e| e.to_string())?,
+        _ => AnalyticalSolver::new()
+            .simulate(&layer)
+            .map_err(|e| e.to_string())?,
+    };
+    println!("Z    = {:.2} ohm (differential)", result.z_diff);
+    println!("L    = {:.3} dB/inch @ 16 GHz", result.insertion_loss);
+    println!("NEXT = {:.3} mV", result.next);
+    Ok(())
+}
+
+fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
+    let task = task_by_name(flags.get("task").map(String::as_str).unwrap_or("t1"))
+        .ok_or("unknown task (use t1..t4)")?;
+    let space_name = flags.get("space").map(String::as_str).unwrap_or("s1");
+    let space = space_by_name(space_name).ok_or("unknown space (s1, s2, s1p)")?;
+    let seed = flag_f64(flags, "seed", 42.0) as u64;
+    let trials = flag_f64(flags, "trials", 1.0) as usize;
+    let ics = if flags.contains_key("with-ic") {
+        isop::tasks::table_ix_input_constraints()
+    } else {
+        vec![]
+    };
+
+    let simulator = AnalyticalSolver::new();
+    let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+    let mut best: Option<(f64, DesignCandidate, bool)> = None;
+    for t in 0..trials.max(1) {
+        let optimizer =
+            IsopOptimizer::new(&space, &surrogate, &simulator, IsopConfig::default());
+        let outcome = optimizer.run(
+            isop::tasks::objective_for(task, ics.clone()),
+            Budget::unlimited(),
+            seed + t as u64,
+        );
+        if let Some(c) = outcome.best() {
+            if best.as_ref().is_none_or(|(g, _, _)| c.g_exact < *g) {
+                best = Some((c.g_exact, c.clone(), outcome.success));
+            }
+        }
+    }
+    let (g, cand, success) = best.ok_or("no design survived roll-out")?;
+    let sim = cand.simulated.ok_or("candidate unverified")?;
+    println!("task {task} on {space_name} (seed {seed}, {trials} trial(s))");
+    for (name, v) in isop_em::PARAM_NAMES.iter().zip(&cand.values) {
+        println!("  {name:>8} = {v}");
+    }
+    println!("Z = {:.2} ohm, L = {:.3} dB/in, NEXT = {:.3} mV", sim.z_diff, sim.insertion_loss, sim.next);
+    println!("g = {g:.4}, constraints satisfied: {success}");
+    Ok(())
+}
+
+fn cmd_spaces() {
+    for (name, space) in [
+        ("s1", isop::spaces::s1()),
+        ("s2", isop::spaces::s2()),
+        ("s1p", isop::spaces::s1_prime()),
+        ("training", isop::spaces::training_space()),
+    ] {
+        println!(
+            "{name:>9}: {} params, {} bits, {:.3e} valid designs",
+            space.n_params(),
+            space.total_bits(),
+            space.n_valid()
+        );
+    }
+}
+
+fn cmd_dataset(flags: &HashMap<String, String>) -> Result<(), String> {
+    let n = flag_f64(flags, "n", 1000.0) as usize;
+    let out = flags.get("out").cloned().unwrap_or_else(|| "dataset.json".into());
+    let space_name = flags.get("space").map(String::as_str).unwrap_or("training");
+    let space = space_by_name(space_name).ok_or("unknown space")?;
+    let data = isop::data::generate_dataset(&space, n, &AnalyticalSolver::new(),
+        flag_f64(flags, "seed", 0.0) as u64).map_err(|e| e.to_string())?;
+    let json = serde_json::to_string(&data).map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    println!("wrote {n} samples from {space_name} to {out}");
+    Ok(())
+}
+
+fn usage() {
+    eprintln!(
+        "isop — inverse stack-up optimization\n\n\
+         USAGE:\n  isop simulate [--w 5] [--s 6] [--d 30] [--dk 3.6] [--df 0.008] [--engine fd]\n  \
+         isop optimize --task t1 --space s1 [--seed 42] [--trials 1] [--with-ic]\n  \
+         isop spaces\n  \
+         isop dataset --n 1000 --out dataset.json [--space training]"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "simulate" => cmd_simulate(&flags),
+        "optimize" => cmd_optimize(&flags),
+        "spaces" => {
+            cmd_spaces();
+            Ok(())
+        }
+        "dataset" => cmd_dataset(&flags),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Board-level planning: optimize several layer classes of one stack-up in
+//! a single call.
+//!
+//! A real HDI board carries different signal classes on different layers —
+//! e.g. 85-ohm SerDes pairs, 100-ohm DDR pairs, a crosstalk-critical
+//! breakout layer. Each class is one inverse-design problem; a
+//! [`BoardPlan`] bundles them, runs the ISOP+ pipeline per class, and
+//! produces a combined, verifiable report. This is the workflow wrapper the
+//! paper's introduction motivates ("a modern HDI PCB may have over 20
+//! layers, each with its unique stack-up").
+
+use crate::objective::{InputConstraint, Objective};
+use crate::params::ParamSpace;
+use crate::pipeline::{DesignCandidate, IsopConfig, IsopOptimizer};
+use crate::surrogate::Surrogate;
+use crate::tasks::{objective_for, TaskId};
+use isop_em::simulator::EmSimulator;
+use serde::{Deserialize, Serialize};
+
+/// One signal-class requirement of the board.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerRequirement {
+    /// Human-readable layer-class name (e.g. `"serdes-85"`).
+    pub name: String,
+    /// The benchmark task shape defining FoM and output constraints.
+    pub task: TaskId,
+    /// Extra input constraints (routing pitch, aspect-ratio rules, ...).
+    pub input_constraints: Vec<InputConstraint>,
+}
+
+impl LayerRequirement {
+    /// Creates a requirement with no extra input constraints.
+    pub fn new(name: impl Into<String>, task: TaskId) -> Self {
+        Self {
+            name: name.into(),
+            task,
+            input_constraints: Vec::new(),
+        }
+    }
+
+    /// Adds input constraints, builder-style.
+    #[must_use]
+    pub fn with_input_constraints(mut self, ics: Vec<InputConstraint>) -> Self {
+        self.input_constraints = ics;
+        self
+    }
+
+    /// The objective this requirement induces.
+    pub fn objective(&self) -> Objective {
+        objective_for(self.task, self.input_constraints.clone())
+    }
+}
+
+/// Result for one planned layer class.
+#[derive(Debug, Clone)]
+pub struct PlannedLayer {
+    /// The requirement this solves.
+    pub requirement: LayerRequirement,
+    /// The winning, simulator-verified design (if one survived roll-out).
+    pub design: Option<DesignCandidate>,
+    /// Whether the verified design satisfies every constraint.
+    pub success: bool,
+    /// Valid surrogate samples spent on this layer.
+    pub samples_seen: u64,
+}
+
+/// A bundle of layer requirements planned against one search space.
+#[derive(Debug, Clone)]
+pub struct BoardPlan {
+    requirements: Vec<LayerRequirement>,
+}
+
+impl BoardPlan {
+    /// Creates a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty requirement list.
+    pub fn new(requirements: Vec<LayerRequirement>) -> Self {
+        assert!(!requirements.is_empty(), "plan needs at least one layer");
+        Self { requirements }
+    }
+
+    /// The requirements, in planning order.
+    pub fn requirements(&self) -> &[LayerRequirement] {
+        &self.requirements
+    }
+
+    /// Optimizes every layer class with the shared engines. Layer `i` uses
+    /// seed `seed + i` so classes decorrelate but the plan stays
+    /// reproducible.
+    pub fn solve(
+        &self,
+        space: &ParamSpace,
+        surrogate: &dyn Surrogate,
+        simulator: &dyn EmSimulator,
+        config: &IsopConfig,
+        seed: u64,
+    ) -> Vec<PlannedLayer> {
+        self.requirements
+            .iter()
+            .enumerate()
+            .map(|(i, req)| {
+                let optimizer = IsopOptimizer::new(space, surrogate, simulator, config.clone());
+                let outcome = optimizer.run(
+                    req.objective(),
+                    isop_hpo::budget::Budget::unlimited(),
+                    seed + i as u64,
+                );
+                PlannedLayer {
+                    requirement: req.clone(),
+                    design: outcome.best().cloned(),
+                    success: outcome.success,
+                    samples_seen: outcome.samples_seen,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders a plan result as a report table.
+    pub fn report(layers: &[PlannedLayer]) -> crate::report::Table {
+        let mut table = crate::report::Table::new(vec![
+            "Layer", "Task", "Success", "Z", "L", "NEXT", "W_t", "S_t", "D_t", "H_c", "H_p",
+        ]);
+        for l in layers {
+            let (z, loss, next, w, s, d, hc, hp) = match &l.design {
+                Some(c) => {
+                    let m = c.simulated.map(|r| r.to_array()).unwrap_or([f64::NAN; 3]);
+                    (m[0], m[1], m[2], c.values[0], c.values[1], c.values[2], c.values[5], c.values[6])
+                }
+                None => (f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN),
+            };
+            table.push_row(vec![
+                l.requirement.name.clone(),
+                l.requirement.task.name().to_string(),
+                l.success.to_string(),
+                format!("{z:.2}"),
+                format!("{loss:.3}"),
+                format!("{next:.3}"),
+                format!("{w:.1}"),
+                format!("{s:.1}"),
+                format!("{d:.0}"),
+                format!("{hc:.1}"),
+                format!("{hp:.1}"),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surrogate::OracleSurrogate;
+    use isop_em::simulator::AnalyticalSolver;
+    use isop_hpo::harmonica::HarmonicaConfig;
+
+    fn fast_config() -> IsopConfig {
+        IsopConfig {
+            harmonica: HarmonicaConfig {
+                stages: 2,
+                samples_per_stage: 120,
+                ..HarmonicaConfig::default()
+            },
+            gd_epochs: 20,
+            ..IsopConfig::default()
+        }
+    }
+
+    #[test]
+    fn plans_two_layer_classes() {
+        let plan = BoardPlan::new(vec![
+            LayerRequirement::new("serdes-85", TaskId::T1),
+            LayerRequirement::new("ddr-100", TaskId::T2),
+        ]);
+        let space = crate::spaces::s1();
+        let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+        let simulator = AnalyticalSolver::new();
+        let layers = plan.solve(&space, &surrogate, &simulator, &fast_config(), 3);
+        assert_eq!(layers.len(), 2);
+        for l in &layers {
+            let d = l.design.as_ref().expect("each class gets a design");
+            let sim = d.simulated.expect("verified");
+            let target = if l.requirement.task == TaskId::T1 { 85.0 } else { 100.0 };
+            assert!(
+                (sim.z_diff - target).abs() < 5.0,
+                "{}: Z = {} far from {target}",
+                l.requirement.name,
+                sim.z_diff
+            );
+        }
+    }
+
+    #[test]
+    fn constrained_layer_respects_its_ics() {
+        let ics = crate::tasks::table_ix_input_constraints();
+        let plan = BoardPlan::new(vec![LayerRequirement::new("breakout", TaskId::T1)
+            .with_input_constraints(ics.clone())]);
+        let space = crate::spaces::s1_prime();
+        let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+        let simulator = AnalyticalSolver::new();
+        let layers = plan.solve(&space, &surrogate, &simulator, &fast_config(), 9);
+        let d = layers[0].design.as_ref().expect("design");
+        for c in &ics {
+            assert!(
+                c.violation(&d.values) < 1.0,
+                "constraint '{}' badly violated",
+                c.label
+            );
+        }
+    }
+
+    #[test]
+    fn report_has_one_row_per_layer() {
+        let plan = BoardPlan::new(vec![
+            LayerRequirement::new("a", TaskId::T1),
+            LayerRequirement::new("b", TaskId::T4),
+        ]);
+        let space = crate::spaces::s1();
+        let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+        let simulator = AnalyticalSolver::new();
+        let layers = plan.solve(&space, &surrogate, &simulator, &fast_config(), 5);
+        let table = BoardPlan::report(&layers);
+        assert_eq!(table.n_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_plan_panics() {
+        let _ = BoardPlan::new(vec![]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Table formatting: markdown and CSV writers for experiment results.
+//!
+//! Every bench binary renders its table through these helpers so the
+//! regenerated artifacts look like the paper's tables and diff cleanly run
+//! to run.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table accumulated row by row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn push_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let widths: Vec<usize> = (0..self.header.len())
+            .map(|c| {
+                self.rows
+                    .iter()
+                    .map(|r| r[c].len())
+                    .chain(std::iter::once(self.header[c].len()))
+                    .max()
+                    .unwrap_or(1)
+            })
+            .collect();
+        let render = |cells: &[String], out: &mut String| {
+            out.push('|');
+            for (cell, w) in cells.iter().zip(&widths) {
+                let _ = write!(out, " {cell:w$} |");
+            }
+            out.push('\n');
+        };
+        render(&self.header, &mut out);
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{}|", "-".repeat(w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            render(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let line =
+            |cells: &[String]| cells.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",");
+        out.push_str(&line(&self.header));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `prec` decimals.
+pub fn fmt(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Formats `mean (std)` pairs the way the paper's tables print them.
+pub fn fmt_mean_std(mean: f64, std: f64, prec: usize) -> String {
+    format!("{mean:.prec$} / {std:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["Method", "FoM"]);
+        t.push_row(vec!["SA-1", "0.446"]);
+        t.push_row(vec!["ISOP+", "0.436"]);
+        t
+    }
+
+    #[test]
+    fn markdown_is_aligned_and_complete() {
+        let md = sample().to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Method"));
+        assert!(lines[1].starts_with("|--"));
+        assert!(lines[3].contains("ISOP+"));
+        // All lines the same width (aligned).
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_rejected() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt(0.43649, 3), "0.436");
+        assert_eq!(fmt_mean_std(0.57, 0.03, 2), "0.57 / 0.03");
+    }
+}

@@ -1,0 +1,186 @@
+//! The paper's search spaces (Table III): `S_1`, `S_2`, `S_1'`, and the
+//! surrogate-training ranges.
+//!
+//! Parameter order matches [`isop_em::PARAM_NAMES`]:
+//! `W_t S_t D_t E_t H_t H_c H_p sigma_t R_t Dk_t Dk_c Dk_p Df_t Df_c Df_p`.
+
+use crate::params::{ParamDef, ParamSpace};
+
+fn space(rows: [(&str, f64, f64, f64); 15]) -> ParamSpace {
+    ParamSpace::new(
+        rows.iter()
+            .map(|&(name, lo, hi, step)| ParamDef::new(name, lo, hi, step))
+            .collect(),
+    )
+}
+
+/// Search space `S_1` (73 bits, `7.14e19` valid designs).
+pub fn s1() -> ParamSpace {
+    space([
+        ("W_t", 2.0, 5.0, 0.1),
+        ("S_t", 2.0, 10.0, 0.5),
+        ("D_t", 30.0, 40.0, 5.0),
+        ("E_t", 0.0, 0.3, 0.05),
+        ("H_t", 0.6, 1.5, 0.1),
+        ("H_c", 2.0, 8.0, 0.2),
+        ("H_p", 2.0, 8.0, 0.2),
+        ("sigma_t", 3.8e7, 5.8e7, 1e6),
+        ("R_t", -14.5, 14.0, 0.5),
+        ("Dk_t", 2.5, 4.5, 0.05),
+        ("Dk_c", 2.5, 4.5, 0.05),
+        ("Dk_p", 2.5, 4.5, 0.05),
+        ("Df_t", 0.001, 0.02, 0.001),
+        ("Df_c", 0.001, 0.02, 0.001),
+        ("Df_p", 0.001, 0.02, 0.001),
+    ])
+}
+
+/// Search space `S_2` (78 bits, `2.97e21` valid designs) — a superset of
+/// `S_1`.
+pub fn s2() -> ParamSpace {
+    space([
+        ("W_t", 2.0, 10.0, 0.1),
+        ("S_t", 2.0, 10.0, 0.5),
+        ("D_t", 15.0, 40.0, 5.0),
+        ("E_t", 0.0, 0.3, 0.05),
+        ("H_t", 0.6, 1.5, 0.1),
+        ("H_c", 2.0, 10.0, 0.2),
+        ("H_p", 2.0, 10.0, 0.2),
+        ("sigma_t", 3.0e7, 5.8e7, 1e6),
+        ("R_t", -14.5, 14.0, 0.5),
+        ("Dk_t", 2.0, 5.0, 0.05),
+        ("Dk_c", 2.0, 5.0, 0.05),
+        ("Dk_p", 2.0, 5.0, 0.05),
+        ("Df_t", 0.001, 0.02, 0.001),
+        ("Df_c", 0.001, 0.02, 0.001),
+        ("Df_p", 0.001, 0.02, 0.001),
+    ])
+}
+
+/// Search space `S_1'` (78 bits, `6.53e20` valid designs) — wider physical
+/// dimensions than `S_1` but the `S_1` material ranges; used together with
+/// the input parameter constraints in the Table IX case study.
+pub fn s1_prime() -> ParamSpace {
+    space([
+        ("W_t", 2.0, 10.0, 0.1),
+        ("S_t", 2.0, 10.0, 0.5),
+        ("D_t", 15.0, 40.0, 5.0),
+        ("E_t", 0.0, 0.3, 0.05),
+        ("H_t", 0.6, 1.5, 0.1),
+        ("H_c", 2.0, 10.0, 0.2),
+        ("H_p", 2.0, 10.0, 0.2),
+        ("sigma_t", 3.8e7, 5.8e7, 1e6),
+        ("R_t", -14.5, 14.0, 0.5),
+        ("Dk_t", 2.5, 4.5, 0.05),
+        ("Dk_c", 2.5, 4.5, 0.05),
+        ("Dk_p", 2.5, 4.5, 0.05),
+        ("Df_t", 0.001, 0.02, 0.001),
+        ("Df_c", 0.001, 0.02, 0.001),
+        ("Df_p", 0.001, 0.02, 0.001),
+    ])
+}
+
+/// The surrogate-training ranges (rightmost Table III column): a much wider
+/// space (`1.31e29` designs) than any optimization target, so the surrogate
+/// generalizes across all of them.
+pub fn training_space() -> ParamSpace {
+    space([
+        ("W_t", 1.0, 29.0, 0.5),
+        ("S_t", 1.0, 64.0, 0.5),
+        ("D_t", 1.0, 100.0, 1.0),
+        ("E_t", 0.0, 0.7, 0.1),
+        ("H_t", 0.3, 3.9, 0.1),
+        ("H_c", 1.0, 40.0, 1.0),
+        ("H_p", 1.0, 40.0, 1.0),
+        ("sigma_t", 3.0e7, 5.8e7, 1e6),
+        ("R_t", -14.5, 14.0, 0.5),
+        ("Dk_t", 1.0, 7.0, 0.1),
+        ("Dk_c", 1.0, 7.0, 0.1),
+        ("Dk_p", 1.0, 7.0, 0.1),
+        ("Df_t", 0.0001, 0.1, 0.0001),
+        ("Df_c", 0.0001, 0.1, 0.0001),
+        ("Df_p", 0.0001, 0.1, 0.0001),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s1_matches_paper_bits_and_size() {
+        let s = s1();
+        assert_eq!(s.total_bits(), 73, "Table III: S_1 is a 2^73 cube");
+        let size = s.n_valid();
+        assert!(
+            (size / 7.14e19 - 1.0).abs() < 0.01,
+            "S_1 valid designs: got {size:e}, paper 7.14e19"
+        );
+    }
+
+    #[test]
+    fn s2_matches_paper_bits_and_size() {
+        let s = s2();
+        assert_eq!(s.total_bits(), 78, "Table III: S_2 is a 2^78 cube");
+        let size = s.n_valid();
+        assert!(
+            (size / 2.97e21 - 1.0).abs() < 0.01,
+            "S_2 valid designs: got {size:e}, paper 2.97e21"
+        );
+    }
+
+    #[test]
+    fn s1_prime_matches_paper_bits_and_size() {
+        let s = s1_prime();
+        assert_eq!(s.total_bits(), 78, "Table III: S_1' is a 2^78 cube");
+        let size = s.n_valid();
+        assert!(
+            (size / 6.53e20 - 1.0).abs() < 0.01,
+            "S_1' valid designs: got {size:e}, paper 6.53e20"
+        );
+    }
+
+    #[test]
+    fn training_space_matches_paper_size() {
+        let s = training_space();
+        let size = s.n_valid();
+        assert!(
+            (size / 1.31e29 - 1.0).abs() < 0.02,
+            "training designs: got {size:e}, paper 1.31e29"
+        );
+    }
+
+    #[test]
+    fn s2_contains_s1_bounds() {
+        let inner = s1();
+        let outer = s2();
+        for (pi, po) in inner.params().iter().zip(outer.params()) {
+            assert!(po.lo <= pi.lo + 1e-12, "{}: S2 lo above S1 lo", pi.name);
+            assert!(po.hi >= pi.hi - 1e-12, "{}: S2 hi below S1 hi", pi.name);
+        }
+    }
+
+    #[test]
+    fn param_order_matches_em_names() {
+        let s = s1();
+        for (p, name) in s.params().iter().zip(isop_em::PARAM_NAMES) {
+            assert_eq!(p.name, name);
+        }
+    }
+
+    #[test]
+    fn table_ix_designs_lie_on_their_grids() {
+        // ISOP (S_1, no IC) T1 row of Table IX.
+        let t1 = [
+            5.0, 6.5, 30.0, 0.0, 1.5, 6.2, 8.0, 5.8e7, -14.5, 4.5, 4.5, 3.55, 0.001, 0.001,
+            0.001,
+        ];
+        assert!(s1().contains(&t1), "T1/S_1 design must be valid in S_1");
+        // ISOP (S_1', with IC) T3 row.
+        let t3 = [
+            8.2, 3.5, 40.0, 0.30, 0.7, 8.0, 8.0, 5.7e7, -14.5, 2.5, 2.8, 3.35, 0.001, 0.001,
+            0.001,
+        ];
+        assert!(s1_prime().contains(&t3), "T3/S_1' design must be valid in S_1'");
+    }
+}

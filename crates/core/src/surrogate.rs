@@ -1,0 +1,292 @@
+//! Surrogate performance models: fast stand-ins for the EM simulator during
+//! search-space exploration.
+//!
+//! Three implementations mirror the paper's comparisons:
+//!
+//! * [`NeuralSurrogate`] — one multi-output differentiable network (MLP or
+//!   1D-CNN). This is ISOP+'s surrogate; its input Jacobian feeds the
+//!   gradient-descent stage.
+//! * [`MlpXgbSurrogate`] — the DATE'23 ISOP configuration: an MLP for `Z`
+//!   and `L` plus an XGBoost model for `NEXT`. Not differentiable (the tree
+//!   part is piecewise-constant), exactly the incompatibility the paper notes
+//!   for `H_GD + MLP_XGB`.
+//! * [`OracleSurrogate`] — wraps the real simulator; useful in tests and for
+//!   isolating search-algorithm behaviour from surrogate error.
+
+use isop_em::simulator::EmSimulator;
+use isop_em::stackup::DiffStripline;
+use isop_ml::dataset::Dataset;
+use isop_ml::linalg::Matrix;
+use isop_ml::models::{Cnn1d, Mlp, XgbRegressor};
+use isop_ml::{Differentiable, MlError, Regressor};
+
+/// A surrogate predicting `[Z, L, NEXT]` from the 15-parameter design vector.
+pub trait Surrogate: Send + Sync {
+    /// Predicts the metric vector for one design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError`] if the model is unfitted or the width mismatches.
+    fn predict(&self, x: &[f64]) -> Result<[f64; 3], MlError>;
+
+    /// Input Jacobian (`3 x d`), or `None` when the surrogate is not
+    /// differentiable (tree-based models).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError`] if the model is unfitted or the width mismatches.
+    fn jacobian(&self, x: &[f64]) -> Option<Result<Matrix, MlError>>;
+
+    /// Surrogate name for reports (e.g. `"1D-CNN"`).
+    fn name(&self) -> String;
+}
+
+fn row_to_metrics(row: &[f64]) -> [f64; 3] {
+    [row[0], row[1], row[2]]
+}
+
+/// A differentiable multi-output neural surrogate (MLP or 1D-CNN).
+#[derive(Debug, Clone)]
+pub struct NeuralSurrogate<M> {
+    model: M,
+}
+
+impl<M: Differentiable> NeuralSurrogate<M> {
+    /// Wraps a *fitted* differentiable model with 3 outputs.
+    pub fn new(model: M) -> Self {
+        Self { model }
+    }
+
+    /// Trains `model` on `data` (targets must be `[Z, L, NEXT]`) and wraps
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn fit(mut model: M, data: &Dataset) -> Result<Self, MlError> {
+        model.fit(data)?;
+        Ok(Self { model })
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+}
+
+impl<M: Differentiable> Surrogate for NeuralSurrogate<M> {
+    fn predict(&self, x: &[f64]) -> Result<[f64; 3], MlError> {
+        let out = isop_ml::predict_row(&self.model, x)?;
+        Ok(row_to_metrics(&out))
+    }
+
+    fn jacobian(&self, x: &[f64]) -> Option<Result<Matrix, MlError>> {
+        Some(self.model.input_jacobian(x))
+    }
+
+    fn name(&self) -> String {
+        self.model.name().to_string()
+    }
+}
+
+/// Convenience alias for the paper's headline surrogate.
+pub type CnnSurrogate = NeuralSurrogate<Cnn1d>;
+
+/// Convenience alias for the MLP surrogate.
+pub type MlpSurrogate = NeuralSurrogate<Mlp>;
+
+/// The DATE'23 ISOP surrogate: MLP for `Z`/`L`, XGBoost for `NEXT`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MlpXgbSurrogate {
+    mlp: Mlp,
+    xgb: XgbRegressor,
+}
+
+impl MlpXgbSurrogate {
+    /// Trains both parts on `data` (targets `[Z, L, NEXT]`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures from either part.
+    pub fn fit(mut mlp: Mlp, mut xgb: XgbRegressor, data: &Dataset) -> Result<Self, MlError> {
+        // Split targets: MLP gets [Z, L], XGB gets [NEXT].
+        let n = data.len();
+        let mut y_zl = Matrix::zeros(n, 2);
+        let mut y_next = Matrix::zeros(n, 1);
+        for r in 0..n {
+            y_zl[(r, 0)] = data.y[(r, 0)];
+            y_zl[(r, 1)] = data.y[(r, 1)];
+            y_next[(r, 0)] = data.y[(r, 2)];
+        }
+        mlp.fit(&Dataset::new(data.x.clone(), y_zl)?)?;
+        xgb.fit(&Dataset::new(data.x.clone(), y_next)?)?;
+        Ok(Self { mlp, xgb })
+    }
+}
+
+impl Surrogate for MlpXgbSurrogate {
+    fn predict(&self, x: &[f64]) -> Result<[f64; 3], MlError> {
+        let zl = isop_ml::predict_row(&self.mlp, x)?;
+        let next = isop_ml::predict_row(&self.xgb, x)?;
+        Ok([zl[0], zl[1], next[0]])
+    }
+
+    fn jacobian(&self, _x: &[f64]) -> Option<Result<Matrix, MlError>> {
+        // The XGBoost part is piecewise-constant: no usable gradient.
+        None
+    }
+
+    fn name(&self) -> String {
+        "MLP_XGB".to_string()
+    }
+}
+
+/// A "perfect" surrogate that queries the real simulator (with optional
+/// finite-difference gradients). Used in tests and algorithm ablations.
+pub struct OracleSurrogate<S> {
+    sim: S,
+    fd_step: f64,
+}
+
+impl<S: EmSimulator> OracleSurrogate<S> {
+    /// Wraps a simulator; gradients use central differences with `fd_step`
+    /// relative to each parameter's magnitude.
+    pub fn new(sim: S) -> Self {
+        Self {
+            sim,
+            fd_step: 1e-4,
+        }
+    }
+
+    fn eval(&self, x: &[f64]) -> Result<[f64; 3], MlError> {
+        let layer = DiffStripline::from_vector(x).map_err(|_| MlError::Diverged)?;
+        let r = self.sim.simulate(&layer).map_err(|_| MlError::Diverged)?;
+        Ok(r.to_array())
+    }
+}
+
+impl<S: EmSimulator> Surrogate for OracleSurrogate<S> {
+    fn predict(&self, x: &[f64]) -> Result<[f64; 3], MlError> {
+        self.eval(x)
+    }
+
+    fn jacobian(&self, x: &[f64]) -> Option<Result<Matrix, MlError>> {
+        let base = match self.eval(x) {
+            Ok(b) => b,
+            Err(e) => return Some(Err(e)),
+        };
+        let mut jac = Matrix::zeros(3, x.len());
+        for c in 0..x.len() {
+            let h = self.fd_step * x[c].abs().max(1e-3);
+            let mut hi = x.to_vec();
+            let mut lo = x.to_vec();
+            hi[c] += h;
+            lo[c] -= h;
+            // Central difference where both sides are valid; fall back to a
+            // one-sided difference at geometry boundaries (e.g. E_t = 0).
+            let (ph, pl, span) = match (self.eval(&hi), self.eval(&lo)) {
+                (Ok(a), Ok(b)) => (a, b, 2.0 * h),
+                (Ok(a), Err(_)) => (a, base, h),
+                (Err(_), Ok(b)) => (base, b, h),
+                (Err(e), Err(_)) => return Some(Err(e)),
+            };
+            for r in 0..3 {
+                jac[(r, c)] = (ph[r] - pl[r]) / span;
+            }
+        }
+        Some(Ok(jac))
+    }
+
+    fn name(&self) -> String {
+        format!("oracle({})", self.sim.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::generate_dataset;
+    use crate::spaces;
+    use isop_em::simulator::AnalyticalSolver;
+    use isop_ml::models::{Cnn1dConfig, MlpConfig};
+
+    fn tiny_dataset(n: usize) -> Dataset {
+        generate_dataset(&spaces::s1(), n, &AnalyticalSolver::new(), 42).expect("dataset")
+    }
+
+    fn tiny_mlp() -> Mlp {
+        Mlp::new(MlpConfig {
+            hidden: vec![24, 24],
+            epochs: 60,
+            batch_size: 32,
+            lr: 2e-3,
+            dropout: 0.0,
+            ..MlpConfig::default()
+        })
+    }
+
+    #[test]
+    fn neural_surrogate_learns_simulator_shape() {
+        let data = tiny_dataset(400);
+        let s = NeuralSurrogate::fit(tiny_mlp(), &data).expect("trains");
+        // Predictions on a training row should land in the right regime.
+        let row = data.x.row(0);
+        let pred = s.predict(row).expect("predicts");
+        let truth = data.y.row(0);
+        assert!((pred[0] - truth[0]).abs() < 12.0, "Z: {} vs {}", pred[0], truth[0]);
+        assert!(pred[1] < 0.1, "L must be ~negative: {}", pred[1]);
+    }
+
+    #[test]
+    fn neural_surrogate_exposes_jacobian() {
+        let data = tiny_dataset(200);
+        let s = NeuralSurrogate::fit(tiny_mlp(), &data).expect("trains");
+        let jac = s.jacobian(data.x.row(0)).expect("differentiable").expect("ok");
+        assert_eq!((jac.rows(), jac.cols()), (3, 15));
+    }
+
+    #[test]
+    fn mlp_xgb_predicts_but_has_no_jacobian() {
+        let data = tiny_dataset(200);
+        let s = MlpXgbSurrogate::fit(
+            tiny_mlp(),
+            XgbRegressor::new(30, 0.2, 4, 1.0, 0.0),
+            &data,
+        )
+        .expect("trains");
+        let pred = s.predict(data.x.row(0)).expect("predicts");
+        assert!(pred.iter().all(|v| v.is_finite()));
+        assert!(s.jacobian(data.x.row(0)).is_none(), "tree part is not differentiable");
+        assert_eq!(s.name(), "MLP_XGB");
+    }
+
+    #[test]
+    fn oracle_surrogate_matches_simulator_exactly() {
+        let s = OracleSurrogate::new(AnalyticalSolver::new());
+        let x = crate::manual::MANUAL_VECTOR;
+        let pred = s.predict(&x).expect("valid design");
+        let direct = AnalyticalSolver::new()
+            .simulate(&DiffStripline::from_vector(&x).unwrap())
+            .unwrap();
+        assert_eq!(pred, direct.to_array());
+    }
+
+    #[test]
+    fn oracle_jacobian_has_physical_signs() {
+        let s = OracleSurrogate::new(AnalyticalSolver::new());
+        let x = crate::manual::MANUAL_VECTOR;
+        let jac = s.jacobian(&x).expect("fd").expect("ok");
+        // Wider trace lowers Z.
+        assert!(jac[(0, 0)] < 0.0, "dZ/dW = {}", jac[(0, 0)]);
+        // Larger pair distance reduces |NEXT| (NEXT is negative, so dNEXT/dD > 0).
+        assert!(jac[(2, 2)] > 0.0, "dNEXT/dD = {}", jac[(2, 2)]);
+    }
+
+    #[test]
+    fn oracle_rejects_invalid_designs() {
+        let s = OracleSurrogate::new(AnalyticalSolver::new());
+        let mut x = crate::manual::MANUAL_VECTOR;
+        x[0] = -5.0;
+        assert!(s.predict(&x).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! The paper's benchmark tasks T1–T4 (Table II).
+//!
+//! | Task | FoM | Constraints |
+//! |---|---|---|
+//! | T1 | `\|L\|` | `Z = 85 +- 1` |
+//! | T2 | `\|L\|` | `Z = 100 +- 2` |
+//! | T3 | `\|L\|` | `Z = 85 +- 1`, `NEXT = 0 +- 0.05` |
+//! | T4 | `\|L\| + 2 \|NEXT\|` | `Z = 85 +- 1` |
+
+use crate::objective::{FomSpec, InputConstraint, Metric, Objective, OutputConstraint};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a benchmark task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskId {
+    /// Minimize loss at `Z = 85 +- 1`.
+    T1,
+    /// Minimize loss at `Z = 100 +- 2`.
+    T2,
+    /// Minimize loss at `Z = 85 +- 1` with `|NEXT| <= 0.05 mV`.
+    T3,
+    /// Minimize `|L| + 2 |NEXT|` at `Z = 85 +- 1`.
+    T4,
+}
+
+impl TaskId {
+    /// All four tasks in paper order.
+    pub fn all() -> [TaskId; 4] {
+        [TaskId::T1, TaskId::T2, TaskId::T3, TaskId::T4]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskId::T1 => "T1",
+            TaskId::T2 => "T2",
+            TaskId::T3 => "T3",
+            TaskId::T4 => "T4",
+        }
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds the [`Objective`] of a task, optionally with extra input
+/// constraints (the Table IX case study adds three).
+pub fn objective_for(task: TaskId, input_constraints: Vec<InputConstraint>) -> Objective {
+    let (fom, constraints) = match task {
+        TaskId::T1 => (
+            FomSpec {
+                terms: vec![(Metric::L, 1.0)],
+            },
+            vec![OutputConstraint::band(Metric::Z, 85.0, 1.0)],
+        ),
+        TaskId::T2 => (
+            FomSpec {
+                terms: vec![(Metric::L, 1.0)],
+            },
+            vec![OutputConstraint::band(Metric::Z, 100.0, 2.0)],
+        ),
+        TaskId::T3 => (
+            FomSpec {
+                terms: vec![(Metric::L, 1.0)],
+            },
+            vec![
+                OutputConstraint::band(Metric::Z, 85.0, 1.0),
+                OutputConstraint::band(Metric::Next, 0.0, 0.05),
+            ],
+        ),
+        TaskId::T4 => (
+            FomSpec {
+                terms: vec![(Metric::L, 1.0), (Metric::Next, 2.0)],
+            },
+            vec![OutputConstraint::band(Metric::Z, 85.0, 1.0)],
+        ),
+    };
+    Objective::new(fom, constraints, input_constraints)
+}
+
+/// The three expert-defined input constraints of Section IV-D:
+/// `2 W_t + S_t <= 20`, `D_t <= 5 H_c`, `D_t <= 5 H_p`.
+///
+/// Parameter indices follow [`isop_em::PARAM_NAMES`] order
+/// (`W_t`=0, `S_t`=1, `D_t`=2, `H_c`=5, `H_p`=6).
+pub fn table_ix_input_constraints() -> Vec<InputConstraint> {
+    vec![
+        InputConstraint::new(vec![(0, 2.0), (1, 1.0)], 20.0, "2*W_t + S_t <= 20"),
+        InputConstraint::new(vec![(2, 1.0), (5, -5.0)], 0.0, "D_t - 5*H_c <= 0"),
+        InputConstraint::new(vec![(2, 1.0), (6, -5.0)], 0.0, "D_t - 5*H_p <= 0"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_matches_table_ii() {
+        let obj = objective_for(TaskId::T1, vec![]);
+        assert_eq!(obj.output_constraints.len(), 1);
+        let c = obj.output_constraints[0];
+        assert_eq!(c.metric, Metric::Z);
+        assert_eq!((c.target, c.tolerance), (85.0, 1.0));
+        assert_eq!(obj.fom.terms, vec![(Metric::L, 1.0)]);
+    }
+
+    #[test]
+    fn t2_uses_100_ohm_band() {
+        let obj = objective_for(TaskId::T2, vec![]);
+        let c = obj.output_constraints[0];
+        assert_eq!((c.target, c.tolerance), (100.0, 2.0));
+    }
+
+    #[test]
+    fn t3_adds_next_constraint() {
+        let obj = objective_for(TaskId::T3, vec![]);
+        assert_eq!(obj.output_constraints.len(), 2);
+        let next = obj.output_constraints[1];
+        assert_eq!(next.metric, Metric::Next);
+        assert_eq!((next.target, next.tolerance), (0.0, 0.05));
+    }
+
+    #[test]
+    fn t4_weights_next_double() {
+        let obj = objective_for(TaskId::T4, vec![]);
+        assert_eq!(
+            obj.fom.terms,
+            vec![(Metric::L, 1.0), (Metric::Next, 2.0)]
+        );
+        // Cross-check a Table V row: SA-1 on T4/S1 has L=-0.467,
+        // NEXT=-0.006 -> FoM 0.479.
+        let fom = obj.fom.value(&[85.0, -0.467, -0.006]);
+        assert!((fom - 0.479).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_ix_constraints_evaluate_correctly() {
+        let ics = table_ix_input_constraints();
+        // The T1 ISOP (S_1', IC) design of Table IX: W=7.2, S=5.5, D=35,
+        // Hc=8.6, Hp=9.4 -> all three satisfied.
+        let mut values = vec![0.0; 15];
+        values[0] = 7.2;
+        values[1] = 5.5;
+        values[2] = 35.0;
+        values[5] = 8.6;
+        values[6] = 9.4;
+        assert!(ics[0].satisfied(&values), "2W+S = 19.9 <= 20");
+        assert!(ics[1].satisfied(&values), "35 <= 43");
+        assert!(ics[2].satisfied(&values), "35 <= 47");
+        // And a violating design: W=10, S=5 -> 2W+S = 25 > 20.
+        values[0] = 10.0;
+        assert!(!ics[0].satisfied(&values));
+    }
+
+    #[test]
+    fn all_tasks_build_objectives_with_unit_weights() {
+        for t in TaskId::all() {
+            let obj = objective_for(t, vec![]);
+            assert_eq!(obj.weights.fom, 1.0);
+            assert!(obj.weights.oc.iter().all(|&w| w == 1.0));
+        }
+    }
+}

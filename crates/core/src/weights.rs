@@ -1,0 +1,169 @@
+//! Adaptive weight adjustment (paper Algorithm 2).
+//!
+//! Each Harmonica stage yields a batch of random samples; their statistics
+//! steer the constraint weights. When a constraint is satisfied by at least
+//! a `beta` fraction of the batch, its weight has done its job and is decayed
+//! by `(1 - beta)` — but never below a floor tied to the FoM scale,
+//! `min(w_FoM * FoM) / C_max`, so the constraint can never vanish from the
+//! objective entirely.
+
+use crate::objective::Objective;
+use serde::{Deserialize, Serialize};
+
+/// One sample's record used for weight adaptation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleRecord {
+    /// Predicted `[Z, L, NEXT]`.
+    pub metrics: [f64; 3],
+    /// Decoded design vector.
+    pub values: Vec<f64>,
+}
+
+/// Adaptive-weight controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightAdapter {
+    /// The satisfaction-ratio threshold and decay factor `beta`
+    /// (the paper uses 0.2).
+    pub beta: f64,
+}
+
+impl Default for WeightAdapter {
+    fn default() -> Self {
+        Self { beta: 0.2 }
+    }
+}
+
+impl WeightAdapter {
+    /// Applies one round of Algorithm 2 to `objective` using the latest
+    /// sample batch. No-op on an empty batch.
+    pub fn update(&self, objective: &mut Objective, batch: &[SampleRecord]) {
+        if batch.is_empty() {
+            return;
+        }
+        let n = batch.len() as f64;
+        // Floor: min over the batch of w_FoM * FoM(x).
+        let min_fom_term = batch
+            .iter()
+            .map(|s| objective.weights.fom * objective.fom.value(&s.metrics))
+            .fold(f64::INFINITY, f64::min);
+
+        // Output constraints: ratio of samples inside the band.
+        for j in 0..objective.output_constraints.len() {
+            let c = objective.output_constraints[j];
+            let ratio = batch.iter().filter(|s| c.satisfied(&s.metrics)).count() as f64 / n;
+            if ratio >= self.beta {
+                let c_max = c.boundary_penalty(objective.gamma(&c)).max(1e-9);
+                let floor = min_fom_term / c_max;
+                let w = &mut objective.weights.oc[j];
+                *w = ((1.0 - self.beta) * *w).max(floor.min(*w));
+            }
+        }
+
+        // Input constraints: ratio of samples satisfying the linear bound.
+        // The smoothed boundary value of a clip is 0, so the floor uses a
+        // unit-violation scale (C_max = 1) to stay finite.
+        for j in 0..objective.input_constraints.len() {
+            let ratio = batch
+                .iter()
+                .filter(|s| objective.input_constraints[j].satisfied(&s.values))
+                .count() as f64
+                / n;
+            if ratio >= self.beta {
+                let floor = min_fom_term;
+                let w = &mut objective.weights.ic[j];
+                *w = ((1.0 - self.beta) * *w).max(floor.min(*w));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{FomSpec, InputConstraint, Metric, OutputConstraint};
+
+    fn objective_with_ic() -> Objective {
+        let mut obj = Objective::new(
+            FomSpec {
+                terms: vec![(Metric::L, 1.0)],
+            },
+            vec![OutputConstraint::band(Metric::Z, 85.0, 1.0)],
+            vec![InputConstraint::new(vec![(0, 1.0)], 10.0, "x0<=10")],
+        );
+        obj.weights.oc[0] = 1.0;
+        obj.weights.ic[0] = 1.0;
+        obj
+    }
+
+    fn record(z: f64, l: f64, x0: f64) -> SampleRecord {
+        SampleRecord {
+            metrics: [z, l, 0.0],
+            values: vec![x0],
+        }
+    }
+
+    #[test]
+    fn satisfied_constraint_weight_decays() {
+        let mut obj = objective_with_ic();
+        let adapter = WeightAdapter::default();
+        // All samples satisfy both constraints.
+        let batch: Vec<SampleRecord> = (0..10).map(|_| record(85.0, -0.4, 5.0)).collect();
+        let w_before = obj.weights.oc[0];
+        adapter.update(&mut obj, &batch);
+        assert!(obj.weights.oc[0] < w_before, "weight must decay");
+        assert!((obj.weights.oc[0] - 0.8 * w_before).abs() < 0.3);
+    }
+
+    #[test]
+    fn unsatisfied_constraint_weight_holds() {
+        let mut obj = objective_with_ic();
+        let adapter = WeightAdapter::default();
+        // Only 1 of 10 samples in band: ratio 0.1 < beta 0.2.
+        let mut batch: Vec<SampleRecord> = (0..9).map(|_| record(95.0, -0.4, 5.0)).collect();
+        batch.push(record(85.0, -0.4, 5.0));
+        let w_before = obj.weights.oc[0];
+        adapter.update(&mut obj, &batch);
+        assert_eq!(obj.weights.oc[0], w_before);
+    }
+
+    #[test]
+    fn weight_never_below_fom_floor() {
+        let mut obj = objective_with_ic();
+        let adapter = WeightAdapter { beta: 0.2 };
+        let batch: Vec<SampleRecord> = (0..10).map(|_| record(85.0, -0.5, 5.0)).collect();
+        for _ in 0..100 {
+            adapter.update(&mut obj, &batch);
+        }
+        // Floor for OC: min(w_fom |L|) / C_max ~= 0.5 / ~0.56.
+        let c = obj.output_constraints[0];
+        let floor = 0.5 / c.boundary_penalty(obj.gamma(&c));
+        assert!(
+            obj.weights.oc[0] >= floor - 1e-9,
+            "w = {} < floor {floor}",
+            obj.weights.oc[0]
+        );
+        // IC floor: min(w_fom |L|) = 0.5.
+        assert!(obj.weights.ic[0] >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn ic_weight_decays_independently() {
+        let mut obj = objective_with_ic();
+        let adapter = WeightAdapter::default();
+        // IC satisfied everywhere, OC nowhere.
+        let batch: Vec<SampleRecord> = (0..10).map(|_| record(95.0, -0.4, 5.0)).collect();
+        let oc_before = obj.weights.oc[0];
+        let ic_before = obj.weights.ic[0];
+        adapter.update(&mut obj, &batch);
+        assert_eq!(obj.weights.oc[0], oc_before);
+        assert!(obj.weights.ic[0] < ic_before);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut obj = objective_with_ic();
+        let before = obj.weights.clone();
+        WeightAdapter::default().update(&mut obj, &[]);
+        assert_eq!(obj.weights, before);
+    }
+}

@@ -1,0 +1,222 @@
+//! Two-port ABCD (chain) matrices and their conversion to S-parameters.
+//!
+//! Cascading stack-up segments, vias, and terminations in the frequency
+//! domain is most natural in the ABCD representation: a chain of elements is
+//! the product of their matrices. The final conversion to S-parameters
+//! produces the insertion/return-loss quantities the paper evaluates.
+//!
+//! ```
+//! use isop_em::abcd::AbcdMatrix;
+//! use isop_em::complex::Complex;
+//!
+//! let ident = AbcdMatrix::identity();
+//! let series = AbcdMatrix::series_impedance(Complex::new(5.0, 0.0));
+//! let chain = ident.cascade(&series);
+//! assert_eq!(chain, series);
+//! ```
+
+use crate::complex::{Complex, ONE, ZERO};
+use serde::{Deserialize, Serialize};
+
+/// A 2x2 complex chain matrix `[[a, b], [c, d]]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AbcdMatrix {
+    /// Voltage ratio term.
+    pub a: Complex,
+    /// Transfer impedance term (ohms).
+    pub b: Complex,
+    /// Transfer admittance term (siemens).
+    pub c: Complex,
+    /// Current ratio term.
+    pub d: Complex,
+}
+
+impl AbcdMatrix {
+    /// The identity element (a through-connection).
+    pub fn identity() -> Self {
+        Self {
+            a: ONE,
+            b: ZERO,
+            c: ZERO,
+            d: ONE,
+        }
+    }
+
+    /// A series impedance `z`.
+    pub fn series_impedance(z: Complex) -> Self {
+        Self {
+            a: ONE,
+            b: z,
+            c: ZERO,
+            d: ONE,
+        }
+    }
+
+    /// A shunt admittance `y`.
+    pub fn shunt_admittance(y: Complex) -> Self {
+        Self {
+            a: ONE,
+            b: ZERO,
+            c: y,
+            d: ONE,
+        }
+    }
+
+    /// A transmission-line segment of length `len_m` with propagation
+    /// constant `gamma` (1/m) and characteristic impedance `zc` (ohms).
+    pub fn transmission_line(gamma: Complex, zc: Complex, len_m: f64) -> Self {
+        let gl = gamma.scale(len_m);
+        let ch = gl.cosh();
+        let sh = gl.sinh();
+        Self {
+            a: ch,
+            b: zc * sh,
+            c: sh / zc,
+            d: ch,
+        }
+    }
+
+    /// Matrix product `self * rhs`: `self` is the first element the signal
+    /// meets, `rhs` the next.
+    pub fn cascade(&self, rhs: &Self) -> Self {
+        Self {
+            a: self.a * rhs.a + self.b * rhs.c,
+            b: self.a * rhs.b + self.b * rhs.d,
+            c: self.c * rhs.a + self.d * rhs.c,
+            d: self.c * rhs.b + self.d * rhs.d,
+        }
+    }
+
+    /// Determinant `ad - bc`; equals 1 for reciprocal networks.
+    pub fn det(&self) -> Complex {
+        self.a * self.d - self.b * self.c
+    }
+
+    /// Converts to S-parameters with real reference impedance `z0` (ohms).
+    ///
+    /// Returns `(s11, s21, s12, s22)`.
+    pub fn to_s_params(&self, z0: f64) -> (Complex, Complex, Complex, Complex) {
+        let z0c = Complex::real(z0);
+        let denom = self.a + self.b / z0c + self.c * z0c + self.d;
+        let s11 = (self.a + self.b / z0c - self.c * z0c - self.d) / denom;
+        let s21 = (Complex::real(2.0) * self.det()) / denom;
+        let s12 = Complex::real(2.0) / denom;
+        let s22 = (-self.a + self.b / z0c - self.c * z0c + self.d) / denom;
+        (s11, s21, s12, s22)
+    }
+}
+
+impl Default for AbcdMatrix {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+/// Magnitude of a transmission coefficient in dB (`20 log10 |s|`).
+pub fn to_db(s: Complex) -> f64 {
+    20.0 * s.abs().log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let line = AbcdMatrix::transmission_line(
+            Complex::new(0.1, 40.0),
+            Complex::real(50.0),
+            0.1,
+        );
+        assert_eq!(AbcdMatrix::identity().cascade(&line), line);
+        assert_eq!(line.cascade(&AbcdMatrix::identity()), line);
+    }
+
+    #[test]
+    fn reciprocal_determinant_is_one() {
+        let line = AbcdMatrix::transmission_line(
+            Complex::new(0.2, 100.0),
+            Complex::new(48.0, -1.0),
+            0.05,
+        );
+        assert!(close(line.det(), ONE, 1e-9));
+        let z = AbcdMatrix::series_impedance(Complex::new(3.0, 7.0));
+        assert!(close(z.det(), ONE, 1e-12));
+    }
+
+    #[test]
+    fn two_half_lines_equal_one_full_line() {
+        let gamma = Complex::new(0.5, 60.0);
+        let zc = Complex::real(42.5);
+        let full = AbcdMatrix::transmission_line(gamma, zc, 0.2);
+        let half = AbcdMatrix::transmission_line(gamma, zc, 0.1);
+        let chained = half.cascade(&half);
+        assert!(close(full.a, chained.a, 1e-9));
+        assert!(close(full.b, chained.b, 1e-7));
+        assert!(close(full.c, chained.c, 1e-9));
+        assert!(close(full.d, chained.d, 1e-9));
+    }
+
+    #[test]
+    fn matched_lossless_line_is_all_pass() {
+        // A lossless line matched to the reference has |S21| = 1, S11 = 0.
+        let z0 = 50.0;
+        let line =
+            AbcdMatrix::transmission_line(Complex::new(0.0, 30.0), Complex::real(z0), 0.1);
+        let (s11, s21, _, _) = line.to_s_params(z0);
+        assert!(s11.abs() < 1e-9, "S11 = {s11}");
+        assert!((s21.abs() - 1.0).abs() < 1e-9, "|S21| = {}", s21.abs());
+    }
+
+    #[test]
+    fn lossy_line_attenuates() {
+        let z0 = 50.0;
+        let alpha = 2.0; // Np/m
+        let line = AbcdMatrix::transmission_line(
+            Complex::new(alpha, 100.0),
+            Complex::real(z0),
+            0.5,
+        );
+        let (_, s21, _, _) = line.to_s_params(z0);
+        let expected_db = -8.685_889_638 * alpha * 0.5;
+        assert!((to_db(s21) - expected_db).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mismatched_line_reflects() {
+        let line =
+            AbcdMatrix::transmission_line(Complex::new(0.0, 30.0), Complex::real(75.0), 0.1);
+        let (s11, _, _, _) = line.to_s_params(50.0);
+        assert!(s11.abs() > 0.05);
+    }
+
+    #[test]
+    fn series_shunt_l_network() {
+        // Series 50 then shunt 0.02 S: verify against hand-derived ABCD.
+        let net = AbcdMatrix::series_impedance(Complex::real(50.0))
+            .cascade(&AbcdMatrix::shunt_admittance(Complex::real(0.02)));
+        assert!(close(net.a, Complex::real(2.0), 1e-12));
+        assert!(close(net.b, Complex::real(50.0), 1e-12));
+        assert!(close(net.c, Complex::real(0.02), 1e-12));
+        assert!(close(net.d, ONE, 1e-12));
+    }
+
+    #[test]
+    fn s_params_passive_magnitudes() {
+        let line = AbcdMatrix::transmission_line(
+            Complex::new(1.0, 200.0),
+            Complex::new(42.0, -0.8),
+            0.3,
+        );
+        let (s11, s21, s12, s22) = line.to_s_params(50.0);
+        for s in [s11, s21, s12, s22] {
+            assert!(s.abs() <= 1.0 + 1e-9, "|s| = {}", s.abs());
+        }
+        // Reciprocity: S12 == S21.
+        assert!(close(s12, s21, 1e-9));
+    }
+}

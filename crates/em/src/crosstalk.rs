@@ -1,0 +1,152 @@
+//! Near-end and far-end crosstalk between adjacent differential pairs.
+//!
+//! The aggressor pair couples into the victim pair through mutual inductance
+//! and capacitance. In the homogeneous stripline medium the two coupling
+//! coefficients are equal, so far-end crosstalk largely cancels and the
+//! dominant term is the **backward (near-end) crosstalk**, whose saturated
+//! amplitude for a coupling coefficient `k` is `Kb = (kL + kC) / 4 = k / 2`.
+//!
+//! Differential signalling introduces partial field cancellation: the two
+//! traces of the aggressor pair carry opposite polarities, so the victim sees
+//! the *difference* of the coupling coefficients at the two aggressor-trace
+//! distances. The same applies on the victim side, yielding a four-term sum.
+//!
+//! The paper reports NEXT as a (negative) millivolt amplitude for a
+//! nominal 1 V aggressor step, which this module reproduces.
+
+use crate::stackup::DiffStripline;
+use crate::stripline::coupling_coefficient_with;
+use serde::{Deserialize, Serialize};
+
+/// Aggressor step amplitude assumed by the paper's NEXT numbers, volts.
+pub const AGGRESSOR_STEP_V: f64 = 1.0;
+
+/// Amplitude of the pair-to-pair coupling model.
+///
+/// Calibrated with [`XTALK_DECAY`] against two published design points of the
+/// paper's Table IX: the expert design (`D_t = 20`, `b = 17.5`,
+/// `NEXT = -2.77 mV`) and the `T1 / S_1` ISOP design (`D_t = 30`, `b = 15.7`,
+/// `NEXT = -0.49 mV`).
+pub const XTALK_AMPLITUDE: f64 = 0.154;
+
+/// Exponential decay rate of pair-to-pair coupling with `d / b`.
+///
+/// Slower than the intra-pair [`crate::stripline::COUPLING_DECAY`] because
+/// crosstalk at pair distances of 15-40 mils is carried by the far-field
+/// tail, which an exponential fit captures with a smaller rate.
+pub const XTALK_DECAY: f64 = 2.5;
+
+/// Crosstalk summary between two identical adjacent differential pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrosstalkResult {
+    /// Net differential coupling coefficient (dimensionless).
+    pub coupling: f64,
+    /// Saturated backward-crosstalk coefficient `Kb`.
+    pub backward_coefficient: f64,
+    /// Peak near-end crosstalk in millivolts (negative, per the paper's
+    /// polarity convention).
+    pub next_mv: f64,
+}
+
+/// Computes pair-to-pair crosstalk for `layer`.
+///
+/// The victim's near trace sits `D_t` (edge-to-edge) from the aggressor's
+/// near trace; the remaining trace-to-trace distances follow from the pair
+/// geometry (`W_t`, `S_t`).
+pub fn pair_crosstalk(layer: &DiffStripline) -> CrosstalkResult {
+    let b = layer.plane_spacing_mils();
+    let w = layer.trace_width;
+    let s = layer.trace_spacing;
+    let d = layer.pair_distance;
+
+    // Edge-to-edge separations of the four aggressor/victim trace pairs.
+    // Victim traces: V- (near), V+ (far); aggressor traces: A+ (near), A-.
+    let sep_vn_an = d;
+    let sep_vn_af = d + w + s;
+    let sep_vf_an = d + w + s;
+    let sep_vf_af = d + 2.0 * (w + s);
+
+    // Differential-to-differential coupling: polarity-weighted sum.
+    let kx = |sep: f64| coupling_coefficient_with(sep, b, XTALK_AMPLITUDE, XTALK_DECAY);
+    let k = kx(sep_vn_an) - kx(sep_vn_af) - kx(sep_vf_an) + kx(sep_vf_af);
+
+    let kb = k / 2.0;
+    CrosstalkResult {
+        coupling: k,
+        backward_coefficient: kb,
+        next_mv: -kb.abs() * AGGRESSOR_STEP_V * 1e3,
+    }
+}
+
+/// Peak near-end crosstalk in millivolts (negative) — convenience wrapper
+/// matching the paper's `NEXT` metric.
+pub fn next_mv(layer: &DiffStripline) -> f64 {
+    pair_crosstalk(layer).next_mv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_is_nonpositive() {
+        assert!(next_mv(&DiffStripline::default()) <= 0.0);
+    }
+
+    #[test]
+    fn next_decays_with_pair_distance() {
+        let near = DiffStripline::builder().pair_distance(15.0).build().unwrap();
+        let mid = DiffStripline::builder().pair_distance(25.0).build().unwrap();
+        let far = DiffStripline::builder().pair_distance(40.0).build().unwrap();
+        let (n, m, f) = (
+            next_mv(&near).abs(),
+            next_mv(&mid).abs(),
+            next_mv(&far).abs(),
+        );
+        assert!(n > m && m > f, "NEXT must decay: {n} > {m} > {f}");
+    }
+
+    #[test]
+    fn thinner_dielectric_reduces_crosstalk() {
+        // Closer reference planes confine the field: smaller coupling at the
+        // same pair distance.
+        let thin = DiffStripline::builder()
+            .core_height(3.0)
+            .prepreg_height(3.0)
+            .build()
+            .unwrap();
+        let thick = DiffStripline::builder()
+            .core_height(9.0)
+            .prepreg_height(9.0)
+            .build()
+            .unwrap();
+        assert!(next_mv(&thin).abs() < next_mv(&thick).abs());
+    }
+
+    #[test]
+    fn differential_cancellation_reduces_coupling() {
+        // Net differential coupling must be below the raw near-trace value.
+        let layer = DiffStripline::default();
+        let raw = coupling_coefficient_with(
+            layer.pair_distance,
+            layer.plane_spacing_mils(),
+            XTALK_AMPLITUDE,
+            XTALK_DECAY,
+        );
+        let net = pair_crosstalk(&layer).coupling.abs();
+        assert!(net < raw);
+    }
+
+    #[test]
+    fn backward_coefficient_is_half_coupling() {
+        let r = pair_crosstalk(&DiffStripline::default());
+        assert!((r.backward_coefficient - r.coupling / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn next_magnitude_in_millivolt_regime() {
+        // Typical spacings give sub-10 mV NEXT for a 1 V step.
+        let r = next_mv(&DiffStripline::default()).abs();
+        assert!(r < 20.0, "NEXT unreasonably large: {r} mV");
+    }
+}

@@ -1,0 +1,153 @@
+//! Causal wideband-Debye dielectric dispersion (Djordjevic–Sarkar /
+//! Svensson–Dermer model).
+//!
+//! A dielectric with a frequency-independent loss tangent would violate the
+//! Kramers–Kronig relations; real laminates show a slowly falling `Dk(f)`
+//! and nearly flat `Df(f)` across decades. The wideband Debye model captures
+//! both with a log-uniform distribution of relaxation poles:
+//!
+//! `eps(f) = eps_inf + (delta_eps / (m2 - m1)) * log10((10^m2 + j f)/(10^m1 + j f))`
+//!
+//! This module is an **extension** over the paper's (frequency-point) loss
+//! model: the headline experiments evaluate `L` at a single 16 GHz point
+//! where the non-dispersive model is calibrated, while sweeps that need
+//! causal broadband behaviour can use [`dispersive_permittivity`].
+
+use crate::complex::Complex;
+use serde::{Deserialize, Serialize};
+
+/// Wideband-Debye model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WidebandDebye {
+    /// High-frequency (optical) permittivity `eps_inf`.
+    pub eps_inf: f64,
+    /// Total dispersion magnitude `delta_eps` spread across the pole band.
+    pub delta_eps: f64,
+    /// log10 of the lowest pole frequency (Hz).
+    pub m1: f64,
+    /// log10 of the highest pole frequency (Hz).
+    pub m2: f64,
+}
+
+impl WidebandDebye {
+    /// Fits the model so that at the reference frequency `f_ref` the real
+    /// permittivity equals `dk_ref` and the loss tangent equals `df_ref`,
+    /// with the standard 1 kHz – 1 THz pole band.
+    ///
+    /// Uses the small-angle identity of the wideband Debye model:
+    /// `tan_delta ~= delta_eps * (pi / (2 ln 10)) / eps'(f)` inside the band.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dk_ref > 1`, `df_ref >= 0`, and `f_ref` lies inside
+    /// the pole band.
+    pub fn fit(dk_ref: f64, df_ref: f64, f_ref: f64) -> Self {
+        assert!(dk_ref > 1.0, "Dk must exceed vacuum");
+        assert!(df_ref >= 0.0, "Df must be non-negative");
+        let (m1, m2) = (3.0, 12.0);
+        assert!(
+            f_ref > 10f64.powf(m1) && f_ref < 10f64.powf(m2),
+            "reference frequency must lie inside the pole band"
+        );
+        // delta_eps from the loss tangent at the reference point.
+        let k = std::f64::consts::PI / (2.0 * std::f64::consts::LN_10) / (m2 - m1);
+        let delta_eps = df_ref * dk_ref / (k + df_ref * 0.5_f64.log10().abs()).max(1e-12);
+        let model = Self {
+            eps_inf: 0.0,
+            delta_eps,
+            m1,
+            m2,
+        };
+        // Solve eps_inf so the real part matches dk_ref at f_ref.
+        let real_at_ref = model.permittivity(f_ref).re;
+        Self {
+            eps_inf: dk_ref - real_at_ref,
+            ..model
+        }
+    }
+
+    /// Complex relative permittivity `eps' - j eps''` at frequency `f_hz`.
+    pub fn permittivity(&self, f_hz: f64) -> Complex {
+        let jf = Complex::new(0.0, f_hz);
+        let hi = Complex::real(10f64.powf(self.m2)) + jf;
+        let lo = Complex::real(10f64.powf(self.m1)) + jf;
+        let log10_ratio = (hi / lo).ln() / std::f64::consts::LN_10;
+        Complex::real(self.eps_inf) + log10_ratio * (self.delta_eps / (self.m2 - self.m1))
+    }
+
+    /// Real permittivity `Dk(f)`.
+    pub fn dk(&self, f_hz: f64) -> f64 {
+        self.permittivity(f_hz).re
+    }
+
+    /// Loss tangent `Df(f) = eps'' / eps'`.
+    pub fn df(&self, f_hz: f64) -> f64 {
+        let e = self.permittivity(f_hz);
+        -e.im / e.re
+    }
+}
+
+/// Convenience: complex permittivity of a laminate specified by its
+/// datasheet `(Dk, Df)` at `f_ref`, evaluated at `f_hz`.
+pub fn dispersive_permittivity(dk_ref: f64, df_ref: f64, f_ref: f64, f_hz: f64) -> Complex {
+    WidebandDebye::fit(dk_ref, df_ref, f_ref).permittivity(f_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F_REF: f64 = 1e9;
+
+    #[test]
+    fn matches_datasheet_at_reference() {
+        let m = WidebandDebye::fit(3.8, 0.008, F_REF);
+        assert!((m.dk(F_REF) - 3.8).abs() < 1e-9, "Dk at ref: {}", m.dk(F_REF));
+        let df = m.df(F_REF);
+        assert!((df - 0.008).abs() < 0.004, "Df at ref: {df}");
+    }
+
+    #[test]
+    fn dk_decreases_with_frequency() {
+        let m = WidebandDebye::fit(4.2, 0.015, F_REF);
+        let dk1 = m.dk(1e8);
+        let dk2 = m.dk(1e9);
+        let dk3 = m.dk(1.6e10);
+        let dk4 = m.dk(4e10);
+        assert!(dk1 > dk2 && dk2 > dk3 && dk3 > dk4, "{dk1} {dk2} {dk3} {dk4}");
+    }
+
+    #[test]
+    fn df_is_nearly_flat_in_band() {
+        let m = WidebandDebye::fit(3.8, 0.01, F_REF);
+        let df_lo = m.df(1e8);
+        let df_hi = m.df(2e10);
+        assert!(
+            (df_lo - df_hi).abs() / df_lo.max(df_hi) < 0.35,
+            "Df should be roughly flat: {df_lo} vs {df_hi}"
+        );
+    }
+
+    #[test]
+    fn lossless_material_has_no_dispersion() {
+        let m = WidebandDebye::fit(3.0, 0.0, F_REF);
+        assert!((m.dk(1e8) - m.dk(4e10)).abs() < 1e-9);
+        assert!(m.df(1e10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_df_means_stronger_dispersion() {
+        let low = WidebandDebye::fit(3.8, 0.002, F_REF);
+        let high = WidebandDebye::fit(3.8, 0.02, F_REF);
+        let slope = |m: &WidebandDebye| m.dk(1e8) - m.dk(4e10);
+        assert!(slope(&high) > slope(&low), "loss and dispersion are linked (causality)");
+    }
+
+    #[test]
+    fn imaginary_part_is_negative_convention() {
+        // eps'' carried as a negative imaginary part (lossy, e^{jwt}).
+        let e = dispersive_permittivity(3.8, 0.01, F_REF, 1.6e10);
+        assert!(e.re > 1.0);
+        assert!(e.im < 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Worst-case eye-opening estimation from a channel's frequency response.
+//!
+//! The classic peak-distortion analysis: sample the channel's `S21` on a
+//! uniform frequency grid, inverse-DFT to the impulse response, convolve
+//! with one unit bit pulse to get the **pulse response**, then open the eye
+//! at the main cursor and close it by the worst-case sum of inter-symbol
+//! interference magnitudes at all other cursors:
+//!
+//! `eye_height = p(t0) - sum_{n != 0} |p(t0 + n T)|`
+//!
+//! This deliberately simple estimator (no equalization, no jitter) is the
+//! standard first-pass link check and gives the channel designer a scalar
+//! to trade against the stack-up FoM.
+
+use crate::channel::Channel;
+use crate::complex::Complex;
+use serde::{Deserialize, Serialize};
+
+/// Result of a peak-distortion eye analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EyeReport {
+    /// Main-cursor pulse amplitude (0..1 of the transmitted swing).
+    pub main_cursor: f64,
+    /// Worst-case ISI closing the eye (sum of off-cursor magnitudes).
+    pub isi: f64,
+    /// Worst-case vertical eye opening, `main_cursor - isi` (can be
+    /// negative: a closed eye).
+    pub eye_height: f64,
+    /// Bit period used, seconds.
+    pub bit_period: f64,
+}
+
+impl EyeReport {
+    /// `true` when the worst-case eye is open.
+    pub fn is_open(&self) -> bool {
+        self.eye_height > 0.0
+    }
+}
+
+/// Samples `channel`'s transfer function and returns the impulse response by
+/// inverse real DFT. `n_freq` spectral bins span `[0, f_max]`; the time
+/// resolution is `1 / (2 f_max)`.
+fn impulse_response(channel: &Channel, f_max: f64, n_freq: usize) -> Vec<f64> {
+    let z_ref = channel.reference_impedance();
+    // H[k] for k = 0..n_freq (inclusive of DC and Nyquist).
+    let spectrum: Vec<Complex> = (0..=n_freq)
+        .map(|k| {
+            let f = f_max * k as f64 / n_freq as f64;
+            if f < 1.0 {
+                // DC: passive channel passes DC fully (series path).
+                Complex::real(1.0)
+            } else {
+                let (_, s21, _, _) = channel.abcd(f).to_s_params(z_ref);
+                s21
+            }
+        })
+        .collect();
+    // Inverse real DFT with Hermitian symmetry: h[m] = (1/N) * sum_k H_k e^{j 2 pi k m / N}
+    // over the full length N = 2 * n_freq.
+    let n_time = 2 * n_freq;
+    (0..n_time)
+        .map(|m| {
+            let mut acc = spectrum[0].re; // DC term
+            for (k, h) in spectrum.iter().enumerate().skip(1) {
+                let phase = 2.0 * std::f64::consts::PI * (k * m) as f64 / n_time as f64;
+                let w = if k == n_freq { 1.0 } else { 2.0 };
+                acc += w * (h.re * phase.cos() - h.im * phase.sin());
+            }
+            acc / n_time as f64
+        })
+        .collect()
+}
+
+/// Runs peak-distortion analysis of `channel` at `gbps` gigabits per second.
+///
+/// `oversample` time samples per bit (8–32 is typical); the analysis window
+/// covers `n_bits` bit periods of pulse-response tail.
+///
+/// # Panics
+///
+/// Panics on non-positive `gbps` or `oversample < 2`.
+pub fn peak_distortion_eye(
+    channel: &Channel,
+    gbps: f64,
+    oversample: usize,
+    n_bits: usize,
+) -> EyeReport {
+    assert!(gbps > 0.0, "bit rate must be positive");
+    assert!(oversample >= 2, "need at least 2 samples per bit");
+    let bit_period = 1e-9 / gbps;
+    let dt = bit_period / oversample as f64;
+    let f_max = 0.5 / dt;
+    let n_freq = (oversample * n_bits.max(4)).next_power_of_two();
+    let h = impulse_response(channel, f_max, n_freq);
+
+    // Pulse response: convolve the impulse response with a one-bit-wide
+    // rectangular pulse (sum of `oversample` consecutive impulse samples).
+    let pulse: Vec<f64> = (0..h.len())
+        .map(|m| {
+            (0..oversample)
+                .map(|j| if m >= j { h[m - j] } else { 0.0 })
+                .sum()
+        })
+        .collect();
+
+    // Main cursor: the pulse-response peak.
+    let (peak_idx, &main_cursor) = pulse
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite pulse"))
+        .expect("non-empty");
+
+    // Worst-case ISI: sample at bit-period offsets from the cursor.
+    let mut isi = 0.0;
+    for n in 1..n_bits as isize {
+        for &sign in &[-1isize, 1] {
+            let idx = peak_idx as isize + sign * n * oversample as isize;
+            if idx >= 0 && (idx as usize) < pulse.len() {
+                isi += pulse[idx as usize].abs();
+            }
+        }
+    }
+
+    EyeReport {
+        main_cursor,
+        isi,
+        eye_height: main_cursor - isi,
+        bit_period,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Element;
+    use crate::stackup::DiffStripline;
+    use crate::via::Via;
+
+    fn line(inches: f64) -> Channel {
+        Channel::new(vec![Element::Stripline {
+            layer: DiffStripline::default(),
+            length_inches: inches,
+        }])
+        .expect("valid")
+    }
+
+    #[test]
+    fn short_clean_line_has_wide_open_eye() {
+        let eye = peak_distortion_eye(&line(1.0), 8.0, 8, 16);
+        assert!(eye.is_open(), "1-inch line at 8 Gb/s must be open: {eye:?}");
+        assert!(eye.main_cursor > 0.7, "main cursor {}", eye.main_cursor);
+        assert!(eye.eye_height > 0.4, "eye height {}", eye.eye_height);
+    }
+
+    #[test]
+    fn eye_degrades_with_length() {
+        let short = peak_distortion_eye(&line(2.0), 16.0, 8, 16);
+        let long = peak_distortion_eye(&line(20.0), 16.0, 8, 16);
+        assert!(
+            long.eye_height < short.eye_height,
+            "longer channel must close the eye: {} !< {}",
+            long.eye_height,
+            short.eye_height
+        );
+    }
+
+    #[test]
+    fn eye_degrades_with_bit_rate() {
+        let ch = line(10.0);
+        let slow = peak_distortion_eye(&ch, 4.0, 8, 16);
+        let fast = peak_distortion_eye(&ch, 32.0, 8, 16);
+        assert!(fast.eye_height < slow.eye_height);
+    }
+
+    #[test]
+    fn stub_via_costs_eye_margin() {
+        let layer = DiffStripline::default();
+        let seg = |inches: f64| Element::Stripline {
+            layer,
+            length_inches: inches,
+        };
+        let clean = Channel::new(vec![seg(4.0), seg(4.0)]).expect("ok");
+        let stubbed = Channel::new(vec![
+            seg(4.0),
+            Element::Via(Via {
+                stub_length: 60.0,
+                ..Via::default()
+            }),
+            seg(4.0),
+        ])
+        .expect("ok");
+        let rate = 25.0;
+        let e_clean = peak_distortion_eye(&clean, rate, 8, 16);
+        let e_stub = peak_distortion_eye(&stubbed, rate, 8, 16);
+        assert!(
+            e_stub.eye_height < e_clean.eye_height + 1e-9,
+            "stub must not improve the eye: {} vs {}",
+            e_stub.eye_height,
+            e_clean.eye_height
+        );
+    }
+
+    #[test]
+    fn cursor_plus_isi_bounded_by_pulse_energy() {
+        let eye = peak_distortion_eye(&line(6.0), 16.0, 8, 16);
+        // For a passive channel the pulse response integrates to <= 1 bit;
+        // cursor and ISI are each bounded accordingly.
+        assert!(eye.main_cursor <= 1.05, "cursor {}", eye.main_cursor);
+        assert!(eye.isi >= 0.0);
+        assert!(eye.bit_period > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = peak_distortion_eye(&line(1.0), 0.0, 8, 16);
+    }
+}

@@ -1,0 +1,339 @@
+//! 2-D finite-difference electrostatic field solver.
+//!
+//! Solves Laplace's equation over the stripline cross-section with
+//! successive over-relaxation (SOR) and extracts the odd-mode per-unit-length
+//! capacitance by the energy method. Running the same solve with the
+//! dielectric replaced by vacuum yields the inductance through
+//! `L = 1 / (c0^2 * C_air)` (quasi-TEM), and hence the odd-mode impedance
+//!
+//! `Z_odd = 1 / (c0 * sqrt(C * C_air))`.
+//!
+//! This is the "accurate but slow" engine standing in for the commercial EM
+//! tool of the paper: it makes no closed-form approximations about the trace
+//! shape (the trapezoidal etch profile is rasterized directly) and is used to
+//! cross-validate the analytical model and as the roll-out verifier.
+
+use crate::stackup::DiffStripline;
+use crate::units::{mils_to_meters, C0, EPS0};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the finite-difference grid and SOR iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FdConfig {
+    /// Grid cells per mil (resolution). 2.0 gives ~1% repeatability.
+    pub cells_per_mil: f64,
+    /// SOR over-relaxation factor in (1, 2).
+    pub omega: f64,
+    /// Convergence threshold on the max potential update.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Lateral margin beyond the outer trace edges, in multiples of the
+    /// plane spacing.
+    pub lateral_margin: f64,
+}
+
+impl Default for FdConfig {
+    fn default() -> Self {
+        Self {
+            cells_per_mil: 2.0,
+            omega: 1.85,
+            tolerance: 1e-6,
+            max_iterations: 20_000,
+            lateral_margin: 2.0,
+        }
+    }
+}
+
+/// Result of a field solve on one cross-section.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FieldSolution {
+    /// Odd-mode capacitance per unit length with the real dielectric, F/m.
+    pub c_odd: f64,
+    /// Odd-mode capacitance per unit length with vacuum dielectric, F/m.
+    pub c_odd_air: f64,
+    /// Odd-mode characteristic impedance, ohms.
+    pub z_odd: f64,
+    /// Effective relative permittivity `C / C_air`.
+    pub eps_eff: f64,
+    /// SOR iterations used (dielectric solve).
+    pub iterations: usize,
+}
+
+impl FieldSolution {
+    /// Differential impedance `2 * Z_odd`, ohms.
+    pub fn z_diff(&self) -> f64 {
+        2.0 * self.z_odd
+    }
+}
+
+/// Rasterized cross-section: node potentials plus cell permittivities.
+struct Grid {
+    nx: usize,
+    ny: usize,
+    h_m: f64,
+    /// Cell-centred relative permittivity, `(nx-1) * (ny-1)` cells.
+    eps: Vec<f64>,
+    /// Node potential, `nx * ny` nodes.
+    v: Vec<f64>,
+    /// Node kind: 0 = free, 1 = fixed (conductor / boundary).
+    fixed: Vec<bool>,
+}
+
+impl Grid {
+    fn cell(&self, i: usize, j: usize) -> f64 {
+        self.eps[j * (self.nx - 1) + i]
+    }
+}
+
+/// Builds the odd-mode grid (exploiting the antisymmetry plane between the
+/// two traces: the symmetry plane is a virtual ground, so only one half needs
+/// solving; we solve the full pair anyway for clarity at this problem size).
+fn build_grid(layer: &DiffStripline, cfg: &FdConfig, vacuum: bool) -> Grid {
+    let res = cfg.cells_per_mil;
+    let b = layer.plane_spacing_mils();
+    let w = layer.trace_width;
+    let s = layer.trace_spacing;
+    let margin = cfg.lateral_margin * b;
+    let width_mils = 2.0 * w + s + 2.0 * margin;
+    let nx = (width_mils * res).ceil() as usize + 1;
+    let ny = (b * res).ceil() as usize + 1;
+    let h_m = mils_to_meters(1.0 / res);
+
+    let mut eps = vec![1.0; (nx - 1) * (ny - 1)];
+    if !vacuum {
+        for j in 0..ny - 1 {
+            let y = (j as f64 + 0.5) / res;
+            let dk = if y < layer.core_height {
+                layer.dk_core
+            } else if y < layer.core_height + layer.trace_height {
+                layer.dk_trace
+            } else {
+                layer.dk_prepreg
+            };
+            for i in 0..nx - 1 {
+                eps[j * (nx - 1) + i] = dk;
+            }
+        }
+    }
+
+    let mut v = vec![0.0; nx * ny];
+    let mut fixed = vec![false; nx * ny];
+
+    // Ground planes and lateral walls.
+    for i in 0..nx {
+        fixed[i] = true; // bottom plane (j = 0)
+        fixed[(ny - 1) * nx + i] = true; // top plane
+    }
+    for j in 0..ny {
+        fixed[j * nx] = true;
+        fixed[j * nx + nx - 1] = true;
+    }
+
+    // Trapezoidal traces at +0.5 / -0.5 V (odd mode).
+    let y0 = layer.core_height;
+    let y1 = layer.core_height + layer.trace_height;
+    let trace1_left = margin;
+    let trace2_left = margin + w + s;
+    for j in 0..ny {
+        let y = j as f64 / res;
+        if y < y0 || y > y1 {
+            continue;
+        }
+        // Etch narrows the trace linearly from bottom (full width) to top.
+        let frac = if layer.trace_height > 0.0 {
+            ((y - y0) / layer.trace_height).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let inset = layer.etch_factor * layer.trace_height * frac;
+        for (left, pot) in [(trace1_left, 0.5), (trace2_left, -0.5)] {
+            let lo = left + inset;
+            let hi = left + w - inset;
+            for i in 0..nx {
+                let x = i as f64 / res;
+                if x >= lo && x <= hi {
+                    let idx = j * nx + i;
+                    fixed[idx] = true;
+                    v[idx] = pot;
+                }
+            }
+        }
+    }
+
+    Grid {
+        nx,
+        ny,
+        h_m,
+        eps,
+        v,
+        fixed,
+    }
+}
+
+/// Runs SOR until convergence; returns iterations used.
+fn solve_sor(grid: &mut Grid, cfg: &FdConfig) -> usize {
+    let (nx, ny) = (grid.nx, grid.ny);
+    for iter in 0..cfg.max_iterations {
+        let mut max_delta = 0.0f64;
+        for j in 1..ny - 1 {
+            for i in 1..nx - 1 {
+                let idx = j * nx + i;
+                if grid.fixed[idx] {
+                    continue;
+                }
+                // Edge permittivities: mean of the two cells flanking each
+                // edge (standard dielectric-interface stencil).
+                let e_sw = grid.cell(i - 1, j - 1);
+                let e_se = grid.cell(i, j - 1);
+                let e_nw = grid.cell(i - 1, j);
+                let e_ne = grid.cell(i, j);
+                let a_w = 0.5 * (e_sw + e_nw);
+                let a_e = 0.5 * (e_se + e_ne);
+                let a_s = 0.5 * (e_sw + e_se);
+                let a_n = 0.5 * (e_nw + e_ne);
+                let denom = a_w + a_e + a_s + a_n;
+                let v_new = (a_w * grid.v[idx - 1]
+                    + a_e * grid.v[idx + 1]
+                    + a_s * grid.v[idx - nx]
+                    + a_n * grid.v[idx + nx])
+                    / denom;
+                let delta = v_new - grid.v[idx];
+                grid.v[idx] += cfg.omega * delta;
+                max_delta = max_delta.max(delta.abs());
+            }
+        }
+        if max_delta < cfg.tolerance {
+            return iter + 1;
+        }
+    }
+    cfg.max_iterations
+}
+
+/// Field energy per unit length, J/m, via cell-centred gradients.
+fn field_energy(grid: &Grid) -> f64 {
+    let nx = grid.nx;
+    let mut w = 0.0;
+    for j in 0..grid.ny - 1 {
+        for i in 0..nx - 1 {
+            let v00 = grid.v[j * nx + i];
+            let v10 = grid.v[j * nx + i + 1];
+            let v01 = grid.v[(j + 1) * nx + i];
+            let v11 = grid.v[(j + 1) * nx + i + 1];
+            let ex = 0.5 * ((v10 - v00) + (v11 - v01)) / grid.h_m;
+            let ey = 0.5 * ((v01 - v00) + (v11 - v10)) / grid.h_m;
+            w += grid.cell(i, j) * (ex * ex + ey * ey);
+        }
+    }
+    0.5 * EPS0 * w * grid.h_m * grid.h_m
+}
+
+/// Solves the odd-mode electrostatics of `layer`.
+///
+/// With traces driven at +-0.5 V, the stored energy `W` relates to the
+/// odd-mode capacitance per line as `C_odd = 4 W` (see module docs).
+pub fn solve_odd_mode(layer: &DiffStripline, cfg: &FdConfig) -> FieldSolution {
+    let mut g_diel = build_grid(layer, cfg, false);
+    let iters = solve_sor(&mut g_diel, cfg);
+    let c_odd = 4.0 * field_energy(&g_diel);
+
+    let mut g_air = build_grid(layer, cfg, true);
+    solve_sor(&mut g_air, cfg);
+    let c_odd_air = 4.0 * field_energy(&g_air);
+
+    let z_odd = 1.0 / (C0 * (c_odd * c_odd_air).sqrt());
+    FieldSolution {
+        c_odd,
+        c_odd_air,
+        z_odd,
+        eps_eff: c_odd / c_odd_air,
+        iterations: iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stripline::odd_mode_z0;
+
+    fn fast_cfg() -> FdConfig {
+        FdConfig {
+            cells_per_mil: 2.5,
+            tolerance: 1e-5,
+            ..FdConfig::default()
+        }
+    }
+
+    #[test]
+    fn converges_and_is_physical() {
+        let layer = DiffStripline::default();
+        let sol = solve_odd_mode(&layer, &fast_cfg());
+        assert!(sol.iterations < fast_cfg().max_iterations, "did not converge");
+        assert!(sol.c_odd > sol.c_odd_air, "dielectric must raise C");
+        assert!(sol.z_odd > 10.0 && sol.z_odd < 100.0, "Zodd = {}", sol.z_odd);
+    }
+
+    #[test]
+    fn eps_eff_between_bounds() {
+        let layer = DiffStripline::default();
+        let sol = solve_odd_mode(&layer, &fast_cfg());
+        let dks = [layer.dk_core, layer.dk_trace, layer.dk_prepreg];
+        let lo = dks.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = dks.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            sol.eps_eff >= lo * 0.98 && sol.eps_eff <= hi * 1.02,
+            "eps_eff {} outside [{lo}, {hi}]",
+            sol.eps_eff
+        );
+    }
+
+    #[test]
+    fn agrees_with_analytical_model() {
+        // Field solve and closed-form Wheeler+coupling model must agree to
+        // ~15% for typical geometry: they are independent derivations.
+        let layer = DiffStripline::default();
+        let fd = solve_odd_mode(&layer, &fast_cfg()).z_odd;
+        let an = odd_mode_z0(&layer);
+        let rel = (fd - an).abs() / an;
+        assert!(rel < 0.15, "FD {fd} vs analytical {an} ({:.1}%)", rel * 100.0);
+    }
+
+    #[test]
+    fn z_tracks_width_direction() {
+        let narrow = DiffStripline::builder().trace_width(3.5).build().unwrap();
+        let wide = DiffStripline::builder().trace_width(7.0).build().unwrap();
+        let cfg = fast_cfg();
+        let zn = solve_odd_mode(&narrow, &cfg).z_odd;
+        let zw = solve_odd_mode(&wide, &cfg).z_odd;
+        assert!(zw < zn, "wider trace must lower Z: {zw} !< {zn}");
+    }
+
+    #[test]
+    fn z_diff_is_twice_odd() {
+        let sol = solve_odd_mode(&DiffStripline::default(), &fast_cfg());
+        assert!((sol.z_diff() - 2.0 * sol.z_odd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finer_grid_changes_little() {
+        let layer = DiffStripline::default();
+        let coarse = solve_odd_mode(
+            &layer,
+            &FdConfig {
+                cells_per_mil: 1.0,
+                tolerance: 1e-5,
+                ..FdConfig::default()
+            },
+        );
+        let fine = solve_odd_mode(
+            &layer,
+            &FdConfig {
+                cells_per_mil: 2.0,
+                tolerance: 1e-5,
+                ..FdConfig::default()
+            },
+        );
+        let rel = (coarse.z_odd - fine.z_odd).abs() / fine.z_odd;
+        assert!(rel < 0.08, "grid sensitivity too high: {:.1}%", rel * 100.0);
+    }
+}

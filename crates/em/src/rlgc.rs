@@ -1,0 +1,228 @@
+//! Frequency-dependent per-unit-length RLGC model of the differential
+//! stripline (odd mode).
+//!
+//! From the lossless odd-mode impedance and effective permittivity the module
+//! derives the per-unit-length inductance and capacitance, then adds the
+//! frequency-dependent series resistance (DC + skin effect + surface
+//! roughness) and shunt conductance (dielectric loss). The complex
+//! propagation constant and characteristic impedance follow from standard
+//! transmission-line theory:
+//!
+//! `gamma = sqrt((R + jwL)(G + jwC))`, `Zc = sqrt((R + jwL)/(G + jwC))`.
+
+use crate::complex::Complex;
+use crate::roughness::{hammerstad_jensen_factor, skin_depth};
+use crate::stackup::DiffStripline;
+use crate::stripline::odd_mode_z0;
+use crate::units::{C0, mils_to_meters, np_per_meter_to_db_per_inch};
+use serde::{Deserialize, Serialize};
+
+/// Empirical geometry factor for conductor loss.
+///
+/// Conductor loss of a stripline is `alpha_c = K * Rs / (2 Z0 w)` where the
+/// ideal flat-strip value `K = 1` underestimates the current crowding at the
+/// trace edges and the return-current loss in the planes. The value is
+/// calibrated against published stripline loss data (about -0.43 dB/inch at
+/// 16 GHz for the paper's Table IX expert design).
+pub const CONDUCTOR_LOSS_GEOMETRY: f64 = 0.72;
+
+/// Per-unit-length line constants at a single frequency (SI units).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RlgcParams {
+    /// Series resistance, ohm/m.
+    pub r: f64,
+    /// Series inductance, H/m.
+    pub l: f64,
+    /// Shunt conductance, S/m.
+    pub g: f64,
+    /// Shunt capacitance, F/m.
+    pub c: f64,
+}
+
+impl RlgcParams {
+    /// Complex propagation constant `gamma = alpha + j*beta` at `f_hz`.
+    pub fn propagation_constant(&self, f_hz: f64) -> Complex {
+        let w = 2.0 * std::f64::consts::PI * f_hz;
+        let series = Complex::new(self.r, w * self.l);
+        let shunt = Complex::new(self.g, w * self.c);
+        (series * shunt).sqrt()
+    }
+
+    /// Complex characteristic impedance at `f_hz`.
+    pub fn characteristic_impedance(&self, f_hz: f64) -> Complex {
+        let w = 2.0 * std::f64::consts::PI * f_hz;
+        let series = Complex::new(self.r, w * self.l);
+        let shunt = Complex::new(self.g, w * self.c);
+        (series / shunt).sqrt()
+    }
+
+    /// Attenuation constant alpha in Np/m at `f_hz`.
+    pub fn attenuation_np_per_m(&self, f_hz: f64) -> f64 {
+        self.propagation_constant(f_hz).re
+    }
+
+    /// Attenuation in dB/inch at `f_hz` (positive number).
+    pub fn attenuation_db_per_inch(&self, f_hz: f64) -> f64 {
+        np_per_meter_to_db_per_inch(self.attenuation_np_per_m(f_hz))
+    }
+
+    /// Phase velocity in m/s at `f_hz`.
+    pub fn phase_velocity(&self, f_hz: f64) -> f64 {
+        let beta = self.propagation_constant(f_hz).im;
+        2.0 * std::f64::consts::PI * f_hz / beta
+    }
+}
+
+/// Computes the odd-mode RLGC parameters of `layer` at frequency `f_hz`.
+///
+/// The lossless L and C come from the closed-form odd-mode impedance and the
+/// effective permittivity; R adds DC and skin-effect terms in quadrature
+/// (smooth transition), multiplied by the Hammerstad–Jensen roughness factor;
+/// G follows the loss tangent.
+pub fn odd_mode_rlgc(layer: &DiffStripline, f_hz: f64) -> RlgcParams {
+    let z_odd = odd_mode_z0(layer);
+    let er = layer.effective_dk();
+    let v = C0 / er.sqrt();
+    let c = 1.0 / (z_odd * v);
+    let l = z_odd * z_odd * c;
+
+    // Conductor resistance: the current-carrying cross-section.
+    let w_m = mils_to_meters(layer.effective_width_mils());
+    let t_m = mils_to_meters(layer.trace_height);
+    let r_dc = 1.0 / (layer.conductivity * w_m * t_m);
+    let delta = skin_depth(layer.conductivity, f_hz.max(1.0));
+    let r_skin = 1.0 / (layer.conductivity * delta * 2.0 * (w_m + t_m))
+        / CONDUCTOR_LOSS_GEOMETRY;
+    let k_rough = hammerstad_jensen_factor(layer.roughness_rms_um(), delta);
+    // Smooth DC-to-skin transition; roughness only affects the skin term.
+    let r = (r_dc * r_dc + (k_rough * r_skin) * (k_rough * r_skin)).sqrt();
+
+    let w_ang = 2.0 * std::f64::consts::PI * f_hz;
+    let g = w_ang * c * layer.effective_df();
+
+    RlgcParams { r, l, g, c }
+}
+
+/// Differential insertion loss (dB/inch, **negative**) at frequency `f_hz`,
+/// matching the paper's sign convention for `L`.
+pub fn insertion_loss_db_per_inch(layer: &DiffStripline, f_hz: f64) -> f64 {
+    -odd_mode_rlgc(layer, f_hz).attenuation_db_per_inch(f_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::ghz_to_hz;
+
+    fn default_rlgc(f_ghz: f64) -> RlgcParams {
+        odd_mode_rlgc(&DiffStripline::default(), ghz_to_hz(f_ghz))
+    }
+
+    #[test]
+    fn lc_consistent_with_impedance() {
+        let layer = DiffStripline::default();
+        let p = odd_mode_rlgc(&layer, ghz_to_hz(16.0));
+        let z = (p.l / p.c).sqrt();
+        assert!((z - odd_mode_z0(&layer)).abs() / z < 1e-9);
+    }
+
+    #[test]
+    fn lc_velocity_matches_dielectric() {
+        let layer = DiffStripline::default();
+        let p = odd_mode_rlgc(&layer, ghz_to_hz(16.0));
+        let v = 1.0 / (p.l * p.c).sqrt();
+        let expected = C0 / layer.effective_dk().sqrt();
+        assert!((v - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn resistance_grows_with_frequency() {
+        assert!(default_rlgc(16.0).r > default_rlgc(1.0).r);
+    }
+
+    #[test]
+    fn resistance_approaches_dc_at_low_frequency() {
+        let layer = DiffStripline::default();
+        let p = odd_mode_rlgc(&layer, 1.0);
+        let w_m = mils_to_meters(layer.effective_width_mils());
+        let t_m = mils_to_meters(layer.trace_height);
+        let r_dc = 1.0 / (layer.conductivity * w_m * t_m);
+        assert!((p.r - r_dc).abs() / r_dc < 0.05, "r={} r_dc={}", p.r, r_dc);
+    }
+
+    #[test]
+    fn conductance_proportional_to_frequency() {
+        let g1 = default_rlgc(1.0).g;
+        let g16 = default_rlgc(16.0).g;
+        assert!((g16 / g1 - 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attenuation_positive_and_growing() {
+        let a1 = default_rlgc(1.0).attenuation_db_per_inch(ghz_to_hz(1.0));
+        let a16 = default_rlgc(16.0).attenuation_db_per_inch(ghz_to_hz(16.0));
+        assert!(a1 > 0.0);
+        assert!(a16 > a1);
+    }
+
+    #[test]
+    fn insertion_loss_is_negative_db() {
+        let il = insertion_loss_db_per_inch(&DiffStripline::default(), ghz_to_hz(16.0));
+        assert!(il < 0.0);
+        assert!(il > -2.0, "unphysically lossy: {il}");
+    }
+
+    #[test]
+    fn rougher_copper_is_lossier() {
+        let smooth = DiffStripline::builder().roughness(-14.5).build().unwrap();
+        let rough = DiffStripline::builder().roughness(14.0).build().unwrap();
+        let f = ghz_to_hz(16.0);
+        assert!(
+            insertion_loss_db_per_inch(&rough, f) < insertion_loss_db_per_inch(&smooth, f)
+        );
+    }
+
+    #[test]
+    fn higher_df_is_lossier() {
+        let lo = DiffStripline::builder()
+            .df_core(0.001)
+            .df_prepreg(0.001)
+            .df_trace(0.001)
+            .build()
+            .unwrap();
+        let hi = DiffStripline::builder()
+            .df_core(0.02)
+            .df_prepreg(0.02)
+            .df_trace(0.02)
+            .build()
+            .unwrap();
+        let f = ghz_to_hz(16.0);
+        assert!(insertion_loss_db_per_inch(&hi, f) < insertion_loss_db_per_inch(&lo, f));
+    }
+
+    #[test]
+    fn wider_trace_is_less_lossy() {
+        let narrow = DiffStripline::builder().trace_width(3.0).build().unwrap();
+        let wide = DiffStripline::builder().trace_width(8.0).build().unwrap();
+        let f = ghz_to_hz(16.0);
+        assert!(
+            insertion_loss_db_per_inch(&wide, f) > insertion_loss_db_per_inch(&narrow, f)
+        );
+    }
+
+    #[test]
+    fn characteristic_impedance_near_lossless_value() {
+        let layer = DiffStripline::default();
+        let p = odd_mode_rlgc(&layer, ghz_to_hz(16.0));
+        let zc = p.characteristic_impedance(ghz_to_hz(16.0));
+        assert!((zc.re - odd_mode_z0(&layer)).abs() < 2.0);
+        assert!(zc.im.abs() < 2.0);
+    }
+
+    #[test]
+    fn phase_velocity_below_light_speed() {
+        let p = default_rlgc(16.0);
+        let v = p.phase_velocity(ghz_to_hz(16.0));
+        assert!(v < C0 && v > C0 / 4.0);
+    }
+}

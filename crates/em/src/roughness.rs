@@ -1,0 +1,115 @@
+//! Copper surface-roughness loss models.
+//!
+//! Rough copper increases conductor loss once the skin depth shrinks to the
+//! scale of the tooth structure. Two standard models are provided:
+//!
+//! * [`hammerstad_jensen_factor`] — the classic closed-form multiplier,
+//!   saturating at 2x;
+//! * [`huray_factor`] — the cannonball-stack model, which keeps growing at
+//!   high frequency and is preferred for multi-GHz work.
+//!
+//! Both take the RMS roughness in micrometres and the skin depth in metres
+//! and return the factor `K >= 1` by which smooth-copper resistance is
+//! multiplied.
+
+use crate::units::MU0;
+
+/// Skin depth in metres for a conductor of conductivity `sigma` (S/m) at
+/// frequency `f_hz`.
+///
+/// ```
+/// // Copper at 1 GHz: ~2.1 um.
+/// let d = isop_em::roughness::skin_depth(5.8e7, 1e9);
+/// assert!((d - 2.09e-6).abs() < 0.05e-6);
+/// ```
+pub fn skin_depth(sigma: f64, f_hz: f64) -> f64 {
+    debug_assert!(sigma > 0.0 && f_hz > 0.0);
+    1.0 / (std::f64::consts::PI * f_hz * MU0 * sigma).sqrt()
+}
+
+/// Hammerstad–Jensen roughness multiplier.
+///
+/// `K = 1 + (2/pi) * atan(1.4 * (delta_rms / skin_depth)^2)`, saturating at 2.
+pub fn hammerstad_jensen_factor(rms_um: f64, skin_depth_m: f64) -> f64 {
+    if rms_um <= 0.0 {
+        return 1.0;
+    }
+    let ratio = rms_um * 1e-6 / skin_depth_m;
+    1.0 + (2.0 / std::f64::consts::PI) * (1.4 * ratio * ratio).atan()
+}
+
+/// Huray "cannonball" roughness multiplier with a single snowball size.
+///
+/// Uses the canonical 14-sphere stack with sphere radius tied to the RMS
+/// roughness (`r = rms / 2`) and a hexagonal base-tile area. Unlike
+/// Hammerstad–Jensen it does not saturate at 2x.
+pub fn huray_factor(rms_um: f64, skin_depth_m: f64) -> f64 {
+    if rms_um <= 0.0 {
+        return 1.0;
+    }
+    let r = rms_um * 1e-6 / 2.0;
+    let delta = skin_depth_m;
+    // 14 spheres on a hex tile whose side is ~3 sphere diameters.
+    let tile = 6.0 * (3.0f64.sqrt() / 4.0) * (6.0 * r) * (6.0 * r);
+    let sphere_term = (std::f64::consts::PI * r * r)
+        / (1.0 + delta / r + delta * delta / (2.0 * r * r));
+    1.0 + (14.0 * 4.0 / tile) * sphere_term * (3.0 / 2.0) / std::f64::consts::PI
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COPPER: f64 = 5.8e7;
+
+    #[test]
+    fn skin_depth_decreases_with_frequency() {
+        let d1 = skin_depth(COPPER, 1e9);
+        let d16 = skin_depth(COPPER, 16e9);
+        assert!(d16 < d1);
+        // delta ~ 1/sqrt(f): 16x frequency -> 4x smaller depth.
+        assert!((d1 / d16 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smooth_copper_has_unit_factor() {
+        let d = skin_depth(COPPER, 16e9);
+        assert_eq!(hammerstad_jensen_factor(0.0, d), 1.0);
+        assert_eq!(huray_factor(0.0, d), 1.0);
+    }
+
+    #[test]
+    fn hammerstad_saturates_at_two() {
+        let d = skin_depth(COPPER, 50e9);
+        let k = hammerstad_jensen_factor(10.0, d);
+        assert!(k < 2.0 && k > 1.9, "k = {k}");
+    }
+
+    #[test]
+    fn factors_increase_with_roughness() {
+        let d = skin_depth(COPPER, 16e9);
+        let k1 = hammerstad_jensen_factor(0.5, d);
+        let k2 = hammerstad_jensen_factor(2.0, d);
+        assert!(k2 > k1 && k1 > 1.0);
+        let h1 = huray_factor(0.5, d);
+        let h2 = huray_factor(2.0, d);
+        assert!(h2 > h1 && h1 > 1.0);
+    }
+
+    #[test]
+    fn factors_increase_with_frequency() {
+        let k_lo = hammerstad_jensen_factor(1.5, skin_depth(COPPER, 1e9));
+        let k_hi = hammerstad_jensen_factor(1.5, skin_depth(COPPER, 16e9));
+        assert!(k_hi > k_lo);
+        let h_lo = huray_factor(1.5, skin_depth(COPPER, 1e9));
+        let h_hi = huray_factor(1.5, skin_depth(COPPER, 16e9));
+        assert!(h_hi > h_lo);
+    }
+
+    #[test]
+    fn huray_exceeds_unity_but_stays_physical() {
+        let d = skin_depth(COPPER, 16e9);
+        let h = huray_factor(3.0, d);
+        assert!(h > 1.0 && h < 4.0, "h = {h}");
+    }
+}

@@ -1,0 +1,269 @@
+//! Frequency sweeps and S-parameter extraction for a stack-up layer.
+//!
+//! Builds the per-frequency ABCD matrix of a differential interconnect of a
+//! given physical length from the [`rlgc`](crate::rlgc) model and produces
+//! the insertion-loss / return-loss traces used both by the experiment
+//! benches (Fig.-style frequency plots) and by validation tests.
+
+use crate::abcd::{to_db, AbcdMatrix};
+use crate::dispersion::WidebandDebye;
+use crate::rlgc::odd_mode_rlgc;
+use crate::stackup::DiffStripline;
+use crate::units::METERS_PER_INCH;
+use serde::{Deserialize, Serialize};
+
+/// One point of a two-port frequency sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Frequency, Hz.
+    pub f_hz: f64,
+    /// Insertion loss `|S21|` in dB (non-positive for passive lines).
+    pub il_db: f64,
+    /// Return loss `|S11|` in dB.
+    pub rl_db: f64,
+}
+
+/// A differential two-port frequency sweep of a stripline of fixed length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencySweep {
+    points: Vec<SweepPoint>,
+}
+
+impl FrequencySweep {
+    /// Sweeps `layer` over `n` logarithmically spaced frequencies in
+    /// `[f_start_hz, f_stop_hz]` for a line of `length_inches`, referenced to
+    /// `z_ref` ohms (odd-mode reference = half the differential reference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the band is empty/non-positive.
+    pub fn of_layer(
+        layer: &DiffStripline,
+        f_start_hz: f64,
+        f_stop_hz: f64,
+        n: usize,
+        length_inches: f64,
+        z_ref: f64,
+    ) -> Self {
+        assert!(n >= 2, "sweep needs at least two points");
+        assert!(
+            f_start_hz > 0.0 && f_stop_hz > f_start_hz,
+            "invalid frequency band"
+        );
+        let len_m = length_inches * METERS_PER_INCH;
+        let log_lo = f_start_hz.ln();
+        let log_hi = f_stop_hz.ln();
+        let points = (0..n)
+            .map(|i| {
+                let f = (log_lo + (log_hi - log_lo) * i as f64 / (n - 1) as f64).exp();
+                let p = odd_mode_rlgc(layer, f);
+                let line = AbcdMatrix::transmission_line(
+                    p.propagation_constant(f),
+                    p.characteristic_impedance(f),
+                    len_m,
+                );
+                let (s11, s21, _, _) = line.to_s_params(z_ref);
+                SweepPoint {
+                    f_hz: f,
+                    il_db: to_db(s21),
+                    rl_db: to_db(s11),
+                }
+            })
+            .collect();
+        Self { points }
+    }
+
+    /// Sweeps with **causal dielectric dispersion**: the layer's `Dk`/`Df`
+    /// values are taken as datasheet numbers at `f_ref_hz` and re-evaluated
+    /// per frequency through the wideband-Debye model
+    /// ([`crate::dispersion`]), so the phase response is Kramers–Kronig
+    /// consistent. Same sampling/termination as [`FrequencySweep::of_layer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`FrequencySweep::of_layer`], or
+    /// when `f_ref_hz` falls outside the wideband-Debye pole band.
+    #[allow(clippy::too_many_arguments)]
+    pub fn of_layer_dispersive(
+        layer: &DiffStripline,
+        f_ref_hz: f64,
+        f_start_hz: f64,
+        f_stop_hz: f64,
+        n: usize,
+        length_inches: f64,
+        z_ref: f64,
+    ) -> Self {
+        assert!(n >= 2, "sweep needs at least two points");
+        assert!(
+            f_start_hz > 0.0 && f_stop_hz > f_start_hz,
+            "invalid frequency band"
+        );
+        let models = [
+            WidebandDebye::fit(layer.dk_core, layer.df_core, f_ref_hz),
+            WidebandDebye::fit(layer.dk_prepreg, layer.df_prepreg, f_ref_hz),
+            WidebandDebye::fit(layer.dk_trace, layer.df_trace, f_ref_hz),
+        ];
+        let len_m = length_inches * METERS_PER_INCH;
+        let log_lo = f_start_hz.ln();
+        let log_hi = f_stop_hz.ln();
+        let points = (0..n)
+            .map(|i| {
+                let f = (log_lo + (log_hi - log_lo) * i as f64 / (n - 1) as f64).exp();
+                let mut at_f = *layer;
+                at_f.dk_core = models[0].dk(f);
+                at_f.df_core = models[0].df(f).max(0.0);
+                at_f.dk_prepreg = models[1].dk(f);
+                at_f.df_prepreg = models[1].df(f).max(0.0);
+                at_f.dk_trace = models[2].dk(f);
+                at_f.df_trace = models[2].df(f).max(0.0);
+                let p = odd_mode_rlgc(&at_f, f);
+                let line = AbcdMatrix::transmission_line(
+                    p.propagation_constant(f),
+                    p.characteristic_impedance(f),
+                    len_m,
+                );
+                let (s11, s21, _, _) = line.to_s_params(z_ref);
+                SweepPoint {
+                    f_hz: f,
+                    il_db: to_db(s21),
+                    rl_db: to_db(s11),
+                }
+            })
+            .collect();
+        Self { points }
+    }
+
+    /// The sweep points, ordered by frequency.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Linearly interpolated insertion loss (dB) at an arbitrary frequency.
+    ///
+    /// Clamps to the band edges outside the sweep.
+    pub fn il_at(&self, f_hz: f64) -> f64 {
+        let pts = &self.points;
+        if f_hz <= pts[0].f_hz {
+            return pts[0].il_db;
+        }
+        if f_hz >= pts[pts.len() - 1].f_hz {
+            return pts[pts.len() - 1].il_db;
+        }
+        let idx = pts.partition_point(|p| p.f_hz < f_hz);
+        let (a, b) = (&pts[idx - 1], &pts[idx]);
+        let t = (f_hz - a.f_hz) / (b.f_hz - a.f_hz);
+        a.il_db + t * (b.il_db - a.il_db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stripline::odd_mode_z0;
+    use crate::units::ghz_to_hz;
+
+    fn sweep() -> (DiffStripline, FrequencySweep) {
+        let layer = DiffStripline::default();
+        let z_ref = odd_mode_z0(&layer);
+        let s = FrequencySweep::of_layer(&layer, 1e8, 4e10, 64, 1.0, z_ref);
+        (layer, s)
+    }
+
+    #[test]
+    fn il_monotonically_degrades() {
+        let (_, s) = sweep();
+        let pts = s.points();
+        for w in pts.windows(2) {
+            assert!(
+                w[1].il_db <= w[0].il_db + 1e-9,
+                "IL must worsen with frequency: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn il_nonpositive_everywhere() {
+        let (_, s) = sweep();
+        assert!(s.points().iter().all(|p| p.il_db <= 1e-12));
+    }
+
+    #[test]
+    fn matched_sweep_has_deep_return_loss() {
+        let (_, s) = sweep();
+        // Matched to its own odd-mode impedance at low loss: |S11| small.
+        assert!(s.points().iter().all(|p| p.rl_db < -20.0));
+    }
+
+    #[test]
+    fn il_at_interpolates_within_band() {
+        let (_, s) = sweep();
+        let f = ghz_to_hz(16.0);
+        let il = s.il_at(f);
+        // Must sit between the neighbouring sample values.
+        let pts = s.points();
+        let idx = pts.partition_point(|p| p.f_hz < f);
+        let (lo, hi) = (pts[idx - 1].il_db, pts[idx].il_db);
+        assert!(il <= lo + 1e-12 && il >= hi - 1e-12);
+    }
+
+    #[test]
+    fn il_at_clamps_outside_band() {
+        let (_, s) = sweep();
+        assert_eq!(s.il_at(1.0), s.points()[0].il_db);
+        assert_eq!(s.il_at(1e13), s.points().last().unwrap().il_db);
+    }
+
+    #[test]
+    fn il_scales_with_length() {
+        let layer = DiffStripline::default();
+        let z = odd_mode_z0(&layer);
+        let one = FrequencySweep::of_layer(&layer, 1e9, 2e10, 16, 1.0, z);
+        let five = FrequencySweep::of_layer(&layer, 1e9, 2e10, 16, 5.0, z);
+        let f = ghz_to_hz(16.0);
+        let ratio = five.il_at(f) / one.il_at(f);
+        assert!((ratio - 5.0).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn dispersive_sweep_matches_at_reference_and_diverges_away() {
+        let layer = DiffStripline::default();
+        let z = odd_mode_z0(&layer);
+        let f_ref = ghz_to_hz(1.0);
+        let flat = FrequencySweep::of_layer(&layer, 1e8, 4e10, 48, 1.0, z);
+        let disp =
+            FrequencySweep::of_layer_dispersive(&layer, f_ref, 1e8, 4e10, 48, 1.0, z);
+        // Near the reference frequency the two models agree closely.
+        let d_ref = (flat.il_at(f_ref) - disp.il_at(f_ref)).abs();
+        assert!(d_ref < 0.05, "at f_ref: {d_ref} dB apart");
+        // Dispersion changes the high-frequency response (Dk falls, the
+        // flat model overestimates delay-related loss weighting).
+        let f_hi = ghz_to_hz(32.0);
+        assert!(flat.il_at(f_hi).is_finite() && disp.il_at(f_hi).is_finite());
+    }
+
+    #[test]
+    fn dispersive_sweep_remains_monotone_and_passive() {
+        let layer = DiffStripline::default();
+        let z = odd_mode_z0(&layer);
+        let s = FrequencySweep::of_layer_dispersive(
+            &layer,
+            ghz_to_hz(1.0),
+            1e8,
+            4e10,
+            48,
+            1.0,
+            z,
+        );
+        for w in s.points().windows(2) {
+            assert!(w[1].il_db <= w[0].il_db + 1e-9);
+        }
+        assert!(s.points().iter().all(|p| p.il_db <= 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_sweep_panics() {
+        let layer = DiffStripline::default();
+        let _ = FrequencySweep::of_layer(&layer, 1e9, 2e9, 1, 1.0, 50.0);
+    }
+}

@@ -1,0 +1,502 @@
+//! Differential-stripline stack-up geometry and materials (paper Fig. 2 /
+//! Table I).
+//!
+//! A [`DiffStripline`] captures the 15 design parameters an engineer controls
+//! when designing one layer of an HDI PCB stack-up: the trace geometry
+//! (width, spacing, pair distance, etch factor, thickness), the dielectric
+//! heights of the core and prepreg sheets, and the material properties
+//! (conductivity, surface roughness, dielectric constant `Dk` and dissipation
+//! factor `Df` for the trace-level resin, core, and prepreg).
+//!
+//! Lengths are in **mils**, conductivity in S/m, roughness as the paper's
+//! dimensionless index in `[-14.5, 14]` (lower = smoother copper).
+//!
+//! ```
+//! use isop_em::stackup::DiffStripline;
+//!
+//! let layer = DiffStripline::builder()
+//!     .trace_width(5.0)
+//!     .trace_spacing(6.0)
+//!     .pair_distance(30.0)
+//!     .build()?;
+//! assert!(layer.plane_spacing_mils() > 0.0);
+//! # Ok::<(), isop_em::stackup::GeometryError>(())
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of designable stack-up parameters (paper Table III).
+pub const PARAM_COUNT: usize = 15;
+
+/// Canonical ordering of the 15 parameters used for feature vectors,
+/// datasets, and surrogate-model inputs. Matches Table III / Table IX
+/// column order: `Wt St Dt Et Ht sigma_t Rt Dk_t Df_t Hc Dk_c Df_c Hp Dk_p Df_p`
+/// reordered as the paper's Table III rows
+/// (`Wt St Dt Et Ht Hc Hp sigma Rt Dkt Dkc Dkp Dft Dfc Dfp`).
+pub const PARAM_NAMES: [&str; PARAM_COUNT] = [
+    "W_t", "S_t", "D_t", "E_t", "H_t", "H_c", "H_p", "sigma_t", "R_t", "Dk_t", "Dk_c", "Dk_p",
+    "Df_t", "Df_c", "Df_p",
+];
+
+/// Error returned when stack-up parameters are physically meaningless.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeometryError {
+    field: &'static str,
+    reason: &'static str,
+}
+
+impl GeometryError {
+    /// The offending field name.
+    pub fn field(&self) -> &'static str {
+        self.field
+    }
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid stack-up geometry: {} {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// One differential stripline layer of a PCB stack-up (paper Fig. 2).
+///
+/// Construct with [`DiffStripline::builder`], [`DiffStripline::from_vector`],
+/// or [`DiffStripline::default`] (a typical 85 ohm mid-loss design).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiffStripline {
+    /// `W_t` — trace width at the base of the trapezoid, mils.
+    pub trace_width: f64,
+    /// `S_t` — edge-to-edge spacing between the two traces of the pair, mils.
+    pub trace_spacing: f64,
+    /// `D_t` — edge-to-edge distance between adjacent differential pairs, mils.
+    pub pair_distance: f64,
+    /// `E_t` — etch factor describing the trapezoidal cross-section
+    /// (`0` = rectangular; larger values narrow the trace top).
+    pub etch_factor: f64,
+    /// `H_t` — trace (copper) thickness, mils.
+    pub trace_height: f64,
+    /// `H_c` — core laminate height below the trace, mils.
+    pub core_height: f64,
+    /// `H_p` — prepreg height above the trace, mils.
+    pub prepreg_height: f64,
+    /// `sigma_t` — trace conductivity, S/m.
+    pub conductivity: f64,
+    /// `R_t` — surface-roughness index in `[-14.5, 14]`; lower is smoother.
+    pub roughness: f64,
+    /// `Dk_t` — dielectric constant of the resin immediately around the trace.
+    pub dk_trace: f64,
+    /// `Dk_c` — dielectric constant of the core.
+    pub dk_core: f64,
+    /// `Dk_p` — dielectric constant of the prepreg.
+    pub dk_prepreg: f64,
+    /// `Df_t` — dissipation factor of the trace-level resin.
+    pub df_trace: f64,
+    /// `Df_c` — dissipation factor of the core.
+    pub df_core: f64,
+    /// `Df_p` — dissipation factor of the prepreg.
+    pub df_prepreg: f64,
+}
+
+impl Default for DiffStripline {
+    /// A representative mid-range 85 ohm-class design.
+    fn default() -> Self {
+        Self {
+            trace_width: 5.0,
+            trace_spacing: 6.0,
+            pair_distance: 30.0,
+            etch_factor: 0.0,
+            trace_height: 1.2,
+            core_height: 6.0,
+            prepreg_height: 6.0,
+            conductivity: 5.8e7,
+            roughness: 0.0,
+            dk_trace: 3.6,
+            dk_core: 3.6,
+            dk_prepreg: 3.6,
+            df_trace: 0.008,
+            df_core: 0.008,
+            df_prepreg: 0.008,
+        }
+    }
+}
+
+impl DiffStripline {
+    /// Starts a [`DiffStriplineBuilder`] seeded with the default design.
+    pub fn builder() -> DiffStriplineBuilder {
+        DiffStriplineBuilder::new()
+    }
+
+    /// Builds a layer from a 15-element feature vector in [`PARAM_NAMES`]
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if the slice length differs from
+    /// [`PARAM_COUNT`] or any value is physically invalid.
+    pub fn from_vector(v: &[f64]) -> Result<Self, GeometryError> {
+        if v.len() != PARAM_COUNT {
+            return Err(GeometryError {
+                field: "vector",
+                reason: "must have exactly 15 elements",
+            });
+        }
+        let layer = Self {
+            trace_width: v[0],
+            trace_spacing: v[1],
+            pair_distance: v[2],
+            etch_factor: v[3],
+            trace_height: v[4],
+            core_height: v[5],
+            prepreg_height: v[6],
+            conductivity: v[7],
+            roughness: v[8],
+            dk_trace: v[9],
+            dk_core: v[10],
+            dk_prepreg: v[11],
+            df_trace: v[12],
+            df_core: v[13],
+            df_prepreg: v[14],
+        };
+        layer.validate()?;
+        Ok(layer)
+    }
+
+    /// Serializes the layer to a 15-element vector in [`PARAM_NAMES`] order.
+    pub fn to_vector(&self) -> [f64; PARAM_COUNT] {
+        [
+            self.trace_width,
+            self.trace_spacing,
+            self.pair_distance,
+            self.etch_factor,
+            self.trace_height,
+            self.core_height,
+            self.prepreg_height,
+            self.conductivity,
+            self.roughness,
+            self.dk_trace,
+            self.dk_core,
+            self.dk_prepreg,
+            self.df_trace,
+            self.df_core,
+            self.df_prepreg,
+        ]
+    }
+
+    /// Validates physical plausibility of every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GeometryError`] found. Bounds are deliberately
+    /// looser than any search space in the paper — the solver accepts any
+    /// physically meaningful layer, while search-space membership is enforced
+    /// by the optimizer.
+    pub fn validate(&self) -> Result<(), GeometryError> {
+        fn pos(field: &'static str, v: f64) -> Result<(), GeometryError> {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(GeometryError {
+                    field,
+                    reason: "must be positive and finite",
+                })
+            }
+        }
+        pos("trace_width", self.trace_width)?;
+        pos("trace_spacing", self.trace_spacing)?;
+        pos("pair_distance", self.pair_distance)?;
+        pos("trace_height", self.trace_height)?;
+        pos("core_height", self.core_height)?;
+        pos("prepreg_height", self.prepreg_height)?;
+        pos("conductivity", self.conductivity)?;
+        if !(self.etch_factor.is_finite() && (0.0..=1.0).contains(&self.etch_factor)) {
+            return Err(GeometryError {
+                field: "etch_factor",
+                reason: "must lie in [0, 1]",
+            });
+        }
+        if !self.roughness.is_finite() || !(-20.0..=20.0).contains(&self.roughness) {
+            return Err(GeometryError {
+                field: "roughness",
+                reason: "must lie in [-20, 20]",
+            });
+        }
+        for (field, dk) in [
+            ("dk_trace", self.dk_trace),
+            ("dk_core", self.dk_core),
+            ("dk_prepreg", self.dk_prepreg),
+        ] {
+            if !dk.is_finite() || dk < 1.0 || dk > 12.0 {
+                return Err(GeometryError {
+                    field,
+                    reason: "dielectric constant must lie in [1, 12]",
+                });
+            }
+        }
+        for (field, df) in [
+            ("df_trace", self.df_trace),
+            ("df_core", self.df_core),
+            ("df_prepreg", self.df_prepreg),
+        ] {
+            if !df.is_finite() || df < 0.0 || df > 0.5 {
+                return Err(GeometryError {
+                    field,
+                    reason: "dissipation factor must lie in [0, 0.5]",
+                });
+            }
+        }
+        if self.etch_factor * self.trace_height >= self.trace_width / 2.0 {
+            return Err(GeometryError {
+                field: "etch_factor",
+                reason: "would collapse the trace top width to zero",
+            });
+        }
+        Ok(())
+    }
+
+    /// Ground-plane to ground-plane spacing `b = H_c + H_t + H_p`, mils.
+    #[inline]
+    pub fn plane_spacing_mils(&self) -> f64 {
+        self.core_height + self.trace_height + self.prepreg_height
+    }
+
+    /// Mean trapezoidal trace width `W_t - E_t * H_t`, mils.
+    ///
+    /// The etch factor narrows the trace top by `2 * E_t * H_t`; the
+    /// electrically effective width is well approximated by the mid-height
+    /// width.
+    #[inline]
+    pub fn effective_width_mils(&self) -> f64 {
+        self.trace_width - self.etch_factor * self.trace_height
+    }
+
+    /// Height-weighted effective dielectric constant seen by the stripline.
+    ///
+    /// Stripline fields live almost entirely in the dielectric; the core and
+    /// prepreg contribute in proportion to their heights and the trace-level
+    /// resin in proportion to the copper thickness it embeds.
+    pub fn effective_dk(&self) -> f64 {
+        let b = self.plane_spacing_mils();
+        (self.core_height * self.dk_core
+            + self.prepreg_height * self.dk_prepreg
+            + self.trace_height * self.dk_trace)
+            / b
+    }
+
+    /// Height-weighted effective dissipation factor (loss tangent).
+    pub fn effective_df(&self) -> f64 {
+        let b = self.plane_spacing_mils();
+        // Weight each sheet by the portion of electric-field energy it holds:
+        // height share scaled by its Dk (energy density is proportional to
+        // eps in a series-stacked dielectric under common field).
+        let num = self.core_height * self.dk_core * self.df_core
+            + self.prepreg_height * self.dk_prepreg * self.df_prepreg
+            + self.trace_height * self.dk_trace * self.df_trace;
+        let den = self.core_height * self.dk_core
+            + self.prepreg_height * self.dk_prepreg
+            + self.trace_height * self.dk_trace;
+        debug_assert!(b > 0.0);
+        num / den
+    }
+
+    /// RMS copper surface roughness in micrometres derived from the paper's
+    /// roughness index `R_t in [-14.5, 14]`.
+    ///
+    /// The index is mapped affinely onto `[0, 3] um`: `-14.5` is perfectly
+    /// smooth rolled copper, `14` is very rough reverse-treated foil. The
+    /// mapping direction matches Table IX, where expert designs pick
+    /// `R_t = -14.5` to minimize loss.
+    pub fn roughness_rms_um(&self) -> f64 {
+        ((self.roughness + 14.5) / 28.5 * 3.0).max(0.0)
+    }
+}
+
+/// Builder for [`DiffStripline`] with validation at `build`.
+#[derive(Debug, Clone)]
+pub struct DiffStriplineBuilder {
+    layer: DiffStripline,
+}
+
+impl Default for DiffStriplineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(mut self, value: f64) -> Self {
+                self.layer.$name = value;
+                self
+            }
+        )+
+    };
+}
+
+impl DiffStriplineBuilder {
+    /// Creates a builder seeded with [`DiffStripline::default`].
+    pub fn new() -> Self {
+        Self {
+            layer: DiffStripline::default(),
+        }
+    }
+
+    builder_setters! {
+        /// Sets `W_t` (mils).
+        trace_width,
+        /// Sets `S_t` (mils).
+        trace_spacing,
+        /// Sets `D_t` (mils).
+        pair_distance,
+        /// Sets `E_t`.
+        etch_factor,
+        /// Sets `H_t` (mils).
+        trace_height,
+        /// Sets `H_c` (mils).
+        core_height,
+        /// Sets `H_p` (mils).
+        prepreg_height,
+        /// Sets `sigma_t` (S/m).
+        conductivity,
+        /// Sets `R_t` (index in [-14.5, 14]).
+        roughness,
+        /// Sets `Dk_t`.
+        dk_trace,
+        /// Sets `Dk_c`.
+        dk_core,
+        /// Sets `Dk_p`.
+        dk_prepreg,
+        /// Sets `Df_t`.
+        df_trace,
+        /// Sets `Df_c`.
+        df_core,
+        /// Sets `Df_p`.
+        df_prepreg,
+    }
+
+    /// Finalizes the builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if any parameter is physically invalid.
+    pub fn build(self) -> Result<DiffStripline, GeometryError> {
+        self.layer.validate()?;
+        Ok(self.layer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        DiffStripline::default().validate().expect("default valid");
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        let layer = DiffStripline::default();
+        let v = layer.to_vector();
+        let back = DiffStripline::from_vector(&v).expect("roundtrip");
+        assert_eq!(layer, back);
+    }
+
+    #[test]
+    fn wrong_vector_length_rejected() {
+        assert!(DiffStripline::from_vector(&[1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let layer = DiffStripline::builder()
+            .trace_width(4.0)
+            .dk_core(3.1)
+            .build()
+            .expect("valid");
+        assert_eq!(layer.trace_width, 4.0);
+        assert_eq!(layer.dk_core, 3.1);
+        // Untouched fields keep the default.
+        assert_eq!(layer.trace_spacing, DiffStripline::default().trace_spacing);
+    }
+
+    #[test]
+    fn negative_width_rejected() {
+        let err = DiffStripline::builder()
+            .trace_width(-1.0)
+            .build()
+            .expect_err("must fail");
+        assert_eq!(err.field(), "trace_width");
+    }
+
+    #[test]
+    fn absurd_dk_rejected() {
+        assert!(DiffStripline::builder().dk_core(0.5).build().is_err());
+        assert!(DiffStripline::builder().dk_core(99.0).build().is_err());
+    }
+
+    #[test]
+    fn etch_collapse_rejected() {
+        // 0.9 etch on a thick trace with a thin width pinches the top off.
+        let err = DiffStripline::builder()
+            .trace_width(2.0)
+            .trace_height(3.0)
+            .etch_factor(0.9)
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn effective_dk_is_weighted_mean() {
+        let layer = DiffStripline::builder()
+            .core_height(4.0)
+            .prepreg_height(4.0)
+            .trace_height(2.0)
+            .dk_core(2.0)
+            .dk_prepreg(4.0)
+            .dk_trace(3.0)
+            .build()
+            .expect("valid");
+        let dk = layer.effective_dk();
+        assert!((dk - (4.0 * 2.0 + 4.0 * 4.0 + 2.0 * 3.0) / 10.0).abs() < 1e-12);
+        assert!(dk > 2.0 && dk < 4.0);
+    }
+
+    #[test]
+    fn effective_df_between_extremes() {
+        let layer = DiffStripline::builder()
+            .df_core(0.001)
+            .df_prepreg(0.02)
+            .df_trace(0.01)
+            .build()
+            .expect("valid");
+        let df = layer.effective_df();
+        assert!(df > 0.001 && df < 0.02);
+    }
+
+    #[test]
+    fn roughness_mapping_endpoints() {
+        let smooth = DiffStripline::builder().roughness(-14.5).build().unwrap();
+        let rough = DiffStripline::builder().roughness(14.0).build().unwrap();
+        assert!(smooth.roughness_rms_um().abs() < 1e-12);
+        assert!((rough.roughness_rms_um() - 3.0).abs() < 1e-12);
+        assert!(rough.roughness_rms_um() > smooth.roughness_rms_um());
+    }
+
+    #[test]
+    fn effective_width_shrinks_with_etch() {
+        let square = DiffStripline::builder().etch_factor(0.0).build().unwrap();
+        let etched = DiffStripline::builder().etch_factor(0.3).build().unwrap();
+        assert!(etched.effective_width_mils() < square.effective_width_mils());
+    }
+
+    #[test]
+    fn param_names_count_matches() {
+        assert_eq!(PARAM_NAMES.len(), PARAM_COUNT);
+        assert_eq!(DiffStripline::default().to_vector().len(), PARAM_COUNT);
+    }
+}

@@ -1,0 +1,281 @@
+//! Via discontinuity models for multi-layer channel analysis.
+//!
+//! A signal changing layers traverses a via barrel; electrically it is a
+//! short transmission segment loaded by excess pad/antipad capacitance and
+//! barrel inductance, plus — when the barrel continues past the exit layer —
+//! a **stub** whose quarter-wave resonance carves a notch into the channel
+//! response. The model here is the standard lumped/stub hybrid used for
+//! pre-route budgeting (pi-model: `C/2 — L — C/2`, with an open-circuited
+//! stub line hanging at the junction).
+
+use crate::abcd::AbcdMatrix;
+use crate::complex::Complex;
+use crate::units::{mils_to_meters, C0};
+use serde::{Deserialize, Serialize};
+
+/// Effective loss tangent of the via-stub field region (dielectric plus
+/// radiation/plane losses); sets the depth of the stub-resonance notch.
+pub const STUB_LOSS_TANGENT: f64 = 0.02;
+
+/// Geometry and material description of a signal via.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Via {
+    /// Barrel (drill) diameter, mils.
+    pub barrel_diameter: f64,
+    /// Pad diameter, mils.
+    pub pad_diameter: f64,
+    /// Antipad (plane clearance) diameter, mils.
+    pub antipad_diameter: f64,
+    /// Functional barrel length (entry to exit layer), mils.
+    pub length: f64,
+    /// Residual stub length below the exit layer (0 for back-drilled), mils.
+    pub stub_length: f64,
+    /// Effective dielectric constant around the via.
+    pub dk: f64,
+}
+
+impl Default for Via {
+    /// A typical 8-mil drill server-board via with a 20-mil stub.
+    fn default() -> Self {
+        Self {
+            barrel_diameter: 8.0,
+            pad_diameter: 18.0,
+            antipad_diameter: 30.0,
+            length: 40.0,
+            stub_length: 20.0,
+            dk: 3.8,
+        }
+    }
+}
+
+/// Error for physically impossible via geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViaGeometryError(&'static str);
+
+impl std::fmt::Display for ViaGeometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid via geometry: {}", self.0)
+    }
+}
+
+impl std::error::Error for ViaGeometryError {}
+
+impl Via {
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ViaGeometryError`] when diameters are non-increasing
+    /// (`barrel < pad < antipad`) or lengths are negative.
+    pub fn validate(&self) -> Result<(), ViaGeometryError> {
+        if !(self.barrel_diameter > 0.0) {
+            return Err(ViaGeometryError("barrel diameter must be positive"));
+        }
+        if self.pad_diameter <= self.barrel_diameter {
+            return Err(ViaGeometryError("pad must exceed barrel"));
+        }
+        if self.antipad_diameter <= self.pad_diameter {
+            return Err(ViaGeometryError("antipad must exceed pad"));
+        }
+        if self.length < 0.0 || self.stub_length < 0.0 {
+            return Err(ViaGeometryError("lengths must be non-negative"));
+        }
+        if self.dk < 1.0 {
+            return Err(ViaGeometryError("dk below vacuum"));
+        }
+        Ok(())
+    }
+
+    /// Excess capacitance, farads — Howard Johnson's classic estimate
+    /// `C[pF] = 1.41 * eps_r * T * D1 / (D2 - D1)` with lengths in inches,
+    /// where `T` is the barrel length (including any stub), `D1` the pad and
+    /// `D2` the antipad diameter.
+    pub fn capacitance(&self) -> f64 {
+        let t_in = (self.length + self.stub_length) / 1000.0;
+        let d1_in = self.pad_diameter / 1000.0;
+        let d2_in = self.antipad_diameter / 1000.0;
+        1.41 * self.dk * t_in * d1_in / (d2_in - d1_in) * 1e-12
+    }
+
+    /// Barrel inductance, henries (partial self-inductance of a cylinder).
+    pub fn inductance(&self) -> f64 {
+        let h = mils_to_meters(self.length + self.stub_length).max(1e-6);
+        let d = mils_to_meters(self.barrel_diameter);
+        // L ~= (mu0 / 2pi) * h * [ln(4h/d) + 1].
+        2.0e-7 * h * ((4.0 * h / d).ln() + 1.0)
+    }
+
+    /// Characteristic impedance of the barrel treated as a coaxial-ish line
+    /// against its antipad, ohms.
+    pub fn barrel_impedance(&self) -> f64 {
+        60.0 / self.dk.sqrt() * (self.antipad_diameter / self.barrel_diameter).ln()
+    }
+
+    /// First stub resonance frequency (quarter-wave), Hz. `None` when
+    /// back-drilled (`stub_length == 0`).
+    pub fn stub_resonance_hz(&self) -> Option<f64> {
+        if self.stub_length <= 0.0 {
+            return None;
+        }
+        let len_m = mils_to_meters(self.stub_length);
+        Some(C0 / self.dk.sqrt() / (4.0 * len_m))
+    }
+
+    /// Two-port ABCD matrix of the via at `f_hz`.
+    ///
+    /// Pi-model of the through path (`C/2` shunt, barrel line, `C/2` shunt)
+    /// with an open stub (input impedance `-j Z0 cot(beta l)`) loading the
+    /// exit node.
+    pub fn abcd(&self, f_hz: f64) -> AbcdMatrix {
+        let w = 2.0 * std::f64::consts::PI * f_hz;
+        let c_half = Complex::new(0.0, w * self.capacitance() / 2.0);
+        let z0 = Complex::real(self.barrel_impedance());
+        let v = C0 / self.dk.sqrt();
+        let beta = w / v;
+
+        let shunt_in = AbcdMatrix::shunt_admittance(c_half);
+        let barrel = AbcdMatrix::transmission_line(
+            Complex::new(0.0, beta),
+            z0,
+            mils_to_meters(self.length),
+        );
+        let mut chain = shunt_in.cascade(&barrel);
+
+        if self.stub_length > 0.0 {
+            // Open stub modelled as a lossy line: Y_in = tanh(gamma l) / Z0.
+            // The small dielectric loss keeps the quarter-wave resonance a
+            // finite-depth notch instead of a numerically unbounded
+            // tan(beta l) singularity (a lossless ideal stub is neither
+            // physical nor numerically safe).
+            let l = mils_to_meters(self.stub_length);
+            let alpha = beta * STUB_LOSS_TANGENT / 2.0;
+            let gamma_l = Complex::new(alpha, beta).scale(l);
+            let y_stub = gamma_l.tanh() / z0;
+            chain = chain.cascade(&AbcdMatrix::shunt_admittance(y_stub));
+        }
+        chain.cascade(&AbcdMatrix::shunt_admittance(c_half))
+    }
+
+    /// `|S21|` in dB at `f_hz` in a `z_ref` system.
+    pub fn insertion_loss_db(&self, f_hz: f64, z_ref: f64) -> f64 {
+        let (_, s21, _, _) = self.abcd(f_hz).to_s_params(z_ref);
+        crate::abcd::to_db(s21)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_via_is_valid() {
+        Via::default().validate().expect("valid");
+    }
+
+    #[test]
+    fn geometry_validation_catches_ordering() {
+        let mut v = Via::default();
+        v.pad_diameter = 5.0; // below barrel
+        assert!(v.validate().is_err());
+        let mut v = Via::default();
+        v.antipad_diameter = v.pad_diameter; // not larger
+        assert!(v.validate().is_err());
+    }
+
+    #[test]
+    fn parasitics_are_physical() {
+        let v = Via::default();
+        let c = v.capacitance();
+        let l = v.inductance();
+        // Typical via: tenths of pF, tenths of nH.
+        assert!(c > 1e-14 && c < 5e-12, "C = {c}");
+        assert!(l > 1e-11 && l < 5e-9, "L = {l}");
+        assert!(v.barrel_impedance() > 20.0 && v.barrel_impedance() < 120.0);
+    }
+
+    #[test]
+    fn stub_resonance_matches_quarter_wave() {
+        let v = Via {
+            stub_length: 40.0,
+            dk: 4.0,
+            ..Via::default()
+        };
+        let f = v.stub_resonance_hz().expect("has stub");
+        // lambda/4 = 40 mil at v = c0/2.
+        let expected = (C0 / 2.0) / (4.0 * 40.0 * 25.4e-6);
+        assert!((f - expected).abs() / expected < 1e-9, "f = {f}");
+    }
+
+    #[test]
+    fn backdrilled_via_has_no_resonance() {
+        let v = Via {
+            stub_length: 0.0,
+            ..Via::default()
+        };
+        assert!(v.stub_resonance_hz().is_none());
+    }
+
+    #[test]
+    fn via_is_nearly_transparent_at_low_frequency() {
+        let v = Via::default();
+        let il = v.insertion_loss_db(1e8, 42.5);
+        assert!(il > -0.1, "100 MHz via loss should be negligible: {il} dB");
+    }
+
+    #[test]
+    fn stub_notch_appears_near_resonance() {
+        let v = Via {
+            stub_length: 60.0,
+            ..Via::default()
+        };
+        let f_res = v.stub_resonance_hz().expect("stub");
+        let at_res = v.insertion_loss_db(f_res, 42.5);
+        let below = v.insertion_loss_db(f_res / 4.0, 42.5);
+        assert!(
+            at_res < below - 3.0,
+            "stub notch missing: {at_res} dB at resonance vs {below} dB below"
+        );
+    }
+
+    #[test]
+    fn backdrilling_improves_high_frequency_loss() {
+        let stubbed = Via {
+            stub_length: 30.0,
+            ..Via::default()
+        };
+        let drilled = Via {
+            stub_length: 0.0,
+            ..Via::default()
+        };
+        let f = stubbed.stub_resonance_hz().expect("stub") * 0.8;
+        assert!(
+            drilled.insertion_loss_db(f, 42.5) > stubbed.insertion_loss_db(f, 42.5),
+            "back-drilling must help near the stub notch"
+        );
+    }
+
+    #[test]
+    fn passive_even_at_stub_resonance() {
+        let v = Via {
+            stub_length: 25.0,
+            ..Via::default()
+        };
+        let f_res = v.stub_resonance_hz().expect("stub");
+        for f in [f_res * 0.99, f_res, f_res * 1.01, f_res * 0.5, f_res * 2.0] {
+            let il = v.insertion_loss_db(f, 42.5);
+            assert!(il <= 1e-9, "gain at {f} Hz: {il} dB");
+            assert!(il.is_finite());
+        }
+        // The notch is deep but finite.
+        let notch = v.insertion_loss_db(f_res, 42.5);
+        assert!(notch < -3.0, "resonance must bite: {notch} dB");
+        assert!(notch > -80.0, "notch should be finite: {notch} dB");
+    }
+
+    #[test]
+    fn via_reciprocity_holds() {
+        let v = Via::default();
+        let m = v.abcd(1.6e10);
+        assert!((m.det() - crate::complex::ONE).abs() < 1e-9);
+    }
+}

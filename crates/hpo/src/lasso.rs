@@ -1,0 +1,231 @@
+//! Lasso regression by cyclic coordinate descent with soft-thresholding.
+//!
+//! This is the polynomial-sparse-recovery (PSR) workhorse inside Harmonica:
+//! given parity features of the sampled bitstrings, the L1 penalty recovers
+//! the few Fourier coefficients that explain the objective (Stobbe & Krause,
+//! AISTATS'12; Hazan et al., ICLR'18).
+
+/// Result of a Lasso fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LassoFit {
+    /// Coefficients, one per feature column.
+    pub coefficients: Vec<f64>,
+    /// Intercept term.
+    pub intercept: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+impl LassoFit {
+    /// Indices of the `k` largest-magnitude nonzero coefficients, sorted by
+    /// magnitude descending.
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.coefficients.len())
+            .filter(|&i| self.coefficients[i] != 0.0)
+            .collect();
+        idx.sort_by(|&a, &b| {
+            self.coefficients[b]
+                .abs()
+                .partial_cmp(&self.coefficients[a].abs())
+                .expect("finite coefficients")
+        });
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// Fits `min ||y - X w - b||^2 / (2n) + lambda ||w||_1` by cyclic coordinate
+/// descent.
+///
+/// `x` is row-major `n x d`. Columns are used as-is (parity features are
+/// already `{-1, +1}`-normalized). Converges when the largest coefficient
+/// update falls below `tol`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != n * d`, `y.len() != n`, or `n == 0`.
+pub fn lasso_coordinate_descent(
+    x: &[f64],
+    y: &[f64],
+    n: usize,
+    d: usize,
+    lambda: f64,
+    max_iter: usize,
+    tol: f64,
+) -> LassoFit {
+    assert_eq!(x.len(), n * d, "feature matrix shape mismatch");
+    assert_eq!(y.len(), n, "target length mismatch");
+    assert!(n > 0, "need at least one sample");
+
+    // Precompute column norms: z_j = sum_i x_ij^2 / n.
+    let mut col_norm = vec![0.0f64; d];
+    for row in 0..n {
+        for j in 0..d {
+            let v = x[row * d + j];
+            col_norm[j] += v * v;
+        }
+    }
+    for z in &mut col_norm {
+        *z /= n as f64;
+    }
+
+    let mut w = vec![0.0f64; d];
+    let y_mean = y.iter().sum::<f64>() / n as f64;
+    let mut intercept = y_mean;
+
+    // Residual r_i = y_i - intercept - sum_j x_ij w_j.
+    let mut resid: Vec<f64> = y.iter().map(|v| v - intercept).collect();
+
+    let mut iterations = 0;
+    for iter in 0..max_iter {
+        iterations = iter + 1;
+        let mut max_delta = 0.0f64;
+        for j in 0..d {
+            if col_norm[j] == 0.0 {
+                continue;
+            }
+            // rho = (1/n) * sum_i x_ij (r_i + x_ij w_j)
+            let mut rho = 0.0;
+            for row in 0..n {
+                let xij = x[row * d + j];
+                rho += xij * (resid[row] + xij * w[j]);
+            }
+            rho /= n as f64;
+            let w_new = soft_threshold(rho, lambda) / col_norm[j];
+            let delta = w_new - w[j];
+            if delta != 0.0 {
+                for row in 0..n {
+                    resid[row] -= x[row * d + j] * delta;
+                }
+                w[j] = w_new;
+                max_delta = max_delta.max(delta.abs());
+            }
+        }
+        // Refresh intercept to the residual mean.
+        let r_mean = resid.iter().sum::<f64>() / n as f64;
+        if r_mean.abs() > 0.0 {
+            intercept += r_mean;
+            for r in &mut resid {
+                *r -= r_mean;
+            }
+            max_delta = max_delta.max(r_mean.abs());
+        }
+        if max_delta < tol {
+            break;
+        }
+    }
+
+    LassoFit {
+        coefficients: w,
+        intercept,
+        iterations,
+    }
+}
+
+#[inline]
+fn soft_threshold(v: f64, lambda: f64) -> f64 {
+    if v > lambda {
+        v - lambda
+    } else if v < -lambda {
+        v + lambda
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    /// Random {-1, +1} design matrix.
+    fn sign_matrix(n: usize, d: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * d)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect()
+    }
+
+    #[test]
+    fn soft_threshold_basics() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn recovers_sparse_signal() {
+        // y depends on columns 3 and 17 only; Lasso must find exactly those.
+        let (n, d) = (120, 40);
+        let x = sign_matrix(n, d, 0);
+        let y: Vec<f64> = (0..n)
+            .map(|i| 2.0 * x[i * d + 3] - 1.5 * x[i * d + 17] + 0.7)
+            .collect();
+        let fit = lasso_coordinate_descent(&x, &y, n, d, 0.05, 500, 1e-8);
+        let top = fit.top_k(2);
+        assert_eq!(
+            {
+                let mut t = top.clone();
+                t.sort_unstable();
+                t
+            },
+            vec![3, 17],
+            "coefficients: {:?}",
+            fit.top_k(5)
+        );
+        assert!((fit.coefficients[3] - 2.0).abs() < 0.2);
+        assert!((fit.coefficients[17] + 1.5).abs() < 0.2);
+        assert!((fit.intercept - 0.7).abs() < 0.2);
+    }
+
+    #[test]
+    fn heavy_lambda_zeroes_everything() {
+        let (n, d) = (50, 10);
+        let x = sign_matrix(n, d, 1);
+        let y: Vec<f64> = (0..n).map(|i| x[i * d] * 0.1).collect();
+        let fit = lasso_coordinate_descent(&x, &y, n, d, 10.0, 200, 1e-8);
+        assert!(fit.coefficients.iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn zero_lambda_interpolates_well() {
+        let (n, d) = (200, 5);
+        let x = sign_matrix(n, d, 2);
+        let y: Vec<f64> = (0..n)
+            .map(|i| (0..d).map(|j| (j as f64 + 1.0) * x[i * d + j]).sum())
+            .collect();
+        let fit = lasso_coordinate_descent(&x, &y, n, d, 0.0, 2000, 1e-12);
+        for j in 0..d {
+            assert!(
+                (fit.coefficients[j] - (j as f64 + 1.0)).abs() < 1e-6,
+                "w[{j}] = {}",
+                fit.coefficients[j]
+            );
+        }
+    }
+
+    #[test]
+    fn noise_robustness() {
+        let (n, d) = (300, 60);
+        let x = sign_matrix(n, d, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let y: Vec<f64> = (0..n)
+            .map(|i| 3.0 * x[i * d + 7] + 0.1 * (rng.gen::<f64>() - 0.5))
+            .collect();
+        let fit = lasso_coordinate_descent(&x, &y, n, d, 0.08, 500, 1e-8);
+        assert_eq!(fit.top_k(1), vec![7]);
+    }
+
+    #[test]
+    fn top_k_orders_by_magnitude() {
+        let fit = LassoFit {
+            coefficients: vec![0.1, -3.0, 0.0, 2.0],
+            intercept: 0.0,
+            iterations: 1,
+        };
+        assert_eq!(fit.top_k(2), vec![1, 3]);
+        assert_eq!(fit.top_k(10), vec![1, 3, 0]);
+    }
+}

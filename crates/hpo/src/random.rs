@@ -1,0 +1,77 @@
+//! Uniform random search — the reference baseline every HPO method must beat.
+
+use crate::budget::Budget;
+use crate::objective::DiscreteObjective;
+use crate::space::DiscreteSpace;
+use crate::tpe::Observation;
+use rand::rngs::StdRng;
+
+/// Runs random search for `iterations` evaluations (or until the budget
+/// stops), returning the best observation.
+pub fn run(
+    obj: &mut dyn DiscreteObjective,
+    space: &DiscreteSpace,
+    iterations: usize,
+    budget: &mut Budget,
+    rng: &mut StdRng,
+) -> Option<Observation> {
+    let mut best: Option<Observation> = None;
+    for _ in 0..iterations {
+        if budget.exhausted() {
+            break;
+        }
+        let levels = space.sample(rng);
+        let value = obj.eval(&levels);
+        budget.record_samples(1);
+        if best.as_ref().is_none_or(|b| value < b.value) {
+            best = Some(Observation { levels, value });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::DiscreteFn;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_optimum_of_tiny_space() {
+        let space = DiscreteSpace::new(vec![4, 4]);
+        let mut obj = DiscreteFn::new(vec![4, 4], |l: &[usize]| (l[0] + l[1]) as f64);
+        let mut budget = Budget::unlimited();
+        let mut rng = StdRng::seed_from_u64(0);
+        let best = run(&mut obj, &space, 200, &mut budget, &mut rng).expect("found");
+        assert_eq!(best.levels, vec![0, 0]);
+        assert_eq!(best.value, 0.0);
+    }
+
+    #[test]
+    fn budget_caps_evaluations() {
+        let space = DiscreteSpace::new(vec![100]);
+        let mut count = 0usize;
+        let mut obj = DiscreteFn::new(vec![100], |_: &[usize]| {
+            count += 1;
+            0.0
+        });
+        let mut budget = Budget::unlimited().with_samples(17);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = run(&mut obj, &space, 10_000, &mut budget, &mut rng);
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn monotone_improvement_over_iterations() {
+        let space = DiscreteSpace::new(vec![1000]);
+        let mut obj = DiscreteFn::new(vec![1000], |l: &[usize]| l[0] as f64);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut b10 = Budget::unlimited();
+        let few = run(&mut obj, &space, 10, &mut b10, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut b1000 = Budget::unlimited();
+        let mut obj2 = DiscreteFn::new(vec![1000], |l: &[usize]| l[0] as f64);
+        let many = run(&mut obj2, &space, 1000, &mut b1000, &mut rng).unwrap();
+        assert!(many.value <= few.value);
+    }
+}

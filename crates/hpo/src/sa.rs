@@ -1,0 +1,260 @@
+//! Simulated annealing over bitstrings — the paper's own SA baseline.
+//!
+//! Implemented exactly as Section IV-A describes: start from a random valid
+//! solution, propose neighbours by flipping a few random bits, always accept
+//! improvements, and accept regressions with probability
+//! `exp((cost - new_cost) / T)` compared against a uniform draw in `[0, 1)`,
+//! with the temperature decaying **linearly** over the iteration budget.
+
+use crate::budget::Budget;
+use crate::harmonica::BinarySample;
+use crate::objective::BinaryObjective;
+use crate::space::BinarySpace;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Simulated-annealing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaConfig {
+    /// Iteration budget (each iteration proposes one neighbour).
+    pub iterations: usize,
+    /// Initial temperature.
+    pub initial_temp: f64,
+    /// Maximum bits flipped per proposal (uniform in `1..=max_flips`).
+    pub max_flips: usize,
+    /// Resampling attempts when a proposal is invalid.
+    pub max_resample: usize,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 20_000,
+            initial_temp: 1.0,
+            max_flips: 3,
+            max_resample: 16_384,
+        }
+    }
+}
+
+/// Outcome of an SA run.
+#[derive(Debug, Clone)]
+pub struct SaResult {
+    /// Best sample found.
+    pub best: Option<BinarySample>,
+    /// Valid samples observed, in order.
+    pub history: Vec<BinarySample>,
+    /// Iterations executed.
+    pub iterations_run: usize,
+}
+
+/// Runs simulated annealing on `obj` within `space`.
+pub fn run(
+    obj: &mut dyn BinaryObjective,
+    space: &BinarySpace,
+    cfg: &SaConfig,
+    budget: &mut Budget,
+    rng: &mut StdRng,
+) -> SaResult {
+    assert_eq!(space.n_bits(), obj.n_bits(), "space/objective bit mismatch");
+    let mut history = Vec::new();
+
+    // Initial valid solution.
+    let mut current: Option<(Vec<bool>, f64)> = None;
+    for _ in 0..cfg.max_resample {
+        let bits = space.sample(rng);
+        if let Some(v) = obj.eval(&bits) {
+            budget.record_samples(1);
+            history.push(BinarySample {
+                bits: bits.clone(),
+                value: v,
+            });
+            current = Some((bits, v));
+            break;
+        }
+    }
+    let Some((mut cur_bits, mut cur_val)) = current else {
+        return SaResult {
+            best: None,
+            history,
+            iterations_run: 0,
+        };
+    };
+    let mut best = BinarySample {
+        bits: cur_bits.clone(),
+        value: cur_val,
+    };
+
+    let free_bits: Vec<usize> = (0..space.n_bits())
+        .filter(|&i| space.restriction(i).is_none())
+        .collect();
+    if free_bits.is_empty() {
+        return SaResult {
+            best: Some(best),
+            history,
+            iterations_run: 0,
+        };
+    }
+
+    let mut iterations_run = 0;
+    for iter in 0..cfg.iterations {
+        if budget.exhausted() {
+            break;
+        }
+        iterations_run = iter + 1;
+        // Linear temperature decay, floored slightly above zero.
+        let temp =
+            (cfg.initial_temp * (1.0 - iter as f64 / cfg.iterations as f64)).max(1e-9);
+
+        // Propose a valid neighbour.
+        let mut proposal: Option<(Vec<bool>, f64)> = None;
+        for _ in 0..cfg.max_resample {
+            let mut cand = cur_bits.clone();
+            let flips = rng.gen_range(1..=cfg.max_flips.max(1));
+            for _ in 0..flips {
+                let b = free_bits[rng.gen_range(0..free_bits.len())];
+                cand[b] = !cand[b];
+            }
+            if let Some(v) = obj.eval(&cand) {
+                budget.record_samples(1);
+                proposal = Some((cand, v));
+                break;
+            }
+        }
+        let Some((cand, cand_val)) = proposal else {
+            continue;
+        };
+        history.push(BinarySample {
+            bits: cand.clone(),
+            value: cand_val,
+        });
+
+        let accept = if cand_val <= cur_val {
+            true
+        } else {
+            let p = ((cur_val - cand_val) / temp).exp();
+            rng.gen::<f64>() < p
+        };
+        if accept {
+            cur_bits = cand;
+            cur_val = cand_val;
+            if cur_val < best.value {
+                best = BinarySample {
+                    bits: cur_bits.clone(),
+                    value: cur_val,
+                };
+            }
+        }
+    }
+
+    SaResult {
+        best: Some(best),
+        history,
+        iterations_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::BinaryFn;
+    use rand::SeedableRng;
+
+    /// Objective: number of bits differing from a hidden target pattern.
+    fn hamming_objective(n: usize, target_seed: u64) -> (impl BinaryObjective, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(target_seed);
+        let target: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let t = target.clone();
+        (
+            BinaryFn::new(n, move |b: &[bool]| {
+                Some(b.iter().zip(&t).filter(|(a, b)| a != b).count() as f64)
+            }),
+            target,
+        )
+    }
+
+    #[test]
+    fn solves_hamming_distance() {
+        let (mut obj, target) = hamming_objective(24, 5);
+        let cfg = SaConfig {
+            iterations: 8000,
+            ..SaConfig::default()
+        };
+        let mut budget = Budget::unlimited();
+        let mut rng = StdRng::seed_from_u64(1);
+        let res = run(&mut obj, &BinarySpace::free(24), &cfg, &mut budget, &mut rng);
+        let best = res.best.expect("found something");
+        assert_eq!(best.value, 0.0, "should reach the target exactly");
+        assert_eq!(best.bits, target);
+    }
+
+    #[test]
+    fn respects_fixed_bits() {
+        let (mut obj, _) = hamming_objective(12, 9);
+        let mut space = BinarySpace::free(12);
+        space.fix(0, true);
+        space.fix(7, false);
+        let cfg = SaConfig {
+            iterations: 500,
+            ..SaConfig::default()
+        };
+        let mut budget = Budget::unlimited();
+        let mut rng = StdRng::seed_from_u64(2);
+        let res = run(&mut obj, &space, &cfg, &mut budget, &mut rng);
+        for s in &res.history {
+            assert!(s.bits[0]);
+            assert!(!s.bits[7]);
+        }
+    }
+
+    #[test]
+    fn budget_limits_iterations() {
+        let (mut obj, _) = hamming_objective(16, 3);
+        let cfg = SaConfig {
+            iterations: 100_000,
+            ..SaConfig::default()
+        };
+        let mut budget = Budget::unlimited().with_samples(500);
+        let mut rng = StdRng::seed_from_u64(3);
+        let res = run(&mut obj, &BinarySpace::free(16), &cfg, &mut budget, &mut rng);
+        assert!(res.iterations_run < 100_000);
+        assert!(budget.samples() >= 500);
+    }
+
+    #[test]
+    fn handles_invalid_regions() {
+        // Invalid whenever bit 2 is set: SA must still optimize the rest.
+        let mut obj = BinaryFn::new(8, |b: &[bool]| {
+            if b[2] {
+                None
+            } else {
+                Some(b.iter().filter(|&&x| x).count() as f64)
+            }
+        });
+        let cfg = SaConfig {
+            iterations: 2000,
+            ..SaConfig::default()
+        };
+        let mut budget = Budget::unlimited();
+        let mut rng = StdRng::seed_from_u64(4);
+        let res = run(&mut obj, &BinarySpace::free(8), &cfg, &mut budget, &mut rng);
+        let best = res.best.expect("found");
+        assert_eq!(best.value, 0.0);
+        assert!(res.history.iter().all(|s| !s.bits[2]));
+    }
+
+    #[test]
+    fn best_is_minimum_of_history() {
+        let (mut obj, _) = hamming_objective(16, 11);
+        let cfg = SaConfig {
+            iterations: 1000,
+            ..SaConfig::default()
+        };
+        let mut budget = Budget::unlimited();
+        let mut rng = StdRng::seed_from_u64(5);
+        let res = run(&mut obj, &BinarySpace::free(16), &cfg, &mut budget, &mut rng);
+        let min = res.history.iter().map(|s| s.value).fold(f64::INFINITY, f64::min);
+        assert_eq!(res.best.unwrap().value, min);
+    }
+}

@@ -1,0 +1,267 @@
+//! Tree-structured Parzen estimator — the Optuna-style Bayesian-optimization
+//! baseline of the paper.
+//!
+//! TPE models `p(x | y good)` and `p(x | y bad)` instead of `p(y | x)`:
+//! observations are split at the `gamma` quantile of the objective, each
+//! dimension gets a smoothed categorical density for the good and bad sets,
+//! and the next point maximizes the density ratio `l(x) / g(x)` over a batch
+//! of candidates drawn from `l`. Like Optuna's default, evaluation is
+//! **sequential** — one sample per iteration — which is precisely why the
+//! paper's BO-1/BO-2 rows observe far fewer samples than Harmonica-based
+//! ISOP+ in matched wall-clock.
+
+use crate::budget::Budget;
+use crate::objective::DiscreteObjective;
+use crate::space::DiscreteSpace;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// TPE control parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TpeConfig {
+    /// Random-search iterations before the model kicks in.
+    pub n_startup: usize,
+    /// Quantile separating "good" observations.
+    pub gamma: f64,
+    /// Candidates drawn from `l` per iteration.
+    pub n_ei_candidates: usize,
+    /// Additive smoothing weight on the categorical densities.
+    pub prior_weight: f64,
+}
+
+impl Default for TpeConfig {
+    fn default() -> Self {
+        Self {
+            n_startup: 10,
+            gamma: 0.25,
+            n_ei_candidates: 24,
+            prior_weight: 1.0,
+        }
+    }
+}
+
+/// One TPE observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Level vector.
+    pub levels: Vec<usize>,
+    /// Objective value.
+    pub value: f64,
+}
+
+/// Sequential TPE optimizer (ask/tell interface).
+#[derive(Debug, Clone)]
+pub struct Tpe {
+    cfg: TpeConfig,
+    space: DiscreteSpace,
+    observations: Vec<Observation>,
+}
+
+impl Tpe {
+    /// Creates an optimizer over `space`.
+    pub fn new(space: DiscreteSpace, cfg: TpeConfig) -> Self {
+        Self {
+            cfg,
+            space,
+            observations: Vec::new(),
+        }
+    }
+
+    /// Observations so far.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Best observation so far.
+    pub fn best(&self) -> Option<&Observation> {
+        self.observations
+            .iter()
+            .min_by(|a, b| a.value.partial_cmp(&b.value).expect("finite values"))
+    }
+
+    /// Records an evaluated point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is outside the space.
+    pub fn tell(&mut self, levels: Vec<usize>, value: f64) {
+        assert!(self.space.contains(&levels), "levels outside the space");
+        self.observations.push(Observation { levels, value });
+    }
+
+    /// Proposes the next point to evaluate.
+    pub fn ask(&self, rng: &mut StdRng) -> Vec<usize> {
+        if self.observations.len() < self.cfg.n_startup {
+            return self.space.sample(rng);
+        }
+
+        // Split observations at the gamma quantile.
+        let mut sorted: Vec<&Observation> = self.observations.iter().collect();
+        sorted.sort_by(|a, b| a.value.partial_cmp(&b.value).expect("finite values"));
+        let n_good = ((sorted.len() as f64 * self.cfg.gamma).ceil() as usize)
+            .clamp(1, sorted.len() - 1);
+        let (good, bad) = sorted.split_at(n_good);
+
+        // Per-dimension smoothed categorical densities.
+        let densities = |set: &[&Observation]| -> Vec<Vec<f64>> {
+            (0..self.space.n_dims())
+                .map(|d| {
+                    let c = self.space.cardinality(d);
+                    let mut counts = vec![self.cfg.prior_weight / c as f64; c];
+                    for o in set {
+                        counts[o.levels[d]] += 1.0;
+                    }
+                    let total: f64 = counts.iter().sum();
+                    counts.iter().map(|v| v / total).collect()
+                })
+                .collect()
+        };
+        let l = densities(good);
+        let g = densities(bad);
+
+        // Draw candidates from l, keep the best density ratio.
+        let mut best_cand: Option<(Vec<usize>, f64)> = None;
+        for _ in 0..self.cfg.n_ei_candidates {
+            let cand: Vec<usize> = l
+                .iter()
+                .map(|probs| sample_categorical(probs, rng))
+                .collect();
+            let score: f64 = cand
+                .iter()
+                .enumerate()
+                .map(|(d, &lev)| (l[d][lev].max(1e-12) / g[d][lev].max(1e-12)).ln())
+                .sum();
+            if best_cand.as_ref().is_none_or(|(_, s)| score > *s) {
+                best_cand = Some((cand, score));
+            }
+        }
+        best_cand.expect("at least one candidate").0
+    }
+
+    /// Runs the full sequential loop until `iterations` or the budget stops.
+    pub fn optimize(
+        &mut self,
+        obj: &mut dyn DiscreteObjective,
+        iterations: usize,
+        budget: &mut Budget,
+        rng: &mut StdRng,
+    ) -> Option<Observation> {
+        for _ in 0..iterations {
+            if budget.exhausted() {
+                break;
+            }
+            let levels = self.ask(rng);
+            let value = obj.eval(&levels);
+            budget.record_samples(1);
+            self.tell(levels, value);
+        }
+        self.best().cloned()
+    }
+}
+
+fn sample_categorical(probs: &[f64], rng: &mut StdRng) -> usize {
+    let mut u = rng.gen::<f64>();
+    for (i, &p) in probs.iter().enumerate() {
+        if u < p {
+            return i;
+        }
+        u -= p;
+    }
+    probs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::DiscreteFn;
+    use rand::SeedableRng;
+
+    fn quadratic_objective() -> impl DiscreteObjective {
+        // Minimum at levels [7, 2, 5] of a 10x10x10 grid.
+        DiscreteFn::new(vec![10, 10, 10], |l: &[usize]| {
+            let t = [7.0, 2.0, 5.0];
+            l.iter()
+                .zip(&t)
+                .map(|(&x, &c)| (x as f64 - c) * (x as f64 - c))
+                .sum()
+        })
+    }
+
+    #[test]
+    fn beats_random_search_on_structured_problem() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let space = DiscreteSpace::new(vec![10, 10, 10]);
+        let mut tpe = Tpe::new(space.clone(), TpeConfig::default());
+        let mut obj = quadratic_objective();
+        let mut budget = Budget::unlimited();
+        let best = tpe
+            .optimize(&mut obj, 120, &mut budget, &mut rng)
+            .expect("has best");
+
+        // Random baseline with the same sample count.
+        let mut rng2 = StdRng::seed_from_u64(0);
+        let mut obj2 = quadratic_objective();
+        let mut rand_best = f64::INFINITY;
+        for _ in 0..120 {
+            let x = space.sample(&mut rng2);
+            rand_best = rand_best.min(obj2.eval(&x));
+        }
+        assert!(
+            best.value <= rand_best,
+            "TPE {} vs random {rand_best}",
+            best.value
+        );
+        assert!(best.value <= 3.0, "TPE should get close: {}", best.value);
+    }
+
+    #[test]
+    fn startup_phase_is_random() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let space = DiscreteSpace::new(vec![5, 5]);
+        let tpe = Tpe::new(space, TpeConfig::default());
+        // No observations: ask must still work (random sample).
+        let x = tpe.ask(&mut rng);
+        assert_eq!(x.len(), 2);
+    }
+
+    #[test]
+    fn tell_rejects_out_of_space() {
+        let space = DiscreteSpace::new(vec![3]);
+        let mut tpe = Tpe::new(space, TpeConfig::default());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tpe.tell(vec![5], 1.0);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn best_tracks_minimum() {
+        let space = DiscreteSpace::new(vec![4]);
+        let mut tpe = Tpe::new(space, TpeConfig::default());
+        tpe.tell(vec![0], 3.0);
+        tpe.tell(vec![1], 1.0);
+        tpe.tell(vec![2], 2.0);
+        assert_eq!(tpe.best().unwrap().levels, vec![1]);
+    }
+
+    #[test]
+    fn budget_stops_sequential_loop() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let space = DiscreteSpace::new(vec![10, 10, 10]);
+        let mut tpe = Tpe::new(space, TpeConfig::default());
+        let mut obj = quadratic_objective();
+        let mut budget = Budget::unlimited().with_samples(30);
+        let _ = tpe.optimize(&mut obj, 1000, &mut budget, &mut rng);
+        assert_eq!(tpe.observations().len(), 30);
+    }
+
+    #[test]
+    fn categorical_sampler_respects_mass() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let probs = [0.0, 1.0, 0.0];
+        for _ in 0..20 {
+            assert_eq!(sample_categorical(&probs, &mut rng), 1);
+        }
+    }
+}

@@ -1,0 +1,806 @@
+//! 1D-CNN regressor — the paper's headline surrogate architecture.
+//!
+//! Tabular features carry no spatial order, so the network first passes them
+//! through a fully connected **expansion layer** that synthesizes a long
+//! feature signal, reshapes it into channels, and only then applies 1-D
+//! convolutions (the "1D-CNN for tabular data" recipe the paper adopts from
+//! the MoA Kaggle solution). The paper expands 15 -> 16384 features; this
+//! reproduction defaults to 15 -> 128 to stay laptop-scale — the architecture
+//! and every code path are identical, only widths differ (recorded in
+//! DESIGN.md).
+//!
+//! Implements full backpropagation, including gradients with respect to the
+//! input vector ([`Differentiable`]), which the ISOP+ gradient-descent stage
+//! requires.
+
+use crate::dataset::{Dataset, Scaler};
+use crate::linalg::Matrix;
+use crate::optim::Adam;
+use crate::{Differentiable, MlError, Regressor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// 1D-CNN hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cnn1dConfig {
+    /// Width of the FC expansion layer (`channels * signal_len`).
+    pub expand: usize,
+    /// Channels after the reshape.
+    pub channels: usize,
+    /// Channels of each of the two convolution layers.
+    pub conv_channels: usize,
+    /// Convolution kernel size (odd; implicit same-padding).
+    pub kernel: usize,
+    /// Width of the dense head.
+    pub head: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Leaky-ReLU negative slope.
+    pub leaky_slope: f64,
+    /// Dropout probability on the dense head during training.
+    pub dropout: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Cnn1dConfig {
+    fn default() -> Self {
+        Self {
+            expand: 128,
+            channels: 8,
+            conv_channels: 16,
+            kernel: 3,
+            head: 48,
+            epochs: 40,
+            batch_size: 64,
+            lr: 1.5e-3,
+            leaky_slope: 0.01,
+            dropout: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+#[inline]
+fn leaky(v: f64, s: f64) -> f64 {
+    if v >= 0.0 {
+        v
+    } else {
+        s * v
+    }
+}
+
+#[inline]
+fn leaky_d(v: f64, s: f64) -> f64 {
+    if v >= 0.0 {
+        1.0
+    } else {
+        s
+    }
+}
+
+/// Flat parameter tensor with shape metadata left to the call sites.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Tensor {
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    fn init(len: usize, fan_in: usize, rng: &mut StdRng) -> Self {
+        let scale = (2.0 / fan_in.max(1) as f64).sqrt();
+        Self {
+            data: (0..len).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect(),
+        }
+    }
+
+    fn zeros(len: usize) -> Self {
+        Self {
+            data: vec![0.0; len],
+        }
+    }
+}
+
+/// Per-sample forward caches used by backprop.
+struct Caches {
+    x: Vec<f64>,
+    e_pre: Vec<f64>,
+    e_act: Vec<f64>,
+    z1: Vec<f64>,
+    p1: Vec<f64>,
+    z2: Vec<f64>,
+    p2: Vec<f64>,
+    h_pre: Vec<f64>,
+    h_act: Vec<f64>,
+    out: Vec<f64>,
+}
+
+/// 1D-CNN regressor with the FC-expand + reshape front end.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cnn1d {
+    cfg: Cnn1dConfig,
+    // Parameters. Shapes:
+    //   w_expand: expand x d        b_expand: expand
+    //   w_conv1:  c1 x c0 x k       b_conv1:  c1
+    //   w_conv2:  c1 x c1 x k       b_conv2:  c1
+    //   w_head:   head x flat       b_head:   head
+    //   w_out:    m x head          b_out:    m
+    w_expand: Tensor,
+    b_expand: Tensor,
+    w_conv1: Tensor,
+    b_conv1: Tensor,
+    w_conv2: Tensor,
+    b_conv2: Tensor,
+    w_head: Tensor,
+    b_head: Tensor,
+    w_out: Tensor,
+    b_out: Tensor,
+    x_scaler: Option<Scaler>,
+    y_scaler: Option<Scaler>,
+    n_features: usize,
+    n_outputs: usize,
+    fitted: bool,
+}
+
+impl Cnn1d {
+    /// Creates an unfitted model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `expand` is divisible by `channels`, the post-pool
+    /// lengths stay positive, and `kernel` is odd.
+    pub fn new(cfg: Cnn1dConfig) -> Self {
+        assert_eq!(cfg.expand % cfg.channels, 0, "expand must split into channels");
+        assert_eq!(cfg.kernel % 2, 1, "kernel must be odd for same-padding");
+        let l0 = cfg.expand / cfg.channels;
+        assert!(l0 >= 4 && l0 % 4 == 0, "signal length must be a positive multiple of 4");
+        Self {
+            cfg,
+            w_expand: Tensor::zeros(0),
+            b_expand: Tensor::zeros(0),
+            w_conv1: Tensor::zeros(0),
+            b_conv1: Tensor::zeros(0),
+            w_conv2: Tensor::zeros(0),
+            b_conv2: Tensor::zeros(0),
+            w_head: Tensor::zeros(0),
+            b_head: Tensor::zeros(0),
+            w_out: Tensor::zeros(0),
+            b_out: Tensor::zeros(0),
+            x_scaler: None,
+            y_scaler: None,
+            n_features: 0,
+            n_outputs: 0,
+            fitted: false,
+        }
+    }
+
+    /// The paper's 1D-CNN surrogate (laptop-scale widths).
+    pub fn paper_default() -> Self {
+        Self::new(Cnn1dConfig::default())
+    }
+
+    /// Training configuration.
+    pub fn config(&self) -> &Cnn1dConfig {
+        &self.cfg
+    }
+
+    fn l0(&self) -> usize {
+        self.cfg.expand / self.cfg.channels
+    }
+
+    fn l1(&self) -> usize {
+        self.l0() / 2
+    }
+
+    fn l2(&self) -> usize {
+        self.l0() / 4
+    }
+
+    fn flat_len(&self) -> usize {
+        self.cfg.conv_channels * self.l2()
+    }
+
+    /// `out[oc][p] = b[oc] + sum_ic sum_dk w[oc][ic][dk] * input[ic][p + dk - pad]`.
+    #[allow(clippy::too_many_arguments)]
+    fn conv_forward(
+        w: &[f64],
+        b: &[f64],
+        input: &[f64],
+        out: &mut [f64],
+        in_ch: usize,
+        out_ch: usize,
+        len: usize,
+        k: usize,
+    ) {
+        let pad = k / 2;
+        for oc in 0..out_ch {
+            for p in 0..len {
+                let mut acc = b[oc];
+                for ic in 0..in_ch {
+                    let w_base = (oc * in_ch + ic) * k;
+                    let in_base = ic * len;
+                    for dk in 0..k {
+                        let idx = p + dk;
+                        if idx < pad || idx - pad >= len {
+                            continue;
+                        }
+                        acc += w[w_base + dk] * input[in_base + idx - pad];
+                    }
+                }
+                out[oc * len + p] = acc;
+            }
+        }
+    }
+
+    /// Accumulates parameter gradients and the input gradient of a conv layer.
+    #[allow(clippy::too_many_arguments)]
+    fn conv_backward(
+        w: &[f64],
+        d_out: &[f64],
+        input: &[f64],
+        gw: &mut [f64],
+        gb: &mut [f64],
+        d_in: &mut [f64],
+        in_ch: usize,
+        out_ch: usize,
+        len: usize,
+        k: usize,
+    ) {
+        let pad = k / 2;
+        for oc in 0..out_ch {
+            for p in 0..len {
+                let g = d_out[oc * len + p];
+                if g == 0.0 {
+                    continue;
+                }
+                gb[oc] += g;
+                for ic in 0..in_ch {
+                    let w_base = (oc * in_ch + ic) * k;
+                    let in_base = ic * len;
+                    for dk in 0..k {
+                        let idx = p + dk;
+                        if idx < pad || idx - pad >= len {
+                            continue;
+                        }
+                        gw[w_base + dk] += g * input[in_base + idx - pad];
+                        d_in[in_base + idx - pad] += g * w[w_base + dk];
+                    }
+                }
+            }
+        }
+    }
+
+    fn avg_pool2(input: &[f64], ch: usize, len: usize, out: &mut [f64]) {
+        let half = len / 2;
+        for c in 0..ch {
+            for p in 0..half {
+                out[c * half + p] =
+                    0.5 * (input[c * len + 2 * p] + input[c * len + 2 * p + 1]);
+            }
+        }
+    }
+
+    fn avg_unpool2(d_out: &[f64], ch: usize, len: usize, d_in: &mut [f64]) {
+        let half = len / 2;
+        for c in 0..ch {
+            for p in 0..half {
+                let g = 0.5 * d_out[c * half + p];
+                d_in[c * len + 2 * p] += g;
+                d_in[c * len + 2 * p + 1] += g;
+            }
+        }
+    }
+
+    /// Forward pass on a standardized sample; caches every intermediate.
+    fn forward_sample(&self, x: &[f64]) -> Caches {
+        let cfg = &self.cfg;
+        let (c0, c1, k) = (cfg.channels, cfg.conv_channels, cfg.kernel);
+        let (l0, l1, l2) = (self.l0(), self.l1(), self.l2());
+        let s = cfg.leaky_slope;
+
+        let mut e_pre = vec![0.0; cfg.expand];
+        for (o, pre) in e_pre.iter_mut().enumerate() {
+            let mut acc = self.b_expand.data[o];
+            let base = o * self.n_features;
+            for (j, xv) in x.iter().enumerate() {
+                acc += self.w_expand.data[base + j] * xv;
+            }
+            *pre = acc;
+        }
+        let e_act: Vec<f64> = e_pre.iter().map(|&v| leaky(v, s)).collect();
+
+        let mut z1 = vec![0.0; c1 * l0];
+        Self::conv_forward(&self.w_conv1.data, &self.b_conv1.data, &e_act, &mut z1, c0, c1, l0, k);
+        let a1: Vec<f64> = z1.iter().map(|&v| leaky(v, s)).collect();
+        let mut p1 = vec![0.0; c1 * l1];
+        Self::avg_pool2(&a1, c1, l0, &mut p1);
+
+        let mut z2 = vec![0.0; c1 * l1];
+        Self::conv_forward(&self.w_conv2.data, &self.b_conv2.data, &p1, &mut z2, c1, c1, l1, k);
+        let a2: Vec<f64> = z2.iter().map(|&v| leaky(v, s)).collect();
+        let mut p2 = vec![0.0; c1 * l2];
+        Self::avg_pool2(&a2, c1, l1, &mut p2);
+
+        let flat = self.flat_len();
+        let mut h_pre = vec![0.0; cfg.head];
+        for (o, pre) in h_pre.iter_mut().enumerate() {
+            let mut acc = self.b_head.data[o];
+            let base = o * flat;
+            for (j, v) in p2.iter().enumerate() {
+                acc += self.w_head.data[base + j] * v;
+            }
+            *pre = acc;
+        }
+        let h_act: Vec<f64> = h_pre.iter().map(|&v| leaky(v, s)).collect();
+
+        let mut out = vec![0.0; self.n_outputs];
+        for (o, ov) in out.iter_mut().enumerate() {
+            let mut acc = self.b_out.data[o];
+            let base = o * cfg.head;
+            for (j, v) in h_act.iter().enumerate() {
+                acc += self.w_out.data[base + j] * v;
+            }
+            *ov = acc;
+        }
+
+        Caches {
+            x: x.to_vec(),
+            e_pre,
+            e_act,
+            z1,
+            p1,
+            z2,
+            p2,
+            h_pre,
+            h_act,
+            out,
+        }
+    }
+
+    /// Backward pass from `d_out` (gradient at the network output); adds
+    /// parameter gradients into `grads` and returns the input gradient.
+    /// `head_mask` is the inverted-dropout mask applied to the head
+    /// activation during training (`None` at inference).
+    fn backward_sample(
+        &self,
+        caches: &Caches,
+        d_out: &[f64],
+        head_mask: Option<&[f64]>,
+        grads: &mut CnnGrads,
+    ) -> Vec<f64> {
+        let cfg = &self.cfg;
+        let (c0, c1, k) = (cfg.channels, cfg.conv_channels, cfg.kernel);
+        let (l0, l1, l2) = (self.l0(), self.l1(), self.l2());
+        let s = cfg.leaky_slope;
+        let flat = self.flat_len();
+
+        // Output layer.
+        let mut d_h = vec![0.0; cfg.head];
+        for (o, &g) in d_out.iter().enumerate() {
+            grads.b_out[o] += g;
+            let base = o * cfg.head;
+            for j in 0..cfg.head {
+                grads.w_out[base + j] += g * caches.h_act[j];
+                d_h[j] += g * self.w_out.data[base + j];
+            }
+        }
+        if let Some(mask) = head_mask {
+            for (dh, mk) in d_h.iter_mut().zip(mask) {
+                *dh *= mk;
+            }
+        }
+        for (j, dh) in d_h.iter_mut().enumerate() {
+            *dh *= leaky_d(caches.h_pre[j], s);
+        }
+
+        // Head layer.
+        let mut d_p2 = vec![0.0; c1 * l2];
+        for (o, &g) in d_h.iter().enumerate() {
+            grads.b_head[o] += g;
+            let base = o * flat;
+            for j in 0..flat {
+                grads.w_head[base + j] += g * caches.p2[j];
+                d_p2[j] += g * self.w_head.data[base + j];
+            }
+        }
+
+        // Pool2 + conv2.
+        let mut d_a2 = vec![0.0; c1 * l1];
+        Self::avg_unpool2(&d_p2, c1, l1, &mut d_a2);
+        for (j, da) in d_a2.iter_mut().enumerate() {
+            *da *= leaky_d(caches.z2[j], s);
+        }
+        let mut d_p1 = vec![0.0; c1 * l1];
+        Self::conv_backward(
+            &self.w_conv2.data,
+            &d_a2,
+            &caches.p1,
+            &mut grads.w_conv2,
+            &mut grads.b_conv2,
+            &mut d_p1,
+            c1,
+            c1,
+            l1,
+            k,
+        );
+
+        // Pool1 + conv1.
+        let mut d_a1 = vec![0.0; c1 * l0];
+        Self::avg_unpool2(&d_p1, c1, l0, &mut d_a1);
+        for (j, da) in d_a1.iter_mut().enumerate() {
+            *da *= leaky_d(caches.z1[j], s);
+        }
+        let mut d_e = vec![0.0; c0 * l0];
+        Self::conv_backward(
+            &self.w_conv1.data,
+            &d_a1,
+            &caches.e_act,
+            &mut grads.w_conv1,
+            &mut grads.b_conv1,
+            &mut d_e,
+            c0,
+            c1,
+            l0,
+            k,
+        );
+
+        // Expansion layer.
+        for (j, de) in d_e.iter_mut().enumerate() {
+            *de *= leaky_d(caches.e_pre[j], s);
+        }
+        let mut d_x = vec![0.0; self.n_features];
+        for (o, &g) in d_e.iter().enumerate() {
+            grads.b_expand[o] += g;
+            let base = o * self.n_features;
+            for j in 0..self.n_features {
+                grads.w_expand[base + j] += g * caches.x[j];
+                d_x[j] += g * self.w_expand.data[base + j];
+            }
+        }
+        d_x
+    }
+}
+
+/// Gradient accumulator mirroring the parameter tensors.
+struct CnnGrads {
+    w_expand: Vec<f64>,
+    b_expand: Vec<f64>,
+    w_conv1: Vec<f64>,
+    b_conv1: Vec<f64>,
+    w_conv2: Vec<f64>,
+    b_conv2: Vec<f64>,
+    w_head: Vec<f64>,
+    b_head: Vec<f64>,
+    w_out: Vec<f64>,
+    b_out: Vec<f64>,
+}
+
+impl CnnGrads {
+    fn zeros_like(model: &Cnn1d) -> Self {
+        Self {
+            w_expand: vec![0.0; model.w_expand.data.len()],
+            b_expand: vec![0.0; model.b_expand.data.len()],
+            w_conv1: vec![0.0; model.w_conv1.data.len()],
+            b_conv1: vec![0.0; model.b_conv1.data.len()],
+            w_conv2: vec![0.0; model.w_conv2.data.len()],
+            b_conv2: vec![0.0; model.b_conv2.data.len()],
+            w_head: vec![0.0; model.w_head.data.len()],
+            b_head: vec![0.0; model.b_head.data.len()],
+            w_out: vec![0.0; model.w_out.data.len()],
+            b_out: vec![0.0; model.b_out.data.len()],
+        }
+    }
+
+    fn scale(&mut self, k: f64) {
+        for v in self
+            .w_expand
+            .iter_mut()
+            .chain(&mut self.b_expand)
+            .chain(&mut self.w_conv1)
+            .chain(&mut self.b_conv1)
+            .chain(&mut self.w_conv2)
+            .chain(&mut self.b_conv2)
+            .chain(&mut self.w_head)
+            .chain(&mut self.b_head)
+            .chain(&mut self.w_out)
+            .chain(&mut self.b_out)
+        {
+            *v *= k;
+        }
+    }
+}
+
+impl Regressor for Cnn1d {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        self.n_features = data.n_features();
+        self.n_outputs = data.n_outputs();
+        let cfg = self.cfg.clone();
+        let (c0, c1, k) = (cfg.channels, cfg.conv_channels, cfg.kernel);
+        let flat = self.flat_len();
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        self.w_expand = Tensor::init(cfg.expand * self.n_features, self.n_features, &mut rng);
+        self.b_expand = Tensor::zeros(cfg.expand);
+        self.w_conv1 = Tensor::init(c1 * c0 * k, c0 * k, &mut rng);
+        self.b_conv1 = Tensor::zeros(c1);
+        self.w_conv2 = Tensor::init(c1 * c1 * k, c1 * k, &mut rng);
+        self.b_conv2 = Tensor::zeros(c1);
+        self.w_head = Tensor::init(cfg.head * flat, flat, &mut rng);
+        self.b_head = Tensor::zeros(cfg.head);
+        self.w_out = Tensor::init(self.n_outputs * cfg.head, cfg.head, &mut rng);
+        self.b_out = Tensor::zeros(self.n_outputs);
+
+        let x_scaler = Scaler::fit(&data.x);
+        let y_scaler = Scaler::fit(&data.y);
+        let xs = x_scaler.transform(&data.x);
+        let ys = y_scaler.transform(&data.y);
+
+        let mut opts: Vec<Adam> = [
+            self.w_expand.data.len(),
+            self.b_expand.data.len(),
+            self.w_conv1.data.len(),
+            self.b_conv1.data.len(),
+            self.w_conv2.data.len(),
+            self.b_conv2.data.len(),
+            self.w_head.data.len(),
+            self.b_head.data.len(),
+            self.w_out.data.len(),
+            self.b_out.data.len(),
+        ]
+        .iter()
+        .map(|&n| Adam::new(cfg.lr, n))
+        .collect();
+
+        let n = data.len();
+        let bs = cfg.batch_size.clamp(1, n);
+        let keep = 1.0 - cfg.dropout;
+        let mut order: Vec<usize> = (0..n).collect();
+
+        for epoch in 0..cfg.epochs {
+            // Step decay mirroring the MLP schedule.
+            let decay = if epoch * 4 >= cfg.epochs * 3 {
+                0.25
+            } else if epoch * 2 >= cfg.epochs {
+                0.5
+            } else {
+                1.0
+            };
+            for opt in &mut opts {
+                opt.set_learning_rate(cfg.lr * decay);
+            }
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(bs) {
+                let mut grads = CnnGrads::zeros_like(self);
+                for &i in chunk {
+                    let mut caches = self.forward_sample(xs.row(i));
+                    // Inverted dropout on the head activation.
+                    let mask: Option<Vec<f64>> = if cfg.dropout > 0.0 {
+                        let m: Vec<f64> = (0..cfg.head)
+                            .map(|_| if rng.gen::<f64>() < keep { 1.0 / keep } else { 0.0 })
+                            .collect();
+                        for (h, mk) in caches.h_act.iter_mut().zip(&m) {
+                            *h *= mk;
+                        }
+                        // Recompute output with the dropped activations.
+                        for (o, ov) in caches.out.iter_mut().enumerate() {
+                            let mut acc = self.b_out.data[o];
+                            let base = o * cfg.head;
+                            for (j, v) in caches.h_act.iter().enumerate() {
+                                acc += self.w_out.data[base + j] * v;
+                            }
+                            *ov = acc;
+                        }
+                        Some(m)
+                    } else {
+                        None
+                    };
+                    let d_out: Vec<f64> = caches
+                        .out
+                        .iter()
+                        .zip(ys.row(i))
+                        .map(|(p, t)| 2.0 * (p - t))
+                        .collect();
+                    let _ = self.backward_sample(&caches, &d_out, mask.as_deref(), &mut grads);
+                }
+                grads.scale(1.0 / chunk.len() as f64);
+                let mut it = opts.iter_mut();
+                it.next().unwrap().step(&mut self.w_expand.data, &grads.w_expand);
+                it.next().unwrap().step(&mut self.b_expand.data, &grads.b_expand);
+                it.next().unwrap().step(&mut self.w_conv1.data, &grads.w_conv1);
+                it.next().unwrap().step(&mut self.b_conv1.data, &grads.b_conv1);
+                it.next().unwrap().step(&mut self.w_conv2.data, &grads.w_conv2);
+                it.next().unwrap().step(&mut self.b_conv2.data, &grads.b_conv2);
+                it.next().unwrap().step(&mut self.w_head.data, &grads.w_head);
+                it.next().unwrap().step(&mut self.b_head.data, &grads.b_head);
+                it.next().unwrap().step(&mut self.w_out.data, &grads.w_out);
+                it.next().unwrap().step(&mut self.b_out.data, &grads.b_out);
+            }
+        }
+
+        if !self.w_expand.data.iter().all(|v| v.is_finite()) {
+            return Err(MlError::Diverged);
+        }
+        self.x_scaler = Some(x_scaler);
+        self.y_scaler = Some(y_scaler);
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Matrix, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        if x.cols() != self.n_features {
+            return Err(MlError::ShapeMismatch {
+                expected: self.n_features,
+                got: x.cols(),
+            });
+        }
+        let xs = self.x_scaler.as_ref().ok_or(MlError::NotFitted)?.transform(x);
+        let mut out = Matrix::zeros(x.rows(), self.n_outputs);
+        for r in 0..x.rows() {
+            let caches = self.forward_sample(xs.row(r));
+            out.row_mut(r).copy_from_slice(&caches.out);
+        }
+        Ok(self.y_scaler.as_ref().ok_or(MlError::NotFitted)?.inverse_transform(&out))
+    }
+
+    fn name(&self) -> &'static str {
+        "1D-CNN"
+    }
+}
+
+impl Differentiable for Cnn1d {
+    fn input_jacobian(&self, x: &[f64]) -> Result<Matrix, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        if x.len() != self.n_features {
+            return Err(MlError::ShapeMismatch {
+                expected: self.n_features,
+                got: x.len(),
+            });
+        }
+        let x_scaler = self.x_scaler.as_ref().ok_or(MlError::NotFitted)?;
+        let y_scaler = self.y_scaler.as_ref().ok_or(MlError::NotFitted)?;
+        let mut row = x.to_vec();
+        x_scaler.transform_row(&mut row);
+        let caches = self.forward_sample(&row);
+
+        let mut jac = Matrix::zeros(self.n_outputs, self.n_features);
+        let mut scratch = CnnGrads::zeros_like(self);
+        for o in 0..self.n_outputs {
+            let mut d_out = vec![0.0; self.n_outputs];
+            d_out[o] = 1.0;
+            let d_x = self.backward_sample(&caches, &d_out, None, &mut scratch);
+            let sy = y_scaler.stds()[o];
+            for (c, g) in d_x.iter().enumerate() {
+                jac[(o, c)] = g * sy / x_scaler.stds()[c];
+            }
+        }
+        Ok(jac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    fn tiny_cfg() -> Cnn1dConfig {
+        Cnn1dConfig {
+            expand: 32,
+            channels: 4,
+            conv_channels: 8,
+            kernel: 3,
+            head: 16,
+            epochs: 150,
+            batch_size: 32,
+            lr: 3e-3,
+            leaky_slope: 0.01,
+            dropout: 0.0,
+            seed: 2,
+        }
+    }
+
+    fn curve_dataset(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64 * 2.0 - 1.0, ((i * 7) % n) as f64 / n as f64])
+            .collect();
+        let ys: Vec<f64> = rows.iter().map(|r| (3.0 * r[0]).sin() + r[1] * r[1]).collect();
+        Dataset::new(Matrix::from_rows(&rows), Matrix::column(&ys)).unwrap()
+    }
+
+    #[test]
+    fn fits_nonlinear_curve() {
+        let d = curve_dataset(200);
+        let mut m = Cnn1d::new(tiny_cfg());
+        m.fit(&d).unwrap();
+        let pred = m.predict(&d.x).unwrap();
+        let score = r2(&d.y.col_vec(0), &pred.col_vec(0));
+        assert!(score > 0.9, "r2 = {score}");
+    }
+
+    #[test]
+    fn input_jacobian_matches_finite_differences() {
+        let d = curve_dataset(150);
+        let mut m = Cnn1d::new(tiny_cfg());
+        m.fit(&d).unwrap();
+        let x0 = [0.3, 0.5];
+        let jac = m.input_jacobian(&x0).unwrap();
+        for c in 0..2 {
+            let h = 1e-5;
+            let mut hi = x0.to_vec();
+            let mut lo = x0.to_vec();
+            hi[c] += h;
+            lo[c] -= h;
+            let ph = m.predict(&Matrix::from_rows(&[hi])).unwrap()[(0, 0)];
+            let pl = m.predict(&Matrix::from_rows(&[lo])).unwrap()[(0, 0)];
+            let fd = (ph - pl) / (2.0 * h);
+            assert!(
+                (jac[(0, c)] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+                "dim {c}: analytic {} vs fd {fd}",
+                jac[(0, c)]
+            );
+        }
+    }
+
+    #[test]
+    fn multi_output_training() {
+        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 100.0 - 1.0]).collect();
+        let ys: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[0] * r[0], -r[0]]).collect();
+        let d = Dataset::new(Matrix::from_rows(&rows), Matrix::from_rows(&ys)).unwrap();
+        let mut m = Cnn1d::new(tiny_cfg());
+        m.fit(&d).unwrap();
+        let pred = m.predict(&d.x).unwrap();
+        assert!(r2(&d.y.col_vec(0), &pred.col_vec(0)) > 0.9);
+        assert!(r2(&d.y.col_vec(1), &pred.col_vec(1)) > 0.95);
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let m = Cnn1d::paper_default();
+        assert_eq!(m.predict(&Matrix::zeros(1, 2)), Err(MlError::NotFitted));
+        assert_eq!(m.input_jacobian(&[0.0, 0.0]), Err(MlError::NotFitted));
+    }
+
+    #[test]
+    #[should_panic(expected = "expand must split into channels")]
+    fn bad_geometry_panics() {
+        let _ = Cnn1d::new(Cnn1dConfig {
+            expand: 30,
+            channels: 4,
+            ..Cnn1dConfig::default()
+        });
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = curve_dataset(60);
+        let mut cfg = tiny_cfg();
+        cfg.epochs = 5;
+        let mut a = Cnn1d::new(cfg.clone());
+        let mut b = Cnn1d::new(cfg);
+        a.fit(&d).unwrap();
+        b.fit(&d).unwrap();
+        assert_eq!(a.predict(&d.x).unwrap(), b.predict(&d.x).unwrap());
+    }
+
+    #[test]
+    fn dropout_variant_trains() {
+        let d = curve_dataset(150);
+        let mut cfg = tiny_cfg();
+        cfg.dropout = 0.1;
+        cfg.epochs = 200;
+        let mut m = Cnn1d::new(cfg);
+        m.fit(&d).unwrap();
+        let pred = m.predict(&d.x).unwrap();
+        assert!(r2(&d.y.col_vec(0), &pred.col_vec(0)) > 0.8);
+    }
+}

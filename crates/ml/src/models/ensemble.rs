@@ -1,0 +1,181 @@
+//! Model averaging: a uniform-weight ensemble over heterogeneous
+//! regressors.
+//!
+//! Averaging decorrelated models is the cheapest variance-reduction trick in
+//! the book; in the surrogate setting an `Mlp + Cnn1d` average is often a
+//! free accuracy win over either alone. The ensemble is differentiable when
+//! **every** member is (the Jacobian of a mean is the mean of Jacobians), so
+//! it can drive the ISOP+ gradient-descent stage.
+
+use crate::dataset::Dataset;
+use crate::linalg::Matrix;
+use crate::{Differentiable, MlError, Regressor};
+
+/// A uniform average of regressors.
+///
+/// Members are trained independently on the same data by
+/// [`fit`](Regressor::fit).
+pub struct Ensemble<M> {
+    members: Vec<M>,
+}
+
+impl<M: Regressor> Ensemble<M> {
+    /// Creates an ensemble from (unfitted or fitted) members.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty member list.
+    pub fn new(members: Vec<M>) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        Self { members }
+    }
+
+    /// The members.
+    pub fn members(&self) -> &[M] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Never empty by construction; present for API convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl<M: Regressor> Regressor for Ensemble<M> {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        for m in &mut self.members {
+            m.fit(data)?;
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Matrix, MlError> {
+        let mut acc: Option<Matrix> = None;
+        for m in &self.members {
+            let p = m.predict(x)?;
+            acc = Some(match acc {
+                None => p,
+                Some(a) => a.add(&p),
+            });
+        }
+        Ok(acc.expect("non-empty ensemble").scale(1.0 / self.members.len() as f64))
+    }
+
+    fn name(&self) -> &'static str {
+        "Ensemble"
+    }
+}
+
+impl<M: Differentiable> Differentiable for Ensemble<M> {
+    fn input_jacobian(&self, x: &[f64]) -> Result<Matrix, MlError> {
+        let mut acc: Option<Matrix> = None;
+        for m in &self.members {
+            let j = m.input_jacobian(x)?;
+            acc = Some(match acc {
+                None => j,
+                Some(a) => a.add(&j),
+            });
+        }
+        Ok(acc.expect("non-empty ensemble").scale(1.0 / self.members.len() as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+    use crate::models::{Mlp, MlpConfig};
+
+    fn noisy_data(seed_rows: u64) -> Dataset {
+        let mut state = seed_rows.max(1);
+        let mut noise = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 1000.0 - 0.5
+        };
+        let rows: Vec<Vec<f64>> = (0..300).map(|i| vec![i as f64 / 150.0 - 1.0]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| (2.5 * r[0]).sin() + 0.1 * noise()).collect();
+        Dataset::new(
+            Matrix::from_rows(&rows),
+            Matrix::column(&ys),
+        )
+        .expect("valid")
+    }
+
+    fn small_mlp(seed: u64) -> Mlp {
+        Mlp::new(MlpConfig {
+            hidden: vec![24, 24],
+            epochs: 80,
+            dropout: 0.0,
+            lr: 3e-3,
+            seed,
+            ..MlpConfig::default()
+        })
+    }
+
+    #[test]
+    fn ensemble_fits_and_predicts() {
+        let data = noisy_data(7);
+        let mut e = Ensemble::new(vec![small_mlp(1), small_mlp(2), small_mlp(3)]);
+        e.fit(&data).expect("fits");
+        let pred = e.predict(&data.x).expect("predicts");
+        assert!(r2(&data.y.col_vec(0), &pred.col_vec(0)) > 0.9);
+    }
+
+    #[test]
+    fn ensemble_prediction_is_member_mean() {
+        let data = noisy_data(9);
+        let mut e = Ensemble::new(vec![small_mlp(4), small_mlp(5)]);
+        e.fit(&data).expect("fits");
+        let pe = e.predict(&data.x).expect("ok");
+        let p0 = e.members()[0].predict(&data.x).expect("ok");
+        let p1 = e.members()[1].predict(&data.x).expect("ok");
+        for r in 0..data.len() {
+            let mean = 0.5 * (p0[(r, 0)] + p1[(r, 0)]);
+            assert!((pe[(r, 0)] - mean).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ensemble_at_least_matches_average_member_quality() {
+        let data = noisy_data(11);
+        let (train, test) = data.train_test_split(0.3, 1);
+        let mut e = Ensemble::new(vec![small_mlp(6), small_mlp(7), small_mlp(8)]);
+        e.fit(&train).expect("fits");
+        let r2_ens = r2(&test.y.col_vec(0), &e.predict(&test.x).expect("ok").col_vec(0));
+        let mean_member_r2: f64 = e
+            .members()
+            .iter()
+            .map(|m| r2(&test.y.col_vec(0), &m.predict(&test.x).expect("ok").col_vec(0)))
+            .sum::<f64>()
+            / e.len() as f64;
+        assert!(
+            r2_ens >= mean_member_r2 - 0.02,
+            "ensemble {r2_ens} well below member mean {mean_member_r2}"
+        );
+    }
+
+    #[test]
+    fn ensemble_jacobian_is_member_mean() {
+        let data = noisy_data(13);
+        let mut e = Ensemble::new(vec![small_mlp(9), small_mlp(10)]);
+        e.fit(&data).expect("fits");
+        let x = [0.3];
+        let je = e.input_jacobian(&x).expect("ok");
+        let j0 = e.members()[0].input_jacobian(&x).expect("ok");
+        let j1 = e.members()[1].input_jacobian(&x).expect("ok");
+        assert!((je[(0, 0)] - 0.5 * (j0[(0, 0)] + j1[(0, 0)])).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_panics() {
+        let _: Ensemble<Mlp> = Ensemble::new(vec![]);
+    }
+}

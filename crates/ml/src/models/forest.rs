@@ -1,0 +1,219 @@
+//! Random forest regressor (the paper's "RFR"): bootstrap-aggregated CART
+//! trees with per-split feature subsampling.
+
+use super::tree::{build_tree, Node, TreeConfig};
+use crate::dataset::Dataset;
+use crate::linalg::Matrix;
+use crate::{MlError, Regressor};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Random forest regressor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    n_trees: usize,
+    cfg: TreeConfig,
+    seed: u64,
+    trees: Vec<Node>,
+    n_features: usize,
+    n_outputs: usize,
+}
+
+impl RandomForest {
+    /// Creates a forest of `n_trees` trees built with `cfg` (its
+    /// `max_features` controls split-time feature subsampling; `None`
+    /// defaults to `ceil(d / 3)`, the regression convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_trees == 0`.
+    pub fn new(n_trees: usize, cfg: TreeConfig, seed: u64) -> Self {
+        assert!(n_trees > 0, "forest needs at least one tree");
+        Self {
+            n_trees,
+            cfg,
+            seed,
+            trees: Vec::new(),
+            n_features: 0,
+            n_outputs: 0,
+        }
+    }
+
+    /// The paper's RFR baseline: 50 deep trees.
+    pub fn paper_default() -> Self {
+        Self::new(
+            50,
+            TreeConfig {
+                max_depth: 14,
+                min_samples_split: 4,
+                min_samples_leaf: 2,
+                max_features: None,
+            },
+            0,
+        )
+    }
+
+    /// Number of fitted trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// `true` before fitting.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+impl Regressor for RandomForest {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        self.n_features = data.n_features();
+        self.n_outputs = data.n_outputs();
+        let mut cfg = self.cfg;
+        if cfg.max_features.is_none() {
+            cfg.max_features = Some(data.n_features().div_ceil(3).max(1));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.trees = (0..self.n_trees)
+            .map(|_| {
+                // Bootstrap sample with replacement.
+                let mut idx: Vec<usize> =
+                    (0..data.len()).map(|_| rng.gen_range(0..data.len())).collect();
+                build_tree(&data.x, &data.y, &mut idx, 0, &cfg, &mut rng)
+            })
+            .collect();
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Matrix, MlError> {
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if x.cols() != self.n_features {
+            return Err(MlError::ShapeMismatch {
+                expected: self.n_features,
+                got: x.cols(),
+            });
+        }
+        let mut out = Matrix::zeros(x.rows(), self.n_outputs);
+        let mut scratch = vec![0.0; self.n_outputs];
+        for r in 0..x.rows() {
+            for tree in &self.trees {
+                tree.predict_into(x.row(r), &mut scratch);
+                for (o, v) in out.row_mut(r).iter_mut().zip(&scratch) {
+                    *o += v;
+                }
+            }
+            for o in out.row_mut(r) {
+                *o /= self.trees.len() as f64;
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "RFR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+    use super::super::tree::DecisionTree;
+
+    fn wiggly_dataset(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let a = (i % 25) as f64 / 12.5 - 1.0;
+                let b = (i / 25) as f64 / 12.5 - 1.0;
+                vec![a, b]
+            })
+            .collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| (4.0 * r[0]).sin() * (3.0 * r[1]).cos() + 0.5 * r[0] * r[1])
+            .collect();
+        Dataset::new(Matrix::from_rows(&rows), Matrix::column(&ys)).unwrap()
+    }
+
+    #[test]
+    fn fits_nonlinear_surface() {
+        let d = wiggly_dataset(625);
+        let mut f = RandomForest::new(20, TreeConfig::default(), 3);
+        f.fit(&d).unwrap();
+        let pred = f.predict(&d.x).unwrap();
+        assert!(r2(&d.y.col_vec(0), &pred.col_vec(0)) > 0.9);
+    }
+
+    #[test]
+    fn generalizes_to_held_out_data() {
+        let d = wiggly_dataset(625);
+        let (train, test) = d.train_test_split(0.3, 11);
+        let mut forest = RandomForest::paper_default();
+        forest.fit(&train).unwrap();
+        let rf = r2(&test.y.col_vec(0), &forest.predict(&test.x).unwrap().col_vec(0));
+        assert!(rf > 0.75, "forest must generalize: r2 = {rf}");
+    }
+
+    #[test]
+    fn averaging_reduces_single_tree_noise() {
+        // On noisy targets, the bagged average must beat one bootstrap tree.
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        let mut state = 88172645463325252u64;
+        let mut noise = || {
+            // xorshift for deterministic pseudo-noise
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        for i in 0..600 {
+            // Unique x per sample so a deep tree can memorize its noise.
+            let a = i as f64 / 300.0 - 1.0;
+            rows.push(vec![a]);
+            ys.push(a * a + 0.4 * noise());
+        }
+        let d = Dataset::new(Matrix::from_rows(&rows), Matrix::column(&ys)).unwrap();
+        let (train, test) = d.train_test_split(0.3, 5);
+        let deep = TreeConfig {
+            max_depth: 30,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+        };
+        let mut forest = RandomForest::new(40, deep, 1);
+        forest.fit(&train).unwrap();
+        let mut tree = DecisionTree::new(deep, 1);
+        tree.fit(&train).unwrap();
+        let rf = r2(&test.y.col_vec(0), &forest.predict(&test.x).unwrap().col_vec(0));
+        let dt = r2(&test.y.col_vec(0), &tree.predict(&test.x).unwrap().col_vec(0));
+        assert!(rf > dt, "bagging must denoise: forest {rf} vs tree {dt}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = wiggly_dataset(100);
+        let mut a = RandomForest::new(5, TreeConfig::default(), 9);
+        let mut b = RandomForest::new(5, TreeConfig::default(), 9);
+        a.fit(&d).unwrap();
+        b.fit(&d).unwrap();
+        assert_eq!(a.predict(&d.x).unwrap(), b.predict(&d.x).unwrap());
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let f = RandomForest::paper_default();
+        assert_eq!(f.predict(&Matrix::zeros(1, 2)), Err(MlError::NotFitted));
+    }
+
+    #[test]
+    fn tree_count_matches() {
+        let d = wiggly_dataset(64);
+        let mut f = RandomForest::new(7, TreeConfig::default(), 0);
+        f.fit(&d).unwrap();
+        assert_eq!(f.len(), 7);
+    }
+}

@@ -1,0 +1,178 @@
+//! k-nearest-neighbour regressor — a reference baseline not in the paper's
+//! line-up, useful for sanity-checking the others: any model that loses to
+//! kNN on the stack-up response surface is not earning its complexity.
+//!
+//! Features are standardized internally so the Euclidean metric is
+//! meaningful across the wildly different parameter scales (mils vs S/m).
+//! Predictions are inverse-distance-weighted means of the `k` neighbours.
+
+use crate::dataset::{Dataset, Scaler};
+use crate::linalg::Matrix;
+use crate::{MlError, Regressor};
+use serde::{Deserialize, Serialize};
+
+/// k-NN regressor with inverse-distance weighting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnRegressor {
+    k: usize,
+    scaler: Option<Scaler>,
+    x_train: Option<Matrix>,
+    y_train: Option<Matrix>,
+}
+
+impl KnnRegressor {
+    /// Creates a regressor with `k` neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            scaler: None,
+            x_train: None,
+            y_train: None,
+        }
+    }
+
+    /// Number of neighbours.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        let scaler = Scaler::fit(&data.x);
+        self.x_train = Some(scaler.transform(&data.x));
+        self.y_train = Some(data.y.clone());
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Matrix, MlError> {
+        let (Some(xt), Some(yt), Some(scaler)) =
+            (&self.x_train, &self.y_train, &self.scaler)
+        else {
+            return Err(MlError::NotFitted);
+        };
+        if x.cols() != xt.cols() {
+            return Err(MlError::ShapeMismatch {
+                expected: xt.cols(),
+                got: x.cols(),
+            });
+        }
+        let xs = scaler.transform(x);
+        let k = self.k.min(xt.rows());
+        let mut out = Matrix::zeros(x.rows(), yt.cols());
+        // (distance^2, index) scratch reused across queries.
+        let mut dists: Vec<(f64, usize)> = Vec::with_capacity(xt.rows());
+        for r in 0..xs.rows() {
+            let q = xs.row(r);
+            dists.clear();
+            for t in 0..xt.rows() {
+                let d2: f64 = q
+                    .iter()
+                    .zip(xt.row(t))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                dists.push((d2, t));
+            }
+            dists.select_nth_unstable_by(k - 1, |a, b| {
+                a.0.partial_cmp(&b.0).expect("finite distances")
+            });
+            let mut weight_sum = 0.0;
+            let mut acc = vec![0.0; yt.cols()];
+            for &(d2, t) in &dists[..k] {
+                let w = 1.0 / (d2.sqrt() + 1e-9);
+                weight_sum += w;
+                for (a, v) in acc.iter_mut().zip(yt.row(t)) {
+                    *a += w * v;
+                }
+            }
+            for (o, a) in out.row_mut(r).iter_mut().zip(acc) {
+                *o = a / weight_sum;
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "kNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    fn grid_dataset() -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..400)
+            .map(|i| vec![(i % 20) as f64, (i / 20) as f64 * 1000.0])
+            .collect();
+        let ys: Vec<f64> = rows.iter().map(|r| r[0] + r[1] / 1000.0).collect();
+        Dataset::new(Matrix::from_rows(&rows), Matrix::column(&ys)).expect("valid")
+    }
+
+    #[test]
+    fn interpolates_smooth_surface() {
+        let d = grid_dataset();
+        let mut m = KnnRegressor::new(4);
+        m.fit(&d).expect("fits");
+        let pred = m.predict(&d.x).expect("predicts");
+        assert!(r2(&d.y.col_vec(0), &pred.col_vec(0)) > 0.99);
+    }
+
+    #[test]
+    fn k_equals_one_memorizes_training_points() {
+        let d = grid_dataset();
+        let mut m = KnnRegressor::new(1);
+        m.fit(&d).expect("fits");
+        let pred = m.predict(&d.x).expect("predicts");
+        for r in 0..d.len() {
+            assert!((pred[(r, 0)] - d.y[(r, 0)]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn standardization_handles_scale_mismatch() {
+        // Feature 1 is 1000x feature 0 in raw units; without standardization
+        // it would dominate the metric and wreck the fit along feature 0.
+        let d = grid_dataset();
+        let mut m = KnnRegressor::new(3);
+        m.fit(&d).expect("fits");
+        // Query close to (10, 5000): the x0-neighbourhood matters.
+        let pred = m.predict(&Matrix::from_rows(&[vec![10.2, 5000.0]])).expect("ok");
+        assert!((pred[(0, 0)] - 15.2).abs() < 1.0, "pred = {}", pred[(0, 0)]);
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let m = KnnRegressor::new(3);
+        assert_eq!(m.predict(&Matrix::zeros(1, 2)), Err(MlError::NotFitted));
+    }
+
+    #[test]
+    fn width_mismatch_errors() {
+        let d = grid_dataset();
+        let mut m = KnnRegressor::new(3);
+        m.fit(&d).expect("fits");
+        assert!(matches!(
+            m.predict(&Matrix::zeros(1, 5)),
+            Err(MlError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn k_larger_than_dataset_clamps() {
+        let rows = vec![vec![0.0], vec![1.0]];
+        let ys = vec![0.0, 2.0];
+        let d = Dataset::new(Matrix::from_rows(&rows), Matrix::column(&ys)).expect("ok");
+        let mut m = KnnRegressor::new(100);
+        m.fit(&d).expect("fits");
+        let pred = m.predict(&Matrix::from_rows(&[vec![0.5]])).expect("ok");
+        assert!((pred[(0, 0)] - 1.0).abs() < 1e-6, "mean of both: {}", pred[(0, 0)]);
+    }
+}

@@ -1,0 +1,508 @@
+//! Multilayer perceptron regressor (the paper's "MLPR") with leaky-ReLU
+//! activations, inverted dropout, Adam training, and **input gradients**.
+//!
+//! The input Jacobian is what lets the ISOP+ local-exploration stage run
+//! gradient descent on *design parameters* through the surrogate.
+
+use crate::dataset::{Dataset, Scaler};
+use crate::linalg::Matrix;
+use crate::optim::Adam;
+use crate::{Differentiable, MlError, Regressor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// MLP hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Hidden layer widths, e.g. `[128, 128, 64]`.
+    pub hidden: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Negative-side slope of the leaky ReLU.
+    pub leaky_slope: f64,
+    /// Dropout probability on hidden activations (0 disables).
+    pub dropout: f64,
+    /// RNG seed for init, shuffling, and dropout masks.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![128, 128, 64],
+            epochs: 40,
+            batch_size: 64,
+            lr: 1e-3,
+            leaky_slope: 0.01,
+            dropout: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// One dense layer: `out = a_in * w^T + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Dense {
+    /// `n_out x n_in`.
+    w: Matrix,
+    b: Vec<f64>,
+}
+
+impl Dense {
+    fn init(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
+        // He-style initialization suited to ReLU-family activations.
+        let scale = (2.0 / n_in as f64).sqrt();
+        let mut w = Matrix::zeros(n_out, n_in);
+        for v in w.as_mut_slice() {
+            *v = (rng.gen::<f64>() * 2.0 - 1.0) * scale;
+        }
+        Self {
+            w,
+            b: vec![0.0; n_out],
+        }
+    }
+
+    /// `a (n x in) -> z (n x out)`.
+    fn forward(&self, a: &Matrix) -> Matrix {
+        let mut z = a.matmul(&self.w.transpose());
+        for r in 0..z.rows() {
+            for (v, b) in z.row_mut(r).iter_mut().zip(&self.b) {
+                *v += b;
+            }
+        }
+        z
+    }
+}
+
+#[inline]
+fn leaky(v: f64, slope: f64) -> f64 {
+    if v >= 0.0 {
+        v
+    } else {
+        slope * v
+    }
+}
+
+#[inline]
+fn leaky_deriv(v: f64, slope: f64) -> f64 {
+    if v >= 0.0 {
+        1.0
+    } else {
+        slope
+    }
+}
+
+/// Multilayer perceptron regressor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    cfg: MlpConfig,
+    layers: Vec<Dense>,
+    x_scaler: Option<Scaler>,
+    y_scaler: Option<Scaler>,
+    n_features: usize,
+    n_outputs: usize,
+}
+
+impl Mlp {
+    /// Creates an unfitted MLP.
+    pub fn new(cfg: MlpConfig) -> Self {
+        Self {
+            cfg,
+            layers: Vec::new(),
+            x_scaler: None,
+            y_scaler: None,
+            n_features: 0,
+            n_outputs: 0,
+        }
+    }
+
+    /// The paper's MLPR surrogate configuration.
+    pub fn paper_default() -> Self {
+        Self::new(MlpConfig::default())
+    }
+
+    /// Training configuration.
+    pub fn config(&self) -> &MlpConfig {
+        &self.cfg
+    }
+
+    /// Forward pass in the standardized space, returning pre-activations per
+    /// layer and the final output. `zs[l]` is the pre-activation of layer `l`.
+    fn forward_all(&self, x: &Matrix) -> (Vec<Matrix>, Matrix) {
+        let mut zs = Vec::with_capacity(self.layers.len());
+        let mut a = x.clone();
+        for (l, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(&a);
+            if l + 1 < self.layers.len() {
+                let mut act = z.clone();
+                for v in act.as_mut_slice() {
+                    *v = leaky(*v, self.cfg.leaky_slope);
+                }
+                zs.push(z);
+                a = act;
+            } else {
+                zs.push(z.clone());
+                a = z;
+            }
+        }
+        (zs, a)
+    }
+}
+
+impl Regressor for Mlp {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        self.n_features = data.n_features();
+        self.n_outputs = data.n_outputs();
+        let x_scaler = Scaler::fit(&data.x);
+        let y_scaler = Scaler::fit(&data.y);
+        let xs = x_scaler.transform(&data.x);
+        let ys = y_scaler.transform(&data.y);
+
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut dims = vec![self.n_features];
+        dims.extend_from_slice(&self.cfg.hidden);
+        dims.push(self.n_outputs);
+        self.layers = dims
+            .windows(2)
+            .map(|w| Dense::init(w[0], w[1], &mut rng))
+            .collect();
+
+        // One Adam per parameter tensor.
+        let mut opts: Vec<(Adam, Adam)> = self
+            .layers
+            .iter()
+            .map(|l| {
+                (
+                    Adam::new(self.cfg.lr, l.w.rows() * l.w.cols()),
+                    Adam::new(self.cfg.lr, l.b.len()),
+                )
+            })
+            .collect();
+
+        let n = data.len();
+        let bs = self.cfg.batch_size.clamp(1, n);
+        let mut order: Vec<usize> = (0..n).collect();
+        let keep = 1.0 - self.cfg.dropout;
+
+        for epoch in 0..self.cfg.epochs {
+            // Step decay: halve the learning rate at 50% and again at 75%
+            // of training, a standard schedule that lets Adam settle.
+            let decay = if epoch * 4 >= self.cfg.epochs * 3 {
+                0.25
+            } else if epoch * 2 >= self.cfg.epochs {
+                0.5
+            } else {
+                1.0
+            };
+            for (w_opt, b_opt) in &mut opts {
+                w_opt.set_learning_rate(self.cfg.lr * decay);
+                b_opt.set_learning_rate(self.cfg.lr * decay);
+            }
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(bs) {
+                // Gather the minibatch.
+                let mut xb = Matrix::zeros(chunk.len(), self.n_features);
+                let mut yb = Matrix::zeros(chunk.len(), self.n_outputs);
+                for (r, &i) in chunk.iter().enumerate() {
+                    xb.row_mut(r).copy_from_slice(xs.row(i));
+                    yb.row_mut(r).copy_from_slice(ys.row(i));
+                }
+
+                // Forward with cached activations (post-activation `as_`,
+                // pre-activation `zs`), applying inverted dropout on hidden
+                // activations.
+                let n_layers = self.layers.len();
+                let mut as_: Vec<Matrix> = vec![xb];
+                let mut zs: Vec<Matrix> = Vec::with_capacity(n_layers);
+                let mut masks: Vec<Option<Vec<f64>>> = Vec::with_capacity(n_layers);
+                for (l, layer) in self.layers.iter().enumerate() {
+                    let z = layer.forward(&as_[l]);
+                    if l + 1 < n_layers {
+                        let mut act = z.clone();
+                        for v in act.as_mut_slice() {
+                            *v = leaky(*v, self.cfg.leaky_slope);
+                        }
+                        let mask = if self.cfg.dropout > 0.0 {
+                            let m: Vec<f64> = act
+                                .as_slice()
+                                .iter()
+                                .map(|_| {
+                                    if rng.gen::<f64>() < keep {
+                                        1.0 / keep
+                                    } else {
+                                        0.0
+                                    }
+                                })
+                                .collect();
+                            for (v, k) in act.as_mut_slice().iter_mut().zip(&m) {
+                                *v *= k;
+                            }
+                            Some(m)
+                        } else {
+                            None
+                        };
+                        masks.push(mask);
+                        zs.push(z);
+                        as_.push(act);
+                    } else {
+                        masks.push(None);
+                        zs.push(z.clone());
+                        as_.push(z);
+                    }
+                }
+
+                // Backward: squared loss, delta = 2 (pred - y) / batch.
+                let pred = &as_[n_layers];
+                let mut delta = Matrix::zeros(pred.rows(), pred.cols());
+                let scale = 2.0 / chunk.len() as f64;
+                for r in 0..pred.rows() {
+                    for c in 0..pred.cols() {
+                        delta[(r, c)] = scale * (pred[(r, c)] - yb[(r, c)]);
+                    }
+                }
+
+                for l in (0..n_layers).rev() {
+                    let grad_w = delta.transpose().matmul(&as_[l]);
+                    let grad_b: Vec<f64> = (0..delta.cols())
+                        .map(|c| delta.col_vec(c).iter().sum())
+                        .collect();
+                    if l > 0 {
+                        let mut next = delta.matmul(&self.layers[l].w);
+                        if let Some(mask) = &masks[l - 1] {
+                            for (v, k) in next.as_mut_slice().iter_mut().zip(mask) {
+                                *v *= k;
+                            }
+                        }
+                        for (v, z) in next.as_mut_slice().iter_mut().zip(zs[l - 1].as_slice()) {
+                            *v *= leaky_deriv(*z, self.cfg.leaky_slope);
+                        }
+                        let (w_opt, b_opt) = &mut opts[l];
+                        w_opt.step(self.layers[l].w.as_mut_slice(), grad_w.as_slice());
+                        b_opt.step(&mut self.layers[l].b, &grad_b);
+                        delta = next;
+                    } else {
+                        let (w_opt, b_opt) = &mut opts[l];
+                        w_opt.step(self.layers[l].w.as_mut_slice(), grad_w.as_slice());
+                        b_opt.step(&mut self.layers[l].b, &grad_b);
+                    }
+                }
+            }
+        }
+
+        if self
+            .layers
+            .iter()
+            .any(|l| !l.w.as_slice().iter().all(|v| v.is_finite()))
+        {
+            return Err(MlError::Diverged);
+        }
+        self.x_scaler = Some(x_scaler);
+        self.y_scaler = Some(y_scaler);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Matrix, MlError> {
+        if self.layers.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if x.cols() != self.n_features {
+            return Err(MlError::ShapeMismatch {
+                expected: self.n_features,
+                got: x.cols(),
+            });
+        }
+        let xs = self.x_scaler.as_ref().ok_or(MlError::NotFitted)?.transform(x);
+        let (_, out) = self.forward_all(&xs);
+        Ok(self.y_scaler.as_ref().ok_or(MlError::NotFitted)?.inverse_transform(&out))
+    }
+
+    fn name(&self) -> &'static str {
+        "MLPR"
+    }
+}
+
+impl Differentiable for Mlp {
+    fn input_jacobian(&self, x: &[f64]) -> Result<Matrix, MlError> {
+        if self.layers.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if x.len() != self.n_features {
+            return Err(MlError::ShapeMismatch {
+                expected: self.n_features,
+                got: x.len(),
+            });
+        }
+        let x_scaler = self.x_scaler.as_ref().ok_or(MlError::NotFitted)?;
+        let y_scaler = self.y_scaler.as_ref().ok_or(MlError::NotFitted)?;
+        let mut row = x.to_vec();
+        x_scaler.transform_row(&mut row);
+        let xm = Matrix::from_rows(&[row]);
+        let (zs, _) = self.forward_all(&xm);
+
+        // Chain rule, back to front: J = W_L * D_{L-1} * W_{L-1} * ... * W_1,
+        // where D_l = diag(leaky'(z_l)).
+        let n_layers = self.layers.len();
+        let mut jac = self.layers[n_layers - 1].w.clone();
+        for l in (0..n_layers - 1).rev() {
+            let z = &zs[l];
+            let mut scaled = jac; // m x width(l+1)
+            for r in 0..scaled.rows() {
+                for (c, v) in scaled.row_mut(r).iter_mut().enumerate() {
+                    *v *= leaky_deriv(z[(0, c)], self.cfg.leaky_slope);
+                }
+            }
+            jac = scaled.matmul(&self.layers[l].w);
+        }
+
+        // Undo standardization: d y_real / d x_real = s_y * J / s_x.
+        let sy = y_scaler.stds();
+        let sx = x_scaler.stds();
+        for o in 0..jac.rows() {
+            for c in 0..jac.cols() {
+                jac[(o, c)] *= sy[o] / sx[c];
+            }
+        }
+        Ok(jac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    fn small_cfg() -> MlpConfig {
+        MlpConfig {
+            hidden: vec![32, 32],
+            epochs: 200,
+            batch_size: 32,
+            lr: 3e-3,
+            leaky_slope: 0.01,
+            dropout: 0.0,
+            seed: 1,
+        }
+    }
+
+    fn sine_dataset(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64 * 4.0 - 2.0]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| (2.0 * r[0]).sin()).collect();
+        Dataset::new(Matrix::from_rows(&rows), Matrix::column(&ys)).unwrap()
+    }
+
+    #[test]
+    fn fits_sine_wave() {
+        let d = sine_dataset(200);
+        let mut m = Mlp::new(small_cfg());
+        m.fit(&d).unwrap();
+        let pred = m.predict(&d.x).unwrap();
+        let score = r2(&d.y.col_vec(0), &pred.col_vec(0));
+        assert!(score > 0.97, "r2 = {score}");
+    }
+
+    #[test]
+    fn multi_output_shares_trunk() {
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![(i % 20) as f64 / 10.0 - 1.0, (i / 20) as f64 / 7.5 - 1.0])
+            .collect();
+        let ys: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[0] * r[1], r[0] - r[1]]).collect();
+        let d = Dataset::new(Matrix::from_rows(&rows), Matrix::from_rows(&ys)).unwrap();
+        let mut m = Mlp::new(small_cfg());
+        m.fit(&d).unwrap();
+        let pred = m.predict(&d.x).unwrap();
+        assert!(r2(&d.y.col_vec(0), &pred.col_vec(0)) > 0.9);
+        assert!(r2(&d.y.col_vec(1), &pred.col_vec(1)) > 0.95);
+    }
+
+    #[test]
+    fn input_jacobian_matches_finite_differences() {
+        let d = sine_dataset(200);
+        let mut m = Mlp::new(small_cfg());
+        m.fit(&d).unwrap();
+        for &x0 in &[-1.5, -0.3, 0.4, 1.2] {
+            let jac = m.input_jacobian(&[x0]).unwrap();
+            let h = 1e-5;
+            let hi = m.predict(&Matrix::from_rows(&[vec![x0 + h]])).unwrap()[(0, 0)];
+            let lo = m.predict(&Matrix::from_rows(&[vec![x0 - h]])).unwrap()[(0, 0)];
+            let fd = (hi - lo) / (2.0 * h);
+            assert!(
+                (jac[(0, 0)] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+                "at {x0}: analytic {} vs fd {fd}",
+                jac[(0, 0)]
+            );
+        }
+    }
+
+    #[test]
+    fn jacobian_shape_is_outputs_by_features() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 2.0 * i as f64, 1.0]).collect();
+        let ys: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[0], r[1]]).collect();
+        let d = Dataset::new(Matrix::from_rows(&rows), Matrix::from_rows(&ys)).unwrap();
+        let mut m = Mlp::new(MlpConfig {
+            hidden: vec![8],
+            epochs: 5,
+            ..small_cfg()
+        });
+        m.fit(&d).unwrap();
+        let jac = m.input_jacobian(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!((jac.rows(), jac.cols()), (2, 3));
+    }
+
+    #[test]
+    fn dropout_training_still_converges() {
+        let d = sine_dataset(200);
+        let mut m = Mlp::new(MlpConfig {
+            dropout: 0.1,
+            epochs: 300,
+            ..small_cfg()
+        });
+        m.fit(&d).unwrap();
+        let pred = m.predict(&d.x).unwrap();
+        assert!(r2(&d.y.col_vec(0), &pred.col_vec(0)) > 0.9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = sine_dataset(50);
+        let cfg = MlpConfig {
+            epochs: 10,
+            ..small_cfg()
+        };
+        let mut a = Mlp::new(cfg.clone());
+        let mut b = Mlp::new(cfg);
+        a.fit(&d).unwrap();
+        b.fit(&d).unwrap();
+        assert_eq!(a.predict(&d.x).unwrap(), b.predict(&d.x).unwrap());
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let m = Mlp::paper_default();
+        assert_eq!(m.predict(&Matrix::zeros(1, 1)), Err(MlError::NotFitted));
+        assert_eq!(m.input_jacobian(&[0.0]), Err(MlError::NotFitted));
+    }
+
+    #[test]
+    fn width_mismatch_errors() {
+        let d = sine_dataset(30);
+        let mut m = Mlp::new(MlpConfig {
+            epochs: 2,
+            ..small_cfg()
+        });
+        m.fit(&d).unwrap();
+        assert!(matches!(
+            m.predict(&Matrix::zeros(1, 3)),
+            Err(MlError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            m.input_jacobian(&[0.0, 1.0]),
+            Err(MlError::ShapeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,26 @@
+//! Regression model zoo (the paper's Table VI line-up).
+//!
+//! Every model implements [`Regressor`](crate::Regressor); the neural models
+//! ([`Mlp`], [`Cnn1d`]) also implement
+//! [`Differentiable`](crate::Differentiable) and can therefore drive the
+//! ISOP+ gradient-descent stage.
+
+mod boosting;
+mod cnn;
+mod ensemble;
+mod forest;
+mod knn;
+mod linear;
+mod mlp;
+mod svr;
+mod tree;
+
+pub use boosting::{GradientBoosting, XgbRegressor};
+pub use cnn::{Cnn1d, Cnn1dConfig};
+pub use ensemble::Ensemble;
+pub use forest::RandomForest;
+pub use knn::KnnRegressor;
+pub use linear::PolynomialRidge;
+pub use mlp::{Mlp, MlpConfig};
+pub use svr::LinearSvr;
+pub use tree::{DecisionTree, TreeConfig};

@@ -1,0 +1,398 @@
+//! CART regression trees (the paper's "DTR"), multi-output.
+//!
+//! Splits minimize the total sum of squared errors across all output columns
+//! (the natural multi-output extension of variance reduction). The builder is
+//! shared with [`RandomForest`](super::RandomForest) through [`TreeConfig`]'s
+//! feature-subsampling option.
+
+use crate::dataset::Dataset;
+use crate::linalg::Matrix;
+use crate::{MlError, Regressor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for tree construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Minimum samples in each leaf.
+    pub min_samples_leaf: usize,
+    /// Number of features examined per split (`None` = all), used by random
+    /// forests.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 12,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            max_features: None,
+        }
+    }
+}
+
+/// A fitted tree node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) enum Node {
+    Leaf {
+        value: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    pub(crate) fn predict_into(&self, row: &[f64], out: &mut [f64]) {
+        match self {
+            Node::Leaf { value } => out.copy_from_slice(value),
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if row[*feature] <= *threshold {
+                    left.predict_into(row, out)
+                } else {
+                    right.predict_into(row, out)
+                }
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+}
+
+fn mean_of(y: &Matrix, idx: &[usize]) -> Vec<f64> {
+    let m = y.cols();
+    let mut out = vec![0.0; m];
+    for &i in idx {
+        for (o, v) in out.iter_mut().zip(y.row(i)) {
+            *o += v;
+        }
+    }
+    for o in &mut out {
+        *o /= idx.len() as f64;
+    }
+    out
+}
+
+/// SSE of `idx` rows around their mean, summed over outputs, computed from
+/// running sums: `sse = sum(y^2) - n * mean^2`.
+struct SseAccumulator {
+    n: f64,
+    sum: Vec<f64>,
+    sum_sq: Vec<f64>,
+}
+
+impl SseAccumulator {
+    fn new(m: usize) -> Self {
+        Self {
+            n: 0.0,
+            sum: vec![0.0; m],
+            sum_sq: vec![0.0; m],
+        }
+    }
+
+    fn add(&mut self, row: &[f64]) {
+        self.n += 1.0;
+        for ((s, q), &v) in self.sum.iter_mut().zip(&mut self.sum_sq).zip(row) {
+            *s += v;
+            *q += v * v;
+        }
+    }
+
+    fn remove(&mut self, row: &[f64]) {
+        self.n -= 1.0;
+        for ((s, q), &v) in self.sum.iter_mut().zip(&mut self.sum_sq).zip(row) {
+            *s -= v;
+            *q -= v * v;
+        }
+    }
+
+    fn sse(&self) -> f64 {
+        if self.n <= 0.0 {
+            return 0.0;
+        }
+        self.sum
+            .iter()
+            .zip(&self.sum_sq)
+            .map(|(s, q)| q - s * s / self.n)
+            .sum()
+    }
+}
+
+pub(crate) fn build_tree(
+    x: &Matrix,
+    y: &Matrix,
+    idx: &mut [usize],
+    depth: usize,
+    cfg: &TreeConfig,
+    rng: &mut StdRng,
+) -> Node {
+    if depth >= cfg.max_depth || idx.len() < cfg.min_samples_split {
+        return Node::Leaf {
+            value: mean_of(y, idx),
+        };
+    }
+
+    let d = x.cols();
+    let mut features: Vec<usize> = (0..d).collect();
+    if let Some(k) = cfg.max_features {
+        features.shuffle(rng);
+        features.truncate(k.clamp(1, d));
+    }
+
+    let mut best: Option<(usize, f64, f64, usize)> = None; // (feature, threshold, sse, left_count)
+    let mut order: Vec<usize> = idx.to_vec();
+    for &f in &features {
+        order.sort_unstable_by(|&a, &b| x[(a, f)].partial_cmp(&x[(b, f)]).expect("NaN feature"));
+        let mut left = SseAccumulator::new(y.cols());
+        let mut right = SseAccumulator::new(y.cols());
+        for &i in order.iter() {
+            right.add(y.row(i));
+        }
+        for pos in 0..order.len() - 1 {
+            let i = order[pos];
+            left.add(y.row(i));
+            right.remove(y.row(i));
+            let v_here = x[(i, f)];
+            let v_next = x[(order[pos + 1], f)];
+            if v_next <= v_here {
+                continue; // tied values cannot be separated
+            }
+            let n_left = pos + 1;
+            let n_right = order.len() - n_left;
+            if n_left < cfg.min_samples_leaf || n_right < cfg.min_samples_leaf {
+                continue;
+            }
+            let sse = left.sse() + right.sse();
+            if best.as_ref().is_none_or(|b| sse < b.2) {
+                best = Some((f, 0.5 * (v_here + v_next), sse, n_left));
+            }
+        }
+    }
+
+    let Some((feature, threshold, _, _)) = best else {
+        return Node::Leaf {
+            value: mean_of(y, idx),
+        };
+    };
+
+    // Partition indices in place.
+    let mut left_idx = Vec::with_capacity(idx.len());
+    let mut right_idx = Vec::with_capacity(idx.len());
+    for &i in idx.iter() {
+        if x[(i, feature)] <= threshold {
+            left_idx.push(i);
+        } else {
+            right_idx.push(i);
+        }
+    }
+    debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
+    let left = build_tree(x, y, &mut left_idx, depth + 1, cfg, rng);
+    let right = build_tree(x, y, &mut right_idx, depth + 1, cfg, rng);
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(left),
+        right: Box::new(right),
+    }
+}
+
+/// A single CART regression tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    cfg: TreeConfig,
+    seed: u64,
+    root: Option<Node>,
+    n_features: usize,
+    n_outputs: usize,
+}
+
+impl DecisionTree {
+    /// Creates an unfitted tree with `cfg` and a deterministic `seed` (only
+    /// used when feature subsampling is enabled).
+    pub fn new(cfg: TreeConfig, seed: u64) -> Self {
+        Self {
+            cfg,
+            seed,
+            root: None,
+            n_features: 0,
+            n_outputs: 0,
+        }
+    }
+
+    /// The paper's DTR baseline configuration.
+    pub fn paper_default() -> Self {
+        Self::new(TreeConfig::default(), 0)
+    }
+
+    /// Depth of the fitted tree (0 for a stump/unfitted).
+    pub fn depth(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::depth)
+    }
+}
+
+impl Regressor for DecisionTree {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        self.n_features = data.n_features();
+        self.n_outputs = data.n_outputs();
+        let mut idx: Vec<usize> = (0..data.len()).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.root = Some(build_tree(&data.x, &data.y, &mut idx, 0, &self.cfg, &mut rng));
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Matrix, MlError> {
+        let root = self.root.as_ref().ok_or(MlError::NotFitted)?;
+        if x.cols() != self.n_features {
+            return Err(MlError::ShapeMismatch {
+                expected: self.n_features,
+                got: x.cols(),
+            });
+        }
+        let mut out = Matrix::zeros(x.rows(), self.n_outputs);
+        for r in 0..x.rows() {
+            root.predict_into(x.row(r), out.row_mut(r));
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "DTR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mae, r2};
+
+    fn step_dataset() -> Dataset {
+        // y = 1 if x0 > 0.5 else 0 — a single split suffices.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        Dataset::new(Matrix::from_rows(&rows), Matrix::column(&ys)).unwrap()
+    }
+
+    #[test]
+    fn learns_step_function_exactly() {
+        let mut t = DecisionTree::paper_default();
+        let d = step_dataset();
+        t.fit(&d).unwrap();
+        let pred = t.predict(&d.x).unwrap();
+        assert!(mae(&d.y.col_vec(0), &pred.col_vec(0)) < 1e-9);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let d = step_dataset();
+        let mut t = DecisionTree::new(
+            TreeConfig {
+                max_depth: 3,
+                ..TreeConfig::default()
+            },
+            0,
+        );
+        t.fit(&d).unwrap();
+        assert!(t.depth() <= 3);
+    }
+
+    #[test]
+    fn depth_zero_gives_mean() {
+        let d = step_dataset();
+        let mut t = DecisionTree::new(
+            TreeConfig {
+                max_depth: 0,
+                ..TreeConfig::default()
+            },
+            0,
+        );
+        t.fit(&d).unwrap();
+        let pred = t.predict(&d.x).unwrap();
+        let mean = d.y.col_vec(0).iter().sum::<f64>() / d.len() as f64;
+        assert!(pred.col_vec(0).iter().all(|v| (v - mean).abs() < 1e-9));
+    }
+
+    #[test]
+    fn fits_smooth_function_approximately() {
+        let rows: Vec<Vec<f64>> = (0..400)
+            .map(|i| {
+                let a = (i % 20) as f64 / 10.0 - 1.0;
+                let b = (i / 20) as f64 / 10.0 - 1.0;
+                vec![a, b]
+            })
+            .collect();
+        let ys: Vec<f64> = rows.iter().map(|r| (3.0 * r[0]).sin() + r[1] * r[1]).collect();
+        let d = Dataset::new(Matrix::from_rows(&rows), Matrix::column(&ys)).unwrap();
+        let mut t = DecisionTree::paper_default();
+        t.fit(&d).unwrap();
+        let pred = t.predict(&d.x).unwrap();
+        assert!(r2(&d.y.col_vec(0), &pred.col_vec(0)) > 0.95);
+    }
+
+    #[test]
+    fn multi_output_leaves() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let ys: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| vec![if r[0] > 25.0 { 1.0 } else { 0.0 }, r[0]])
+            .collect();
+        let d = Dataset::new(Matrix::from_rows(&rows), Matrix::from_rows(&ys)).unwrap();
+        let mut t = DecisionTree::paper_default();
+        t.fit(&d).unwrap();
+        let pred = t.predict(&d.x).unwrap();
+        assert_eq!(pred.cols(), 2);
+        assert!(r2(&d.y.col_vec(0), &pred.col_vec(0)) > 0.9);
+        assert!(r2(&d.y.col_vec(1), &pred.col_vec(1)) > 0.95);
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let t = DecisionTree::paper_default();
+        assert_eq!(t.predict(&Matrix::zeros(1, 1)), Err(MlError::NotFitted));
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let d = step_dataset();
+        let mut t = DecisionTree::new(
+            TreeConfig {
+                min_samples_leaf: 40,
+                ..TreeConfig::default()
+            },
+            0,
+        );
+        t.fit(&d).unwrap();
+        // With leaves of >= 40 of 100 samples, at most 1 split per path.
+        assert!(t.depth() <= 2);
+    }
+
+    #[test]
+    fn constant_target_single_leaf() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys = vec![7.0; 20];
+        let d = Dataset::new(Matrix::from_rows(&rows), Matrix::column(&ys)).unwrap();
+        let mut t = DecisionTree::paper_default();
+        t.fit(&d).unwrap();
+        let pred = t.predict(&d.x).unwrap();
+        assert!(pred.col_vec(0).iter().all(|v| (v - 7.0).abs() < 1e-9));
+    }
+}

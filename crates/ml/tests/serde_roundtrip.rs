@@ -1,0 +1,111 @@
+//! Model persistence: every fitted regressor must serialize to JSON and
+//! deserialize to an identical predictor (the bench harness caches trained
+//! surrogates this way).
+
+use isop_ml::dataset::Dataset;
+use isop_ml::linalg::Matrix;
+use isop_ml::models::{
+    Cnn1d, Cnn1dConfig, DecisionTree, GradientBoosting, LinearSvr, Mlp, MlpConfig,
+    PolynomialRidge, RandomForest, TreeConfig, XgbRegressor,
+};
+use isop_ml::Regressor;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+fn toy_data() -> Dataset {
+    let rows: Vec<Vec<f64>> = (0..120)
+        .map(|i| vec![(i % 12) as f64, (i / 12) as f64])
+        .collect();
+    let ys: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| vec![r[0] * r[1] * 0.1 + r[0], -r[1]])
+        .collect();
+    Dataset::new(Matrix::from_rows(&rows), Matrix::from_rows(&ys)).expect("valid")
+}
+
+fn roundtrip<M>(mut model: M)
+where
+    M: Regressor + Serialize + DeserializeOwned,
+{
+    let data = toy_data();
+    model.fit(&data).expect("fits");
+    let before = model.predict(&data.x).expect("predicts");
+    let json = serde_json::to_string(&model).expect("serializes");
+    let revived: M = serde_json::from_str(&json).expect("deserializes");
+    let after = revived.predict(&data.x).expect("predicts after revive");
+    // serde_json's float text form can differ by one ULP; anything larger
+    // means real state was lost.
+    for (a, b) in before.as_slice().iter().zip(after.as_slice()) {
+        assert!(
+            (a - b).abs() <= 1e-12 * (1.0 + a.abs()),
+            "{} changed across JSON roundtrip: {a} vs {b}",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn decision_tree_roundtrips() {
+    roundtrip(DecisionTree::new(TreeConfig::default(), 0));
+}
+
+#[test]
+fn random_forest_roundtrips() {
+    roundtrip(RandomForest::new(5, TreeConfig::default(), 1));
+}
+
+#[test]
+fn gradient_boosting_roundtrips() {
+    roundtrip(GradientBoosting::new(10, 0.2, TreeConfig::default()));
+}
+
+#[test]
+fn xgboost_roundtrips() {
+    roundtrip(XgbRegressor::new(10, 0.2, 4, 1.0, 0.0));
+}
+
+#[test]
+fn polynomial_ridge_roundtrips() {
+    roundtrip(PolynomialRidge::new(2, 1e-6));
+}
+
+#[test]
+fn linear_svr_roundtrips() {
+    roundtrip(LinearSvr::new(0.01, 10.0, 20, 0.02, 0));
+}
+
+#[test]
+fn mlp_roundtrips() {
+    roundtrip(Mlp::new(MlpConfig {
+        hidden: vec![16, 16],
+        epochs: 10,
+        dropout: 0.0,
+        ..MlpConfig::default()
+    }));
+}
+
+#[test]
+fn cnn_roundtrips() {
+    roundtrip(Cnn1d::new(Cnn1dConfig {
+        expand: 32,
+        channels: 4,
+        conv_channels: 8,
+        head: 16,
+        epochs: 5,
+        dropout: 0.0,
+        ..Cnn1dConfig::default()
+    }));
+}
+
+/// The dataset container itself roundtrips (used for the cached training
+/// dataset).
+#[test]
+fn dataset_roundtrips() {
+    let data = toy_data();
+    let json = serde_json::to_string(&data).expect("serializes");
+    let revived: Dataset = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(data.len(), revived.len());
+    for (a, b) in data.x.as_slice().iter().zip(revived.x.as_slice()) {
+        assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs()));
+    }
+}

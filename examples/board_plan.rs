@@ -1,0 +1,42 @@
+//! Board-level planning: optimize three signal-class layers of one server
+//! board in a single call — 85-ohm SerDes, 100-ohm DDR, and a
+//! crosstalk-critical breakout layer with manufacturing input constraints.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example board_plan
+//! ```
+
+use isop::board::{BoardPlan, LayerRequirement};
+use isop::prelude::*;
+use isop_em::simulator::AnalyticalSolver;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let plan = BoardPlan::new(vec![
+        LayerRequirement::new("serdes-85", TaskId::T1),
+        LayerRequirement::new("ddr-100", TaskId::T2),
+        LayerRequirement::new("breakout-dense", TaskId::T3)
+            .with_input_constraints(isop::tasks::table_ix_input_constraints()),
+    ]);
+
+    let space = isop::spaces::s2();
+    let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+    let simulator = AnalyticalSolver::new();
+    let mut cfg = IsopConfig::default();
+    cfg.harmonica.samples_per_stage = 200;
+
+    println!(
+        "Planning {} layer classes over S_2 ({:.2e} designs each)...\n",
+        plan.requirements().len(),
+        space.n_valid()
+    );
+    let layers = plan.solve(&space, &surrogate, &simulator, &cfg, 2024);
+
+    print!("{}", BoardPlan::report(&layers).to_markdown());
+
+    let solved = layers.iter().filter(|l| l.success).count();
+    println!("\n{solved}/{} layer classes satisfied all constraints.", layers.len());
+    let total_samples: u64 = layers.iter().map(|l| l.samples_seen).sum();
+    println!("Total surrogate samples spent: {total_samples}.");
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Post-stack-up channel budgeting: take the layer ISOP+ optimized, route a
+//! realistic multi-segment link through it (two layer-change vias), and
+//! check the end-to-end insertion loss against an interface budget — the
+//! step that turns a stack-up answer into a shippable link.
+//!
+//! Also demonstrates the stub-resonance hazard and the back-drilling fix.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example channel_budget
+//! ```
+
+use isop::prelude::*;
+use isop_em::channel::{Channel, Element};
+use isop_em::simulator::AnalyticalSolver;
+use isop_em::stackup::DiffStripline;
+use isop_em::via::Via;
+use isop_hpo::budget::Budget;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Let ISOP+ pick the layer (T1: min loss at Z = 85 +- 1).
+    let space = isop::spaces::s1();
+    let simulator = AnalyticalSolver::new();
+    let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+    let mut cfg = IsopConfig::default();
+    cfg.harmonica.samples_per_stage = 150;
+    let outcome = IsopOptimizer::new(&space, &surrogate, &simulator, cfg).run(
+        isop::tasks::objective_for(TaskId::T1, vec![]),
+        Budget::unlimited(),
+        17,
+    );
+    let best = outcome.best().ok_or("no design")?;
+    let layer = DiffStripline::from_vector(&best.values)?;
+    let sim = best.simulated.ok_or("unverified")?;
+    println!(
+        "Optimized layer: Z = {:.2} ohm, L = {:.3} dB/in @ 16 GHz",
+        sim.z_diff, sim.insertion_loss
+    );
+
+    // 2. Route a 12-inch link: 3" breakout, via down, 7" main run, via up,
+    //    2" to the receiver. One via keeps a 25-mil stub (not back-drilled).
+    let stubbed_via = Via {
+        stub_length: 25.0,
+        ..Via::default()
+    };
+    let drilled_via = Via {
+        stub_length: 0.0,
+        ..Via::default()
+    };
+    let seg = |inches: f64| Element::Stripline {
+        layer,
+        length_inches: inches,
+    };
+    let link = Channel::new(vec![
+        seg(3.0),
+        Element::Via(stubbed_via),
+        seg(7.0),
+        Element::Via(drilled_via),
+        seg(2.0),
+    ])?;
+
+    // 3. Budget check across the operating band (e.g. PCIe-class: -28 dB at
+    //    16 GHz Nyquist).
+    let budget_db = -28.0;
+    println!(
+        "\n{:>8} | {:>9} | {:>7}",
+        "f (GHz)", "IL (dB)", "margin"
+    );
+    for f_ghz in [2.0, 4.0, 8.0, 12.0, 16.0, 20.0, 28.0] {
+        let f = f_ghz * 1e9;
+        let il = link.insertion_loss_db(f);
+        println!(
+            "{f_ghz:>8.1} | {il:>9.2} | {:>6.2} {}",
+            link.budget_margin_db(f, budget_db),
+            if link.meets_budget(f, budget_db) { "ok" } else { "FAIL" }
+        );
+    }
+
+    // 4. Quantify the back-drilling decision at the stub resonance.
+    if let Some(f_res) = stubbed_via.stub_resonance_hz() {
+        let all_drilled = Channel::new(vec![
+            seg(3.0),
+            Element::Via(drilled_via),
+            seg(7.0),
+            Element::Via(drilled_via),
+            seg(2.0),
+        ])?;
+        println!(
+            "\nStub resonance at {:.1} GHz: stubbed link {:.2} dB vs back-drilled {:.2} dB",
+            f_res / 1e9,
+            link.insertion_loss_db(f_res),
+            all_drilled.insertion_loss_db(f_res)
+        );
+    }
+    println!(
+        "\nRouted length: {:.1} inches, reference impedance {:.1} ohm",
+        link.routed_length_inches(),
+        link.reference_impedance()
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: solve the paper's T1 task — minimize insertion loss while
+//! hitting a differential impedance of 85 +- 1 ohm — on the `S_1` search
+//! space, end to end.
+//!
+//! For brevity this example uses the EM simulator itself as a "perfect"
+//! surrogate ([`OracleSurrogate`]); see `surrogate_training.rs` for the full
+//! ML-surrogate flow the paper uses.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use isop::prelude::*;
+use isop_em::simulator::AnalyticalSolver;
+use isop_hpo::budget::Budget;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The search space: Table III's S_1 (7.14e19 valid designs).
+    let space = isop::spaces::s1();
+    println!(
+        "Search space S_1: {} parameters, {} bits, {:.2e} valid designs",
+        space.n_params(),
+        space.total_bits(),
+        space.n_valid()
+    );
+
+    // 2. Engines: the accurate simulator for roll-out verification, and a
+    //    surrogate for cheap exploration.
+    let simulator = AnalyticalSolver::new();
+    let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+
+    // 3. The task: T1 = minimize |L| subject to Z = 85 +- 1 ohm.
+    let objective = isop::tasks::objective_for(TaskId::T1, vec![]);
+
+    // 4. Run the three-stage ISOP+ pipeline.
+    let mut config = IsopConfig::default();
+    config.harmonica.samples_per_stage = 200; // demo-size global stage
+    let optimizer = IsopOptimizer::new(&space, &surrogate, &simulator, config);
+    let outcome = optimizer.run(objective, Budget::unlimited(), 42);
+
+    // 5. Inspect the result.
+    let best = outcome.best().ok_or("no candidate survived roll-out")?;
+    let sim = best.simulated.ok_or("candidate was not verified")?;
+    println!("\nBest design found (verified by accurate simulation):");
+    for (name, value) in isop_em::PARAM_NAMES.iter().zip(&best.values) {
+        println!("  {name:>8} = {value}");
+    }
+    println!("\nPerformance:");
+    println!("  Z    = {:.2} ohm (target 85 +- 1)", sim.z_diff);
+    println!("  L    = {:.3} dB/inch @ 16 GHz", sim.insertion_loss);
+    println!("  NEXT = {:.3} mV", sim.next);
+    println!("\nConstraints satisfied: {}", outcome.success);
+    println!(
+        "Samples: {} valid ({} invalid encodings rejected); reported runtime {:.1}s ({:.1}s algorithm + {:.1}s accounted EM)",
+        outcome.samples_seen,
+        outcome.invalid_seen,
+        outcome.total_seconds(),
+        outcome.algorithm_seconds,
+        outcome.em_seconds,
+    );
+    Ok(())
+}

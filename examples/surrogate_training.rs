@@ -1,0 +1,83 @@
+//! The full ML-surrogate flow of the paper at demonstration scale:
+//!
+//! 1. generate a training dataset by querying the EM simulator over the
+//!    Table III training ranges (the paper used 90 k samples; we use a few
+//!    thousand here),
+//! 2. train the 1D-CNN surrogate and report its test-set accuracy
+//!    (Table VI metrics),
+//! 3. run ISOP+ on T1 with the trained surrogate, and
+//! 4. verify the winning design with the accurate simulator.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example surrogate_training
+//! ```
+
+use isop::data::generate_dataset;
+use isop::prelude::*;
+use isop_em::simulator::AnalyticalSolver;
+use isop_hpo::budget::Budget;
+use isop_ml::metrics::{mae, mape};
+use isop_ml::models::{Cnn1d, Cnn1dConfig};
+use isop_ml::Regressor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Dataset over the wide training ranges.
+    let n_samples = 4000;
+    println!("Generating {n_samples} samples through the EM simulator...");
+    let data = generate_dataset(
+        &isop::spaces::training_space(),
+        n_samples,
+        &AnalyticalSolver::new(),
+        1,
+    )?;
+    let (train, test) = data.train_test_split(0.2, 2);
+
+    // 2. Train the 1D-CNN (FC-expand -> reshape -> conv1d) surrogate.
+    println!("Training the 1D-CNN surrogate...");
+    let mut cnn = Cnn1d::new(Cnn1dConfig {
+        epochs: 30,
+        ..Cnn1dConfig::default()
+    });
+    cnn.fit(&train)?;
+    let pred = cnn.predict(&test.x)?;
+    for (i, name) in ["Z", "L", "NEXT"].iter().enumerate() {
+        let truth = test.y.col_vec(i);
+        let p = pred.col_vec(i);
+        println!(
+            "  {name:>4}: MAE = {:.4}, MAPE = {:.2}%",
+            mae(&truth, &p),
+            100.0 * mape(&truth, &p)
+        );
+    }
+
+    // 3. Optimize T1 through the trained surrogate.
+    let space = isop::spaces::s1();
+    let surrogate = NeuralSurrogate::new(cnn);
+    let simulator = AnalyticalSolver::new();
+    let optimizer = IsopOptimizer::new(&space, &surrogate, &simulator, IsopConfig::default());
+    let outcome = optimizer.run(
+        isop::tasks::objective_for(TaskId::T1, vec![]),
+        Budget::unlimited(),
+        3,
+    );
+
+    // 4. Compare surrogate prediction and accurate verification.
+    let best = outcome.best().ok_or("no candidate")?;
+    let sim = best.simulated.ok_or("unverified")?;
+    println!("\nBest design:");
+    println!(
+        "  surrogate predicted  Z = {:.2}, L = {:.3}, NEXT = {:.3}",
+        best.predicted[0], best.predicted[1], best.predicted[2]
+    );
+    println!(
+        "  simulator verified   Z = {:.2}, L = {:.3}, NEXT = {:.3}",
+        sim.z_diff, sim.insertion_loss, sim.next
+    );
+    println!("  constraints satisfied: {}", outcome.success);
+    println!(
+        "\nNote: at this demo scale the surrogate is deliberately small; the\n\
+         bench binaries (ISOP_DATASET/ISOP_EPOCHS) train the accurate one."
+    );
+    Ok(())
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates every paper table/figure sequentially (see DESIGN.md SS3).
+# Scale via ISOP_TRIALS / ISOP_DATASET / ISOP_EPOCHS.
+set -x
+for bin in table3_spaces fig5_objective_smoothing table6_model_accuracy \
+           table4_t1_t2 table5_t3_t4 table7_ablation_t1_t2 table8_ablation_t3_t4 \
+           table9_manual_vs_isop fig6_pred_vs_truth fig7_fom_summary \
+           fig8_runtime_summary extra_component_ablation; do
+  cargo run --release -p isop-bench --bin "$bin" > "logs/$bin.log" 2>&1 || echo "FAILED: $bin"
+  echo "DONE: $bin"
+done
+echo "ALL_EXPERIMENTS_DONE"

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Final pass: figures first (never produced yet), then the method-comparison
+# tables with the fixed pipeline.
+set -x
+while pgrep -x fig6_pred_vs_tr > /dev/null 2>&1; do sleep 5; done
+for bin in fig7_fom_summary fig8_runtime_summary; do
+  ISOP_TRIALS=3 cargo run --release -p isop-bench --bin "$bin" > "logs/$bin.log" 2>&1 || echo "FAILED: $bin"
+  echo "DONE: $bin"
+done
+for bin in table4_t1_t2 table5_t3_t4; do
+  cargo run --release -p isop-bench --bin "$bin" > "logs/$bin.log" 2>&1 || echo "FAILED: $bin"
+  echo "DONE: $bin"
+done
+ISOP_TRIALS=3 cargo run --release -p isop-bench --bin extra_component_ablation > logs/extra_component_ablation.log 2>&1 || echo "FAILED: extra"
+echo "DONE: extra_component_ablation"
+echo "ALL_FINAL_DONE"

@@ -1,0 +1,9 @@
+//! `isop-suite` — umbrella package hosting the workspace-level integration
+//! tests (`tests/`) and runnable examples (`examples/`) for the ISOP+
+//! reproduction. All functionality lives in the member crates re-exported
+//! here for convenience.
+
+pub use isop;
+pub use isop_em;
+pub use isop_hpo;
+pub use isop_ml;

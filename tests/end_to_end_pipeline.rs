@@ -1,0 +1,148 @@
+//! End-to-end integration: dataset generation -> surrogate training ->
+//! ISOP+ optimization -> accurate verification, spanning all four crates.
+
+use isop::data::generate_mixed_dataset;
+use isop::prelude::*;
+use isop_em::simulator::{AnalyticalSolver, EmSimulator};
+use isop_em::stackup::DiffStripline;
+use isop_hpo::budget::Budget;
+use isop_ml::models::{Mlp, MlpConfig};
+
+fn small_mlp() -> Mlp {
+    Mlp::new(MlpConfig {
+        hidden: vec![64, 64],
+        epochs: 40,
+        batch_size: 64,
+        lr: 2e-3,
+        dropout: 0.0,
+        ..MlpConfig::default()
+    })
+}
+
+fn small_isop_config() -> IsopConfig {
+    let mut cfg = IsopConfig::default();
+    cfg.harmonica.stages = 2;
+    cfg.harmonica.samples_per_stage = 150;
+    cfg.gd_epochs = 30;
+    cfg.gd_candidates = 6;
+    cfg
+}
+
+/// The complete paper flow with a *trained* (imperfect) surrogate.
+#[test]
+fn trained_surrogate_pipeline_produces_verified_design() {
+    let sim = AnalyticalSolver::new();
+    // Focus the demo dataset on the optimization region so the small
+    // network is accurate where the search happens.
+    let data = generate_mixed_dataset(
+        &isop::spaces::training_space(),
+        &isop::spaces::s1(),
+        3000,
+        0.5,
+        &sim,
+        11,
+    )
+    .expect("dataset");
+    let surrogate = NeuralSurrogate::fit(small_mlp(), &data).expect("training converges");
+
+    let space = isop::spaces::s1();
+    let optimizer = IsopOptimizer::new(&space, &surrogate, &sim, small_isop_config());
+    let outcome = optimizer.run(
+        isop::tasks::objective_for(TaskId::T1, vec![]),
+        Budget::unlimited(),
+        21,
+    );
+
+    let best = outcome.best().expect("candidate survives");
+    let verified = best.simulated.expect("roll-out verifies");
+    // The surrogate is small: allow a loose band, but the design must be
+    // near-feasible and on the grid.
+    assert!(space.contains(&best.values), "roll-out must land on the grid");
+    assert!(
+        (verified.z_diff - 85.0).abs() < 6.0,
+        "Z far off target: {}",
+        verified.z_diff
+    );
+    assert!(verified.insertion_loss < 0.0);
+    // Surrogate and simulator must roughly agree at the chosen point.
+    assert!(
+        (best.predicted[0] - verified.z_diff).abs() < 12.0,
+        "surrogate Z {} vs verified {}",
+        best.predicted[0],
+        verified.z_diff
+    );
+}
+
+/// The oracle-surrogate pipeline must satisfy constraints across seeds and
+/// tasks (the 100% success-rate claim at small scale).
+#[test]
+fn oracle_pipeline_success_across_tasks_and_seeds() {
+    let sim = AnalyticalSolver::new();
+    let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+    let space = isop::spaces::s1();
+    let mut successes = 0;
+    let mut runs = 0;
+    for task in [TaskId::T1, TaskId::T2, TaskId::T4] {
+        for seed in [1u64, 2] {
+            let optimizer = IsopOptimizer::new(&space, &surrogate, &sim, small_isop_config());
+            let outcome = optimizer.run(
+                isop::tasks::objective_for(task, vec![]),
+                Budget::unlimited(),
+                seed,
+            );
+            runs += 1;
+            if outcome.success {
+                successes += 1;
+            }
+        }
+    }
+    assert!(
+        successes >= runs - 1,
+        "oracle pipeline should almost always succeed: {successes}/{runs}"
+    );
+}
+
+/// Input constraints flow through the whole pipeline: with the Table IX
+/// constraints active, the winning design must satisfy them.
+#[test]
+fn input_constraints_respected_end_to_end() {
+    let sim = AnalyticalSolver::new();
+    let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+    let space = isop::spaces::s1_prime();
+    let ics = isop::tasks::table_ix_input_constraints();
+    let optimizer = IsopOptimizer::new(&space, &surrogate, &sim, small_isop_config());
+    let outcome = optimizer.run(
+        isop::tasks::objective_for(TaskId::T1, ics.clone()),
+        Budget::unlimited(),
+        5,
+    );
+    let best = outcome.best().expect("candidate");
+    for c in &ics {
+        assert!(
+            c.violation(&best.values) < 0.5,
+            "constraint '{}' badly violated: y = {}",
+            c.label,
+            c.linear_form(&best.values)
+        );
+    }
+}
+
+/// The roll-out stage's simulated metrics must be reproducible by calling
+/// the simulator directly on the reported design vector.
+#[test]
+fn reported_design_reproduces_reported_metrics() {
+    let sim = AnalyticalSolver::new();
+    let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+    let space = isop::spaces::s1();
+    let optimizer = IsopOptimizer::new(&space, &surrogate, &sim, small_isop_config());
+    let outcome = optimizer.run(
+        isop::tasks::objective_for(TaskId::T1, vec![]),
+        Budget::unlimited(),
+        9,
+    );
+    for c in &outcome.candidates {
+        let layer = DiffStripline::from_vector(&c.values).expect("valid");
+        let fresh = AnalyticalSolver::new().simulate(&layer).expect("simulates");
+        assert_eq!(Some(fresh), c.simulated, "metrics must be reproducible");
+    }
+}

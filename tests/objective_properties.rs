@@ -1,0 +1,115 @@
+//! Property-based tests on the objective machinery (`g`, `g_hat`, adaptive
+//! weights): the contracts the optimizer depends on.
+
+use isop::objective::{FomSpec, InputConstraint, Metric, Objective, OutputConstraint};
+use isop::weights::{SampleRecord, WeightAdapter};
+use proptest::prelude::*;
+
+fn t3_like_objective() -> Objective {
+    Objective::new(
+        FomSpec {
+            terms: vec![(Metric::L, 1.0)],
+        },
+        vec![
+            OutputConstraint::band(Metric::Z, 85.0, 1.0),
+            OutputConstraint::band(Metric::Next, 0.0, 0.05),
+        ],
+        vec![InputConstraint::new(vec![(0, 2.0), (1, 1.0)], 20.0, "2W+S<=20")],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// g is non-negative whenever the FoM terms are magnitudes, and equals
+    /// the pure FoM exactly inside the feasible region.
+    #[test]
+    fn g_exact_decomposes(z in 80.0f64..90.0, l in -1.0f64..-0.1, next in -0.2f64..0.0,
+                          w in 2.0f64..8.0, s in 2.0f64..6.0) {
+        let obj = t3_like_objective();
+        let metrics = [z, l, next];
+        let values = vec![w, s];
+        let g = obj.g_exact(&metrics, &values);
+        prop_assert!(g >= 0.0);
+        let feasible = (z - 85.0).abs() <= 1.0 && next.abs() <= 0.05 && 2.0 * w + s <= 20.0;
+        if feasible {
+            prop_assert!((g - l.abs()).abs() < 1e-9, "inside the region g == |L|");
+        } else {
+            prop_assert!(g >= l.abs() - 1e-9, "violations only add penalty");
+        }
+    }
+
+    /// g_hat is finite, non-negative, and bounded by FoM + sum of weights *
+    /// (2 per output constraint) + IC penalties.
+    #[test]
+    fn g_hat_is_bounded(z in 0.0f64..300.0, l in -5.0f64..0.0, next in -10.0f64..0.0) {
+        let obj = t3_like_objective();
+        let metrics = [z, l, next];
+        let values = vec![5.0, 5.0];
+        let gh = obj.g_hat(&metrics, &values);
+        prop_assert!(gh.is_finite());
+        prop_assert!(gh >= 0.0);
+        let cap = l.abs() + 2.0 * obj.weights.oc.iter().sum::<f64>() + 1e-9;
+        prop_assert!(gh <= cap, "g_hat {gh} above cap {cap}");
+    }
+
+    /// The smoothed constraint is monotone in the violation direction:
+    /// moving further out of band never reduces the penalty.
+    #[test]
+    fn smoothed_is_monotone_outward(delta in 0.0f64..10.0, step in 0.01f64..2.0) {
+        let c = OutputConstraint::band(Metric::Z, 85.0, 1.0);
+        let near = c.smoothed(&[85.0 + delta, 0.0, 0.0], 1.0);
+        let far = c.smoothed(&[85.0 + delta + step, 0.0, 0.0], 1.0);
+        prop_assert!(far >= near - 1e-12);
+    }
+
+    /// Weight adaptation never increases a weight and never drops it to
+    /// (or below) zero.
+    #[test]
+    fn weights_decay_monotonically_and_stay_positive(
+        satisfied_fraction in 0.0f64..1.0,
+        rounds in 1usize..20,
+    ) {
+        let mut obj = t3_like_objective();
+        let adapter = WeightAdapter::default();
+        let n = 20usize;
+        let n_sat = (satisfied_fraction * n as f64) as usize;
+        let batch: Vec<SampleRecord> = (0..n)
+            .map(|i| SampleRecord {
+                metrics: if i < n_sat {
+                    [85.0, -0.4, -0.01]
+                } else {
+                    [95.0, -0.4, -2.0]
+                },
+                values: if i < n_sat { vec![5.0, 5.0] } else { vec![9.0, 9.0] },
+            })
+            .collect();
+        let mut prev = obj.weights.clone();
+        for _ in 0..rounds {
+            adapter.update(&mut obj, &batch);
+            for (w, p) in obj.weights.oc.iter().zip(&prev.oc) {
+                prop_assert!(*w <= *p + 1e-12, "OC weight must not grow");
+                prop_assert!(*w > 0.0, "OC weight must stay positive");
+            }
+            for (w, p) in obj.weights.ic.iter().zip(&prev.ic) {
+                prop_assert!(*w <= *p + 1e-12);
+                prop_assert!(*w > 0.0);
+            }
+            prev = obj.weights.clone();
+        }
+    }
+
+    /// FoM improvement (Eq. 12) is antisymmetric around equality and
+    /// positive exactly when ISOP+ is better.
+    #[test]
+    fn improvement_sign_correct(a in 0.01f64..10.0, b in 0.01f64..10.0) {
+        let impv = isop::experiment::fom_improvement(a, b);
+        if a > b {
+            prop_assert!(impv > 0.0);
+        } else if a < b {
+            prop_assert!(impv < 0.0);
+        } else {
+            prop_assert!(impv.abs() < 1e-12);
+        }
+    }
+}

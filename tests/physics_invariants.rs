@@ -1,0 +1,121 @@
+//! Property-based tests on the EM substrate: physical monotonicities that
+//! must hold for *every* design in the training ranges — the qualitative
+//! structure the whole optimization story depends on.
+
+use isop_em::simulator::{AnalyticalSolver, EmSimulator};
+use isop_em::stackup::DiffStripline;
+use proptest::prelude::*;
+
+/// Strategy: a random valid layer drawn from (a safe interior of) the
+/// training ranges.
+fn layer_strategy() -> impl Strategy<Value = DiffStripline> {
+    (
+        2.0f64..20.0,        // W_t
+        2.0f64..30.0,        // S_t
+        10.0f64..80.0,       // D_t
+        0.0f64..0.4,         // E_t
+        0.5f64..3.0,         // H_t
+        2.0f64..30.0,        // H_c
+        2.0f64..30.0,        // H_p
+        3.0e7f64..5.8e7,     // sigma
+        -14.5f64..14.0,      // R_t
+        1.5f64..7.0,         // Dk (shared for simplicity)
+        0.0005f64..0.05,     // Df (shared)
+    )
+        .prop_filter_map("etch must not pinch the trace", |(w, s, d, e, ht, hc, hp, sig, r, dk, df)| {
+            DiffStripline::from_vector(&[w, s, d, e, ht, hc, hp, sig, r, dk, dk, dk, df, df, df])
+                .ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All three metrics stay physical everywhere.
+    #[test]
+    fn metrics_are_physical(layer in layer_strategy()) {
+        let r = AnalyticalSolver::new().simulate(&layer).expect("valid layer");
+        prop_assert!(r.z_diff > 5.0 && r.z_diff < 500.0, "Z = {}", r.z_diff);
+        prop_assert!(r.insertion_loss < 0.0 && r.insertion_loss > -20.0, "L = {}", r.insertion_loss);
+        prop_assert!(r.next <= 0.0 && r.next > -500.0, "NEXT = {}", r.next);
+    }
+
+    /// Widening the trace always lowers impedance.
+    #[test]
+    fn wider_trace_lowers_z(layer in layer_strategy()) {
+        let sim = AnalyticalSolver::new();
+        let mut wide = layer;
+        wide.trace_width += 2.0;
+        let z0 = sim.simulate(&layer).expect("ok").z_diff;
+        let z1 = sim.simulate(&wide).expect("ok").z_diff;
+        prop_assert!(z1 < z0, "{z1} !< {z0}");
+    }
+
+    /// Raising every Dk always lowers impedance.
+    #[test]
+    fn higher_dk_lowers_z(layer in layer_strategy()) {
+        let sim = AnalyticalSolver::new();
+        let mut dense = layer;
+        dense.dk_core = (dense.dk_core + 1.0).min(12.0);
+        dense.dk_prepreg = (dense.dk_prepreg + 1.0).min(12.0);
+        dense.dk_trace = (dense.dk_trace + 1.0).min(12.0);
+        let z0 = sim.simulate(&layer).expect("ok").z_diff;
+        let z1 = sim.simulate(&dense).expect("ok").z_diff;
+        prop_assert!(z1 < z0);
+    }
+
+    /// Rougher copper and higher loss tangent both increase |L|.
+    #[test]
+    fn loss_mechanisms_add_up(layer in layer_strategy()) {
+        let sim = AnalyticalSolver::new();
+        let base = sim.simulate(&layer).expect("ok").insertion_loss;
+
+        let mut rough = layer;
+        rough.roughness = 14.0;
+        let mut smooth = layer;
+        smooth.roughness = -14.5;
+        let l_rough = sim.simulate(&rough).expect("ok").insertion_loss;
+        let l_smooth = sim.simulate(&smooth).expect("ok").insertion_loss;
+        prop_assert!(l_rough <= l_smooth + 1e-12);
+
+        let mut lossy = layer;
+        lossy.df_core = (lossy.df_core * 3.0).min(0.4);
+        lossy.df_prepreg = (lossy.df_prepreg * 3.0).min(0.4);
+        lossy.df_trace = (lossy.df_trace * 3.0).min(0.4);
+        let l_lossy = sim.simulate(&lossy).expect("ok").insertion_loss;
+        prop_assert!(l_lossy <= base + 1e-12);
+    }
+
+    /// Pulling the pairs apart strictly reduces crosstalk magnitude.
+    #[test]
+    fn distance_reduces_next(layer in layer_strategy()) {
+        let sim = AnalyticalSolver::new();
+        let mut far = layer;
+        far.pair_distance += 10.0;
+        let n0 = sim.simulate(&layer).expect("ok").next.abs();
+        let n1 = sim.simulate(&far).expect("ok").next.abs();
+        prop_assert!(n1 <= n0 + 1e-12);
+    }
+
+    /// Higher conductivity never increases loss.
+    #[test]
+    fn conductivity_helps(layer in layer_strategy()) {
+        let sim = AnalyticalSolver::new();
+        let mut good = layer;
+        good.conductivity = 5.8e7;
+        let mut bad = layer;
+        bad.conductivity = 3.0e7;
+        let l_good = sim.simulate(&good).expect("ok").insertion_loss;
+        let l_bad = sim.simulate(&bad).expect("ok").insertion_loss;
+        prop_assert!(l_good >= l_bad - 1e-12);
+    }
+
+    /// The simulator is deterministic.
+    #[test]
+    fn simulation_is_deterministic(layer in layer_strategy()) {
+        let sim = AnalyticalSolver::new();
+        let a = sim.simulate(&layer).expect("ok");
+        let b = sim.simulate(&layer).expect("ok");
+        prop_assert_eq!(a, b);
+    }
+}
