@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use isop::data::generate_dataset;
+use isop::exec::{par_map_indexed, Parallelism};
 use isop_em::simulator::AnalyticalSolver;
+use isop_ml::linalg::Matrix;
 use isop_ml::models::{Cnn1d, Cnn1dConfig, Mlp, MlpConfig, XgbRegressor};
 use isop_ml::Regressor;
 use std::hint::black_box;
@@ -42,6 +44,26 @@ fn bench_inference(c: &mut Criterion) {
         use isop_ml::Differentiable;
         b.iter(|| mlp.input_jacobian(black_box(probe.row(0))).expect("ok"))
     });
+
+    // Batched forward vs. row-at-a-time, threaded at the width given by the
+    // THREADS env var (default 1) — the levers the pipeline's stage-3
+    // roll-out pulls. Run with e.g. `THREADS=4 cargo bench` to compare.
+    let threads = Parallelism::from_env().threads;
+    let rows: Vec<Vec<f64>> = (0..probe.rows()).map(|r| probe.row(r).to_vec()).collect();
+    let mut g = c.benchmark_group("surrogate_inference_parallel");
+    g.sample_size(20);
+    g.bench_function("mlp_batched_forward", |b| {
+        b.iter(|| mlp.predict(black_box(&probe)).expect("ok"))
+    });
+    g.bench_function(format!("mlp_per_row_t{threads}"), |b| {
+        b.iter(|| {
+            par_map_indexed(threads, black_box(&rows), |_, row| {
+                mlp.predict(&Matrix::from_rows(std::slice::from_ref(row)))
+                    .expect("ok")
+            })
+        })
+    });
+    g.finish();
 }
 
 criterion_group!(benches, bench_inference);

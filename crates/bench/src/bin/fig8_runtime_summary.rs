@@ -19,7 +19,8 @@ fn main() {
     let s1 = isop::spaces::s1();
 
     let mut table = Table::new(vec!["Task", "Variant", "Ave. runtime (s)", "Ave. samples"]);
-    let mut per_task: Vec<(TaskId, Vec<(String, f64, f64)>)> = Vec::new();
+    type TaskBars = Vec<(String, f64, f64)>;
+    let mut per_task: Vec<(TaskId, TaskBars)> = Vec::new();
     for task in TaskId::all() {
         let mut bars = Vec::new();
         for (technique, surrogate) in [

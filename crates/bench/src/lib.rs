@@ -283,6 +283,10 @@ pub fn isop_config() -> isop::pipeline::IsopConfig {
         cand_num: 3,
         adapt_weights: true,
         weight_adapter: isop::weights::WeightAdapter::default(),
+        // Experiment cells honour the THREADS env var so the same harness
+        // can be timed serial vs. parallel; outcomes are identical either
+        // way (see `isop::exec`).
+        parallelism: isop::exec::Parallelism::from_env(),
     }
 }
 

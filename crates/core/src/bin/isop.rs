@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! isop simulate --w 5 --s 6 --d 30 [--dk 3.6] [--df 0.008] [--engine fd]
-//! isop optimize --task t1 --space s1 [--seed 42] [--trials 1] [--with-ic]
+//! isop optimize --task t1 --space s1 [--seed 42] [--trials 1] [--threads 4] [--with-ic]
 //! isop spaces
 //! isop dataset --n 1000 --out dataset.json [--space training]
 //! ```
@@ -106,6 +106,7 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
     let space = space_by_name(space_name).ok_or("unknown space (s1, s2, s1p)")?;
     let seed = flag_f64(flags, "seed", 42.0) as u64;
     let trials = flag_f64(flags, "trials", 1.0) as usize;
+    let threads = flag_f64(flags, "threads", 1.0) as usize;
     let ics = if flags.contains_key("with-ic") {
         isop::tasks::table_ix_input_constraints()
     } else {
@@ -116,8 +117,11 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
     let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
     let mut best: Option<(f64, DesignCandidate, bool)> = None;
     for t in 0..trials.max(1) {
-        let optimizer =
-            IsopOptimizer::new(&space, &surrogate, &simulator, IsopConfig::default());
+        let config = IsopConfig {
+            parallelism: isop::exec::Parallelism::new(threads),
+            ..IsopConfig::default()
+        };
+        let optimizer = IsopOptimizer::new(&space, &surrogate, &simulator, config);
         let outcome = optimizer.run(
             isop::tasks::objective_for(task, ics.clone()),
             Budget::unlimited(),
@@ -173,7 +177,7 @@ fn usage() {
     eprintln!(
         "isop — inverse stack-up optimization\n\n\
          USAGE:\n  isop simulate [--w 5] [--s 6] [--d 30] [--dk 3.6] [--df 0.008] [--engine fd]\n  \
-         isop optimize --task t1 --space s1 [--seed 42] [--trials 1] [--with-ic]\n  \
+         isop optimize --task t1 --space s1 [--seed 42] [--trials 1] [--threads 4] [--with-ic]\n  \
          isop spaces\n  \
          isop dataset --n 1000 --out dataset.json [--space training]"
     );

@@ -61,6 +61,7 @@
 pub mod baselines;
 pub mod board;
 pub mod data;
+pub mod exec;
 pub mod experiment;
 pub mod manual;
 pub mod objective;
@@ -78,6 +79,7 @@ pub mod prelude {
     pub use crate::objective::{
         FomSpec, InputConstraint, Metric, Objective, OutputConstraint,
     };
+    pub use crate::exec::Parallelism;
     pub use crate::params::{ParamDef, ParamSpace};
     pub use crate::pipeline::{DesignCandidate, IsopConfig, IsopOptimizer, IsopOutcome};
     pub use crate::surrogate::{

@@ -340,7 +340,7 @@ mod tests {
     #[test]
     fn round_to_grid_snaps_and_clamps() {
         let p = ParamDef::new("w", 2.0, 5.0, 0.1);
-        assert!((p.round_to_grid(3.141) - 3.1).abs() < 1e-12);
+        assert!((p.round_to_grid(3.149) - 3.1).abs() < 1e-12);
         assert_eq!(p.round_to_grid(-10.0), 2.0);
         assert_eq!(p.round_to_grid(99.0), 5.0);
     }
@@ -389,7 +389,7 @@ mod tests {
     #[test]
     fn encode_values_rounds_onto_grid() {
         let s = simple_space();
-        let bits = s.encode_values(&[3.14, 34.0, 0.12]).expect("in range");
+        let bits = s.encode_values(&[3.13, 34.0, 0.12]).expect("in range");
         let back = s.decode_values(&bits).expect("valid");
         assert!((back[0] - 3.1).abs() < 1e-9);
         assert!((back[1] - 35.0).abs() < 1e-9);

@@ -37,6 +37,21 @@ pub trait Surrogate: Send + Sync {
     /// Returns [`MlError`] if the model is unfitted or the width mismatches.
     fn jacobian(&self, x: &[f64]) -> Option<Result<Matrix, MlError>>;
 
+    /// Predicts the metric vector for a batch of designs, one result per
+    /// row so a single invalid design does not poison the batch.
+    ///
+    /// The default loops over [`Surrogate::predict`]; neural surrogates
+    /// override it with a single batched matrix forward pass.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Result<[f64; 3], MlError>> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Input Jacobians for a batch of designs (per-row results; see
+    /// [`Surrogate::jacobian`] for the `None` convention).
+    fn jacobian_batch(&self, xs: &[Vec<f64>]) -> Vec<Option<Result<Matrix, MlError>>> {
+        xs.iter().map(|x| self.jacobian(x)).collect()
+    }
+
     /// Surrogate name for reports (e.g. `"1D-CNN"`).
     fn name(&self) -> String;
 }
@@ -82,6 +97,29 @@ impl<M: Differentiable> Surrogate for NeuralSurrogate<M> {
 
     fn jacobian(&self, x: &[f64]) -> Option<Result<Matrix, MlError>> {
         Some(self.model.input_jacobian(x))
+    }
+
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Result<[f64; 3], MlError>> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        // One matrix forward pass over the whole batch instead of one
+        // single-row pass per design.
+        let batch = Matrix::from_rows(xs);
+        match self.model.predict(&batch) {
+            Ok(out) => (0..out.rows()).map(|r| Ok(row_to_metrics(out.row(r)))).collect(),
+            // A whole-batch failure (unfitted model, width mismatch)
+            // applies to every row equally.
+            Err(e) => xs.iter().map(|_| Err(e.clone())).collect(),
+        }
+    }
+
+    fn jacobian_batch(&self, xs: &[Vec<f64>]) -> Vec<Option<Result<Matrix, MlError>>> {
+        self.model
+            .input_jacobian_batch(xs)
+            .into_iter()
+            .map(Some)
+            .collect()
     }
 
     fn name(&self) -> String {
@@ -208,7 +246,7 @@ mod tests {
     use crate::data::generate_dataset;
     use crate::spaces;
     use isop_em::simulator::AnalyticalSolver;
-    use isop_ml::models::{Cnn1dConfig, MlpConfig};
+    use isop_ml::models::MlpConfig;
 
     fn tiny_dataset(n: usize) -> Dataset {
         generate_dataset(&spaces::s1(), n, &AnalyticalSolver::new(), 42).expect("dataset")

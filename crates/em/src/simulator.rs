@@ -176,8 +176,10 @@ mod tests {
     #[test]
     fn invalid_layer_is_rejected() {
         let sim = AnalyticalSolver::new();
-        let mut bad = DiffStripline::default();
-        bad.trace_width = -1.0;
+        let bad = DiffStripline {
+            trace_width: -1.0,
+            ..DiffStripline::default()
+        };
         assert!(sim.simulate(&bad).is_err());
         assert_eq!(sim.call_count(), 0, "failed runs must not count");
     }

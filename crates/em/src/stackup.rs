@@ -228,7 +228,7 @@ impl DiffStripline {
             ("dk_core", self.dk_core),
             ("dk_prepreg", self.dk_prepreg),
         ] {
-            if !dk.is_finite() || dk < 1.0 || dk > 12.0 {
+            if !dk.is_finite() || !(1.0..=12.0).contains(&dk) {
                 return Err(GeometryError {
                     field,
                     reason: "dielectric constant must lie in [1, 12]",
@@ -240,7 +240,7 @@ impl DiffStripline {
             ("df_core", self.df_core),
             ("df_prepreg", self.df_prepreg),
         ] {
-            if !df.is_finite() || df < 0.0 || df > 0.5 {
+            if !df.is_finite() || !(0.0..=0.5).contains(&df) {
                 return Err(GeometryError {
                     field,
                     reason: "dissipation factor must lie in [0, 0.5]",

@@ -68,7 +68,7 @@ impl Via {
     /// Returns [`ViaGeometryError`] when diameters are non-increasing
     /// (`barrel < pad < antipad`) or lengths are negative.
     pub fn validate(&self) -> Result<(), ViaGeometryError> {
-        if !(self.barrel_diameter > 0.0) {
+        if self.barrel_diameter.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(ViaGeometryError("barrel diameter must be positive"));
         }
         if self.pad_diameter <= self.barrel_diameter {
@@ -174,8 +174,10 @@ mod tests {
 
     #[test]
     fn geometry_validation_catches_ordering() {
-        let mut v = Via::default();
-        v.pad_diameter = 5.0; // below barrel
+        let v = Via {
+            pad_diameter: 5.0, // below barrel
+            ..Via::default()
+        };
         assert!(v.validate().is_err());
         let mut v = Via::default();
         v.antipad_diameter = v.pad_diameter; // not larger

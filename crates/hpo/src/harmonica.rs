@@ -315,7 +315,7 @@ mod tests {
     fn sparse_objective() -> impl BinaryObjective {
         BinaryFn::new(16, |b: &[bool]| {
             let sign = |x: bool| if x { 1.0 } else { -1.0 };
-            Some(-2.0 * sign(b[0]) + 1.5 * sign(b[3]) - sign(b[5]) * sign(b[6]) * -1.0)
+            Some(-2.0 * sign(b[0]) + 1.5 * sign(b[3]) + sign(b[5]) * sign(b[6]))
         })
     }
 

@@ -7,6 +7,7 @@
 //! stage to pick the `p` gradient-descent seeds out of the Harmonica-reduced
 //! space — the paper reports it outperforms naive random sampling there.
 
+use crate::order::nan_last;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -43,11 +44,13 @@ pub struct Ranked<C> {
 /// Runs Hyperband.
 ///
 /// * `sample` draws a fresh random configuration;
-/// * `eval(config, resource)` returns the loss of `config` when granted
-///   `resource` units (lower is better).
+/// * `eval(rng, config, resource)` returns the loss of `config` when
+///   granted `resource` units (lower is better). The run RNG is lent to the
+///   hook so stochastic fidelity schemes (e.g. random neighbourhood probes)
+///   draw from the same deterministic stream as the sampler.
 ///
 /// Returns every configuration that survived to the end of its bracket,
-/// sorted by loss ascending.
+/// sorted by loss ascending; `NaN` losses rank last.
 ///
 /// # Panics
 ///
@@ -56,7 +59,7 @@ pub fn run<C: Clone>(
     cfg: &HyperbandConfig,
     rng: &mut StdRng,
     mut sample: impl FnMut(&mut StdRng) -> C,
-    mut eval: impl FnMut(&C, f64) -> f64,
+    mut eval: impl FnMut(&mut StdRng, &C, f64) -> f64,
 ) -> Vec<Ranked<C>> {
     assert!(cfg.eta > 1.0, "eta must exceed 1");
     assert!(cfg.max_resource >= 1.0, "max_resource must be >= 1");
@@ -77,11 +80,11 @@ pub fn run<C: Clone>(
                 .iter()
                 .map(|c| Ranked {
                     config: c.clone(),
-                    loss: eval(c, r_i),
+                    loss: eval(rng, c, r_i),
                     resource: r_i,
                 })
                 .collect();
-            scored.sort_by(|a, b| a.loss.partial_cmp(&b.loss).expect("finite losses"));
+            scored.sort_by(|a, b| nan_last(a.loss, b.loss));
             let keep = ((pool.len() as f64) / cfg.eta).floor() as usize;
             last = scored;
             if i < s {
@@ -90,7 +93,7 @@ pub fn run<C: Clone>(
         }
         finalists.extend(last.into_iter().take(1.max(n / 4)));
     }
-    finalists.sort_by(|a, b| a.loss.partial_cmp(&b.loss).expect("finite losses"));
+    finalists.sort_by(|a, b| nan_last(a.loss, b.loss));
     finalists
 }
 
@@ -103,7 +106,7 @@ pub fn successive_halving<C: Clone>(
     base_resource: f64,
     rng: &mut StdRng,
     mut sample: impl FnMut(&mut StdRng) -> C,
-    mut eval: impl FnMut(&C, f64) -> f64,
+    mut eval: impl FnMut(&mut StdRng, &C, f64) -> f64,
 ) -> Vec<Ranked<C>> {
     assert!(n > 0 && eta > 1.0);
     let mut pool: Vec<C> = (0..n).map(|_| sample(rng)).collect();
@@ -114,11 +117,11 @@ pub fn successive_halving<C: Clone>(
             .iter()
             .map(|c| Ranked {
                 config: c.clone(),
-                loss: eval(c, r_i),
+                loss: eval(rng, c, r_i),
                 resource: r_i,
             })
             .collect();
-        scored.sort_by(|a, b| a.loss.partial_cmp(&b.loss).expect("finite losses"));
+        scored.sort_by(|a, b| nan_last(a.loss, b.loss));
         let keep = ((pool.len() as f64) / eta).floor().max(1.0) as usize;
         if i + 1 < rungs {
             pool = scored.iter().take(keep).map(|r| r.config.clone()).collect();
@@ -146,7 +149,7 @@ mod tests {
             &HyperbandConfig::default(),
             &mut rng,
             |r| r.gen::<f64>(),
-            |&x, resource| {
+            |_, &x, resource| {
                 let noise = (noise_rng.gen::<f64>() - 0.5) / resource.sqrt();
                 (x - 0.7) * (x - 0.7) + 0.3 * noise
             },
@@ -163,7 +166,7 @@ mod tests {
             &HyperbandConfig::default(),
             &mut rng,
             |r| r.gen::<f64>(),
-            |&x, _| x,
+            |_, &x, _| x,
         );
         for w in results.windows(2) {
             assert!(w[0].loss <= w[1].loss);
@@ -182,7 +185,7 @@ mod tests {
             &cfg,
             &mut rng,
             |r| r.gen::<f64>(),
-            |_, resource| {
+            |_, _, resource| {
                 max_seen = max_seen.max(resource);
                 0.0
             },
@@ -201,7 +204,7 @@ mod tests {
             1.0,
             &mut rng,
             |r| r.gen::<f64>(),
-            |&x, _| {
+            |_, &x, _| {
                 evals += 1;
                 (x - 0.25).abs()
             },
@@ -216,7 +219,7 @@ mod tests {
     #[test]
     fn single_config_halving_works() {
         let mut rng = StdRng::seed_from_u64(6);
-        let results = successive_halving(1, 3, 3.0, 1.0, &mut rng, |_| 42usize, |_, _| 1.0);
+        let results = successive_halving(1, 3, 3.0, 1.0, &mut rng, |_| 42usize, |_, _, _| 1.0);
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].config, 42);
     }

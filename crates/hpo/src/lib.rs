@@ -30,6 +30,7 @@ pub mod harmonica;
 pub mod hyperband;
 pub mod lasso;
 pub mod objective;
+pub mod order;
 pub mod random;
 pub mod sa;
 pub mod space;
@@ -37,4 +38,5 @@ pub mod tpe;
 
 pub use budget::Budget;
 pub use objective::{BinaryObjective, DiscreteObjective, Evaluation};
+pub use order::nan_last;
 pub use space::{BinarySpace, DiscreteSpace};

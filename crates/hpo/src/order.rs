@@ -1,0 +1,54 @@
+//! NaN-safe total orderings for ranking losses.
+//!
+//! Search code ranks candidates by floating-point loss. A surrogate can
+//! return `NaN` (e.g. a diverged model), and `partial_cmp(..).expect(..)`
+//! turns that into a panic deep inside a sort. [`nan_last`] instead defines
+//! the total order the optimizer wants: finite-and-ordinary values first via
+//! [`f64::total_cmp`], every `NaN` (either sign bit) after all numbers.
+
+use std::cmp::Ordering;
+
+/// Total order on `f64` with **every** `NaN` sorting after all numbers.
+///
+/// Ascending sorts (`sort_by(|a, b| nan_last(*a, *b))`) therefore keep the
+/// best (smallest) losses first and push poisoned entries to the tail, where
+/// truncation drops them. Note plain [`f64::total_cmp`] alone is not enough:
+/// it orders negative-sign-bit NaNs *before* every number.
+#[must_use]
+pub fn nan_last(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_ordinary_values_ascending() {
+        let mut v = vec![3.0, -1.0, 2.5, 0.0, -0.0];
+        v.sort_by(|a, b| nan_last(*a, *b));
+        assert_eq!(v, vec![-1.0, -0.0, 0.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn nan_sorts_after_everything() {
+        let neg_nan = f64::from_bits(f64::NAN.to_bits() | (1 << 63));
+        let mut v = [f64::NAN, 1.0, neg_nan, f64::NEG_INFINITY, f64::INFINITY];
+        v.sort_by(|a, b| nan_last(*a, *b));
+        assert_eq!(v[0], f64::NEG_INFINITY);
+        assert_eq!(v[1], 1.0);
+        assert_eq!(v[2], f64::INFINITY);
+        assert!(v[3].is_nan() && v[4].is_nan());
+    }
+
+    #[test]
+    fn nan_ties_are_equal() {
+        assert_eq!(nan_last(f64::NAN, f64::NAN), Ordering::Equal);
+        assert_eq!(nan_last(1.0, 1.0), Ordering::Equal);
+    }
+}

@@ -78,7 +78,7 @@ impl BinarySpace {
         assert_eq!(bits.len(), self.fixed.len(), "bit length mismatch");
         bits.iter()
             .zip(&self.fixed)
-            .all(|(b, f)| f.map_or(true, |v| v == *b))
+            .all(|(b, f)| f.is_none_or(|v| v == *b))
     }
 
     /// log2 of the remaining space size.

@@ -163,8 +163,8 @@ impl Scaler {
         let mut out = m.clone();
         for r in 0..out.rows() {
             let row = out.row_mut(r);
-            for c in 0..row.len() {
-                row[c] = (row[c] - self.means[c]) / self.stds[c];
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.means[c]) / self.stds[c];
             }
         }
         out
@@ -177,8 +177,8 @@ impl Scaler {
     /// Panics if the length differs from the fitted width.
     pub fn transform_row(&self, row: &mut [f64]) {
         assert_eq!(row.len(), self.means.len(), "scaler width mismatch");
-        for c in 0..row.len() {
-            row[c] = (row[c] - self.means[c]) / self.stds[c];
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = (*v - self.means[c]) / self.stds[c];
         }
     }
 
@@ -192,8 +192,8 @@ impl Scaler {
         let mut out = m.clone();
         for r in 0..out.rows() {
             let row = out.row_mut(r);
-            for c in 0..row.len() {
-                row[c] = row[c] * self.stds[c] + self.means[c];
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = *v * self.stds[c] + self.means[c];
             }
         }
         out

@@ -90,8 +90,8 @@ pub fn permutation_importance(
         for r in 0..n {
             x_perm[(r, f)] = data.x[(r, f)];
         }
-        for o in 0..m {
-            scores[o][f] /= repeats as f64;
+        for score in scores.iter_mut() {
+            score[f] /= repeats as f64;
         }
     }
     Ok(ImportanceReport {

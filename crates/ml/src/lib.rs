@@ -124,6 +124,15 @@ pub trait Differentiable: Regressor {
     /// Returns [`MlError::NotFitted`] before `fit`, or
     /// [`MlError::ShapeMismatch`] on a feature-width mismatch.
     fn input_jacobian(&self, x: &[f64]) -> Result<Matrix, MlError>;
+
+    /// Jacobians for a batch of input rows, one `m x d` matrix per row.
+    ///
+    /// The default loops over [`Differentiable::input_jacobian`]; models
+    /// whose backward pass vectorizes across rows can override it. Results
+    /// are reported per row so one failing row does not poison the batch.
+    fn input_jacobian_batch(&self, rows: &[Vec<f64>]) -> Vec<Result<Matrix, MlError>> {
+        rows.iter().map(|r| self.input_jacobian(r)).collect()
+    }
 }
 
 /// Convenience: predicts a single row, returning the output vector.

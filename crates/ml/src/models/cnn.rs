@@ -159,7 +159,7 @@ impl Cnn1d {
         assert_eq!(cfg.expand % cfg.channels, 0, "expand must split into channels");
         assert_eq!(cfg.kernel % 2, 1, "kernel must be odd for same-padding");
         let l0 = cfg.expand / cfg.channels;
-        assert!(l0 >= 4 && l0 % 4 == 0, "signal length must be a positive multiple of 4");
+        assert!(l0 >= 4 && l0.is_multiple_of(4), "signal length must be a positive multiple of 4");
         Self {
             cfg,
             w_expand: Tensor::zeros(0),
@@ -385,9 +385,9 @@ impl Cnn1d {
         for (o, &g) in d_out.iter().enumerate() {
             grads.b_out[o] += g;
             let base = o * cfg.head;
-            for j in 0..cfg.head {
+            for (j, dh) in d_h.iter_mut().enumerate() {
                 grads.w_out[base + j] += g * caches.h_act[j];
-                d_h[j] += g * self.w_out.data[base + j];
+                *dh += g * self.w_out.data[base + j];
             }
         }
         if let Some(mask) = head_mask {
@@ -404,9 +404,9 @@ impl Cnn1d {
         for (o, &g) in d_h.iter().enumerate() {
             grads.b_head[o] += g;
             let base = o * flat;
-            for j in 0..flat {
+            for (j, dp) in d_p2.iter_mut().enumerate() {
                 grads.w_head[base + j] += g * caches.p2[j];
-                d_p2[j] += g * self.w_head.data[base + j];
+                *dp += g * self.w_head.data[base + j];
             }
         }
 
@@ -458,9 +458,9 @@ impl Cnn1d {
         for (o, &g) in d_e.iter().enumerate() {
             grads.b_expand[o] += g;
             let base = o * self.n_features;
-            for j in 0..self.n_features {
+            for (j, dx) in d_x.iter_mut().enumerate() {
                 grads.w_expand[base + j] += g * caches.x[j];
-                d_x[j] += g * self.w_expand.data[base + j];
+                *dx += g * self.w_expand.data[base + j];
             }
         }
         d_x

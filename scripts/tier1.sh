@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, and warning-free clippy.
+# The workspace vendors every external dependency (see vendor/), so all
+# steps run offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test --offline --workspace -q
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "tier1: OK"

@@ -81,8 +81,10 @@ fn all_methods_verify_with_real_simulation() {
         // Verified metrics are physical.
         assert!(r.metrics[0] > 20.0 && r.metrics[0] < 300.0);
         assert!(r.metrics[1] < 0.0);
-        // Runtime includes the accounted EM batch (45.5 s per batch of 3).
-        assert!(r.runtime_seconds >= 45.0, "EM accounting missing: {}", r.runtime_seconds);
+        // Runtime includes the accounted EM batch: up to three simulations
+        // run in parallel and cost the wall-clock of a single run
+        // (PAPER_EM_BATCH_SECONDS / 3 ~= 15.2 s per batch).
+        assert!(r.runtime_seconds >= 15.0, "EM accounting missing: {}", r.runtime_seconds);
     }
 }
 

@@ -1,0 +1,192 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! [`Criterion`], [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! with `sample_size`/`finish`, [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — a short warm-up, then `sample_size`
+//! timed runs of the closure, reporting min / mean / max wall-clock time.
+//! There is no statistical analysis, outlier rejection, or HTML report.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Overrides the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` under `id` and prints the result.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` under `group/id` and prints the result.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Runs the closure under measurement (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`: one warm-up call, then `samples` measured calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        self.durations.clear();
+        self.durations.reserve(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.durations.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(id: &str, samples: usize, f: F) {
+    let mut b = Bencher {
+        samples,
+        durations: Vec::new(),
+    };
+    f(&mut b);
+    if b.durations.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let min = b.durations.iter().min().copied().unwrap_or_default();
+    let max = b.durations.iter().max().copied().unwrap_or_default();
+    let total: Duration = b.durations.iter().sum();
+    let mean = total / b.durations.len() as u32;
+    println!(
+        "{id:<40} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        b.durations.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a group runner (mirrors criterion's
+/// macro; the config-expression form is not supported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running the named groups; ignores harness CLI arguments
+/// (`cargo bench` passes `--bench`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default();
+        c.sample_size(5).bench_function("counter", |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        // 1 warm-up + 5 samples.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function(format!("inner_{}", 1), |b| b.iter(|| 2 + 2));
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+    }
+}

@@ -1,0 +1,453 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Provides the [`proptest!`] macro, the [`Strategy`] trait with
+//! `prop_map` / `prop_filter_map` / `boxed` combinators, range and
+//! collection strategies, and [`ProptestConfig`]. Differences from real
+//! proptest, deliberate for an offline vendored stub:
+//!
+//! - **No shrinking.** A failing case reports the generated inputs via the
+//!   normal panic message but is not minimized.
+//! - **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test name, so failures reproduce exactly across runs.
+//! - `prop_assert!` / `prop_assert_eq!` delegate to `assert!` /
+//!   `assert_eq!` (panic instead of returning `TestCaseError`).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Per-test configuration (mirrors `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Consecutive strategy rejections tolerated before the test aborts.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self::with_cases(256)
+    }
+}
+
+/// A generator of random values (mirrors `proptest::strategy::Strategy`,
+/// minus value trees / shrinking).
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value; `None` means a filter rejected the draw.
+    fn sample(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Maps through `f`, rejecting draws where `f` returns `None`.
+    /// `_whence` labels the filter in real proptest; kept for signature
+    /// compatibility.
+    fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut StdRng) -> Option<U> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut StdRng) -> Option<U> {
+        self.inner.sample(rng).and_then(&self.f)
+    }
+}
+
+/// A type-erased strategy (mirrors `proptest::strategy::BoxedStrategy`).
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> Option<T> {
+        self.0.sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+// ---------------------------------------------------------------------------
+// Tuple and Vec strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                Some(($(self.$idx.sample(rng)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10, L: 11)
+}
+
+/// One independent strategy per element (used by tests that build a
+/// `Vec<BoxedStrategy<_>>` and treat it as a strategy over `Vec<_>`).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Option<Self::Value> {
+        self.iter().map(|s| s.sample(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arbitrary / any
+// ---------------------------------------------------------------------------
+
+/// A type with a canonical strategy (mirrors `proptest::arbitrary`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+impl Arbitrary for bool {
+    type Strategy = bool_strategies::Any;
+    fn arbitrary() -> Self::Strategy {
+        bool_strategies::ANY
+    }
+}
+
+pub mod bool_strategies {
+    //! Boolean strategies (mirrors `proptest::bool`).
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Uniform boolean strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform boolean constant (`prop::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> Option<bool> {
+            Some(rng.gen::<bool>())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    //! Collection strategies (mirrors `proptest::collection`).
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty proptest size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Option<Self::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the `proptest!` idiom needs (mirrors `proptest::prelude`).
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, BoxedStrategy, ProptestConfig,
+        Strategy,
+    };
+
+    pub mod prop {
+        //! Strategy module shorthand (`prop::collection`, `prop::bool`).
+
+        pub use crate::collection;
+
+        pub mod bool {
+            //! Boolean strategies.
+            pub use crate::bool_strategies::{Any, ANY};
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    //! Runtime support for the `proptest!` macro expansion.
+
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Deterministic per-test seed derived from the test's name.
+    pub fn seed_from_name(name: &str) -> u64 {
+        // FNV-1a: stable across platforms, good enough to decorrelate tests.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Defines property tests: each `fn name(bindings in strategies) { body }`
+/// becomes a `#[test]` running `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let seed = $crate::__rt::seed_from_name(concat!(module_path!(), "::", stringify!($name)));
+                let mut rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(seed);
+                for _case in 0..config.cases {
+                    let mut generated = false;
+                    for _attempt in 0..config.max_global_rejects {
+                        $(
+                            let $arg = match $crate::Strategy::sample(&($strat), &mut rng) {
+                                Some(v) => v,
+                                None => continue,
+                            };
+                        )+
+                        generated = true;
+                        { $body }
+                        break;
+                    }
+                    assert!(
+                        generated,
+                        "proptest stub: strategy rejected {} consecutive samples",
+                        config.max_global_rejects
+                    );
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property holds (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two values are equal (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn range_strategies_respect_bounds() {
+        let mut rng = <__rt::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        for _ in 0..200 {
+            let x = (2.0f64..20.0).sample(&mut rng).unwrap();
+            assert!((2.0..20.0).contains(&x));
+            let n = (0usize..7).sample(&mut rng).unwrap();
+            assert!(n < 7);
+        }
+    }
+
+    #[test]
+    fn filter_map_rejects() {
+        let mut rng = <__rt::StdRng as rand::SeedableRng>::seed_from_u64(2);
+        let s = (0u64..10).prop_filter_map("even only", |n| (n % 2 == 0).then_some(n));
+        let mut seen_none = false;
+        for _ in 0..100 {
+            match s.sample(&mut rng) {
+                Some(n) => assert_eq!(n % 2, 0),
+                None => seen_none = true,
+            }
+        }
+        assert!(seen_none, "odd draws must be rejected");
+    }
+
+    use crate::__rt;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_valid_vectors(
+            xs in prop::collection::vec(-1.0f64..1.0, 5),
+            flag in prop::bool::ANY,
+            n in 1usize..4,
+        ) {
+            prop_assert_eq!(xs.len(), 5);
+            prop_assert!(xs.iter().all(|x| (-1.0..1.0).contains(x)));
+            prop_assert!((1..4).contains(&n));
+            let _ = flag;
+        }
+
+        #[test]
+        fn boxed_vec_of_strategies(
+            levels in vec![(0usize..3).boxed(), (0usize..5).boxed()].prop_map(|l| l)
+        ) {
+            prop_assert_eq!(levels.len(), 2);
+            prop_assert!(levels[0] < 3 && levels[1] < 5);
+        }
+    }
+}

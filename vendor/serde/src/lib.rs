@@ -1,0 +1,289 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! small self-contained serialization framework with serde's call surface:
+//! `#[derive(Serialize, Deserialize)]`, the [`Serialize`]/[`Deserialize`]
+//! traits, and [`de::DeserializeOwned`]. The data model is a JSON value
+//! tree ([`json::Value`]); `serde_json` (also vendored) is a thin façade
+//! over it.
+//!
+//! Unsupported serde features (attributes, borrowed deserialization,
+//! non-self-describing formats) are intentionally absent — nothing in this
+//! repository uses them.
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Error, Value};
+
+/// A type convertible into the JSON data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type constructible from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+pub mod de {
+    //! Deserialization marker traits (mirrors `serde::de`).
+
+    /// A deserializable type that owns all its data. With the vendored
+    /// data model every [`crate::Deserialize`] qualifies.
+    pub trait DeserializeOwned: crate::Deserialize {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    //! Serialization re-exports (mirrors `serde::ser`).
+
+    pub use crate::Serialize;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Num(n) => Ok(*n),
+            other => Err(Error::mismatch("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|n| n as f32)
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    other => Err(Error::mismatch(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::msg(format!("expected array of length {N}, got {got}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = match v {
+                    Value::Arr(items) => items,
+                    other => return Err(Error::mismatch("tuple array", other)),
+                };
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::msg(format!(
+                        "expected tuple of length {expected}, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::Value;
+    use super::{Deserialize, Serialize};
+
+    #[test]
+    fn primitives_roundtrip() {
+        let v = 42.5f64.to_value();
+        assert_eq!(f64::from_value(&v).unwrap(), 42.5);
+        let v = 7usize.to_value();
+        assert_eq!(usize::from_value(&v).unwrap(), 7);
+        let v = true.to_value();
+        assert!(bool::from_value(&v).unwrap());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let xs = vec![1.0f64, 2.0, 3.0];
+        assert_eq!(Vec::<f64>::from_value(&xs.to_value()).unwrap(), xs);
+        let arr = [1.0f64, 2.0, 3.0];
+        assert_eq!(<[f64; 3]>::from_value(&arr.to_value()).unwrap(), arr);
+        let opt: Option<f64> = None;
+        assert_eq!(opt.to_value(), Value::Null);
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        assert!(f64::from_value(&Value::Bool(true)).is_err());
+        assert!(usize::from_value(&Value::Num(1.5)).is_err());
+        assert!(<[f64; 3]>::from_value(&vec![1.0f64].to_value()).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], and the [`Value`] /
+//! [`Error`] types (re-exported from the vendored `serde::json` module).
+
+#![forbid(unsafe_code)]
+
+pub use serde::json::{Error, Value};
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails with the vendored data model; the `Result` mirrors the real
+/// `serde_json` signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_string())
+}
+
+/// Serializes `value` to JSON. The vendored writer has a single (compact)
+/// format; this exists for signature compatibility.
+///
+/// # Errors
+///
+/// Never fails with the vendored data model.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+/// Parses a JSON string into any deserializable type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = Value::parse(s)?;
+    T::from_value(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_vec() {
+        let xs = vec![1.0f64, 2.5, -3.0];
+        let s = to_string(&xs).unwrap();
+        let back: Vec<f64> = from_str(&s).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn parse_error_reported() {
+        assert!(from_str::<Vec<f64>>("[1.0, ").is_err());
+        assert!(from_str::<Vec<f64>>("{\"a\": 1}").is_err());
+    }
+}
