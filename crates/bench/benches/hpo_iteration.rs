@@ -18,7 +18,12 @@ const N_BITS: usize = 40;
 
 fn toy_binary() -> impl isop_hpo::objective::BinaryObjective {
     BinaryFn::new(N_BITS, |b: &[bool]| {
-        Some(b.iter().enumerate().map(|(i, &x)| if x { (i % 7) as f64 } else { 0.0 }).sum())
+        Some(
+            b.iter()
+                .enumerate()
+                .map(|(i, &x)| if x { (i % 7) as f64 } else { 0.0 })
+                .sum(),
+        )
     })
 }
 
@@ -57,7 +62,13 @@ fn bench_hpo(c: &mut Criterion) {
             };
             let mut budget = Budget::unlimited();
             let mut rng = StdRng::seed_from_u64(2);
-            sa::run(&mut obj, &BinarySpace::free(N_BITS), &cfg, &mut budget, &mut rng)
+            sa::run(
+                &mut obj,
+                &BinarySpace::free(N_BITS),
+                &cfg,
+                &mut budget,
+                &mut rng,
+            )
         })
     });
 
@@ -99,9 +110,7 @@ fn bench_hpo(c: &mut Criterion) {
     let mut g = c.benchmark_group("hpo_parallel_fanout");
     g.sample_size(10);
     g.bench_function(format!("replica_eval_t{threads}"), |b| {
-        b.iter(|| {
-            isop::exec::par_map_indexed(threads, black_box(&replicas), |_, bits| score(bits))
-        })
+        b.iter(|| isop::exec::par_map_indexed(threads, black_box(&replicas), |_, bits| score(bits)))
     });
     g.finish();
 }

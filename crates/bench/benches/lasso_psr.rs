@@ -26,9 +26,7 @@ fn bench_lasso(c: &mut Criterion) {
     for &(n, d) in &[(200usize, 500usize), (300, 2700)] {
         let (x, y) = make_problem(n, d, 7);
         g.bench_function(format!("lasso_{n}x{d}"), |b| {
-            b.iter(|| {
-                lasso_coordinate_descent(black_box(&x), black_box(&y), n, d, 0.02, 100, 1e-6)
-            })
+            b.iter(|| lasso_coordinate_descent(black_box(&x), black_box(&y), n, d, 0.02, 100, 1e-6))
         });
     }
     g.finish();

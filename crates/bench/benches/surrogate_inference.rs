@@ -13,8 +13,8 @@ use isop_ml::Regressor;
 use std::hint::black_box;
 
 fn bench_inference(c: &mut Criterion) {
-    let data = generate_dataset(&isop::spaces::s1(), 600, &AnalyticalSolver::new(), 1)
-        .expect("dataset");
+    let data =
+        generate_dataset(&isop::spaces::s1(), 600, &AnalyticalSolver::new(), 1).expect("dataset");
     let probe = data.x.clone();
 
     let mut mlp = Mlp::new(MlpConfig {
@@ -35,9 +35,15 @@ fn bench_inference(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("surrogate_inference_600rows");
     g.sample_size(20);
-    g.bench_function("mlp", |b| b.iter(|| mlp.predict(black_box(&probe)).expect("ok")));
-    g.bench_function("cnn1d", |b| b.iter(|| cnn.predict(black_box(&probe)).expect("ok")));
-    g.bench_function("xgboost", |b| b.iter(|| xgb.predict(black_box(&probe)).expect("ok")));
+    g.bench_function("mlp", |b| {
+        b.iter(|| mlp.predict(black_box(&probe)).expect("ok"))
+    });
+    g.bench_function("cnn1d", |b| {
+        b.iter(|| cnn.predict(black_box(&probe)).expect("ok"))
+    });
+    g.bench_function("xgboost", |b| {
+        b.iter(|| xgb.predict(black_box(&probe)).expect("ok"))
+    });
     g.finish();
 
     c.bench_function("mlp_input_jacobian", |b| {

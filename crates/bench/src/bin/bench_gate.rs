@@ -1,0 +1,218 @@
+//! CI perf-regression gate: runs the seeded smoke pipeline with telemetry,
+//! writes the machine-readable `BENCH_ci.json` run report, and diffs it
+//! against the checked-in thresholds (`scripts/bench_thresholds.json`).
+//!
+//! Failure policy:
+//!
+//! * **Counters** are deterministic at a fixed seed (commutative atomic
+//!   adds, any thread width), so any measured value *above* its threshold
+//!   is a hard failure — the change made the pipeline do more work than
+//!   the budget allows. Values below threshold only warn (run `--update`
+//!   to tighten the budget).
+//! * **Wall-clock** is noisy, so it fails only beyond a 10% margin over
+//!   the threshold.
+//!
+//! ```text
+//! bench_gate [--thresholds scripts/bench_thresholds.json]
+//!            [--out results/BENCH_ci.json] [--update]
+//! ```
+//!
+//! `--update` reruns the smoke pipeline and rewrites the thresholds file
+//! from the measurement (counters exact, wall-clock with 1.5x headroom).
+
+use isop::prelude::*;
+use isop_em::simulator::AnalyticalSolver;
+use isop_hpo::budget::Budget;
+use isop_hpo::harmonica::HarmonicaConfig;
+use isop_hpo::hyperband::HyperbandConfig;
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Wall-clock headroom factor applied on top of the stored threshold.
+const WALL_MARGIN: f64 = 1.10;
+/// Headroom baked into the stored wall-clock threshold by `--update` —
+/// generous because CI machines are slower than the laptop that recorded
+/// the budget; the counters carry the tight, exact part of the gate.
+const WALL_UPDATE_HEADROOM: f64 = 3.0;
+/// Seed of the smoke run; thresholds are only meaningful at this seed.
+const SMOKE_SEED: u64 = 3;
+/// Worker threads of the smoke run (counters are width-independent).
+const SMOKE_THREADS: usize = 2;
+
+/// The checked-in perf budget the gate compares against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct GateThresholds {
+    /// Must match [`RunReport::SCHEMA_VERSION`] of the measuring binary.
+    schema_version: u32,
+    /// Seed the counter budget was recorded at.
+    seed: u64,
+    /// Wall-clock budget for the whole smoke run, seconds (compared with
+    /// a [`WALL_MARGIN`] tolerance).
+    max_wall_seconds: f64,
+    /// Exact counter budget, one entry per [`Counter`](isop::prelude::Counter).
+    counters: Vec<isop_telemetry::CounterEntry>,
+}
+
+/// Runs the seeded smoke pipeline and returns (report, wall seconds).
+fn run_smoke() -> (RunReport, f64) {
+    let space = isop::spaces::s1();
+    let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+    let telemetry = Telemetry::enabled();
+    let simulator = AnalyticalSolver::new().with_telemetry(telemetry.clone());
+    let config = IsopConfig {
+        harmonica: HarmonicaConfig {
+            stages: 2,
+            samples_per_stage: 120,
+            top_monomials: 6,
+            bits_per_stage: 8,
+            ..HarmonicaConfig::default()
+        },
+        hyperband: HyperbandConfig {
+            max_resource: 3.0,
+            eta: 3.0,
+        },
+        gd_candidates: 4,
+        gd_epochs: 25,
+        cand_num: 3,
+        parallelism: Parallelism::new(SMOKE_THREADS),
+        ..IsopConfig::default()
+    };
+    let t0 = Instant::now();
+    let outcome = IsopOptimizer::new(&space, &surrogate, &simulator, config)
+        .with_telemetry(telemetry.clone())
+        .run(
+            isop::tasks::objective_for(TaskId::T1, vec![]),
+            Budget::unlimited(),
+            SMOKE_SEED,
+        );
+    let wall = t0.elapsed().as_secs_f64();
+    let mut report = telemetry.run_report();
+    report.task = TaskId::T1.to_string();
+    report.space = "s1".to_string();
+    report.seed = SMOKE_SEED;
+    report.threads = SMOKE_THREADS;
+    report.success = outcome.success;
+    report.samples_seen = outcome.samples_seen;
+    report.invalid_seen = outcome.invalid_seen;
+    report.algorithm_seconds = outcome.algorithm_seconds;
+    (report, wall)
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), String> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|e| e.to_string())
+}
+
+fn gate(thresholds_path: &str, out_path: &str, update: bool) -> Result<(), String> {
+    let (report, wall) = run_smoke();
+    write_file(out_path, &report.to_json().map_err(|e| format!("{e:?}"))?)?;
+    println!("bench_gate: smoke run took {wall:.2}s, report at {out_path}");
+
+    if update {
+        let thresholds = GateThresholds {
+            schema_version: RunReport::SCHEMA_VERSION,
+            seed: SMOKE_SEED,
+            max_wall_seconds: wall * WALL_UPDATE_HEADROOM,
+            counters: report.counters.clone(),
+        };
+        let json = serde_json::to_string(&thresholds).map_err(|e| format!("{e:?}"))?;
+        write_file(thresholds_path, &json)?;
+        println!("bench_gate: wrote thresholds to {thresholds_path}");
+        return Ok(());
+    }
+
+    let text = std::fs::read_to_string(thresholds_path)
+        .map_err(|e| format!("{thresholds_path}: {e} (run with --update to create)"))?;
+    let thresholds: GateThresholds =
+        serde_json::from_str(&text).map_err(|e| format!("{thresholds_path}: {e:?}"))?;
+    if thresholds.schema_version != RunReport::SCHEMA_VERSION {
+        return Err(format!(
+            "threshold schema v{} != report schema v{} (run --update)",
+            thresholds.schema_version,
+            RunReport::SCHEMA_VERSION
+        ));
+    }
+    if thresholds.seed != SMOKE_SEED {
+        return Err(format!(
+            "thresholds recorded at seed {} but the smoke run uses seed {SMOKE_SEED}",
+            thresholds.seed
+        ));
+    }
+
+    let mut failures = Vec::new();
+    for budget in &thresholds.counters {
+        let measured = report.counter(&budget.name);
+        if measured > budget.value {
+            failures.push(format!(
+                "counter regression: {} = {measured} > budget {}",
+                budget.name, budget.value
+            ));
+        } else if measured < budget.value {
+            println!(
+                "bench_gate: note: {} = {measured} under budget {} (consider --update)",
+                budget.name, budget.value
+            );
+        }
+    }
+    let wall_limit = thresholds.max_wall_seconds * WALL_MARGIN;
+    if wall > wall_limit {
+        failures.push(format!(
+            "wall-clock regression: {wall:.2}s > {wall_limit:.2}s \
+             ({:.2}s budget x {WALL_MARGIN} margin)",
+            thresholds.max_wall_seconds
+        ));
+    } else {
+        println!("bench_gate: wall-clock {wall:.2}s within {wall_limit:.2}s limit");
+    }
+
+    if failures.is_empty() {
+        println!(
+            "bench_gate: OK ({} counters checked)",
+            thresholds.counters.len()
+        );
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut thresholds_path = "scripts/bench_thresholds.json".to_string();
+    let mut out_path = "results/BENCH_ci.json".to_string();
+    let mut update = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--update" => {
+                update = true;
+                i += 1;
+            }
+            "--thresholds" if i + 1 < args.len() => {
+                thresholds_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("bench_gate: unknown argument '{other}'");
+                eprintln!("usage: bench_gate [--thresholds FILE] [--out FILE] [--update]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match gate(&thresholds_path, &out_path, update) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_gate: FAIL\n{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -50,7 +50,12 @@ fn main() {
     ];
 
     let mut table = Table::new(vec![
-        "Variant", "Success", "FoM", "dZ mean/std", "L mean/std", "NEXT mean/std",
+        "Variant",
+        "Success",
+        "FoM",
+        "dZ mean/std",
+        "L mean/std",
+        "NEXT mean/std",
         "Ave.samples",
     ]);
     let mut foms: Vec<(String, f64, f64)> = Vec::new();
@@ -63,6 +68,7 @@ fn main() {
             isop_config: pipeline,
             n_trials: cfg.trials,
             seed: 0xC0DE,
+            telemetry: isop_telemetry::Telemetry::disabled(),
         };
         let objective = isop::tasks::objective_for(TaskId::T3, vec![]);
         let (results, _, _) = ctx.run_isop(&objective);

@@ -41,7 +41,12 @@ fn main() {
         table.push_row(row);
     }
 
-    emit(&cfg, "fig5_objective_smoothing", "Fig. 5 — g vs g_hat under gamma sweep", &table);
+    emit(
+        &cfg,
+        "fig5_objective_smoothing",
+        "Fig. 5 — g vs g_hat under gamma sweep",
+        &table,
+    );
 
     // Shape check: larger gamma tracks the clip more closely (L1 distance).
     let distance = |gamma: f64| -> f64 {
@@ -62,5 +67,8 @@ fn main() {
         "\nShape check: mean |g_hat - g| at gamma=0.5/tol is {:.3}, at gamma=5/tol is {:.3} (sharper tracks tighter).",
         d_soft, d_sharp
     );
-    assert!(d_sharp < d_soft, "steeper sigmoid must approximate the clip better");
+    assert!(
+        d_sharp < d_soft,
+        "steeper sigmoid must approximate the clip better"
+    );
 }

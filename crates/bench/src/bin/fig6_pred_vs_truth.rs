@@ -6,10 +6,10 @@
 //! figure shows tight diagonals with the 1D-CNN tighter than MLP/XGB.
 
 use isop::report::{fmt, Table};
+use isop::surrogate::Surrogate;
 use isop_bench::{
     cnn_surrogate_tagged, emit, mlp_xgb_surrogate_tagged, training_dataset, BenchConfig,
 };
-use isop::surrogate::Surrogate;
 use isop_ml::metrics::r2;
 
 fn main() {
@@ -23,8 +23,15 @@ fn main() {
     // Scatter table: one row per test sample, truth and both predictions
     // for each metric.
     let mut table = Table::new(vec![
-        "Z true", "Z mlp_xgb", "Z cnn", "L true", "L mlp_xgb", "L cnn", "NEXT true",
-        "NEXT mlp_xgb", "NEXT cnn",
+        "Z true",
+        "Z mlp_xgb",
+        "Z cnn",
+        "L true",
+        "L mlp_xgb",
+        "L cnn",
+        "NEXT true",
+        "NEXT mlp_xgb",
+        "NEXT cnn",
     ]);
     let n_points = test.len().min(1000);
     let mut truths: [Vec<f64>; 3] = Default::default();
@@ -52,7 +59,12 @@ fn main() {
             fmt(b[2], 4),
         ]);
     }
-    emit(&cfg, "fig6_pred_vs_truth", "Fig. 6 — predicted vs ground truth scatter data", &table);
+    emit(
+        &cfg,
+        "fig6_pred_vs_truth",
+        "Fig. 6 — predicted vs ground truth scatter data",
+        &table,
+    );
 
     let mut summary = Table::new(vec!["Panel", "Model", "R^2"]);
     let names = ["Z", "L", "NEXT"];

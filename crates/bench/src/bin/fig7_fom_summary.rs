@@ -5,12 +5,10 @@
 //! Runs the three ablation variants on every task (space `S_1`) and emits
 //! one row per bar.
 
+use isop::report::{fmt, Table};
 use isop::tasks::TaskId;
 use isop_bench::experiments::run_ablation_variant;
-use isop_bench::{
-    cnn_surrogate, emit, mlp_xgb_surrogate, training_dataset, BenchConfig,
-};
-use isop::report::{fmt, Table};
+use isop_bench::{cnn_surrogate, emit, mlp_xgb_surrogate, training_dataset, BenchConfig};
 
 fn main() {
     let cfg = BenchConfig::from_env();
@@ -28,16 +26,32 @@ fn main() {
             ("H", &cnn as &dyn isop::surrogate::Surrogate),
             ("H_GD", &cnn as &dyn isop::surrogate::Surrogate),
         ] {
-            if let Some(row) = run_ablation_variant(&cfg, surrogate, technique, task, "S1", &s1)
-            {
+            if let Some(row) = run_ablation_variant(
+                &cfg,
+                surrogate,
+                technique,
+                task,
+                "S1",
+                &s1,
+                &isop_telemetry::Telemetry::disabled(),
+            ) {
                 let label = format!("{}+{}", row.technique, row.model);
-                table.push_row(vec![task.name().to_string(), label.clone(), fmt(row.stats.fom, 3)]);
+                table.push_row(vec![
+                    task.name().to_string(),
+                    label.clone(),
+                    fmt(row.stats.fom, 3),
+                ]);
                 bars.push((label, row.stats.fom));
             }
         }
         per_task.push((task, bars));
     }
-    emit(&cfg, "fig7_fom_summary", "Fig. 7 — FoM by technique and surrogate", &table);
+    emit(
+        &cfg,
+        "fig7_fom_summary",
+        "Fig. 7 — FoM by technique and surrogate",
+        &table,
+    );
 
     let mut wins = 0usize;
     let mut cells = 0usize;

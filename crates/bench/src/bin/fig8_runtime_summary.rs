@@ -5,11 +5,16 @@
 //! The paper's claim: `H_GD + 1D-CNN` (ISOP+) is the fastest variant because
 //! gradient descent needs far fewer surrogate samples than a longer
 //! Harmonica run, despite the CNN being slower per inference than MLP/XGB.
+//!
+//! Stage timings come from the telemetry [`RunReport`] attached to each
+//! variant's trials (spans `pipeline.global` / `pipeline.local` /
+//! `pipeline.rollout`), not from ad-hoc stopwatches around the driver.
 
 use isop::report::{fmt, Table};
 use isop::tasks::TaskId;
 use isop_bench::experiments::run_ablation_variant;
 use isop_bench::{cnn_surrogate, emit, mlp_xgb_surrogate, training_dataset, BenchConfig};
+use isop_telemetry::{RunReport, Telemetry};
 
 fn main() {
     let cfg = BenchConfig::from_env();
@@ -18,7 +23,15 @@ fn main() {
     let mlp_xgb = mlp_xgb_surrogate(&cfg, &data).expect("MLP_XGB trains");
     let s1 = isop::spaces::s1();
 
-    let mut table = Table::new(vec!["Task", "Variant", "Ave. runtime (s)", "Ave. samples"]);
+    let mut table = Table::new(vec![
+        "Task",
+        "Variant",
+        "Ave. runtime (s)",
+        "Ave. samples",
+        "Global (s)",
+        "Local (s)",
+        "Roll-out (s)",
+    ]);
     type TaskBars = Vec<(String, f64, f64)>;
     let mut per_task: Vec<(TaskId, TaskBars)> = Vec::new();
     for task in TaskId::all() {
@@ -28,21 +41,36 @@ fn main() {
             ("H", &cnn as &dyn isop::surrogate::Surrogate),
             ("H_GD", &cnn as &dyn isop::surrogate::Surrogate),
         ] {
-            if let Some(row) = run_ablation_variant(&cfg, surrogate, technique, task, "S1", &s1)
+            // One telemetry handle per variant: spans aggregate across the
+            // cell's trials, so dividing by trial count gives per-trial
+            // stage averages.
+            let tele = Telemetry::enabled();
+            if let Some(row) =
+                run_ablation_variant(&cfg, surrogate, technique, task, "S1", &s1, &tele)
             {
+                let report: RunReport = tele.run_report();
+                let trials = row.stats.trials.max(1) as f64;
                 let label = format!("{}+{}", row.technique, row.model);
                 table.push_row(vec![
                     task.name().to_string(),
                     label.clone(),
                     fmt(row.stats.avg_runtime, 2),
                     fmt(row.stats.avg_samples, 0),
+                    fmt(report.span_seconds("pipeline.global") / trials, 2),
+                    fmt(report.span_seconds("pipeline.local") / trials, 2),
+                    fmt(report.span_seconds("pipeline.rollout") / trials, 2),
                 ]);
                 bars.push((label, row.stats.avg_runtime, row.stats.avg_samples));
             }
         }
         per_task.push((task, bars));
     }
-    emit(&cfg, "fig8_runtime_summary", "Fig. 8 — runtime by technique and surrogate", &table);
+    emit(
+        &cfg,
+        "fig8_runtime_summary",
+        "Fig. 8 — runtime by technique and surrogate",
+        &table,
+    );
 
     // Shape check: the GD variant sees no more samples than the H variants
     // (the paper's ~16.7k vs ~25k sample gap).

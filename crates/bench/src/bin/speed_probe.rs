@@ -8,26 +8,47 @@ use isop_em::simulator::AnalyticalSolver;
 use isop_ml::metrics::{mae, mape, smape};
 use isop_ml::models::{Cnn1d, Mlp};
 use isop_ml::Regressor;
-use std::time::Instant;
+use isop_telemetry::Telemetry;
 
 fn main() {
-    let n: usize = std::env::var("N").ok().and_then(|v| v.parse().ok()).unwrap_or(24_000);
-    let epochs: usize = std::env::var("E").ok().and_then(|v| v.parse().ok()).unwrap_or(50);
+    let n: usize = std::env::var("N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24_000);
+    let epochs: usize = std::env::var("E")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
     let data = generate_mixed_dataset(
-        &isop::spaces::training_space(), &isop::spaces::s2(), n, 0.4,
-        &AnalyticalSolver::new(), 1).expect("ok");
+        &isop::spaces::training_space(),
+        &isop::spaces::s2(),
+        n,
+        0.4,
+        &AnalyticalSolver::new(),
+        1,
+    )
+    .expect("ok");
     let (train, test) = data.train_test_split(0.2, 9);
-    let region = generate_dataset(&isop::spaces::s2(), 3000, &AnalyticalSolver::new(), 77)
-        .expect("ok");
+    let region =
+        generate_dataset(&isop::spaces::s2(), 3000, &AnalyticalSolver::new(), 77).expect("ok");
 
     let mut models: Vec<(&str, Box<dyn Regressor>)> = vec![
         ("mlp", Box::new(Mlp::new(mlp_config(epochs)))),
         ("cnn", Box::new(Cnn1d::new(cnn_config(epochs)))),
     ];
+    // Timing goes through the telemetry span registry (the same surface the
+    // run report aggregates) instead of an ad-hoc stopwatch.
+    let tele = Telemetry::enabled();
     for (name, model) in &mut models {
-        let t = Instant::now();
-        model.fit(&train).expect("ok");
-        let el = t.elapsed().as_secs_f64();
+        let label = match *name {
+            "mlp" => "train.mlp",
+            _ => "train.cnn",
+        };
+        {
+            let _g = isop_telemetry::span!(tele, label);
+            model.fit(&train).expect("ok");
+        }
+        let el = tele.run_report().span_seconds(label);
         let pred = model.predict(&test.x).expect("ok");
         let (tz, pz) = (test.y.col_vec(0), pred.col_vec(0));
         let (tl, pl) = (test.y.col_vec(1), pred.col_vec(1));

@@ -16,8 +16,11 @@ fn main() {
     ];
 
     let mut table = Table::new(vec![
-        "Param", "S1 range/dx (case/bits)", "S2 range/dx (case/bits)",
-        "S1' range/dx (case/bits)", "Training range/dx (case)",
+        "Param",
+        "S1 range/dx (case/bits)",
+        "S2 range/dx (case/bits)",
+        "S1' range/dx (case/bits)",
+        "Training range/dx (case)",
     ]);
     let n = spaces[0].1.n_params();
     for i in 0..n {
@@ -46,13 +49,30 @@ fn main() {
     }
     table.push_row(vec![
         "TOTAL".to_string(),
-        format!("{:.2e} (2^{})", spaces[0].1.n_valid(), spaces[0].1.total_bits()),
-        format!("{:.2e} (2^{})", spaces[1].1.n_valid(), spaces[1].1.total_bits()),
-        format!("{:.2e} (2^{})", spaces[2].1.n_valid(), spaces[2].1.total_bits()),
+        format!(
+            "{:.2e} (2^{})",
+            spaces[0].1.n_valid(),
+            spaces[0].1.total_bits()
+        ),
+        format!(
+            "{:.2e} (2^{})",
+            spaces[1].1.n_valid(),
+            spaces[1].1.total_bits()
+        ),
+        format!(
+            "{:.2e} (2^{})",
+            spaces[2].1.n_valid(),
+            spaces[2].1.total_bits()
+        ),
         format!("{:.2e}", spaces[3].1.n_valid()),
     ]);
 
-    emit(&cfg, "table3_spaces", "Table III — design-space parameter ranges", &table);
+    emit(
+        &cfg,
+        "table3_spaces",
+        "Table III — design-space parameter ranges",
+        &table,
+    );
     println!(
         "\nPaper reference: S1 = 7.14e19 (2^73), S2 = 2.97e21 (2^78), S1' = 6.53e20 (2^78), training = 1.31e29."
     );

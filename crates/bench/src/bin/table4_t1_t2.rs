@@ -27,7 +27,12 @@ fn main() {
         ));
     }
     let table = render_comparison(&cells, false);
-    emit(&cfg, "table4_t1_t2", "Table IV — T1/T2 method comparison", &table);
+    emit(
+        &cfg,
+        "table4_t1_t2",
+        "Table IV — T1/T2 method comparison",
+        &table,
+    );
 
     // Shape summary against the paper's qualitative claims.
     let mut isop_wins = 0usize;

@@ -25,7 +25,12 @@ fn main() {
         ));
     }
     let table = render_comparison(&cells, true);
-    emit(&cfg, "table5_t3_t4", "Table V — T3/T4 method comparison", &table);
+    emit(
+        &cfg,
+        "table5_t3_t4",
+        "Table V — T3/T4 method comparison",
+        &table,
+    );
 
     let isop_successes: Vec<String> = cells
         .iter()

@@ -60,13 +60,22 @@ fn main() {
             )),
         ),
         ("SVR", Box::new(LinearSvr::paper_default())),
-        ("XGBoost", Box::new(XgbRegressor::new(120, 0.15, 6, 1.0, 0.0))),
+        (
+            "XGBoost",
+            Box::new(XgbRegressor::new(120, 0.15, 6, 1.0, 0.0)),
+        ),
         ("MLPR", Box::new(Mlp::new(mlp_config(cfg.epochs)))),
         ("1D-CNN", Box::new(Cnn1d::new(cnn_config(cfg.epochs)))),
     ];
 
     let mut table = Table::new(vec![
-        "ML Method", "Z MAE", "Z MAPE", "L MAE", "L MAPE", "NEXT MAE", "NEXT sMAPE",
+        "ML Method",
+        "Z MAE",
+        "Z MAPE",
+        "L MAE",
+        "L MAPE",
+        "NEXT MAE",
+        "NEXT sMAPE",
     ]);
     let mut scores = Vec::new();
     for (name, model) in &mut models {
@@ -84,7 +93,12 @@ fn main() {
         ]);
     }
 
-    emit(&cfg, "table6_model_accuracy", "Table VI — surrogate-model accuracy", &table);
+    emit(
+        &cfg,
+        "table6_model_accuracy",
+        "Table VI — surrogate-model accuracy",
+        &table,
+    );
 
     // Shape check: neural models beat linear/kernel ones on Z MAPE.
     let get = |n: &str| scores.iter().find(|(name, _)| name == n).expect("ran").1;

@@ -26,21 +26,30 @@ fn main() {
             ("H", &cnn as &dyn isop::surrogate::Surrogate),
             ("H_GD", &cnn as &dyn isop::surrogate::Surrogate),
         ] {
-            if let Some(row) =
-                run_ablation_variant(&cfg, surrogate, technique, task, label, &space)
-            {
+            if let Some(row) = run_ablation_variant(
+                &cfg,
+                surrogate,
+                technique,
+                task,
+                label,
+                &space,
+                &isop_telemetry::Telemetry::disabled(),
+            ) {
                 rows.push(row);
             }
         }
     }
     let table = render_ablation(&rows, false);
-    emit(&cfg, "table7_ablation_t1_t2", "Table VII — ISOP ablation on T1/T2", &table);
+    emit(
+        &cfg,
+        "table7_ablation_t1_t2",
+        "Table VII — ISOP ablation on T1/T2",
+        &table,
+    );
 
     let wins = rows
         .chunks(3)
-        .filter(|c| {
-            c.len() == 3 && c[2].stats.fom <= c[0].stats.fom + 1e-9
-        })
+        .filter(|c| c.len() == 3 && c[2].stats.fom <= c[0].stats.fom + 1e-9)
         .count();
     println!(
         "\nShape check: H_GD+1D-CNN (ISOP+) <= H+MLP_XGB (ISOP DATE'23) FoM in {wins}/{} cells.",

@@ -21,15 +21,26 @@ fn main() {
             ("H", &cnn as &dyn isop::surrogate::Surrogate),
             ("H_GD", &cnn as &dyn isop::surrogate::Surrogate),
         ] {
-            if let Some(row) =
-                run_ablation_variant(&cfg, surrogate, technique, task, label, &space)
-            {
+            if let Some(row) = run_ablation_variant(
+                &cfg,
+                surrogate,
+                technique,
+                task,
+                label,
+                &space,
+                &isop_telemetry::Telemetry::disabled(),
+            ) {
                 rows.push(row);
             }
         }
     }
     let table = render_ablation(&rows, true);
-    emit(&cfg, "table8_ablation_t3_t4", "Table VIII — ISOP ablation on T3/T4", &table);
+    emit(
+        &cfg,
+        "table8_ablation_t3_t4",
+        "Table VIII — ISOP ablation on T3/T4",
+        &table,
+    );
 
     let wins = rows
         .chunks(3)

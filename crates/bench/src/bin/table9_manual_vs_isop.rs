@@ -54,18 +54,48 @@ fn main() {
     let simulator = AnalyticalSolver::new();
 
     let mut table = Table::new(vec![
-        "Task", "Method", "W_t", "S_t", "D_t", "E_t", "H_t", "H_c", "H_p", "sigma", "R_t",
-        "Z", "L", "NEXT", "FoM",
+        "Task", "Method", "W_t", "S_t", "D_t", "E_t", "H_t", "H_c", "H_p", "sigma", "R_t", "Z",
+        "L", "NEXT", "FoM",
     ]);
 
     // Published designs re-simulated (calibration layer).
     let l_fom = |m: &[f64; 3]| m[1].abs();
     let t4_fom = |m: &[f64; 3]| m[1].abs() + 2.0 * m[2].abs();
-    design_row(&mut table, "T1", "Manual (paper)", &manual::MANUAL_VECTOR, l_fom);
-    design_row(&mut table, "T1", "ISOP paper (S1/no IC)", &manual::ISOP_T1_S1_VECTOR, l_fom);
-    design_row(&mut table, "T1", "ISOP paper (S1'/IC)", &manual::ISOP_T1_S1P_VECTOR, l_fom);
-    design_row(&mut table, "T3", "ISOP paper (S1/no IC)", &manual::ISOP_T3_S1_VECTOR, l_fom);
-    design_row(&mut table, "T4", "ISOP paper (S1/no IC)", &manual::ISOP_T4_S1_VECTOR, t4_fom);
+    design_row(
+        &mut table,
+        "T1",
+        "Manual (paper)",
+        &manual::MANUAL_VECTOR,
+        l_fom,
+    );
+    design_row(
+        &mut table,
+        "T1",
+        "ISOP paper (S1/no IC)",
+        &manual::ISOP_T1_S1_VECTOR,
+        l_fom,
+    );
+    design_row(
+        &mut table,
+        "T1",
+        "ISOP paper (S1'/IC)",
+        &manual::ISOP_T1_S1P_VECTOR,
+        l_fom,
+    );
+    design_row(
+        &mut table,
+        "T3",
+        "ISOP paper (S1/no IC)",
+        &manual::ISOP_T3_S1_VECTOR,
+        l_fom,
+    );
+    design_row(
+        &mut table,
+        "T4",
+        "ISOP paper (S1/no IC)",
+        &manual::ISOP_T4_S1_VECTOR,
+        t4_fom,
+    );
 
     // Fresh ISOP+ runs (reproduction layer): one representative trial per
     // cell, per the paper's "we investigate one trial case".
@@ -76,6 +106,7 @@ fn main() {
         isop_config: isop_config(),
         n_trials: 1,
         seed: 0x7AB9,
+        telemetry: isop_telemetry::Telemetry::disabled(),
     };
     let s1 = isop::spaces::s1();
     let s1p = isop::spaces::s1_prime();
@@ -84,13 +115,24 @@ fn main() {
         // Without input constraints on S1.
         let (res, _, _) = ctx(&s1).run_isop(&objective_for(task, vec![]));
         if let Some(r) = res.first() {
-            design_row(&mut table, task.name(), "ISOP+ ours (S1/no IC)", &r.design, fom);
+            design_row(
+                &mut table,
+                task.name(),
+                "ISOP+ ours (S1/no IC)",
+                &r.design,
+                fom,
+            );
         }
         // With input constraints on S1'.
-        let (res, _, _) =
-            ctx(&s1p).run_isop(&objective_for(task, table_ix_input_constraints()));
+        let (res, _, _) = ctx(&s1p).run_isop(&objective_for(task, table_ix_input_constraints()));
         if let Some(r) = res.first() {
-            design_row(&mut table, task.name(), "ISOP+ ours (S1'/IC)", &r.design, fom);
+            design_row(
+                &mut table,
+                task.name(),
+                "ISOP+ ours (S1'/IC)",
+                &r.design,
+                fom,
+            );
             // Report IC satisfaction explicitly.
             let ics = table_ix_input_constraints();
             let ok = ics.iter().all(|c| c.satisfied(&r.design));
@@ -101,7 +143,12 @@ fn main() {
         }
     }
 
-    emit(&cfg, "table9_manual_vs_isop", "Table IX — manual vs ISOP designs", &table);
+    emit(
+        &cfg,
+        "table9_manual_vs_isop",
+        "Table IX — manual vs ISOP designs",
+        &table,
+    );
     println!(
         "\nPaper reference (manual): Z=85.69, L=-0.434, NEXT=-2.77; ISOP matches manual L with far lower NEXT."
     );

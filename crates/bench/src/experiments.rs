@@ -9,6 +9,7 @@ use isop::report::{fmt, fmt_mean_std, Table};
 use isop::surrogate::Surrogate;
 use isop::tasks::{objective_for, TaskId};
 use isop_em::simulator::AnalyticalSolver;
+use isop_telemetry::Telemetry;
 
 /// One comparison cell: task x space, with stats for every method.
 #[derive(Debug, Clone)]
@@ -46,26 +47,24 @@ pub fn run_comparison_cell(
         isop_config: pipeline,
         n_trials: cfg.trials,
         seed: 0x15_0b,
+        telemetry: Telemetry::disabled(),
     };
     let objective: Objective = objective_for(task, vec![]);
-    eprintln!("[isop-bench] {task}/{space_label}: running ISOP+ x{}", cfg.trials);
+    eprintln!(
+        "[isop-bench] {task}/{space_label}: running ISOP+ x{}",
+        cfg.trials
+    );
     let (isop_results, avg_samples, avg_algo) = ctx.run_isop(&objective);
 
     let mut rows = Vec::new();
-    for (label, runner) in [
-        ("SA-1", MatchMode::Runtime),
-        ("SA-2", MatchMode::Samples),
-    ] {
+    for (label, runner) in [("SA-1", MatchMode::Runtime), ("SA-2", MatchMode::Samples)] {
         eprintln!("[isop-bench] {task}/{space_label}: running {label}");
         let results = ctx.run_sa(&objective, runner, avg_samples, avg_algo);
         if !results.is_empty() {
             rows.push(TrialStats::aggregate(label, &results, z_target(task)));
         }
     }
-    for (label, runner) in [
-        ("BO-1", MatchMode::Runtime),
-        ("BO-2", MatchMode::Samples),
-    ] {
+    for (label, runner) in [("BO-1", MatchMode::Runtime), ("BO-2", MatchMode::Samples)] {
         eprintln!("[isop-bench] {task}/{space_label}: running {label}");
         // BO-2 at full ISOP sample counts is prohibitively sequential (the
         // paper's BO-2 rows likewise stop at a few hundred); cap it.
@@ -79,7 +78,11 @@ pub fn run_comparison_cell(
         }
     }
     if !isop_results.is_empty() {
-        rows.push(TrialStats::aggregate("ISOP+", &isop_results, z_target(task)));
+        rows.push(TrialStats::aggregate(
+            "ISOP+",
+            &isop_results,
+            z_target(task),
+        ));
     }
     ComparisonCell {
         task,
@@ -149,6 +152,12 @@ pub struct AblationRow {
 }
 
 /// Runs one ablation variant over a (task, space) cell.
+///
+/// `telemetry` is attached to every ISOP+ trial; pass an enabled handle to
+/// aggregate per-stage spans and counters across the cell (the runtime
+/// figures read stage timings from the resulting
+/// [`RunReport`](isop_telemetry::RunReport) instead of re-measuring), or
+/// [`Telemetry::disabled()`] to record nothing.
 pub fn run_ablation_variant(
     cfg: &BenchConfig,
     surrogate: &dyn Surrogate,
@@ -156,6 +165,7 @@ pub fn run_ablation_variant(
     task: TaskId,
     space_label: &str,
     space: &ParamSpace,
+    telemetry: &Telemetry,
 ) -> Option<AblationRow> {
     let simulator = AnalyticalSolver::new();
     let mut pipeline = isop_config();
@@ -164,8 +174,7 @@ pub fn run_ablation_variant(
         // Without the gradient-descent stage the paper's H variants spend
         // their budget on additional global sampling (~25k vs ~16.7k
         // samples); mirror that 3:2 ratio here.
-        pipeline.harmonica.samples_per_stage =
-            pipeline.harmonica.samples_per_stage * 3 / 2;
+        pipeline.harmonica.samples_per_stage = pipeline.harmonica.samples_per_stage * 3 / 2;
     }
     let ctx = ExperimentContext {
         space,
@@ -174,6 +183,7 @@ pub fn run_ablation_variant(
         isop_config: pipeline,
         n_trials: cfg.trials,
         seed: 0xAB1A,
+        telemetry: telemetry.clone(),
     };
     let objective = objective_for(task, vec![]);
     eprintln!(

@@ -160,10 +160,7 @@ fn store_model<M: serde::Serialize>(name: &str, model: &M) {
 /// # Errors
 ///
 /// Propagates training failures.
-pub fn cnn_surrogate(
-    cfg: &BenchConfig,
-    data: &Dataset,
-) -> Result<NeuralSurrogate<Cnn1d>, MlError> {
+pub fn cnn_surrogate(cfg: &BenchConfig, data: &Dataset) -> Result<NeuralSurrogate<Cnn1d>, MlError> {
     cnn_surrogate_tagged(cfg, data, "full")
 }
 
@@ -183,7 +180,10 @@ pub fn cnn_surrogate_tagged(
         eprintln!("[isop-bench] reusing cached 1D-CNN surrogate");
         return Ok(NeuralSurrogate::new(model));
     }
-    eprintln!("[isop-bench] training 1D-CNN surrogate ({} epochs)...", cfg.epochs);
+    eprintln!(
+        "[isop-bench] training 1D-CNN surrogate ({} epochs)...",
+        cfg.epochs
+    );
     let s = NeuralSurrogate::fit(Cnn1d::new(cnn_config(cfg.epochs)), data)?;
     store_model(&key, s.model());
     Ok(s)
@@ -194,16 +194,16 @@ pub fn cnn_surrogate_tagged(
 /// # Errors
 ///
 /// Propagates training failures.
-pub fn mlp_surrogate(
-    cfg: &BenchConfig,
-    data: &Dataset,
-) -> Result<NeuralSurrogate<Mlp>, MlError> {
+pub fn mlp_surrogate(cfg: &BenchConfig, data: &Dataset) -> Result<NeuralSurrogate<Mlp>, MlError> {
     let key = format!("mlp_{}_{}.json", cfg.dataset_size, cfg.epochs);
     if let Some(model) = load_model::<Mlp>(&key) {
         eprintln!("[isop-bench] reusing cached MLP surrogate");
         return Ok(NeuralSurrogate::new(model));
     }
-    eprintln!("[isop-bench] training MLP surrogate ({} epochs)...", cfg.epochs);
+    eprintln!(
+        "[isop-bench] training MLP surrogate ({} epochs)...",
+        cfg.epochs
+    );
     let s = NeuralSurrogate::fit(Mlp::new(mlp_config(cfg.epochs)), data)?;
     store_model(&key, s.model());
     Ok(s)
@@ -253,7 +253,11 @@ pub fn emit(cfg: &BenchConfig, name: &str, title: &str, table: &isop::report::Ta
     let csv_path = cfg.results_dir.join(format!("{name}.csv"));
     let _ = fs::write(&md_path, format!("# {title}\n\n{}", table.to_markdown()));
     let _ = fs::write(&csv_path, table.to_csv());
-    eprintln!("[isop-bench] wrote {} and {}", md_path.display(), csv_path.display());
+    eprintln!(
+        "[isop-bench] wrote {} and {}",
+        md_path.display(),
+        csv_path.display()
+    );
 }
 
 /// The default ISOP+ pipeline configuration for experiment cells

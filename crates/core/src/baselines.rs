@@ -203,12 +203,8 @@ pub fn run_sa(
     let bin_space = BinarySpace::free(space.total_bits());
     let _ = sa::run(&mut obj, &bin_space, sa_cfg, &mut budget, &mut rng);
     let algorithm_seconds = t0.elapsed().as_secs_f64();
-    let (candidates, em_seconds, success) = roll_out(
-        std::mem::take(&mut obj.top),
-        &objective,
-        simulator,
-        3,
-    );
+    let (candidates, em_seconds, success) =
+        roll_out(std::mem::take(&mut obj.top), &objective, simulator, 3);
     BaselineOutcome {
         candidates,
         samples_seen: obj.valid,
@@ -244,12 +240,8 @@ pub fn run_bo(
     let mut tpe = Tpe::new(DiscreteSpace::new(space.cardinalities()), *tpe_cfg);
     let _ = tpe.optimize(&mut obj, iterations, &mut budget, &mut rng);
     let algorithm_seconds = t0.elapsed().as_secs_f64();
-    let (candidates, em_seconds, success) = roll_out(
-        std::mem::take(&mut obj.top),
-        &objective,
-        simulator,
-        3,
-    );
+    let (candidates, em_seconds, success) =
+        roll_out(std::mem::take(&mut obj.top), &objective, simulator, 3);
     BaselineOutcome {
         candidates,
         samples_seen: obj.valid,

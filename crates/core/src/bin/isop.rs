@@ -3,9 +3,16 @@
 //! ```text
 //! isop simulate --w 5 --s 6 --d 30 [--dk 3.6] [--df 0.008] [--engine fd]
 //! isop optimize --task t1 --space s1 [--seed 42] [--trials 1] [--threads 4] [--with-ic]
+//!               [--report] [--report-out results/run_report.json]
 //! isop spaces
 //! isop dataset --n 1000 --out dataset.json [--space training]
 //! ```
+//!
+//! Invoking `isop --flags...` without a subcommand runs `optimize` — so
+//! `isop --report --threads 4` is the canonical instrumented smoke run.
+//! `--report` attaches a telemetry handle to the pipeline and the verifying
+//! simulator, prints the per-stage span/counter table, and writes the
+//! machine-readable [`RunReport`] JSON for the CI bench gate.
 //!
 //! The CLI is intentionally dependency-free (hand-rolled flag parsing); it
 //! exists so the library is usable from shell workflows without writing
@@ -113,20 +120,39 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
         vec![]
     };
 
-    let simulator = AnalyticalSolver::new();
+    let report = flags.contains_key("report");
+    let telemetry = if report {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+
+    // The roll-out verifier records EM attempts/successes/failures; the
+    // surrogate's inner solver stays untraced on purpose — its queries are
+    // surrogate predictions, already counted inside the pipeline.
+    let simulator = AnalyticalSolver::new().with_telemetry(telemetry.clone());
     let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
     let mut best: Option<(f64, DesignCandidate, bool)> = None;
+    let mut samples_seen = 0u64;
+    let mut invalid_seen = 0u64;
+    let mut algorithm_seconds = 0.0f64;
+    let mut any_success = false;
     for t in 0..trials.max(1) {
         let config = IsopConfig {
             parallelism: isop::exec::Parallelism::new(threads),
             ..IsopConfig::default()
         };
-        let optimizer = IsopOptimizer::new(&space, &surrogate, &simulator, config);
+        let optimizer = IsopOptimizer::new(&space, &surrogate, &simulator, config)
+            .with_telemetry(telemetry.clone());
         let outcome = optimizer.run(
             isop::tasks::objective_for(task, ics.clone()),
             Budget::unlimited(),
             seed + t as u64,
         );
+        samples_seen += outcome.samples_seen;
+        invalid_seen += outcome.invalid_seen;
+        algorithm_seconds += outcome.algorithm_seconds;
+        any_success |= outcome.success;
         if let Some(c) = outcome.best() {
             if best.as_ref().is_none_or(|(g, _, _)| c.g_exact < *g) {
                 best = Some((c.g_exact, c.clone(), outcome.success));
@@ -139,9 +165,62 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
     for (name, v) in isop_em::PARAM_NAMES.iter().zip(&cand.values) {
         println!("  {name:>8} = {v}");
     }
-    println!("Z = {:.2} ohm, L = {:.3} dB/in, NEXT = {:.3} mV", sim.z_diff, sim.insertion_loss, sim.next);
+    println!(
+        "Z = {:.2} ohm, L = {:.3} dB/in, NEXT = {:.3} mV",
+        sim.z_diff, sim.insertion_loss, sim.next
+    );
     println!("g = {g:.4}, constraints satisfied: {success}");
+
+    if report {
+        let mut rep = telemetry.run_report();
+        rep.task = task.to_string();
+        rep.space = space_name.to_string();
+        rep.seed = seed;
+        rep.threads = threads;
+        rep.success = any_success;
+        rep.samples_seen = samples_seen;
+        rep.invalid_seen = invalid_seen;
+        rep.algorithm_seconds = algorithm_seconds;
+        print_run_report(&rep);
+        let out = flags
+            .get("report-out")
+            .cloned()
+            .unwrap_or_else(|| "results/run_report.json".to_string());
+        if let Some(dir) = std::path::Path::new(&out).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            }
+        }
+        let json = rep.to_json().map_err(|e| format!("{e:?}"))?;
+        std::fs::write(&out, json).map_err(|e| e.to_string())?;
+        println!("\nwrote run report to {out}");
+    }
     Ok(())
+}
+
+/// Renders the telemetry snapshot as two human-readable tables (spans, then
+/// counters) on stdout.
+fn print_run_report(rep: &RunReport) {
+    println!(
+        "\nrun report (schema v{}): algorithm {:.2}s, charged EM {:.1}s",
+        rep.schema_version, rep.algorithm_seconds, rep.em_seconds_charged
+    );
+    let mut spans = isop::report::Table::new(vec!["span", "count", "total s", "min s", "max s"]);
+    for s in &rep.spans {
+        spans.push_row(vec![
+            s.name.clone(),
+            s.count.to_string(),
+            format!("{:.4}", s.total_seconds),
+            format!("{:.6}", s.min_seconds),
+            format!("{:.6}", s.max_seconds),
+        ]);
+    }
+    println!("{}", spans.to_markdown());
+    let mut counters = isop::report::Table::new(vec!["counter", "value"]);
+    for c in &rep.counters {
+        counters.push_row(vec![c.name.clone(), c.value.to_string()]);
+    }
+    println!("{}", counters.to_markdown());
 }
 
 fn cmd_spaces() {
@@ -162,11 +241,19 @@ fn cmd_spaces() {
 
 fn cmd_dataset(flags: &HashMap<String, String>) -> Result<(), String> {
     let n = flag_f64(flags, "n", 1000.0) as usize;
-    let out = flags.get("out").cloned().unwrap_or_else(|| "dataset.json".into());
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "dataset.json".into());
     let space_name = flags.get("space").map(String::as_str).unwrap_or("training");
     let space = space_by_name(space_name).ok_or("unknown space")?;
-    let data = isop::data::generate_dataset(&space, n, &AnalyticalSolver::new(),
-        flag_f64(flags, "seed", 0.0) as u64).map_err(|e| e.to_string())?;
+    let data = isop::data::generate_dataset(
+        &space,
+        n,
+        &AnalyticalSolver::new(),
+        flag_f64(flags, "seed", 0.0) as u64,
+    )
+    .map_err(|e| e.to_string())?;
     let json = serde_json::to_string(&data).map_err(|e| e.to_string())?;
     std::fs::write(&out, json).map_err(|e| e.to_string())?;
     println!("wrote {n} samples from {space_name} to {out}");
@@ -177,20 +264,30 @@ fn usage() {
     eprintln!(
         "isop — inverse stack-up optimization\n\n\
          USAGE:\n  isop simulate [--w 5] [--s 6] [--d 30] [--dk 3.6] [--df 0.008] [--engine fd]\n  \
-         isop optimize --task t1 --space s1 [--seed 42] [--trials 1] [--threads 4] [--with-ic]\n  \
+         isop optimize --task t1 --space s1 [--seed 42] [--trials 1] [--threads 4] [--with-ic]\n           \
+         [--report] [--report-out results/run_report.json]\n  \
          isop spaces\n  \
-         isop dataset --n 1000 --out dataset.json [--space training]"
+         isop dataset --n 1000 --out dataset.json [--space training]\n\n\
+         Bare flags default to optimize: `isop --report --threads 4`."
     );
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else {
+    let Some(first) = args.first() else {
         usage();
         return ExitCode::FAILURE;
     };
-    let flags = parse_flags(&args[1..]);
-    let result = match cmd.as_str() {
+    // Bare-flag invocations (`isop --report --threads 4`) default to the
+    // optimize subcommand, except the help flags.
+    let (cmd, flag_args): (&str, &[String]) =
+        if first.starts_with("--") && first != "--help" && first != "-h" {
+            ("optimize", &args[..])
+        } else {
+            (first.as_str(), &args[1..])
+        };
+    let flags = parse_flags(flag_args);
+    let result = match cmd {
         "simulate" => cmd_simulate(&flags),
         "optimize" => cmd_optimize(&flags),
         "spaces" => {

@@ -126,9 +126,27 @@ impl BoardPlan {
             let (z, loss, next, w, s, d, hc, hp) = match &l.design {
                 Some(c) => {
                     let m = c.simulated.map(|r| r.to_array()).unwrap_or([f64::NAN; 3]);
-                    (m[0], m[1], m[2], c.values[0], c.values[1], c.values[2], c.values[5], c.values[6])
+                    (
+                        m[0],
+                        m[1],
+                        m[2],
+                        c.values[0],
+                        c.values[1],
+                        c.values[2],
+                        c.values[5],
+                        c.values[6],
+                    )
                 }
-                None => (f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN),
+                None => (
+                    f64::NAN,
+                    f64::NAN,
+                    f64::NAN,
+                    f64::NAN,
+                    f64::NAN,
+                    f64::NAN,
+                    f64::NAN,
+                    f64::NAN,
+                ),
             };
             table.push_row(vec![
                 l.requirement.name.clone(),
@@ -181,7 +199,11 @@ mod tests {
         for l in &layers {
             let d = l.design.as_ref().expect("each class gets a design");
             let sim = d.simulated.expect("verified");
-            let target = if l.requirement.task == TaskId::T1 { 85.0 } else { 100.0 };
+            let target = if l.requirement.task == TaskId::T1 {
+                85.0
+            } else {
+                100.0
+            };
             assert!(
                 (sim.z_diff - target).abs() < 5.0,
                 "{}: Z = {} far from {target}",
@@ -194,8 +216,9 @@ mod tests {
     #[test]
     fn constrained_layer_respects_its_ics() {
         let ics = crate::tasks::table_ix_input_constraints();
-        let plan = BoardPlan::new(vec![LayerRequirement::new("breakout", TaskId::T1)
-            .with_input_constraints(ics.clone())]);
+        let plan = BoardPlan::new(vec![
+            LayerRequirement::new("breakout", TaskId::T1).with_input_constraints(ics.clone())
+        ]);
         let space = crate::spaces::s1_prime();
         let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
         let simulator = AnalyticalSolver::new();

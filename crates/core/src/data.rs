@@ -141,7 +141,11 @@ mod tests {
         let d = generate_dataset(&training_space(), 60, &AnalyticalSolver::new(), 2).expect("ok");
         for r in 0..d.len() {
             let y = d.y.row(r);
-            assert!(y[0] > 5.0 && y[0] < 400.0, "Z out of physical range: {}", y[0]);
+            assert!(
+                y[0] > 5.0 && y[0] < 400.0,
+                "Z out of physical range: {}",
+                y[0]
+            );
             assert!(y[1] < 0.0, "L must be negative: {}", y[1]);
             assert!(y[2] <= 0.0, "NEXT must be non-positive: {}", y[2]);
         }
@@ -171,7 +175,10 @@ mod tests {
                 in_focus += 1;
             }
         }
-        assert_eq!(in_focus, 30, "focus rows must be members of the focus space");
+        assert_eq!(
+            in_focus, 30,
+            "focus rows must be members of the focus space"
+        );
     }
 
     #[test]

@@ -147,6 +147,39 @@ mod tests {
         assert_eq!(out, vec![2, 4, 6]);
     }
 
+    /// Telemetry recording from inside `par_map_indexed` workers: counter
+    /// increments are commutative atomic adds and span stats fold under one
+    /// registry lock, so 1-thread and 4-thread sweeps over the same items
+    /// report identical counter totals and span counts.
+    #[test]
+    fn telemetry_totals_identical_across_widths() {
+        use isop_telemetry::{Counter, Telemetry};
+        let items: Vec<u64> = (0..113).collect();
+        let reports: Vec<_> = [1usize, 4]
+            .iter()
+            .map(|&threads| {
+                let tele = Telemetry::enabled();
+                let out = par_map_indexed(threads, &items, |_, &x| {
+                    let _g = isop_telemetry::span!(tele, "exec.worker");
+                    tele.incr(Counter::SurrogatePredict);
+                    tele.add(Counter::SurrogatePredictBatchRows, x);
+                    x * 2
+                });
+                assert_eq!(out.len(), items.len());
+                tele.run_report()
+            })
+            .collect();
+        let (serial, parallel) = (&reports[0], &reports[1]);
+        assert_eq!(serial.counters, parallel.counters);
+        assert_eq!(serial.counter("surrogate.predict"), 113);
+        assert_eq!(
+            serial.counter("surrogate.predict_batch_rows"),
+            (0..113).sum::<u64>()
+        );
+        assert_eq!(serial.span("exec.worker").expect("span").count, 113);
+        assert_eq!(parallel.span("exec.worker").expect("span").count, 113);
+    }
+
     #[test]
     fn parallelism_knob_clamps_and_reads_env() {
         assert_eq!(Parallelism::new(0).threads, 1);

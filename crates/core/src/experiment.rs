@@ -10,6 +10,7 @@ use isop_em::simulator::EmSimulator;
 use isop_hpo::budget::Budget;
 use isop_hpo::sa::SaConfig;
 use isop_hpo::tpe::TpeConfig;
+use isop_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -171,6 +172,10 @@ pub struct ExperimentContext<'a> {
     pub n_trials: usize,
     /// Base RNG seed; trial `i` uses `seed + i`.
     pub seed: u64,
+    /// Telemetry handle attached to every ISOP+ trial. Defaults to
+    /// disabled; enable it to aggregate counters and stage spans across
+    /// the cell's trials (the bench harness reads stage timings here).
+    pub telemetry: Telemetry,
 }
 
 impl ExperimentContext<'_> {
@@ -186,7 +191,8 @@ impl ExperimentContext<'_> {
                 self.surrogate,
                 self.simulator,
                 self.isop_config.clone(),
-            );
+            )
+            .with_telemetry(self.telemetry.clone());
             let outcome = opt.run(objective.clone(), Budget::unlimited(), self.seed + i as u64);
             total_samples += outcome.samples_seen as f64;
             total_algo += outcome.algorithm_seconds;
@@ -250,9 +256,8 @@ impl ExperimentContext<'_> {
                     ),
                     MatchMode::Runtime => (
                         usize::MAX >> 8,
-                        Budget::unlimited().with_wall_clock(Duration::from_secs_f64(
-                            isop_algo_seconds.max(0.05),
-                        )),
+                        Budget::unlimited()
+                            .with_wall_clock(Duration::from_secs_f64(isop_algo_seconds.max(0.05))),
                     ),
                 };
                 let out = run_bo(

@@ -75,17 +75,16 @@ pub mod weights;
 
 /// Convenience re-exports for typical use.
 pub mod prelude {
-    pub use crate::experiment::{ExperimentContext, MatchMode, TrialResult, TrialStats};
-    pub use crate::objective::{
-        FomSpec, InputConstraint, Metric, Objective, OutputConstraint,
-    };
     pub use crate::exec::Parallelism;
+    pub use crate::experiment::{ExperimentContext, MatchMode, TrialResult, TrialStats};
+    pub use crate::objective::{FomSpec, InputConstraint, Metric, Objective, OutputConstraint};
     pub use crate::params::{ParamDef, ParamSpace};
     pub use crate::pipeline::{DesignCandidate, IsopConfig, IsopOptimizer, IsopOutcome};
     pub use crate::surrogate::{
-        CnnSurrogate, MlpSurrogate, MlpXgbSurrogate, NeuralSurrogate, OracleSurrogate,
-        Surrogate,
+        CnnSurrogate, InstrumentedSurrogate, MlpSurrogate, MlpXgbSurrogate, NeuralSurrogate,
+        OracleSurrogate, Surrogate,
     };
     pub use crate::tasks::TaskId;
     pub use crate::weights::WeightAdapter;
+    pub use isop_telemetry::{Counter, RunReport, Telemetry};
 }

@@ -18,21 +18,21 @@ pub fn manual_design() -> DiffStripline {
 
 /// The manual design as a parameter vector in `PARAM_NAMES` order.
 pub const MANUAL_VECTOR: [f64; PARAM_COUNT] = [
-    5.0,    // W_t
-    6.0,    // S_t
-    20.0,   // D_t
-    0.0,    // E_t
-    1.5,    // H_t
-    8.0,    // H_c
-    8.0,    // H_p
-    5.8e7,  // sigma_t
-    -14.5,  // R_t
-    4.30,   // Dk_t
-    4.30,   // Dk_c
-    4.30,   // Dk_p
-    0.001,  // Df_t
-    0.001,  // Df_c
-    0.001,  // Df_p
+    5.0,   // W_t
+    6.0,   // S_t
+    20.0,  // D_t
+    0.0,   // E_t
+    1.5,   // H_t
+    8.0,   // H_c
+    8.0,   // H_p
+    5.8e7, // sigma_t
+    -14.5, // R_t
+    4.30,  // Dk_t
+    4.30,  // Dk_c
+    4.30,  // Dk_p
+    0.001, // Df_t
+    0.001, // Df_c
+    0.001, // Df_p
 ];
 
 /// The ISOP design for T1 on `S_1` without input constraints (Table IX).

@@ -122,8 +122,9 @@ impl OutputConstraint {
     /// Derivative of [`smoothed`](Self::smoothed) with respect to the metric.
     pub fn smoothed_grad(&self, metrics: &[f64; 3], gamma: f64) -> f64 {
         let dev = metrics[self.metric.index()] - self.target;
-        gamma * (sigmoid_deriv(gamma * (dev - self.tolerance))
-            - sigmoid_deriv(gamma * (-dev - self.tolerance)))
+        gamma
+            * (sigmoid_deriv(gamma * (dev - self.tolerance))
+                - sigmoid_deriv(gamma * (-dev - self.tolerance)))
     }
 
     /// The boundary penalty value `C_max` used by the adaptive-weight rule:
@@ -447,8 +448,7 @@ mod tests {
             let mut lo = x.clone();
             hi[c] += h;
             lo[c] -= h;
-            let fd =
-                (obj.g_hat(&predict(&hi), &hi) - obj.g_hat(&predict(&lo), &lo)) / (2.0 * h);
+            let fd = (obj.g_hat(&predict(&hi), &hi) - obj.g_hat(&predict(&lo), &lo)) / (2.0 * h);
             assert!((grad[c] - fd).abs() < 1e-5, "dim {c}: {} vs {fd}", grad[c]);
         }
     }
@@ -460,8 +460,14 @@ mod tests {
             .push(InputConstraint::new(vec![(0, 1.0)], 3.0, "x0<=3"));
         obj.weights.ic.push(1.0);
         assert!(obj.all_satisfied(&[85.2, -0.4, 0.0], &[2.0]));
-        assert!(!obj.all_satisfied(&[87.0, -0.4, 0.0], &[2.0]), "Z out of band");
-        assert!(!obj.all_satisfied(&[85.2, -0.4, 0.0], &[4.0]), "IC violated");
+        assert!(
+            !obj.all_satisfied(&[87.0, -0.4, 0.0], &[2.0]),
+            "Z out of band"
+        );
+        assert!(
+            !obj.all_satisfied(&[85.2, -0.4, 0.0], &[4.0]),
+            "IC violated"
+        );
     }
 
     #[test]

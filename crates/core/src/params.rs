@@ -33,7 +33,11 @@ pub struct OutOfRangeError {
 
 impl fmt::Display for OutOfRangeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "value {} outside the grid of parameter {}", self.value, self.param)
+        write!(
+            f,
+            "value {} outside the grid of parameter {}",
+            self.value, self.param
+        )
     }
 }
 
@@ -169,7 +173,11 @@ impl ParamSpace {
         assert_eq!(levels.len(), self.params.len(), "level count mismatch");
         let mut bits = Vec::with_capacity(self.total_bits());
         for (p, &level) in self.params.iter().zip(levels) {
-            assert!(level < p.n_levels(), "level {level} out of range for {}", p.name);
+            assert!(
+                level < p.n_levels(),
+                "level {level} out of range for {}",
+                p.name
+            );
             for b in 0..p.n_bits() {
                 bits.push((level >> b) & 1 == 1);
             }
@@ -292,7 +300,7 @@ mod tests {
 
     fn simple_space() -> ParamSpace {
         ParamSpace::new(vec![
-            ParamDef::new("a", 2.0, 5.0, 0.1),  // 31 levels, 5 bits
+            ParamDef::new("a", 2.0, 5.0, 0.1),   // 31 levels, 5 bits
             ParamDef::new("b", 30.0, 40.0, 5.0), // 3 levels, 2 bits
             ParamDef::new("c", 0.0, 0.3, 0.05),  // 7 levels, 3 bits
         ])

@@ -18,7 +18,7 @@
 use crate::exec::{par_map_indexed, Parallelism};
 use crate::objective::Objective;
 use crate::params::ParamSpace;
-use crate::surrogate::Surrogate;
+use crate::surrogate::{InstrumentedSurrogate, Surrogate};
 use crate::weights::{SampleRecord, WeightAdapter};
 use isop_em::simulator::{EmSimulator, SimulationResult};
 use isop_em::stackup::DiffStripline;
@@ -29,6 +29,7 @@ use isop_hpo::objective::BinaryObjective;
 use isop_hpo::order::nan_last;
 use isop_hpo::space::BinarySpace;
 use isop_ml::optim::Adam;
+use isop_telemetry::{Counter, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -139,6 +140,7 @@ pub struct IsopOptimizer<'a> {
     surrogate: &'a dyn Surrogate,
     simulator: &'a dyn EmSimulator,
     config: IsopConfig,
+    telemetry: Telemetry,
 }
 
 /// Binary objective bridging bits -> design values -> surrogate -> `g_hat`,
@@ -170,10 +172,9 @@ impl BinaryObjective for SurrogateBinaryObjective<'_> {
         };
         self.valid += 1;
         let g = self.objective.borrow().g_hat(&metrics, &values);
-        self.records.borrow_mut().push(SampleRecord {
-            metrics,
-            values,
-        });
+        self.records
+            .borrow_mut()
+            .push(SampleRecord { metrics, values });
         Some(g)
     }
 
@@ -195,7 +196,18 @@ impl<'a> IsopOptimizer<'a> {
             surrogate,
             simulator,
             config,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; every stage span, surrogate call,
+    /// Adam step, and charged EM batch is recorded on it. Counter totals
+    /// are bit-identical at any `parallelism.threads` for a fixed seed;
+    /// span timings are wall-clock.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Runs the full three-stage pipeline on `objective`.
@@ -207,11 +219,15 @@ impl<'a> IsopOptimizer<'a> {
         let mut rng = StdRng::seed_from_u64(seed);
         let obj_cell = RefCell::new(objective);
         let records = RefCell::new(Vec::new());
+        // Every surrogate call in the pipeline goes through the counting
+        // wrapper; with a disabled handle it adds one branch per call.
+        let instrumented = InstrumentedSurrogate::new(self.surrogate, self.telemetry.clone());
 
         // ---- Stage 1: global exploration (Harmonica + weights + Hyperband).
+        let global_span = isop_telemetry::span!(self.telemetry, "pipeline.global");
         let mut bin_obj = SurrogateBinaryObjective {
             space: self.space,
-            surrogate: self.surrogate,
+            surrogate: &instrumented,
             objective: &obj_cell,
             records: &records,
             valid: 0,
@@ -220,12 +236,13 @@ impl<'a> IsopOptimizer<'a> {
         let adapter = self.config.weight_adapter;
         let adapt = self.config.adapt_weights;
         let init_space = BinarySpace::free(self.space.total_bits());
-        let result = harmonica::run(
+        let result = harmonica::run_traced(
             &mut bin_obj,
             init_space,
             &self.config.harmonica,
             &mut budget,
             &mut rng,
+            &self.telemetry,
             |_stage, _samples| {
                 if adapt {
                     let batch: Vec<SampleRecord> = records.borrow_mut().drain(..).collect();
@@ -241,6 +258,7 @@ impl<'a> IsopOptimizer<'a> {
         let reduced = result.space.clone();
         let mut seeds: Vec<(Vec<bool>, f64)> = Vec::new();
         if self.config.use_hyperband {
+            let _hb_span = isop_telemetry::span!(self.telemetry, "pipeline.hyperband");
             // The weight adapter only runs between Harmonica stages, so the
             // objective is frozen for the whole Hyperband pass — a clone can
             // be shared read-only across worker threads.
@@ -250,16 +268,17 @@ impl<'a> IsopOptimizer<'a> {
                 .collect();
             let threads = self.config.parallelism.threads;
             let space = self.space;
-            let surrogate = self.surrogate;
+            let surrogate = &instrumented;
             // Counters fold serially after each parallel batch; sample
             // records are not collected here because the adapter never
             // consumes Hyperband-phase records (they were always cleared
             // before use).
             let mut valid = 0u64;
             let mut invalid = 0u64;
-            let ranked = hyperband::run(
+            let ranked = hyperband::run_traced(
                 &self.config.hyperband,
                 &mut rng,
+                &self.telemetry,
                 |r| reduced.sample(r),
                 |rng, bits, resource| {
                     // Fidelity axis: average g_hat over the point and
@@ -330,6 +349,7 @@ impl<'a> IsopOptimizer<'a> {
         records.borrow_mut().clear();
         let samples_seen = bin_obj.valid;
         let invalid_seen = bin_obj.invalid;
+        drop(global_span);
 
         // Weights are frozen from here on (paper Section III-G).
         let final_objective = obj_cell.borrow().clone();
@@ -339,18 +359,17 @@ impl<'a> IsopOptimizer<'a> {
         // refine each seed on its own worker — refinements share nothing
         // but the read-only surrogate and objective, and results come back
         // in seed order.
+        let local_span = isop_telemetry::span!(self.telemetry, "pipeline.local");
         let bounds = self.space.bounds();
         let spans: Vec<f64> = bounds.iter().map(|(lo, hi)| hi - lo).collect();
         let decoded: Vec<Vec<f64>> = seeds
             .iter()
             .filter_map(|(bits, _)| self.space.decode_values(bits))
             .collect();
-        let refined: Vec<Vec<f64>> = par_map_indexed(
-            self.config.parallelism.threads,
-            &decoded,
-            |_, start| {
+        let refined: Vec<Vec<f64>> =
+            par_map_indexed(self.config.parallelism.threads, &decoded, |_, start| {
                 let mut x = start.clone();
-                let differentiable = self.surrogate.jacobian(&x).is_some();
+                let differentiable = instrumented.jacobian(&x).is_some();
                 if self.config.use_gradient_descent && differentiable {
                     // Optimize in normalized coordinates u = (x - lo) / span.
                     let mut u: Vec<f64> = x
@@ -365,16 +384,17 @@ impl<'a> IsopOptimizer<'a> {
                             .zip(&bounds)
                             .map(|(ui, (lo, hi))| lo + ui * (hi - lo))
                             .collect();
-                        let Ok(metrics) = self.surrogate.predict(&x_now) else {
+                        let Ok(metrics) = instrumented.predict(&x_now) else {
                             break;
                         };
-                        let Some(Ok(jac)) = self.surrogate.jacobian(&x_now) else {
+                        let Some(Ok(jac)) = instrumented.jacobian(&x_now) else {
                             break;
                         };
                         let grad_x = final_objective.grad_g_hat(&metrics, &jac, &x_now);
                         let grad_u: Vec<f64> =
                             grad_x.iter().zip(&spans).map(|(g, s)| g * s).collect();
                         adam.step(&mut u, &grad_u);
+                        self.telemetry.incr(Counter::AdamSteps);
                         for ui in &mut u {
                             *ui = ui.clamp(0.0, 1.0);
                         }
@@ -386,10 +406,11 @@ impl<'a> IsopOptimizer<'a> {
                         .collect();
                 }
                 x
-            },
-        );
+            });
+        drop(local_span);
 
         // ---- Stage 3: roll-out (round, dedupe, simulate, rank by g).
+        let rollout_span = isop_telemetry::span!(self.telemetry, "pipeline.rollout");
         let mut rounded: Vec<Vec<f64>> = Vec::new();
         for x in refined {
             let r = self.space.round_to_grid(&x);
@@ -415,7 +436,7 @@ impl<'a> IsopOptimizer<'a> {
         }
         // Rank by surrogate g_hat (one batched forward pass) and simulate
         // the top cand_num.
-        let predictions = self.surrogate.predict_batch(&rounded);
+        let predictions = instrumented.predict_batch(&rounded);
         let mut scored: Vec<(Vec<f64>, [f64; 3], f64)> = rounded
             .into_iter()
             .zip(predictions)
@@ -431,15 +452,11 @@ impl<'a> IsopOptimizer<'a> {
         // Simulate the survivors concurrently — the paper's "three EM runs
         // in parallel". Results collect by index, so the ranking below sees
         // the same order at any thread count.
-        let simulated = par_map_indexed(
-            self.config.parallelism.threads,
-            &scored,
-            |_, entry| {
-                let (x, _, _) = entry;
-                let layer = DiffStripline::from_vector(x).ok()?;
-                self.simulator.simulate(&layer).ok()
-            },
-        );
+        let simulated = par_map_indexed(self.config.parallelism.threads, &scored, |_, entry| {
+            let (x, _, _) = entry;
+            let layer = DiffStripline::from_vector(x).ok()?;
+            self.simulator.simulate(&layer).ok()
+        });
         let mut em_seconds = 0.0;
         let mut candidates: Vec<DesignCandidate> = Vec::new();
         for ((x, predicted, _), sim) in scored.into_iter().zip(simulated) {
@@ -452,6 +469,9 @@ impl<'a> IsopOptimizer<'a> {
             // per run, and not for designs the simulator rejected.
             if candidates.len().is_multiple_of(3) {
                 em_seconds += self.simulator.nominal_seconds();
+                self.telemetry.incr(Counter::EmBatchesCharged);
+                self.telemetry
+                    .charge_em_seconds(self.simulator.nominal_seconds());
             }
             let metrics = sim.to_array();
             let g = final_objective.g_exact(&metrics, &x);
@@ -475,6 +495,7 @@ impl<'a> IsopOptimizer<'a> {
                 .then(nan_last(a.g_exact, b.g_exact))
         });
         let success = candidates.first().is_some_and(feasible);
+        drop(rollout_span);
 
         IsopOutcome {
             candidates,
@@ -546,7 +567,11 @@ mod tests {
         let opt = IsopOptimizer::new(&space, &surrogate, &simulator, fast_config());
         let outcome = opt.run(objective_for(TaskId::T1, vec![]), Budget::unlimited(), 5);
         for c in &outcome.candidates {
-            assert!(space.contains(&c.values), "off-grid candidate {:?}", c.values);
+            assert!(
+                space.contains(&c.values),
+                "off-grid candidate {:?}",
+                c.values
+            );
         }
         for w in outcome.candidates.windows(2) {
             assert!(w[0].g_exact <= w[1].g_exact);
@@ -566,17 +591,20 @@ mod tests {
         // Average exact objective across seeds; GD must not be worse.
         let (mut g_no, mut g_gd) = (0.0, 0.0);
         for seed in [11, 12, 13] {
-            let no_gd = IsopOptimizer::new(&space, &surrogate, &simulator, no_gd_cfg.clone())
-                .run(objective_for(TaskId::T1, vec![]), Budget::unlimited(), seed);
-            let gd = IsopOptimizer::new(&space, &surrogate, &simulator, with_gd_cfg.clone())
-                .run(objective_for(TaskId::T1, vec![]), Budget::unlimited(), seed);
+            let no_gd = IsopOptimizer::new(&space, &surrogate, &simulator, no_gd_cfg.clone()).run(
+                objective_for(TaskId::T1, vec![]),
+                Budget::unlimited(),
+                seed,
+            );
+            let gd = IsopOptimizer::new(&space, &surrogate, &simulator, with_gd_cfg.clone()).run(
+                objective_for(TaskId::T1, vec![]),
+                Budget::unlimited(),
+                seed,
+            );
             g_no += no_gd.best().map_or(10.0, |c| c.g_exact);
             g_gd += gd.best().map_or(10.0, |c| c.g_exact);
         }
-        assert!(
-            g_gd <= g_no + 0.15,
-            "GD degraded results: {g_gd} vs {g_no}"
-        );
+        assert!(g_gd <= g_no + 0.15, "GD degraded results: {g_gd} vs {g_no}");
     }
 
     #[test]
@@ -607,8 +635,11 @@ mod tests {
                     parallelism: Parallelism::new(threads),
                     ..fast_config()
                 };
-                IsopOptimizer::new(&space, &surrogate, &simulator, config)
-                    .run(objective_for(TaskId::T1, vec![]), Budget::unlimited(), 3)
+                IsopOptimizer::new(&space, &surrogate, &simulator, config).run(
+                    objective_for(TaskId::T1, vec![]),
+                    Budget::unlimited(),
+                    3,
+                )
             })
             .collect();
         let (serial, parallel) = (&outcomes[0], &outcomes[1]);
@@ -657,10 +688,7 @@ mod tests {
             }
         }
 
-        fn jacobian(
-            &self,
-            x: &[f64],
-        ) -> Option<Result<isop_ml::linalg::Matrix, isop_ml::MlError>> {
+        fn jacobian(&self, x: &[f64]) -> Option<Result<isop_ml::linalg::Matrix, isop_ml::MlError>> {
             self.inner.jacobian(x)
         }
 
@@ -688,6 +716,63 @@ mod tests {
                 w[1].g_exact
             );
         }
+    }
+
+    /// Telemetry counter totals are commutative atomic adds, so a 4-thread
+    /// run must report bit-identical counters and charged EM seconds to the
+    /// serial run at the same seed — the contract the CI bench gate diffs on.
+    #[test]
+    fn telemetry_counters_identical_across_thread_widths() {
+        let space = s1();
+        let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+        let simulator = AnalyticalSolver::new();
+        let reports: Vec<isop_telemetry::RunReport> = [1usize, 4]
+            .iter()
+            .map(|&threads| {
+                let config = IsopConfig {
+                    parallelism: Parallelism::new(threads),
+                    ..fast_config()
+                };
+                let tele = Telemetry::enabled();
+                let _ = IsopOptimizer::new(&space, &surrogate, &simulator, config)
+                    .with_telemetry(tele.clone())
+                    .run(objective_for(TaskId::T1, vec![]), Budget::unlimited(), 3);
+                tele.run_report()
+            })
+            .collect();
+        let (serial, parallel) = (&reports[0], &reports[1]);
+        assert_eq!(serial.counters, parallel.counters);
+        assert_eq!(
+            serial.em_seconds_charged.to_bits(),
+            parallel.em_seconds_charged.to_bits()
+        );
+        // The run actually exercised every stage.
+        assert!(serial.counter("surrogate.predict") > 0);
+        assert!(serial.counter("harmonica.lasso_solves") > 0);
+        assert!(serial.counter("adam.steps") > 0);
+        assert!(serial.counter("em.batches_charged") > 0);
+        for label in [
+            "pipeline.global",
+            "pipeline.hyperband",
+            "pipeline.local",
+            "pipeline.rollout",
+        ] {
+            assert!(serial.span(label).is_some(), "missing span {label}");
+        }
+    }
+
+    /// An optimizer without `with_telemetry` records nothing anywhere.
+    #[test]
+    fn default_optimizer_runs_untraced() {
+        let space = s1();
+        let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+        let simulator = AnalyticalSolver::new();
+        let outcome = IsopOptimizer::new(&space, &surrogate, &simulator, fast_config()).run(
+            objective_for(TaskId::T1, vec![]),
+            Budget::unlimited(),
+            3,
+        );
+        assert!(outcome.best().is_some());
     }
 
     #[test]

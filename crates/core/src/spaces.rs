@@ -172,15 +172,16 @@ mod tests {
     fn table_ix_designs_lie_on_their_grids() {
         // ISOP (S_1, no IC) T1 row of Table IX.
         let t1 = [
-            5.0, 6.5, 30.0, 0.0, 1.5, 6.2, 8.0, 5.8e7, -14.5, 4.5, 4.5, 3.55, 0.001, 0.001,
-            0.001,
+            5.0, 6.5, 30.0, 0.0, 1.5, 6.2, 8.0, 5.8e7, -14.5, 4.5, 4.5, 3.55, 0.001, 0.001, 0.001,
         ];
         assert!(s1().contains(&t1), "T1/S_1 design must be valid in S_1");
         // ISOP (S_1', with IC) T3 row.
         let t3 = [
-            8.2, 3.5, 40.0, 0.30, 0.7, 8.0, 8.0, 5.7e7, -14.5, 2.5, 2.8, 3.35, 0.001, 0.001,
-            0.001,
+            8.2, 3.5, 40.0, 0.30, 0.7, 8.0, 8.0, 5.7e7, -14.5, 2.5, 2.8, 3.35, 0.001, 0.001, 0.001,
         ];
-        assert!(s1_prime().contains(&t3), "T3/S_1' design must be valid in S_1'");
+        assert!(
+            s1_prime().contains(&t3),
+            "T3/S_1' design must be valid in S_1'"
+        );
     }
 }

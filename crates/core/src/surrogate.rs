@@ -19,6 +19,7 @@ use isop_ml::dataset::Dataset;
 use isop_ml::linalg::Matrix;
 use isop_ml::models::{Cnn1d, Mlp, XgbRegressor};
 use isop_ml::{Differentiable, MlError, Regressor};
+use isop_telemetry::{Counter, Telemetry};
 
 /// A surrogate predicting `[Z, L, NEXT]` from the 15-parameter design vector.
 pub trait Surrogate: Send + Sync {
@@ -107,7 +108,9 @@ impl<M: Differentiable> Surrogate for NeuralSurrogate<M> {
         // single-row pass per design.
         let batch = Matrix::from_rows(xs);
         match self.model.predict(&batch) {
-            Ok(out) => (0..out.rows()).map(|r| Ok(row_to_metrics(out.row(r)))).collect(),
+            Ok(out) => (0..out.rows())
+                .map(|r| Ok(row_to_metrics(out.row(r))))
+                .collect(),
             // A whole-batch failure (unfitted model, width mismatch)
             // applies to every row equally.
             Err(e) => xs.iter().map(|_| Err(e.clone())).collect(),
@@ -179,6 +182,60 @@ impl Surrogate for MlpXgbSurrogate {
     }
 }
 
+/// A counting decorator over any [`Surrogate`]: forwards every call to the
+/// wrapped model while ticking the typed telemetry counters the run report
+/// accounts surrogate cost by (`predict` / `predict_batch` calls, batch
+/// rows, Jacobian evaluations).
+///
+/// Counter increments are commutative, so totals are identical at any
+/// worker-thread width; with a disabled handle each call adds one branch.
+/// The pipeline wraps its surrogate in this decorator internally — wrap
+/// manually only when driving a surrogate outside [`IsopOptimizer`]
+/// (e.g. the CI bench gate).
+///
+/// [`IsopOptimizer`]: crate::pipeline::IsopOptimizer
+pub struct InstrumentedSurrogate<'a> {
+    inner: &'a dyn Surrogate,
+    telemetry: Telemetry,
+}
+
+impl<'a> InstrumentedSurrogate<'a> {
+    /// Wraps `inner`, recording onto `telemetry`.
+    pub fn new(inner: &'a dyn Surrogate, telemetry: Telemetry) -> Self {
+        Self { inner, telemetry }
+    }
+}
+
+impl Surrogate for InstrumentedSurrogate<'_> {
+    fn predict(&self, x: &[f64]) -> Result<[f64; 3], MlError> {
+        self.telemetry.incr(Counter::SurrogatePredict);
+        self.inner.predict(x)
+    }
+
+    fn jacobian(&self, x: &[f64]) -> Option<Result<Matrix, MlError>> {
+        self.telemetry.incr(Counter::SurrogateJacobian);
+        self.inner.jacobian(x)
+    }
+
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Result<[f64; 3], MlError>> {
+        self.telemetry.incr(Counter::SurrogatePredictBatch);
+        self.telemetry
+            .add(Counter::SurrogatePredictBatchRows, xs.len() as u64);
+        self.inner.predict_batch(xs)
+    }
+
+    fn jacobian_batch(&self, xs: &[Vec<f64>]) -> Vec<Option<Result<Matrix, MlError>>> {
+        self.telemetry.incr(Counter::SurrogateJacobianBatch);
+        self.telemetry
+            .add(Counter::SurrogateJacobianBatchRows, xs.len() as u64);
+        self.inner.jacobian_batch(xs)
+    }
+
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+}
+
 /// A "perfect" surrogate that queries the real simulator (with optional
 /// finite-difference gradients). Used in tests and algorithm ablations.
 pub struct OracleSurrogate<S> {
@@ -190,10 +247,7 @@ impl<S: EmSimulator> OracleSurrogate<S> {
     /// Wraps a simulator; gradients use central differences with `fd_step`
     /// relative to each parameter's magnitude.
     pub fn new(sim: S) -> Self {
-        Self {
-            sim,
-            fd_step: 1e-4,
-        }
+        Self { sim, fd_step: 1e-4 }
     }
 
     fn eval(&self, x: &[f64]) -> Result<[f64; 3], MlError> {
@@ -271,7 +325,12 @@ mod tests {
         let row = data.x.row(0);
         let pred = s.predict(row).expect("predicts");
         let truth = data.y.row(0);
-        assert!((pred[0] - truth[0]).abs() < 12.0, "Z: {} vs {}", pred[0], truth[0]);
+        assert!(
+            (pred[0] - truth[0]).abs() < 12.0,
+            "Z: {} vs {}",
+            pred[0],
+            truth[0]
+        );
         assert!(pred[1] < 0.1, "L must be ~negative: {}", pred[1]);
     }
 
@@ -279,22 +338,24 @@ mod tests {
     fn neural_surrogate_exposes_jacobian() {
         let data = tiny_dataset(200);
         let s = NeuralSurrogate::fit(tiny_mlp(), &data).expect("trains");
-        let jac = s.jacobian(data.x.row(0)).expect("differentiable").expect("ok");
+        let jac = s
+            .jacobian(data.x.row(0))
+            .expect("differentiable")
+            .expect("ok");
         assert_eq!((jac.rows(), jac.cols()), (3, 15));
     }
 
     #[test]
     fn mlp_xgb_predicts_but_has_no_jacobian() {
         let data = tiny_dataset(200);
-        let s = MlpXgbSurrogate::fit(
-            tiny_mlp(),
-            XgbRegressor::new(30, 0.2, 4, 1.0, 0.0),
-            &data,
-        )
-        .expect("trains");
+        let s = MlpXgbSurrogate::fit(tiny_mlp(), XgbRegressor::new(30, 0.2, 4, 1.0, 0.0), &data)
+            .expect("trains");
         let pred = s.predict(data.x.row(0)).expect("predicts");
         assert!(pred.iter().all(|v| v.is_finite()));
-        assert!(s.jacobian(data.x.row(0)).is_none(), "tree part is not differentiable");
+        assert!(
+            s.jacobian(data.x.row(0)).is_none(),
+            "tree part is not differentiable"
+        );
         assert_eq!(s.name(), "MLP_XGB");
     }
 
@@ -318,6 +379,26 @@ mod tests {
         assert!(jac[(0, 0)] < 0.0, "dZ/dW = {}", jac[(0, 0)]);
         // Larger pair distance reduces |NEXT| (NEXT is negative, so dNEXT/dD > 0).
         assert!(jac[(2, 2)] > 0.0, "dNEXT/dD = {}", jac[(2, 2)]);
+    }
+
+    #[test]
+    fn instrumented_surrogate_counts_without_changing_predictions() {
+        let inner = OracleSurrogate::new(AnalyticalSolver::new());
+        let tele = Telemetry::enabled();
+        let wrapped = InstrumentedSurrogate::new(&inner, tele.clone());
+        let x = crate::manual::MANUAL_VECTOR;
+        assert_eq!(wrapped.predict(&x).unwrap(), inner.predict(&x).unwrap());
+        let batch = vec![x.to_vec(), x.to_vec(), x.to_vec()];
+        let _ = wrapped.predict_batch(&batch);
+        let _ = wrapped.jacobian(&x);
+        let _ = wrapped.jacobian_batch(&batch[..2]);
+        assert_eq!(wrapped.name(), inner.name());
+        assert_eq!(tele.counter(Counter::SurrogatePredict), 1);
+        assert_eq!(tele.counter(Counter::SurrogatePredictBatch), 1);
+        assert_eq!(tele.counter(Counter::SurrogatePredictBatchRows), 3);
+        assert_eq!(tele.counter(Counter::SurrogateJacobian), 1);
+        assert_eq!(tele.counter(Counter::SurrogateJacobianBatch), 1);
+        assert_eq!(tele.counter(Counter::SurrogateJacobianBatchRows), 2);
     }
 
     #[test]

@@ -127,10 +127,7 @@ mod tests {
     #[test]
     fn t4_weights_next_double() {
         let obj = objective_for(TaskId::T4, vec![]);
-        assert_eq!(
-            obj.fom.terms,
-            vec![(Metric::L, 1.0), (Metric::Next, 2.0)]
-        );
+        assert_eq!(obj.fom.terms, vec![(Metric::L, 1.0), (Metric::Next, 2.0)]);
         // Cross-check a Table V row: SA-1 on T4/S1 has L=-0.467,
         // NEXT=-0.006 -> FoM 0.479.
         let fom = obj.fom.value(&[85.0, -0.467, -0.006]);

@@ -127,22 +127,15 @@ mod tests {
 
     #[test]
     fn identity_is_neutral() {
-        let line = AbcdMatrix::transmission_line(
-            Complex::new(0.1, 40.0),
-            Complex::real(50.0),
-            0.1,
-        );
+        let line = AbcdMatrix::transmission_line(Complex::new(0.1, 40.0), Complex::real(50.0), 0.1);
         assert_eq!(AbcdMatrix::identity().cascade(&line), line);
         assert_eq!(line.cascade(&AbcdMatrix::identity()), line);
     }
 
     #[test]
     fn reciprocal_determinant_is_one() {
-        let line = AbcdMatrix::transmission_line(
-            Complex::new(0.2, 100.0),
-            Complex::new(48.0, -1.0),
-            0.05,
-        );
+        let line =
+            AbcdMatrix::transmission_line(Complex::new(0.2, 100.0), Complex::new(48.0, -1.0), 0.05);
         assert!(close(line.det(), ONE, 1e-9));
         let z = AbcdMatrix::series_impedance(Complex::new(3.0, 7.0));
         assert!(close(z.det(), ONE, 1e-12));
@@ -165,8 +158,7 @@ mod tests {
     fn matched_lossless_line_is_all_pass() {
         // A lossless line matched to the reference has |S21| = 1, S11 = 0.
         let z0 = 50.0;
-        let line =
-            AbcdMatrix::transmission_line(Complex::new(0.0, 30.0), Complex::real(z0), 0.1);
+        let line = AbcdMatrix::transmission_line(Complex::new(0.0, 30.0), Complex::real(z0), 0.1);
         let (s11, s21, _, _) = line.to_s_params(z0);
         assert!(s11.abs() < 1e-9, "S11 = {s11}");
         assert!((s21.abs() - 1.0).abs() < 1e-9, "|S21| = {}", s21.abs());
@@ -176,11 +168,8 @@ mod tests {
     fn lossy_line_attenuates() {
         let z0 = 50.0;
         let alpha = 2.0; // Np/m
-        let line = AbcdMatrix::transmission_line(
-            Complex::new(alpha, 100.0),
-            Complex::real(z0),
-            0.5,
-        );
+        let line =
+            AbcdMatrix::transmission_line(Complex::new(alpha, 100.0), Complex::real(z0), 0.5);
         let (_, s21, _, _) = line.to_s_params(z0);
         let expected_db = -8.685_889_638 * alpha * 0.5;
         assert!((to_db(s21) - expected_db).abs() < 1e-6);
@@ -188,8 +177,7 @@ mod tests {
 
     #[test]
     fn mismatched_line_reflects() {
-        let line =
-            AbcdMatrix::transmission_line(Complex::new(0.0, 30.0), Complex::real(75.0), 0.1);
+        let line = AbcdMatrix::transmission_line(Complex::new(0.0, 30.0), Complex::real(75.0), 0.1);
         let (s11, _, _, _) = line.to_s_params(50.0);
         assert!(s11.abs() > 0.05);
     }
@@ -207,11 +195,8 @@ mod tests {
 
     #[test]
     fn s_params_passive_magnitudes() {
-        let line = AbcdMatrix::transmission_line(
-            Complex::new(1.0, 200.0),
-            Complex::new(42.0, -0.8),
-            0.3,
-        );
+        let line =
+            AbcdMatrix::transmission_line(Complex::new(1.0, 200.0), Complex::new(42.0, -0.8), 0.3);
         let (s11, s21, s12, s22) = line.to_s_params(50.0);
         for s in [s11, s21, s12, s22] {
             assert!(s.abs() <= 1.0 + 1e-9, "|s| = {}", s.abs());

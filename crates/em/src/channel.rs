@@ -95,7 +95,10 @@ impl Channel {
         let mut z_ref = None;
         for e in &elements {
             match e {
-                Element::Stripline { layer, length_inches } => {
+                Element::Stripline {
+                    layer,
+                    length_inches,
+                } => {
                     layer.validate().map_err(ChannelError::BadLayer)?;
                     if *length_inches <= 0.0 {
                         return Err(ChannelError::BadLength(*length_inches));
@@ -137,7 +140,10 @@ impl Channel {
         let mut chain = AbcdMatrix::identity();
         for e in &self.elements {
             let m = match e {
-                Element::Stripline { layer, length_inches } => {
+                Element::Stripline {
+                    layer,
+                    length_inches,
+                } => {
                     let p = odd_mode_rlgc(layer, f_hz);
                     AbcdMatrix::transmission_line(
                         p.propagation_constant(f_hz),
@@ -199,7 +205,10 @@ mod tests {
             layer: DiffStripline::default(),
             length_inches: -2.0,
         };
-        assert!(matches!(Channel::new(vec![e]), Err(ChannelError::BadLength(_))));
+        assert!(matches!(
+            Channel::new(vec![e]),
+            Err(ChannelError::BadLength(_))
+        ));
     }
 
     #[test]
@@ -211,15 +220,18 @@ mod tests {
         let il_long = long.insertion_loss_db(f);
         assert!(il_long < il_short);
         // Matched homogeneous cascade: loss ~ linear in length.
-        assert!((il_long / il_short - 8.0).abs() < 0.3, "ratio {}", il_long / il_short);
+        assert!(
+            (il_long / il_short - 8.0).abs() < 0.3,
+            "ratio {}",
+            il_long / il_short
+        );
     }
 
     #[test]
     fn via_adds_loss_at_high_frequency() {
         let plain = Channel::new(vec![one_inch(), one_inch()]).expect("ok");
         let with_via =
-            Channel::new(vec![one_inch(), Element::Via(Via::default()), one_inch()])
-                .expect("ok");
+            Channel::new(vec![one_inch(), Element::Via(Via::default()), one_inch()]).expect("ok");
         let f = 2.5e10;
         assert!(with_via.insertion_loss_db(f) < plain.insertion_loss_db(f));
     }
@@ -234,9 +246,7 @@ mod tests {
             stub_length: 0.0,
             ..Via::default()
         };
-        let mk = |v: Via| {
-            Channel::new(vec![one_inch(), Element::Via(v), one_inch()]).expect("ok")
-        };
+        let mk = |v: Via| Channel::new(vec![one_inch(), Element::Via(v), one_inch()]).expect("ok");
         let f = stubbed.stub_resonance_hz().expect("stub") * 0.9;
         assert!(
             mk(drilled).insertion_loss_db(f) > mk(stubbed).insertion_loss_db(f),

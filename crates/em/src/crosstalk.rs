@@ -95,9 +95,18 @@ mod tests {
 
     #[test]
     fn next_decays_with_pair_distance() {
-        let near = DiffStripline::builder().pair_distance(15.0).build().unwrap();
-        let mid = DiffStripline::builder().pair_distance(25.0).build().unwrap();
-        let far = DiffStripline::builder().pair_distance(40.0).build().unwrap();
+        let near = DiffStripline::builder()
+            .pair_distance(15.0)
+            .build()
+            .unwrap();
+        let mid = DiffStripline::builder()
+            .pair_distance(25.0)
+            .build()
+            .unwrap();
+        let far = DiffStripline::builder()
+            .pair_distance(40.0)
+            .build()
+            .unwrap();
         let (n, m, f) = (
             next_mv(&near).abs(),
             next_mv(&mid).abs(),

@@ -102,7 +102,11 @@ mod tests {
     #[test]
     fn matches_datasheet_at_reference() {
         let m = WidebandDebye::fit(3.8, 0.008, F_REF);
-        assert!((m.dk(F_REF) - 3.8).abs() < 1e-9, "Dk at ref: {}", m.dk(F_REF));
+        assert!(
+            (m.dk(F_REF) - 3.8).abs() < 1e-9,
+            "Dk at ref: {}",
+            m.dk(F_REF)
+        );
         let df = m.df(F_REF);
         assert!((df - 0.008).abs() < 0.004, "Df at ref: {df}");
     }
@@ -114,7 +118,10 @@ mod tests {
         let dk2 = m.dk(1e9);
         let dk3 = m.dk(1.6e10);
         let dk4 = m.dk(4e10);
-        assert!(dk1 > dk2 && dk2 > dk3 && dk3 > dk4, "{dk1} {dk2} {dk3} {dk4}");
+        assert!(
+            dk1 > dk2 && dk2 > dk3 && dk3 > dk4,
+            "{dk1} {dk2} {dk3} {dk4}"
+        );
     }
 
     #[test]
@@ -140,7 +147,10 @@ mod tests {
         let low = WidebandDebye::fit(3.8, 0.002, F_REF);
         let high = WidebandDebye::fit(3.8, 0.02, F_REF);
         let slope = |m: &WidebandDebye| m.dk(1e8) - m.dk(4e10);
-        assert!(slope(&high) > slope(&low), "loss and dispersion are linked (causality)");
+        assert!(
+            slope(&high) > slope(&low),
+            "loss and dispersion are linked (causality)"
+        );
     }
 
     #[test]

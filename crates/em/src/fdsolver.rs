@@ -268,9 +268,16 @@ mod tests {
     fn converges_and_is_physical() {
         let layer = DiffStripline::default();
         let sol = solve_odd_mode(&layer, &fast_cfg());
-        assert!(sol.iterations < fast_cfg().max_iterations, "did not converge");
+        assert!(
+            sol.iterations < fast_cfg().max_iterations,
+            "did not converge"
+        );
         assert!(sol.c_odd > sol.c_odd_air, "dielectric must raise C");
-        assert!(sol.z_odd > 10.0 && sol.z_odd < 100.0, "Zodd = {}", sol.z_odd);
+        assert!(
+            sol.z_odd > 10.0 && sol.z_odd < 100.0,
+            "Zodd = {}",
+            sol.z_odd
+        );
     }
 
     #[test]
@@ -295,7 +302,11 @@ mod tests {
         let fd = solve_odd_mode(&layer, &fast_cfg()).z_odd;
         let an = odd_mode_z0(&layer);
         let rel = (fd - an).abs() / an;
-        assert!(rel < 0.15, "FD {fd} vs analytical {an} ({:.1}%)", rel * 100.0);
+        assert!(
+            rel < 0.15,
+            "FD {fd} vs analytical {an} ({:.1}%)",
+            rel * 100.0
+        );
     }
 
     #[test]

@@ -51,10 +51,10 @@ pub mod eye;
 pub mod fdsolver;
 pub mod rlgc;
 pub mod roughness;
+pub mod simulator;
 pub mod sparams;
 pub mod stackup;
 pub mod stripline;
-pub mod simulator;
 pub mod units;
 pub mod via;
 

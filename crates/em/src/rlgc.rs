@@ -14,7 +14,7 @@ use crate::complex::Complex;
 use crate::roughness::{hammerstad_jensen_factor, skin_depth};
 use crate::stackup::DiffStripline;
 use crate::stripline::odd_mode_z0;
-use crate::units::{C0, mils_to_meters, np_per_meter_to_db_per_inch};
+use crate::units::{mils_to_meters, np_per_meter_to_db_per_inch, C0};
 use serde::{Deserialize, Serialize};
 
 /// Empirical geometry factor for conductor loss.
@@ -91,8 +91,7 @@ pub fn odd_mode_rlgc(layer: &DiffStripline, f_hz: f64) -> RlgcParams {
     let t_m = mils_to_meters(layer.trace_height);
     let r_dc = 1.0 / (layer.conductivity * w_m * t_m);
     let delta = skin_depth(layer.conductivity, f_hz.max(1.0));
-    let r_skin = 1.0 / (layer.conductivity * delta * 2.0 * (w_m + t_m))
-        / CONDUCTOR_LOSS_GEOMETRY;
+    let r_skin = 1.0 / (layer.conductivity * delta * 2.0 * (w_m + t_m)) / CONDUCTOR_LOSS_GEOMETRY;
     let k_rough = hammerstad_jensen_factor(layer.roughness_rms_um(), delta);
     // Smooth DC-to-skin transition; roughness only affects the skin term.
     let r = (r_dc * r_dc + (k_rough * r_skin) * (k_rough * r_skin)).sqrt();
@@ -177,9 +176,7 @@ mod tests {
         let smooth = DiffStripline::builder().roughness(-14.5).build().unwrap();
         let rough = DiffStripline::builder().roughness(14.0).build().unwrap();
         let f = ghz_to_hz(16.0);
-        assert!(
-            insertion_loss_db_per_inch(&rough, f) < insertion_loss_db_per_inch(&smooth, f)
-        );
+        assert!(insertion_loss_db_per_inch(&rough, f) < insertion_loss_db_per_inch(&smooth, f));
     }
 
     #[test]
@@ -205,9 +202,7 @@ mod tests {
         let narrow = DiffStripline::builder().trace_width(3.0).build().unwrap();
         let wide = DiffStripline::builder().trace_width(8.0).build().unwrap();
         let f = ghz_to_hz(16.0);
-        assert!(
-            insertion_loss_db_per_inch(&wide, f) > insertion_loss_db_per_inch(&narrow, f)
-        );
+        assert!(insertion_loss_db_per_inch(&wide, f) > insertion_loss_db_per_inch(&narrow, f));
     }
 
     #[test]

@@ -51,8 +51,8 @@ pub fn huray_factor(rms_um: f64, skin_depth_m: f64) -> f64 {
     let delta = skin_depth_m;
     // 14 spheres on a hex tile whose side is ~3 sphere diameters.
     let tile = 6.0 * (3.0f64.sqrt() / 4.0) * (6.0 * r) * (6.0 * r);
-    let sphere_term = (std::f64::consts::PI * r * r)
-        / (1.0 + delta / r + delta * delta / (2.0 * r * r));
+    let sphere_term =
+        (std::f64::consts::PI * r * r) / (1.0 + delta / r + delta * delta / (2.0 * r * r));
     1.0 + (14.0 * 4.0 / tile) * sphere_term * (3.0 / 2.0) / std::f64::consts::PI
 }
 

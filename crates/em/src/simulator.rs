@@ -20,6 +20,7 @@ use crate::fdsolver::{solve_odd_mode, FdConfig};
 use crate::rlgc::insertion_loss_db_per_inch;
 use crate::stackup::{DiffStripline, GeometryError};
 use crate::stripline::differential_z0;
+use isop_telemetry::{Counter, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -73,12 +74,21 @@ pub trait EmSimulator: Send + Sync {
 #[derive(Debug, Default)]
 pub struct AnalyticalSolver {
     calls: AtomicU64,
+    telemetry: Telemetry,
 }
 
 impl AnalyticalSolver {
     /// Creates a new engine.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a telemetry handle: every `simulate` call then records
+    /// attempted/succeeded/failed counters and an `em.simulate` span.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Number of evaluations performed so far.
@@ -89,8 +99,14 @@ impl AnalyticalSolver {
 
 impl EmSimulator for AnalyticalSolver {
     fn simulate(&self, layer: &DiffStripline) -> Result<SimulationResult, GeometryError> {
-        layer.validate()?;
+        let _span = isop_telemetry::span!(self.telemetry, "em.simulate");
+        self.telemetry.incr(Counter::EmSimAttempted);
+        if let Err(e) = layer.validate() {
+            self.telemetry.incr(Counter::EmSimFailed);
+            return Err(e);
+        }
         self.calls.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.incr(Counter::EmSimSucceeded);
         Ok(SimulationResult {
             z_diff: differential_z0(layer),
             insertion_loss: insertion_loss_db_per_inch(layer, LOSS_EVAL_FREQ_HZ),
@@ -115,6 +131,7 @@ impl EmSimulator for AnalyticalSolver {
 pub struct FieldSolver {
     cfg: FdConfig,
     calls: AtomicU64,
+    telemetry: Telemetry,
 }
 
 impl Default for FieldSolver {
@@ -129,7 +146,16 @@ impl FieldSolver {
         Self {
             cfg,
             calls: AtomicU64::new(0),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle (see
+    /// [`AnalyticalSolver::with_telemetry`]).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Number of evaluations performed so far.
@@ -140,8 +166,14 @@ impl FieldSolver {
 
 impl EmSimulator for FieldSolver {
     fn simulate(&self, layer: &DiffStripline) -> Result<SimulationResult, GeometryError> {
-        layer.validate()?;
+        let _span = isop_telemetry::span!(self.telemetry, "em.simulate");
+        self.telemetry.incr(Counter::EmSimAttempted);
+        if let Err(e) = layer.validate() {
+            self.telemetry.incr(Counter::EmSimFailed);
+            return Err(e);
+        }
         self.calls.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.incr(Counter::EmSimSucceeded);
         let sol = solve_odd_mode(layer, &self.cfg);
         Ok(SimulationResult {
             z_diff: sol.z_diff(),
@@ -166,7 +198,9 @@ mod tests {
     #[test]
     fn analytical_reports_all_metrics() {
         let sim = AnalyticalSolver::new();
-        let r = sim.simulate(&DiffStripline::default()).expect("valid layer");
+        let r = sim
+            .simulate(&DiffStripline::default())
+            .expect("valid layer");
         assert!(r.z_diff > 40.0 && r.z_diff < 150.0);
         assert!(r.insertion_loss < 0.0);
         assert!(r.next <= 0.0);
@@ -182,6 +216,24 @@ mod tests {
         };
         assert!(sim.simulate(&bad).is_err());
         assert_eq!(sim.call_count(), 0, "failed runs must not count");
+    }
+
+    #[test]
+    fn telemetry_counts_attempts_successes_failures() {
+        let tele = Telemetry::enabled();
+        let sim = AnalyticalSolver::new().with_telemetry(tele.clone());
+        sim.simulate(&DiffStripline::default())
+            .expect("valid layer");
+        let bad = DiffStripline {
+            trace_width: -1.0,
+            ..DiffStripline::default()
+        };
+        assert!(sim.simulate(&bad).is_err());
+        assert_eq!(tele.counter(Counter::EmSimAttempted), 2);
+        assert_eq!(tele.counter(Counter::EmSimSucceeded), 1);
+        assert_eq!(tele.counter(Counter::EmSimFailed), 1);
+        let report = tele.run_report();
+        assert_eq!(report.span("em.simulate").expect("span recorded").count, 2);
     }
 
     #[test]

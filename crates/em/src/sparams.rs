@@ -230,8 +230,7 @@ mod tests {
         let z = odd_mode_z0(&layer);
         let f_ref = ghz_to_hz(1.0);
         let flat = FrequencySweep::of_layer(&layer, 1e8, 4e10, 48, 1.0, z);
-        let disp =
-            FrequencySweep::of_layer_dispersive(&layer, f_ref, 1e8, 4e10, 48, 1.0, z);
+        let disp = FrequencySweep::of_layer_dispersive(&layer, f_ref, 1e8, 4e10, 48, 1.0, z);
         // Near the reference frequency the two models agree closely.
         let d_ref = (flat.il_at(f_ref) - disp.il_at(f_ref)).abs();
         assert!(d_ref < 0.05, "at f_ref: {d_ref} dB apart");
@@ -245,15 +244,7 @@ mod tests {
     fn dispersive_sweep_remains_monotone_and_passive() {
         let layer = DiffStripline::default();
         let z = odd_mode_z0(&layer);
-        let s = FrequencySweep::of_layer_dispersive(
-            &layer,
-            ghz_to_hz(1.0),
-            1e8,
-            4e10,
-            48,
-            1.0,
-            z,
-        );
+        let s = FrequencySweep::of_layer_dispersive(&layer, ghz_to_hz(1.0), 1e8, 4e10, 48, 1.0, z);
         for w in s.points().windows(2) {
             assert!(w[1].il_db <= w[0].il_db + 1e-9);
         }

@@ -55,7 +55,11 @@ impl GeometryError {
 
 impl fmt::Display for GeometryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid stack-up geometry: {} {}", self.field, self.reason)
+        write!(
+            f,
+            "invalid stack-up geometry: {} {}",
+            self.field, self.reason
+        )
     }
 }
 

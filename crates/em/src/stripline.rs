@@ -86,7 +86,12 @@ pub fn single_ended_z0(layer: &DiffStripline) -> f64 {
 /// `k = K0 * exp(-a * s / b)`, the classical exponential fall-off of
 /// edge-coupled lines.
 pub fn coupling_coefficient(separation: f64, plane_spacing: f64) -> f64 {
-    coupling_coefficient_with(separation, plane_spacing, COUPLING_AMPLITUDE, COUPLING_DECAY)
+    coupling_coefficient_with(
+        separation,
+        plane_spacing,
+        COUPLING_AMPLITUDE,
+        COUPLING_DECAY,
+    )
 }
 
 /// [`coupling_coefficient`] with explicit amplitude/decay constants.

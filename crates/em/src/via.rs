@@ -134,11 +134,8 @@ impl Via {
         let beta = w / v;
 
         let shunt_in = AbcdMatrix::shunt_admittance(c_half);
-        let barrel = AbcdMatrix::transmission_line(
-            Complex::new(0.0, beta),
-            z0,
-            mils_to_meters(self.length),
-        );
+        let barrel =
+            AbcdMatrix::transmission_line(Complex::new(0.0, beta), z0, mils_to_meters(self.length));
         let mut chain = shunt_in.cascade(&barrel);
 
         if self.stub_length > 0.0 {

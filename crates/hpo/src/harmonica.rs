@@ -13,9 +13,10 @@
 //! discrepancy in `S_1`.
 
 use crate::budget::Budget;
-use crate::lasso::lasso_coordinate_descent;
+use crate::lasso::lasso_coordinate_descent_traced;
 use crate::objective::BinaryObjective;
 use crate::space::BinarySpace;
+use isop_telemetry::{Counter, Telemetry};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -165,10 +166,33 @@ fn sample_valid(
 /// the objective for the *next* stage differ.
 pub fn run(
     obj: &mut dyn BinaryObjective,
+    space: BinarySpace,
+    cfg: &HarmonicaConfig,
+    budget: &mut Budget,
+    rng: &mut StdRng,
+    on_stage: impl FnMut(usize, &[BinarySample]),
+) -> HarmonicaResult {
+    run_traced(
+        obj,
+        space,
+        cfg,
+        budget,
+        rng,
+        &Telemetry::disabled(),
+        on_stage,
+    )
+}
+
+/// [`run`] with telemetry: records a `harmonica.sample` span around each
+/// stage's sampling batch, counts Lasso solves and completed stages, and
+/// forwards the handle into the PSR Lasso fit.
+pub fn run_traced(
+    obj: &mut dyn BinaryObjective,
     mut space: BinarySpace,
     cfg: &HarmonicaConfig,
     budget: &mut Budget,
     rng: &mut StdRng,
+    telemetry: &Telemetry,
     mut on_stage: impl FnMut(usize, &[BinarySample]),
 ) -> HarmonicaResult {
     assert_eq!(space.n_bits(), obj.n_bits(), "space/objective bit mismatch");
@@ -180,18 +204,22 @@ pub fn run(
         if budget.exhausted() || space.n_free() == 0 {
             break;
         }
-        let samples = sample_valid(
-            obj,
-            &space,
-            cfg.samples_per_stage,
-            cfg.max_resample,
-            budget,
-            rng,
-        );
+        let samples = {
+            let _span = isop_telemetry::span!(telemetry, "harmonica.sample");
+            sample_valid(
+                obj,
+                &space,
+                cfg.samples_per_stage,
+                cfg.max_resample,
+                budget,
+                rng,
+            )
+        };
         if samples.len() < 8 {
             break; // not enough data for a meaningful fit
         }
         stages_run = stage + 1;
+        telemetry.incr(Counter::HarmonicaStages);
 
         for s in &samples {
             if best.as_ref().is_none_or(|b| s.value < b.value) {
@@ -214,7 +242,8 @@ pub fn run(
             }
             yvec[r] = s.value;
         }
-        let fit = lasso_coordinate_descent(&xmat, &yvec, n, d, cfg.lambda, 300, 1e-7);
+        let fit =
+            lasso_coordinate_descent_traced(&xmat, &yvec, n, d, cfg.lambda, 300, 1e-7, telemetry);
         let top = fit.top_k(cfg.top_monomials);
 
         // Collect the bits of the significant monomials, most significant
@@ -435,7 +464,10 @@ mod tests {
             &mut rng(),
             |_, _| {},
         );
-        assert!(res.history.iter().all(|s| !s.bits[15]), "no invalid samples kept");
+        assert!(
+            res.history.iter().all(|s| !s.bits[15]),
+            "no invalid samples kept"
+        );
         assert!(res.history.len() >= 90, "resampling must recover the count");
     }
 
@@ -513,6 +545,57 @@ mod tests {
         assert_eq!(res.best.expect("found").value, 0.0);
     }
 
+    /// Tracing must be observation-only: the traced run draws the same RNG
+    /// stream and returns the same result, while the counters account one
+    /// Lasso solve per completed stage.
+    #[test]
+    fn traced_run_matches_plain_run_and_counts_stages() {
+        let cfg = HarmonicaConfig {
+            stages: 2,
+            samples_per_stage: 120,
+            ..HarmonicaConfig::default()
+        };
+        let mut plain_obj = sparse_objective();
+        let plain = run(
+            &mut plain_obj,
+            BinarySpace::free(16),
+            &cfg,
+            &mut Budget::unlimited(),
+            &mut rng(),
+            |_, _| {},
+        );
+        let tele = Telemetry::enabled();
+        let mut traced_obj = sparse_objective();
+        let traced = run_traced(
+            &mut traced_obj,
+            BinarySpace::free(16),
+            &cfg,
+            &mut Budget::unlimited(),
+            &mut rng(),
+            &tele,
+            |_, _| {},
+        );
+        assert_eq!(plain.history, traced.history);
+        assert_eq!(plain.best, traced.best);
+        assert_eq!(plain.stages_run, traced.stages_run);
+        assert_eq!(
+            tele.counter(Counter::HarmonicaStages),
+            traced.stages_run as u64
+        );
+        assert_eq!(
+            tele.counter(Counter::HarmonicaLassoSolves),
+            traced.stages_run as u64,
+            "one PSR solve per completed stage"
+        );
+        assert_eq!(
+            tele.run_report()
+                .span("harmonica.sample")
+                .expect("span")
+                .count,
+            traced.stages_run as u64
+        );
+    }
+
     #[test]
     fn parity_feature_values() {
         let bits = [true, false, true];
@@ -565,8 +648,10 @@ mod tests {
             |_, _| {},
         );
         // The triple must be fixed to a joint assignment with product -1.
-        let fixed: Vec<Option<bool>> =
-            [1, 4, 6].iter().map(|&b| res.space.restriction(b)).collect();
+        let fixed: Vec<Option<bool>> = [1, 4, 6]
+            .iter()
+            .map(|&b| res.space.restriction(b))
+            .collect();
         if fixed.iter().all(Option::is_some) {
             let product: f64 = fixed
                 .iter()

@@ -8,6 +8,7 @@
 //! space — the paper reports it outperforms naive random sampling there.
 
 use crate::order::nan_last;
+use isop_telemetry::{Counter, Telemetry};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -58,6 +59,19 @@ pub struct Ranked<C> {
 pub fn run<C: Clone>(
     cfg: &HyperbandConfig,
     rng: &mut StdRng,
+    sample: impl FnMut(&mut StdRng) -> C,
+    eval: impl FnMut(&mut StdRng, &C, f64) -> f64,
+) -> Vec<Ranked<C>> {
+    run_traced(cfg, rng, &Telemetry::disabled(), sample, eval)
+}
+
+/// [`run`] with telemetry: records a `hyperband.rung` span per successive
+/// halving rung and counts configurations promoted to the next rung vs
+/// pruned at it.
+pub fn run_traced<C: Clone>(
+    cfg: &HyperbandConfig,
+    rng: &mut StdRng,
+    telemetry: &Telemetry,
     mut sample: impl FnMut(&mut StdRng) -> C,
     mut eval: impl FnMut(&mut StdRng, &C, f64) -> f64,
 ) -> Vec<Ranked<C>> {
@@ -75,6 +89,7 @@ pub fn run<C: Clone>(
         let mut pool: Vec<C> = (0..n.max(1)).map(|_| sample(rng)).collect();
         let mut last: Vec<Ranked<C>> = Vec::new();
         for i in 0..=s {
+            let _span = isop_telemetry::span!(telemetry, "hyperband.rung");
             let r_i = r * cfg.eta.powi(i);
             let mut scored: Vec<Ranked<C>> = pool
                 .iter()
@@ -88,7 +103,14 @@ pub fn run<C: Clone>(
             let keep = ((pool.len() as f64) / cfg.eta).floor() as usize;
             last = scored;
             if i < s {
-                pool = last.iter().take(keep.max(1)).map(|r| r.config.clone()).collect();
+                let promoted = keep.max(1).min(last.len());
+                telemetry.add(Counter::HyperbandPromotions, promoted as u64);
+                telemetry.add(Counter::HyperbandPrunes, (last.len() - promoted) as u64);
+                pool = last
+                    .iter()
+                    .take(promoted)
+                    .map(|r| r.config.clone())
+                    .collect();
             }
         }
         finalists.extend(last.into_iter().take(1.max(n / 4)));
@@ -191,6 +213,33 @@ mod tests {
             },
         );
         assert!(max_seen <= 9.0 + 1e-9, "resource overshoot: {max_seen}");
+    }
+
+    /// Tracing is observation-only (same draws, same ranking) and the
+    /// promotion/prune counters partition every non-final rung's pool.
+    #[test]
+    fn traced_run_matches_plain_run_and_counts_rungs() {
+        use isop_telemetry::Telemetry;
+        let cfg = HyperbandConfig {
+            max_resource: 9.0,
+            eta: 3.0,
+        };
+        let mut rng_a = StdRng::seed_from_u64(8);
+        let plain = run(&cfg, &mut rng_a, |r| r.gen::<f64>(), |_, &x, _| x);
+        let tele = Telemetry::enabled();
+        let mut rng_b = StdRng::seed_from_u64(8);
+        let traced = run_traced(&cfg, &mut rng_b, &tele, |r| r.gen::<f64>(), |_, &x, _| x);
+        assert_eq!(plain, traced);
+        let promoted = tele.counter(Counter::HyperbandPromotions);
+        let pruned = tele.counter(Counter::HyperbandPrunes);
+        assert!(promoted > 0, "some configs must survive a rung");
+        assert!(pruned > 0, "some configs must be pruned");
+        let rungs = tele
+            .run_report()
+            .span("hyperband.rung")
+            .expect("span")
+            .count;
+        assert!(rungs >= 2, "multiple rungs expected, saw {rungs}");
     }
 
     #[test]

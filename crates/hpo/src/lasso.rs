@@ -53,6 +53,38 @@ pub fn lasso_coordinate_descent(
     max_iter: usize,
     tol: f64,
 ) -> LassoFit {
+    lasso_coordinate_descent_traced(
+        x,
+        y,
+        n,
+        d,
+        lambda,
+        max_iter,
+        tol,
+        &isop_telemetry::Telemetry::disabled(),
+    )
+}
+
+/// [`lasso_coordinate_descent`] recording a `harmonica.lasso` span and a
+/// [`Counter::HarmonicaLassoSolves`](isop_telemetry::Counter) tick on
+/// `telemetry` — the PSR accounting surface the run report aggregates.
+///
+/// # Panics
+///
+/// Panics if `x.len() != n * d`, `y.len() != n`, or `n == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn lasso_coordinate_descent_traced(
+    x: &[f64],
+    y: &[f64],
+    n: usize,
+    d: usize,
+    lambda: f64,
+    max_iter: usize,
+    tol: f64,
+    telemetry: &isop_telemetry::Telemetry,
+) -> LassoFit {
+    let _span = isop_telemetry::span!(telemetry, "harmonica.lasso");
+    telemetry.incr(isop_telemetry::Counter::HarmonicaLassoSolves);
     assert_eq!(x.len(), n * d, "feature matrix shape mismatch");
     assert_eq!(y.len(), n, "target length mismatch");
     assert!(n > 0, "need at least one sample");
@@ -216,6 +248,26 @@ mod tests {
             .collect();
         let fit = lasso_coordinate_descent(&x, &y, n, d, 0.08, 500, 1e-8);
         assert_eq!(fit.top_k(1), vec![7]);
+    }
+
+    #[test]
+    fn traced_fit_matches_untraced_and_counts_solves() {
+        use isop_telemetry::{Counter, Telemetry};
+        let (n, d) = (60, 8);
+        let x = sign_matrix(n, d, 5);
+        let y: Vec<f64> = (0..n).map(|i| 1.5 * x[i * d + 2]).collect();
+        let plain = lasso_coordinate_descent(&x, &y, n, d, 0.05, 200, 1e-8);
+        let tele = Telemetry::enabled();
+        let traced = lasso_coordinate_descent_traced(&x, &y, n, d, 0.05, 200, 1e-8, &tele);
+        assert_eq!(plain, traced, "tracing must not change the fit");
+        assert_eq!(tele.counter(Counter::HarmonicaLassoSolves), 1);
+        assert_eq!(
+            tele.run_report()
+                .span("harmonica.lasso")
+                .expect("span")
+                .count,
+            1
+        );
     }
 
     #[test]

@@ -134,9 +134,10 @@ mod tests {
 
     #[test]
     fn closure_objectives_work() {
-        let mut o = BinaryFn::new(3, |b: &[bool]| {
-            Some(b.iter().filter(|&&x| x).count() as f64)
-        });
+        let mut o = BinaryFn::new(
+            3,
+            |b: &[bool]| Some(b.iter().filter(|&&x| x).count() as f64),
+        );
         assert_eq!(o.n_bits(), 3);
         assert_eq!(o.eval(&[true, false, true]), Some(2.0));
 

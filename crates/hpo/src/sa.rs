@@ -104,8 +104,7 @@ pub fn run(
         }
         iterations_run = iter + 1;
         // Linear temperature decay, floored slightly above zero.
-        let temp =
-            (cfg.initial_temp * (1.0 - iter as f64 / cfg.iterations as f64)).max(1e-9);
+        let temp = (cfg.initial_temp * (1.0 - iter as f64 / cfg.iterations as f64)).max(1e-9);
 
         // Propose a valid neighbour.
         let mut proposal: Option<(Vec<bool>, f64)> = None;
@@ -183,7 +182,13 @@ mod tests {
         };
         let mut budget = Budget::unlimited();
         let mut rng = StdRng::seed_from_u64(1);
-        let res = run(&mut obj, &BinarySpace::free(24), &cfg, &mut budget, &mut rng);
+        let res = run(
+            &mut obj,
+            &BinarySpace::free(24),
+            &cfg,
+            &mut budget,
+            &mut rng,
+        );
         let best = res.best.expect("found something");
         assert_eq!(best.value, 0.0, "should reach the target exactly");
         assert_eq!(best.bits, target);
@@ -217,7 +222,13 @@ mod tests {
         };
         let mut budget = Budget::unlimited().with_samples(500);
         let mut rng = StdRng::seed_from_u64(3);
-        let res = run(&mut obj, &BinarySpace::free(16), &cfg, &mut budget, &mut rng);
+        let res = run(
+            &mut obj,
+            &BinarySpace::free(16),
+            &cfg,
+            &mut budget,
+            &mut rng,
+        );
         assert!(res.iterations_run < 100_000);
         assert!(budget.samples() >= 500);
     }
@@ -253,8 +264,18 @@ mod tests {
         };
         let mut budget = Budget::unlimited();
         let mut rng = StdRng::seed_from_u64(5);
-        let res = run(&mut obj, &BinarySpace::free(16), &cfg, &mut budget, &mut rng);
-        let min = res.history.iter().map(|s| s.value).fold(f64::INFINITY, f64::min);
+        let res = run(
+            &mut obj,
+            &BinarySpace::free(16),
+            &cfg,
+            &mut budget,
+            &mut rng,
+        );
+        let min = res
+            .history
+            .iter()
+            .map(|s| s.value)
+            .fold(f64::INFINITY, f64::min);
         assert_eq!(res.best.unwrap().value, min);
     }
 }

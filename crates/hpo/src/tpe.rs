@@ -99,8 +99,8 @@ impl Tpe {
         // Split observations at the gamma quantile.
         let mut sorted: Vec<&Observation> = self.observations.iter().collect();
         sorted.sort_by(|a, b| a.value.partial_cmp(&b.value).expect("finite values"));
-        let n_good = ((sorted.len() as f64 * self.cfg.gamma).ceil() as usize)
-            .clamp(1, sorted.len() - 1);
+        let n_good =
+            ((sorted.len() as f64 * self.cfg.gamma).ceil() as usize).clamp(1, sorted.len() - 1);
         let (good, bad) = sorted.split_at(n_good);
 
         // Per-dimension smoothed categorical densities.

@@ -107,7 +107,11 @@ impl Dataset {
         (0..k)
             .map(|f| {
                 let lo = f * fold_size;
-                let hi = if f == k - 1 { self.len() } else { lo + fold_size };
+                let hi = if f == k - 1 {
+                    self.len()
+                } else {
+                    lo + fold_size
+                };
                 let val: Vec<usize> = idx[lo..hi].to_vec();
                 let train: Vec<usize> = idx[..lo].iter().chain(&idx[hi..]).copied().collect();
                 (self.subset(&train), self.subset(&val))
@@ -215,7 +219,11 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        let x = Matrix::from_rows(&(0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect::<Vec<_>>());
+        let x = Matrix::from_rows(
+            &(0..10)
+                .map(|i| vec![i as f64, 2.0 * i as f64])
+                .collect::<Vec<_>>(),
+        );
         let y = Matrix::column(&(0..10).map(|i| i as f64).collect::<Vec<_>>());
         Dataset::new(x, y).expect("valid")
     }

@@ -138,11 +138,7 @@ mod tests {
             rows.push(vec![a, b, c]);
             ys.push(5.0 * a + 0.5 * b);
         }
-        let data = Dataset::new(
-            Matrix::from_rows(&rows),
-            Matrix::column(&ys),
-        )
-        .expect("valid");
+        let data = Dataset::new(Matrix::from_rows(&rows), Matrix::column(&ys)).expect("valid");
         let mut model = PolynomialRidge::new(1, 1e-9);
         model.fit(&data).expect("fits");
         (model, data)

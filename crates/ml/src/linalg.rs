@@ -176,7 +176,11 @@ impl Matrix {
     ///
     /// Panics on a shape mismatch.
     pub fn add(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add shape mismatch"
+        );
         let data = self
             .data
             .iter()
@@ -188,7 +192,11 @@ impl Matrix {
 
     /// Scales every entry by `k`.
     pub fn scale(&self, k: f64) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|v| v * k).collect())
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|v| v * k).collect(),
+        )
     }
 
     /// Solves `A x = b` for symmetric positive-definite `A = self` via
@@ -320,7 +328,10 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.5, -1.0], vec![2.0, 2.0]]);
         let b = Matrix::from_rows(&[vec![1.0, 0.0, 2.0], vec![3.0, -1.0, 1.0]]);
         // (AB)^T == B^T A^T
-        assert_eq!(a.matmul(&b).transpose(), b.transpose().matmul(&a.transpose()));
+        assert_eq!(
+            a.matmul(&b).transpose(),
+            b.transpose().matmul(&a.transpose())
+        );
     }
 
     #[test]

@@ -203,7 +203,13 @@ impl XgbRegressor {
     ///
     /// Panics on `n_stages == 0`, a learning rate outside `(0, 1]`, or
     /// negative regularizers.
-    pub fn new(n_stages: usize, learning_rate: f64, max_depth: usize, lambda: f64, gamma: f64) -> Self {
+    pub fn new(
+        n_stages: usize,
+        learning_rate: f64,
+        max_depth: usize,
+        lambda: f64,
+        gamma: f64,
+    ) -> Self {
         assert!(n_stages > 0);
         assert!(learning_rate > 0.0 && learning_rate <= 1.0);
         assert!(lambda >= 0.0 && gamma >= 0.0);
@@ -274,9 +280,8 @@ impl XgbRegressor {
                     continue;
                 }
                 let g_right: Vec<f64> = g_total.iter().zip(&g_left).map(|(t, l)| t - l).collect();
-                let gain =
-                    0.5 * (score(&g_left, h_left) + score(&g_right, h_right) - parent_score)
-                        - self.gamma;
+                let gain = 0.5 * (score(&g_left, h_left) + score(&g_right, h_right) - parent_score)
+                    - self.gamma;
                 if gain > best.as_ref().map_or(0.0, |b| b.2) {
                     best = Some((f, 0.5 * (v_here + v_next), gain));
                 }
@@ -379,15 +384,32 @@ mod tests {
                 vec![a, b]
             })
             .collect();
-        let ys: Vec<f64> = rows.iter().map(|r| (3.0 * r[0]).sin() + r[0] * r[1]).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| (3.0 * r[0]).sin() + r[0] * r[1])
+            .collect();
         Dataset::new(Matrix::from_rows(&rows), Matrix::column(&ys)).unwrap()
     }
 
     #[test]
     fn gbr_improves_with_stages() {
         let d = surface(20);
-        let mut short = GradientBoosting::new(5, 0.1, TreeConfig { max_depth: 3, ..TreeConfig::default() });
-        let mut long = GradientBoosting::new(100, 0.1, TreeConfig { max_depth: 3, ..TreeConfig::default() });
+        let mut short = GradientBoosting::new(
+            5,
+            0.1,
+            TreeConfig {
+                max_depth: 3,
+                ..TreeConfig::default()
+            },
+        );
+        let mut long = GradientBoosting::new(
+            100,
+            0.1,
+            TreeConfig {
+                max_depth: 3,
+                ..TreeConfig::default()
+            },
+        );
         short.fit(&d).unwrap();
         long.fit(&d).unwrap();
         let r_short = r2(&d.y.col_vec(0), &short.predict(&d.x).unwrap().col_vec(0));

@@ -96,7 +96,9 @@ impl Tensor {
     fn init(len: usize, fan_in: usize, rng: &mut StdRng) -> Self {
         let scale = (2.0 / fan_in.max(1) as f64).sqrt();
         Self {
-            data: (0..len).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect(),
+            data: (0..len)
+                .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+                .collect(),
         }
     }
 
@@ -156,10 +158,17 @@ impl Cnn1d {
     /// Panics unless `expand` is divisible by `channels`, the post-pool
     /// lengths stay positive, and `kernel` is odd.
     pub fn new(cfg: Cnn1dConfig) -> Self {
-        assert_eq!(cfg.expand % cfg.channels, 0, "expand must split into channels");
+        assert_eq!(
+            cfg.expand % cfg.channels,
+            0,
+            "expand must split into channels"
+        );
         assert_eq!(cfg.kernel % 2, 1, "kernel must be odd for same-padding");
         let l0 = cfg.expand / cfg.channels;
-        assert!(l0 >= 4 && l0.is_multiple_of(4), "signal length must be a positive multiple of 4");
+        assert!(
+            l0 >= 4 && l0.is_multiple_of(4),
+            "signal length must be a positive multiple of 4"
+        );
         Self {
             cfg,
             w_expand: Tensor::zeros(0),
@@ -280,8 +289,7 @@ impl Cnn1d {
         let half = len / 2;
         for c in 0..ch {
             for p in 0..half {
-                out[c * half + p] =
-                    0.5 * (input[c * len + 2 * p] + input[c * len + 2 * p + 1]);
+                out[c * half + p] = 0.5 * (input[c * len + 2 * p] + input[c * len + 2 * p + 1]);
             }
         }
     }
@@ -316,13 +324,31 @@ impl Cnn1d {
         let e_act: Vec<f64> = e_pre.iter().map(|&v| leaky(v, s)).collect();
 
         let mut z1 = vec![0.0; c1 * l0];
-        Self::conv_forward(&self.w_conv1.data, &self.b_conv1.data, &e_act, &mut z1, c0, c1, l0, k);
+        Self::conv_forward(
+            &self.w_conv1.data,
+            &self.b_conv1.data,
+            &e_act,
+            &mut z1,
+            c0,
+            c1,
+            l0,
+            k,
+        );
         let a1: Vec<f64> = z1.iter().map(|&v| leaky(v, s)).collect();
         let mut p1 = vec![0.0; c1 * l1];
         Self::avg_pool2(&a1, c1, l0, &mut p1);
 
         let mut z2 = vec![0.0; c1 * l1];
-        Self::conv_forward(&self.w_conv2.data, &self.b_conv2.data, &p1, &mut z2, c1, c1, l1, k);
+        Self::conv_forward(
+            &self.w_conv2.data,
+            &self.b_conv2.data,
+            &p1,
+            &mut z2,
+            c1,
+            c1,
+            l1,
+            k,
+        );
         let a2: Vec<f64> = z2.iter().map(|&v| leaky(v, s)).collect();
         let mut p2 = vec![0.0; c1 * l2];
         Self::avg_pool2(&a2, c1, l1, &mut p2);
@@ -582,7 +608,13 @@ impl Regressor for Cnn1d {
                     // Inverted dropout on the head activation.
                     let mask: Option<Vec<f64>> = if cfg.dropout > 0.0 {
                         let m: Vec<f64> = (0..cfg.head)
-                            .map(|_| if rng.gen::<f64>() < keep { 1.0 / keep } else { 0.0 })
+                            .map(|_| {
+                                if rng.gen::<f64>() < keep {
+                                    1.0 / keep
+                                } else {
+                                    0.0
+                                }
+                            })
                             .collect();
                         for (h, mk) in caches.h_act.iter_mut().zip(&m) {
                             *h *= mk;
@@ -610,14 +642,30 @@ impl Regressor for Cnn1d {
                 }
                 grads.scale(1.0 / chunk.len() as f64);
                 let mut it = opts.iter_mut();
-                it.next().unwrap().step(&mut self.w_expand.data, &grads.w_expand);
-                it.next().unwrap().step(&mut self.b_expand.data, &grads.b_expand);
-                it.next().unwrap().step(&mut self.w_conv1.data, &grads.w_conv1);
-                it.next().unwrap().step(&mut self.b_conv1.data, &grads.b_conv1);
-                it.next().unwrap().step(&mut self.w_conv2.data, &grads.w_conv2);
-                it.next().unwrap().step(&mut self.b_conv2.data, &grads.b_conv2);
-                it.next().unwrap().step(&mut self.w_head.data, &grads.w_head);
-                it.next().unwrap().step(&mut self.b_head.data, &grads.b_head);
+                it.next()
+                    .unwrap()
+                    .step(&mut self.w_expand.data, &grads.w_expand);
+                it.next()
+                    .unwrap()
+                    .step(&mut self.b_expand.data, &grads.b_expand);
+                it.next()
+                    .unwrap()
+                    .step(&mut self.w_conv1.data, &grads.w_conv1);
+                it.next()
+                    .unwrap()
+                    .step(&mut self.b_conv1.data, &grads.b_conv1);
+                it.next()
+                    .unwrap()
+                    .step(&mut self.w_conv2.data, &grads.w_conv2);
+                it.next()
+                    .unwrap()
+                    .step(&mut self.b_conv2.data, &grads.b_conv2);
+                it.next()
+                    .unwrap()
+                    .step(&mut self.w_head.data, &grads.w_head);
+                it.next()
+                    .unwrap()
+                    .step(&mut self.b_head.data, &grads.b_head);
                 it.next().unwrap().step(&mut self.w_out.data, &grads.w_out);
                 it.next().unwrap().step(&mut self.b_out.data, &grads.b_out);
             }
@@ -642,13 +690,21 @@ impl Regressor for Cnn1d {
                 got: x.cols(),
             });
         }
-        let xs = self.x_scaler.as_ref().ok_or(MlError::NotFitted)?.transform(x);
+        let xs = self
+            .x_scaler
+            .as_ref()
+            .ok_or(MlError::NotFitted)?
+            .transform(x);
         let mut out = Matrix::zeros(x.rows(), self.n_outputs);
         for r in 0..x.rows() {
             let caches = self.forward_sample(xs.row(r));
             out.row_mut(r).copy_from_slice(&caches.out);
         }
-        Ok(self.y_scaler.as_ref().ok_or(MlError::NotFitted)?.inverse_transform(&out))
+        Ok(self
+            .y_scaler
+            .as_ref()
+            .ok_or(MlError::NotFitted)?
+            .inverse_transform(&out))
     }
 
     fn name(&self) -> &'static str {
@@ -711,9 +767,17 @@ mod tests {
 
     fn curve_dataset(n: usize) -> Dataset {
         let rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![i as f64 / n as f64 * 2.0 - 1.0, ((i * 7) % n) as f64 / n as f64])
+            .map(|i| {
+                vec![
+                    i as f64 / n as f64 * 2.0 - 1.0,
+                    ((i * 7) % n) as f64 / n as f64,
+                ]
+            })
             .collect();
-        let ys: Vec<f64> = rows.iter().map(|r| (3.0 * r[0]).sin() + r[1] * r[1]).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| (3.0 * r[0]).sin() + r[1] * r[1])
+            .collect();
         Dataset::new(Matrix::from_rows(&rows), Matrix::column(&ys)).unwrap()
     }
 

@@ -63,7 +63,9 @@ impl<M: Regressor> Regressor for Ensemble<M> {
                 Some(a) => a.add(&p),
             });
         }
-        Ok(acc.expect("non-empty ensemble").scale(1.0 / self.members.len() as f64))
+        Ok(acc
+            .expect("non-empty ensemble")
+            .scale(1.0 / self.members.len() as f64))
     }
 
     fn name(&self) -> &'static str {
@@ -81,7 +83,9 @@ impl<M: Differentiable> Differentiable for Ensemble<M> {
                 Some(a) => a.add(&j),
             });
         }
-        Ok(acc.expect("non-empty ensemble").scale(1.0 / self.members.len() as f64))
+        Ok(acc
+            .expect("non-empty ensemble")
+            .scale(1.0 / self.members.len() as f64))
     }
 }
 
@@ -100,12 +104,11 @@ mod tests {
             (state % 1000) as f64 / 1000.0 - 0.5
         };
         let rows: Vec<Vec<f64>> = (0..300).map(|i| vec![i as f64 / 150.0 - 1.0]).collect();
-        let ys: Vec<f64> = rows.iter().map(|r| (2.5 * r[0]).sin() + 0.1 * noise()).collect();
-        Dataset::new(
-            Matrix::from_rows(&rows),
-            Matrix::column(&ys),
-        )
-        .expect("valid")
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| (2.5 * r[0]).sin() + 0.1 * noise())
+            .collect();
+        Dataset::new(Matrix::from_rows(&rows), Matrix::column(&ys)).expect("valid")
     }
 
     fn small_mlp(seed: u64) -> Mlp {
@@ -148,11 +151,19 @@ mod tests {
         let (train, test) = data.train_test_split(0.3, 1);
         let mut e = Ensemble::new(vec![small_mlp(6), small_mlp(7), small_mlp(8)]);
         e.fit(&train).expect("fits");
-        let r2_ens = r2(&test.y.col_vec(0), &e.predict(&test.x).expect("ok").col_vec(0));
+        let r2_ens = r2(
+            &test.y.col_vec(0),
+            &e.predict(&test.x).expect("ok").col_vec(0),
+        );
         let mean_member_r2: f64 = e
             .members()
             .iter()
-            .map(|m| r2(&test.y.col_vec(0), &m.predict(&test.x).expect("ok").col_vec(0)))
+            .map(|m| {
+                r2(
+                    &test.y.col_vec(0),
+                    &m.predict(&test.x).expect("ok").col_vec(0),
+                )
+            })
             .sum::<f64>()
             / e.len() as f64;
         assert!(

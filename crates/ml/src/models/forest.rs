@@ -78,8 +78,9 @@ impl Regressor for RandomForest {
         self.trees = (0..self.n_trees)
             .map(|_| {
                 // Bootstrap sample with replacement.
-                let mut idx: Vec<usize> =
-                    (0..data.len()).map(|_| rng.gen_range(0..data.len())).collect();
+                let mut idx: Vec<usize> = (0..data.len())
+                    .map(|_| rng.gen_range(0..data.len()))
+                    .collect();
                 build_tree(&data.x, &data.y, &mut idx, 0, &cfg, &mut rng)
             })
             .collect();
@@ -119,9 +120,9 @@ impl Regressor for RandomForest {
 
 #[cfg(test)]
 mod tests {
+    use super::super::tree::DecisionTree;
     use super::*;
     use crate::metrics::r2;
-    use super::super::tree::DecisionTree;
 
     fn wiggly_dataset(n: usize) -> Dataset {
         let rows: Vec<Vec<f64>> = (0..n)
@@ -153,7 +154,10 @@ mod tests {
         let (train, test) = d.train_test_split(0.3, 11);
         let mut forest = RandomForest::paper_default();
         forest.fit(&train).unwrap();
-        let rf = r2(&test.y.col_vec(0), &forest.predict(&test.x).unwrap().col_vec(0));
+        let rf = r2(
+            &test.y.col_vec(0),
+            &forest.predict(&test.x).unwrap().col_vec(0),
+        );
         assert!(rf > 0.75, "forest must generalize: r2 = {rf}");
     }
 
@@ -188,8 +192,14 @@ mod tests {
         forest.fit(&train).unwrap();
         let mut tree = DecisionTree::new(deep, 1);
         tree.fit(&train).unwrap();
-        let rf = r2(&test.y.col_vec(0), &forest.predict(&test.x).unwrap().col_vec(0));
-        let dt = r2(&test.y.col_vec(0), &tree.predict(&test.x).unwrap().col_vec(0));
+        let rf = r2(
+            &test.y.col_vec(0),
+            &forest.predict(&test.x).unwrap().col_vec(0),
+        );
+        let dt = r2(
+            &test.y.col_vec(0),
+            &tree.predict(&test.x).unwrap().col_vec(0),
+        );
         assert!(rf > dt, "bagging must denoise: forest {rf} vs tree {dt}");
     }
 

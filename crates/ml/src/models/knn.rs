@@ -52,8 +52,7 @@ impl Regressor for KnnRegressor {
     }
 
     fn predict(&self, x: &Matrix) -> Result<Matrix, MlError> {
-        let (Some(xt), Some(yt), Some(scaler)) =
-            (&self.x_train, &self.y_train, &self.scaler)
+        let (Some(xt), Some(yt), Some(scaler)) = (&self.x_train, &self.y_train, &self.scaler)
         else {
             return Err(MlError::NotFitted);
         };
@@ -144,7 +143,9 @@ mod tests {
         let mut m = KnnRegressor::new(3);
         m.fit(&d).expect("fits");
         // Query close to (10, 5000): the x0-neighbourhood matters.
-        let pred = m.predict(&Matrix::from_rows(&[vec![10.2, 5000.0]])).expect("ok");
+        let pred = m
+            .predict(&Matrix::from_rows(&[vec![10.2, 5000.0]]))
+            .expect("ok");
         assert!((pred[(0, 0)] - 15.2).abs() < 1.0, "pred = {}", pred[(0, 0)]);
     }
 
@@ -173,6 +174,10 @@ mod tests {
         let mut m = KnnRegressor::new(100);
         m.fit(&d).expect("fits");
         let pred = m.predict(&Matrix::from_rows(&[vec![0.5]])).expect("ok");
-        assert!((pred[(0, 0)] - 1.0).abs() < 1e-6, "mean of both: {}", pred[(0, 0)]);
+        assert!(
+            (pred[(0, 0)] - 1.0).abs() < 1e-6,
+            "mean of both: {}",
+            pred[(0, 0)]
+        );
     }
 }

@@ -201,6 +201,9 @@ mod tests {
         let pl = light.predict(&d.x).unwrap();
         let ph = heavy.predict(&d.x).unwrap();
         let norm = |m: &Matrix| m.as_slice().iter().map(|v| v.abs()).sum::<f64>();
-        assert!(norm(&ph) < norm(&pl) * 0.1, "heavy ridge must shrink output");
+        assert!(
+            norm(&ph) < norm(&pl) * 0.1,
+            "heavy ridge must shrink output"
+        );
     }
 }

@@ -318,9 +318,17 @@ impl Regressor for Mlp {
                 got: x.cols(),
             });
         }
-        let xs = self.x_scaler.as_ref().ok_or(MlError::NotFitted)?.transform(x);
+        let xs = self
+            .x_scaler
+            .as_ref()
+            .ok_or(MlError::NotFitted)?
+            .transform(x);
         let (_, out) = self.forward_all(&xs);
-        Ok(self.y_scaler.as_ref().ok_or(MlError::NotFitted)?.inverse_transform(&out))
+        Ok(self
+            .y_scaler
+            .as_ref()
+            .ok_or(MlError::NotFitted)?
+            .inverse_transform(&out))
     }
 
     fn name(&self) -> &'static str {
@@ -391,7 +399,9 @@ mod tests {
     }
 
     fn sine_dataset(n: usize) -> Dataset {
-        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64 * 4.0 - 2.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64 * 4.0 - 2.0])
+            .collect();
         let ys: Vec<f64> = rows.iter().map(|r| (2.0 * r[0]).sin()).collect();
         Dataset::new(Matrix::from_rows(&rows), Matrix::column(&ys)).unwrap()
     }
@@ -411,7 +421,10 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..300)
             .map(|i| vec![(i % 20) as f64 / 10.0 - 1.0, (i / 20) as f64 / 7.5 - 1.0])
             .collect();
-        let ys: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[0] * r[1], r[0] - r[1]]).collect();
+        let ys: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| vec![r[0] * r[1], r[0] - r[1]])
+            .collect();
         let d = Dataset::new(Matrix::from_rows(&rows), Matrix::from_rows(&ys)).unwrap();
         let mut m = Mlp::new(small_cfg());
         m.fit(&d).unwrap();
@@ -441,7 +454,9 @@ mod tests {
 
     #[test]
     fn jacobian_shape_is_outputs_by_features() {
-        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 2.0 * i as f64, 1.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, 2.0 * i as f64, 1.0])
+            .collect();
         let ys: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[0], r[1]]).collect();
         let d = Dataset::new(Matrix::from_rows(&rows), Matrix::from_rows(&ys)).unwrap();
         let mut m = Mlp::new(MlpConfig {

@@ -92,10 +92,7 @@ impl Regressor for LinearSvr {
                 }
             }
         }
-        if weights
-            .iter()
-            .any(|w| w.iter().any(|v| !v.is_finite()))
-        {
+        if weights.iter().any(|w| w.iter().any(|v| !v.is_finite())) {
             return Err(MlError::Diverged);
         }
         self.weights = weights;
@@ -114,7 +111,11 @@ impl Regressor for LinearSvr {
                 got: x.cols(),
             });
         }
-        let xs = self.x_scaler.as_ref().ok_or(MlError::NotFitted)?.transform(x);
+        let xs = self
+            .x_scaler
+            .as_ref()
+            .ok_or(MlError::NotFitted)?
+            .transform(x);
         let d = self.n_features;
         let mut out = Matrix::zeros(x.rows(), self.weights.len());
         for r in 0..x.rows() {
@@ -123,7 +124,11 @@ impl Regressor for LinearSvr {
                 out[(r, o)] = dot(&w[..d], row) + w[d];
             }
         }
-        Ok(self.y_scaler.as_ref().ok_or(MlError::NotFitted)?.inverse_transform(&out))
+        Ok(self
+            .y_scaler
+            .as_ref()
+            .ok_or(MlError::NotFitted)?
+            .inverse_transform(&out))
     }
 
     fn name(&self) -> &'static str {

@@ -256,7 +256,9 @@ impl Regressor for DecisionTree {
         self.n_outputs = data.n_outputs();
         let mut idx: Vec<usize> = (0..data.len()).collect();
         let mut rng = StdRng::seed_from_u64(self.seed);
-        self.root = Some(build_tree(&data.x, &data.y, &mut idx, 0, &self.cfg, &mut rng));
+        self.root = Some(build_tree(
+            &data.x, &data.y, &mut idx, 0, &self.cfg, &mut rng,
+        ));
         Ok(())
     }
 
@@ -288,7 +290,10 @@ mod tests {
     fn step_dataset() -> Dataset {
         // y = 1 if x0 > 0.5 else 0 — a single split suffices.
         let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
-        let ys: Vec<f64> = rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
         Dataset::new(Matrix::from_rows(&rows), Matrix::column(&ys)).unwrap()
     }
 
@@ -340,7 +345,10 @@ mod tests {
                 vec![a, b]
             })
             .collect();
-        let ys: Vec<f64> = rows.iter().map(|r| (3.0 * r[0]).sin() + r[1] * r[1]).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| (3.0 * r[0]).sin() + r[1] * r[1])
+            .collect();
         let d = Dataset::new(Matrix::from_rows(&rows), Matrix::column(&ys)).unwrap();
         let mut t = DecisionTree::paper_default();
         t.fit(&d).unwrap();

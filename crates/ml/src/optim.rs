@@ -126,7 +126,10 @@ mod tests {
             ];
             opt.step(&mut p, &g);
         }
-        assert!((p[0] - 1.0).abs() < 0.05 && (p[1] - 1.0).abs() < 0.1, "p = {p:?}");
+        assert!(
+            (p[0] - 1.0).abs() < 0.05 && (p[1] - 1.0).abs() < 0.1,
+            "p = {p:?}"
+        );
     }
 
     #[test]

@@ -5,8 +5,8 @@
 use isop_ml::dataset::Dataset;
 use isop_ml::linalg::Matrix;
 use isop_ml::models::{
-    Cnn1d, Cnn1dConfig, DecisionTree, GradientBoosting, LinearSvr, Mlp, MlpConfig,
-    PolynomialRidge, RandomForest, TreeConfig, XgbRegressor,
+    Cnn1d, Cnn1dConfig, DecisionTree, GradientBoosting, LinearSvr, Mlp, MlpConfig, PolynomialRidge,
+    RandomForest, TreeConfig, XgbRegressor,
 };
 use isop_ml::Regressor;
 use serde::de::DeserializeOwned;

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", BoardPlan::report(&layers).to_markdown());
 
     let solved = layers.iter().filter(|l| l.success).count();
-    println!("\n{solved}/{} layer classes satisfied all constraints.", layers.len());
+    println!(
+        "\n{solved}/{} layer classes satisfied all constraints.",
+        layers.len()
+    );
     let total_samples: u64 = layers.iter().map(|l| l.samples_seen).sum();
     println!("Total surrogate samples spent: {total_samples}.");
     Ok(())

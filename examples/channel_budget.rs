@@ -62,17 +62,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Budget check across the operating band (e.g. PCIe-class: -28 dB at
     //    16 GHz Nyquist).
     let budget_db = -28.0;
-    println!(
-        "\n{:>8} | {:>9} | {:>7}",
-        "f (GHz)", "IL (dB)", "margin"
-    );
+    println!("\n{:>8} | {:>9} | {:>7}", "f (GHz)", "IL (dB)", "margin");
     for f_ghz in [2.0, 4.0, 8.0, 12.0, 16.0, 20.0, 28.0] {
         let f = f_ghz * 1e9;
         let il = link.insertion_loss_db(f);
         println!(
             "{f_ghz:>8.1} | {il:>9.2} | {:>6.2} {}",
             link.budget_margin_db(f, budget_db),
-            if link.meets_budget(f, budget_db) { "ok" } else { "FAIL" }
+            if link.meets_budget(f, budget_db) {
+                "ok"
+            } else {
+                "FAIL"
+            }
         );
     }
 

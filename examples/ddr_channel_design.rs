@@ -64,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nChosen layer:");
     println!(
         "  W={:.1} S={:.1} D={:.0} Hc={:.1} Hp={:.1} Dk(core)={:.2}",
-        best.values[0], best.values[1], best.values[2], best.values[5], best.values[6],
+        best.values[0],
+        best.values[1],
+        best.values[2],
+        best.values[5],
+        best.values[6],
         best.values[10]
     );
     println!(

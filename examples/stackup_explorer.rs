@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sweep = FrequencySweep::of_layer(&layer, 1e8, 4e10, 48, 1.0, odd_mode_z0(&layer));
     println!("\nInsertion loss of a 1-inch segment:");
     for f_ghz in [1.0, 4.0, 8.0, 16.0, 32.0] {
-        println!("  {f_ghz:>5.1} GHz: {:>7.3} dB", sweep.il_at(ghz_to_hz(f_ghz)));
+        println!(
+            "  {f_ghz:>5.1} GHz: {:>7.3} dB",
+            sweep.il_at(ghz_to_hz(f_ghz))
+        );
     }
 
     // 3. Cross-check against the finite-difference field solver.
@@ -78,7 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nNEXT vs pair distance (tighter routing -> more crosstalk):");
     for d in [15.0, 20.0, 25.0, 30.0, 40.0] {
         let l = DiffStripline::builder().pair_distance(d).build()?;
-        println!("  D_t = {d:>4.0} mils: NEXT = {:>7.3} mV", sim.simulate(&l)?.next);
+        println!(
+            "  D_t = {d:>4.0} mils: NEXT = {:>7.3} mV",
+            sim.simulate(&l)?.next
+        );
     }
     Ok(())
 }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# CI perf-regression gate: runs the seeded smoke pipeline with telemetry,
+# writes results/BENCH_ci.json, and fails on counter regressions or a >10%
+# wall-clock overshoot against scripts/bench_thresholds.json.
+#
+# Usage:
+#   scripts/bench_gate.sh            # gate against the checked-in budget
+#   scripts/bench_gate.sh --update   # refresh the budget from a local run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release --offline -p isop-bench --bin bench_gate -- "$@"

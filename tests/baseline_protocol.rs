@@ -22,6 +22,7 @@ fn context<'a>(
         isop_config: cfg,
         n_trials: 2,
         seed: 77,
+        telemetry: isop_telemetry::Telemetry::disabled(),
     }
 }
 
@@ -34,7 +35,10 @@ fn sample_matched_sa_respects_budget() {
     let objective = isop::tasks::objective_for(TaskId::T1, vec![]);
     let (isop_results, avg_samples, avg_algo) = ctx.run_isop(&objective);
     assert!(!isop_results.is_empty());
-    assert!(avg_samples > 100.0, "ISOP+ must observe samples: {avg_samples}");
+    assert!(
+        avg_samples > 100.0,
+        "ISOP+ must observe samples: {avg_samples}"
+    );
 
     let sa = ctx.run_sa(&objective, MatchMode::Samples, avg_samples, avg_algo);
     assert!(!sa.is_empty(), "SA must produce verified results");
@@ -58,7 +62,12 @@ fn runtime_matched_bo_observes_fewer_samples_than_isop() {
     let objective = isop::tasks::objective_for(TaskId::T1, vec![]);
     let (_, avg_samples, avg_algo) = ctx.run_isop(&objective);
 
-    let bo = ctx.run_bo(&objective, MatchMode::Samples, avg_samples.min(120.0), avg_algo);
+    let bo = ctx.run_bo(
+        &objective,
+        MatchMode::Samples,
+        avg_samples.min(120.0),
+        avg_algo,
+    );
     assert!(!bo.is_empty());
     for r in &bo {
         assert!(r.samples_seen <= 120 + 1);
@@ -84,7 +93,11 @@ fn all_methods_verify_with_real_simulation() {
         // Runtime includes the accounted EM batch: up to three simulations
         // run in parallel and cost the wall-clock of a single run
         // (PAPER_EM_BATCH_SECONDS / 3 ~= 15.2 s per batch).
-        assert!(r.runtime_seconds >= 15.0, "EM accounting missing: {}", r.runtime_seconds);
+        assert!(
+            r.runtime_seconds >= 15.0,
+            "EM accounting missing: {}",
+            r.runtime_seconds
+        );
     }
 }
 

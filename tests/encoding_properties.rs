@@ -5,7 +5,11 @@ use isop::params::ParamSpace;
 use proptest::prelude::*;
 
 fn spaces() -> Vec<ParamSpace> {
-    vec![isop::spaces::s1(), isop::spaces::s2(), isop::spaces::s1_prime()]
+    vec![
+        isop::spaces::s1(),
+        isop::spaces::s2(),
+        isop::spaces::s1_prime(),
+    ]
 }
 
 /// Strategy: a valid level vector for the given space.

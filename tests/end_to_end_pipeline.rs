@@ -57,7 +57,10 @@ fn trained_surrogate_pipeline_produces_verified_design() {
     let verified = best.simulated.expect("roll-out verifies");
     // The surrogate is small: allow a loose band, but the design must be
     // near-feasible and on the grid.
-    assert!(space.contains(&best.values), "roll-out must land on the grid");
+    assert!(
+        space.contains(&best.values),
+        "roll-out must land on the grid"
+    );
     assert!(
         (verified.z_diff - 85.0).abs() < 6.0,
         "Z far off target: {}",

@@ -14,7 +14,11 @@ fn t3_like_objective() -> Objective {
             OutputConstraint::band(Metric::Z, 85.0, 1.0),
             OutputConstraint::band(Metric::Next, 0.0, 0.05),
         ],
-        vec![InputConstraint::new(vec![(0, 2.0), (1, 1.0)], 20.0, "2W+S<=20")],
+        vec![InputConstraint::new(
+            vec![(0, 2.0), (1, 1.0)],
+            20.0,
+            "2W+S<=20",
+        )],
     )
 }
 

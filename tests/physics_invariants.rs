@@ -10,22 +10,27 @@ use proptest::prelude::*;
 /// training ranges.
 fn layer_strategy() -> impl Strategy<Value = DiffStripline> {
     (
-        2.0f64..20.0,        // W_t
-        2.0f64..30.0,        // S_t
-        10.0f64..80.0,       // D_t
-        0.0f64..0.4,         // E_t
-        0.5f64..3.0,         // H_t
-        2.0f64..30.0,        // H_c
-        2.0f64..30.0,        // H_p
-        3.0e7f64..5.8e7,     // sigma
-        -14.5f64..14.0,      // R_t
-        1.5f64..7.0,         // Dk (shared for simplicity)
-        0.0005f64..0.05,     // Df (shared)
+        2.0f64..20.0,    // W_t
+        2.0f64..30.0,    // S_t
+        10.0f64..80.0,   // D_t
+        0.0f64..0.4,     // E_t
+        0.5f64..3.0,     // H_t
+        2.0f64..30.0,    // H_c
+        2.0f64..30.0,    // H_p
+        3.0e7f64..5.8e7, // sigma
+        -14.5f64..14.0,  // R_t
+        1.5f64..7.0,     // Dk (shared for simplicity)
+        0.0005f64..0.05, // Df (shared)
     )
-        .prop_filter_map("etch must not pinch the trace", |(w, s, d, e, ht, hc, hp, sig, r, dk, df)| {
-            DiffStripline::from_vector(&[w, s, d, e, ht, hc, hp, sig, r, dk, dk, dk, df, df, df])
+        .prop_filter_map(
+            "etch must not pinch the trace",
+            |(w, s, d, e, ht, hc, hp, sig, r, dk, df)| {
+                DiffStripline::from_vector(&[
+                    w, s, d, e, ht, hc, hp, sig, r, dk, dk, dk, df, df, df,
+                ])
                 .ok()
-        })
+            },
+        )
 }
 
 proptest! {

@@ -78,9 +78,7 @@ impl Value {
     /// Looks up `key` in an object slice, yielding `Null` when absent (so
     /// `Option` fields deserialize to `None`).
     pub fn field<'a>(obj: &'a [(String, Value)], key: &str) -> &'a Value {
-        obj.iter()
-            .find(|(k, _)| k == key)
-            .map_or(&NULL, |(_, v)| v)
+        obj.iter().find(|(k, _)| k == key).map_or(&NULL, |(_, v)| v)
     }
 
     /// Writes the value as compact JSON.
@@ -323,7 +321,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Arr(items));
                 }
-                _ => return Err(Error::msg(format!("expected ',' or ']' at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -351,7 +354,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Obj(entries));
                 }
-                _ => return Err(Error::msg(format!("expected ',' or '}}' at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }

@@ -36,14 +36,18 @@ struct TypeDef {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let def = parse_type(input);
-    gen_serialize(&def).parse().expect("generated Serialize impl parses")
+    gen_serialize(&def)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 /// Derives the vendored `serde::Deserialize`.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let def = parse_type(input);
-    gen_deserialize(&def).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&def)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------------------
@@ -238,9 +242,9 @@ fn gen_serialize(def: &TypeDef) -> String {
                 .map(|v| {
                     let vn = &v.name;
                     match &v.kind {
-                        VariantKind::Unit => format!(
-                            "{name}::{vn} => {VALUE}::Str(String::from(\"{vn}\")),"
-                        ),
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => {VALUE}::Str(String::from(\"{vn}\")),")
+                        }
                         VariantKind::Tuple(1) => format!(
                             "{name}::{vn}(f0) => {VALUE}::Obj(vec![(String::from(\"{vn}\"), \
                              ::serde::Serialize::to_value(f0))]),"
@@ -340,9 +344,7 @@ fn gen_deserialize(def: &TypeDef) -> String {
                         )),
                         VariantKind::Tuple(n) => {
                             let inits: Vec<String> = (0..*n)
-                                .map(|i| {
-                                    format!("::serde::Deserialize::from_value(&items[{i}])?")
-                                })
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
                                 .collect();
                             Some(format!(
                                 "\"{vn}\" => match inner {{\n\
