@@ -1,0 +1,45 @@
+//! Micro-benchmark: the evaluation-cache fast path. A probe that hits must
+//! be orders of magnitude cheaper than the accurate simulation it elides,
+//! and the miss path (key derivation + lookup) must stay negligible next
+//! to one `AnalyticalSolver` run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isop::evalcache::EvalCache;
+use isop_em::simulator::{AnalyticalSolver, EmSimulator};
+use isop_em::stackup::DiffStripline;
+use isop_telemetry::Telemetry;
+use std::hint::black_box;
+
+fn bench_evalcache(c: &mut Criterion) {
+    let space = isop::spaces::s1();
+    let design = space.round_to_grid(&isop::manual::MANUAL_VECTOR);
+    let solver = AnalyticalSolver::new();
+    let sim = solver
+        .simulate(&DiffStripline::from_vector(&design).expect("valid"))
+        .expect("simulates");
+    let tele = Telemetry::disabled();
+
+    let warm = EvalCache::new();
+    let key = EvalCache::key_for(&space, &design).expect("on grid");
+    warm.insert(key, sim);
+    let cold = EvalCache::new();
+
+    let mut g = c.benchmark_group("evalcache");
+    g.bench_function("evalcache_hit", |b| {
+        b.iter(|| warm.probe(black_box(&space), black_box(&design), &tele))
+    });
+    g.bench_function("evalcache_miss", |b| {
+        b.iter(|| cold.probe(black_box(&space), black_box(&design), &tele))
+    });
+    // The work a hit elides, for scale.
+    g.bench_function("analytical_simulate", |b| {
+        b.iter(|| {
+            let layer = DiffStripline::from_vector(black_box(&design)).expect("valid");
+            solver.simulate(&layer).expect("simulates")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_evalcache);
+criterion_main!(benches);

@@ -12,14 +12,25 @@
 //! * **Wall-clock** is noisy, so it fails only beyond a 10% margin over
 //!   the threshold.
 //!
+//! The smoke workload runs the seeded pipeline **twice** on one telemetry
+//! handle, sharing one evaluation cache and surrogate memo across the two
+//! runs: the second run's roll-out is served entirely from cache, which is
+//! what the `em.cache.*` budgets and the >= 20% saved-EM-seconds assertion
+//! pin down. The gate also verifies the cache contract directly — both
+//! runs must produce bit-identical candidates. `--no-cache` runs the same
+//! protocol with the cache disabled; against a cache-enabled budget this
+//! *fails* (`em.cache.misses` lands over budget), which is the CI tripwire
+//! for the cache being silently turned off.
+//!
 //! ```text
 //! bench_gate [--thresholds scripts/bench_thresholds.json]
-//!            [--out results/BENCH_ci.json] [--update]
+//!            [--out results/BENCH_ci.json] [--update] [--no-cache]
 //! ```
 //!
 //! `--update` reruns the smoke pipeline and rewrites the thresholds file
-//! from the measurement (counters exact, wall-clock with 1.5x headroom).
+//! from the measurement (counters exact, wall-clock with 3x headroom).
 
+use isop::evalcache::{EvalCache, SurrogateMemo};
 use isop::prelude::*;
 use isop_em::simulator::AnalyticalSolver;
 use isop_hpo::budget::Budget;
@@ -54,8 +65,17 @@ struct GateThresholds {
     counters: Vec<isop_telemetry::CounterEntry>,
 }
 
-/// Runs the seeded smoke pipeline and returns (report, wall seconds).
-fn run_smoke() -> (RunReport, f64) {
+/// Fraction of total EM wall-clock the cache must elide over the two-run
+/// smoke protocol (run two's roll-out is all hits, so the honest value is
+/// 0.5; 0.2 leaves room for a partial-hit batch without going stale).
+const MIN_SAVED_FRACTION: f64 = 0.2;
+
+/// Runs the seeded smoke pipeline twice on one telemetry handle, sharing
+/// one evaluation cache + surrogate memo across the runs (both disabled
+/// under `--no-cache`). Returns (report, wall seconds) aggregated over
+/// both runs, or an error if the runs are not bit-identical or (cache on)
+/// the saved-EM fraction falls under [`MIN_SAVED_FRACTION`].
+fn run_smoke(use_cache: bool) -> Result<(RunReport, f64), String> {
     let space = isop::spaces::s1();
     let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
     let telemetry = Telemetry::enabled();
@@ -78,25 +98,73 @@ fn run_smoke() -> (RunReport, f64) {
         parallelism: Parallelism::new(SMOKE_THREADS),
         ..IsopConfig::default()
     };
+    let cache = if use_cache {
+        EvalCache::new()
+    } else {
+        EvalCache::disabled()
+    };
+    let memo = if use_cache {
+        SurrogateMemo::new()
+    } else {
+        SurrogateMemo::disabled()
+    };
     let t0 = Instant::now();
-    let outcome = IsopOptimizer::new(&space, &surrogate, &simulator, config)
-        .with_telemetry(telemetry.clone())
-        .run(
-            isop::tasks::objective_for(TaskId::T1, vec![]),
-            Budget::unlimited(),
-            SMOKE_SEED,
-        );
+    let run = || {
+        IsopOptimizer::new(&space, &surrogate, &simulator, config.clone())
+            .with_telemetry(telemetry.clone())
+            .with_eval_cache(cache.clone())
+            .with_surrogate_memo(memo.clone())
+            .run(
+                isop::tasks::objective_for(TaskId::T1, vec![]),
+                Budget::unlimited(),
+                SMOKE_SEED,
+            )
+    };
+    let first = run();
+    let second = run();
     let wall = t0.elapsed().as_secs_f64();
+
+    // The cache contract, checked on every gate invocation: a warm cache
+    // must not change a single bit of the outcome.
+    if first.candidates != second.candidates || first.success != second.success {
+        return Err("cache contract violation: repeat run diverged from the first".into());
+    }
+    if (first.em_seconds + first.em_seconds_saved).to_bits()
+        != (second.em_seconds + second.em_seconds_saved).to_bits()
+    {
+        return Err("cache contract violation: charged + saved EM differs between runs".into());
+    }
+    if use_cache {
+        let charged = telemetry.em_seconds();
+        let saved = telemetry.em_seconds_saved();
+        let fraction = saved / (charged + saved);
+        // NaN (0/0: no EM ran at all) must fail too, not just low fractions.
+        if fraction.is_nan() || fraction < MIN_SAVED_FRACTION {
+            return Err(format!(
+                "cache ineffective: saved {saved:.2}s of {:.2}s total EM \
+                 ({:.0}% < {:.0}% required)",
+                charged + saved,
+                fraction * 100.0,
+                MIN_SAVED_FRACTION * 100.0
+            ));
+        }
+        println!(
+            "bench_gate: cache elided {saved:.2}s of {:.2}s EM ({:.0}%)",
+            charged + saved,
+            fraction * 100.0
+        );
+    }
+
     let mut report = telemetry.run_report();
     report.task = TaskId::T1.to_string();
     report.space = "s1".to_string();
     report.seed = SMOKE_SEED;
     report.threads = SMOKE_THREADS;
-    report.success = outcome.success;
-    report.samples_seen = outcome.samples_seen;
-    report.invalid_seen = outcome.invalid_seen;
-    report.algorithm_seconds = outcome.algorithm_seconds;
-    (report, wall)
+    report.success = second.success;
+    report.samples_seen = first.samples_seen + second.samples_seen;
+    report.invalid_seen = first.invalid_seen + second.invalid_seen;
+    report.algorithm_seconds = first.algorithm_seconds + second.algorithm_seconds;
+    Ok((report, wall))
 }
 
 fn write_file(path: &str, contents: &str) -> Result<(), String> {
@@ -108,8 +176,13 @@ fn write_file(path: &str, contents: &str) -> Result<(), String> {
     std::fs::write(path, contents).map_err(|e| e.to_string())
 }
 
-fn gate(thresholds_path: &str, out_path: &str, update: bool) -> Result<(), String> {
-    let (report, wall) = run_smoke();
+fn gate(
+    thresholds_path: &str,
+    out_path: &str,
+    update: bool,
+    use_cache: bool,
+) -> Result<(), String> {
+    let (report, wall) = run_smoke(use_cache)?;
     write_file(out_path, &report.to_json().map_err(|e| format!("{e:?}"))?)?;
     println!("bench_gate: smoke run took {wall:.2}s, report at {out_path}");
 
@@ -186,11 +259,16 @@ fn main() -> ExitCode {
     let mut thresholds_path = "scripts/bench_thresholds.json".to_string();
     let mut out_path = "results/BENCH_ci.json".to_string();
     let mut update = false;
+    let mut use_cache = true;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--update" => {
                 update = true;
+                i += 1;
+            }
+            "--no-cache" => {
+                use_cache = false;
                 i += 1;
             }
             "--thresholds" if i + 1 < args.len() => {
@@ -203,12 +281,14 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!("bench_gate: unknown argument '{other}'");
-                eprintln!("usage: bench_gate [--thresholds FILE] [--out FILE] [--update]");
+                eprintln!(
+                    "usage: bench_gate [--thresholds FILE] [--out FILE] [--update] [--no-cache]"
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
-    match gate(&thresholds_path, &out_path, update) {
+    match gate(&thresholds_path, &out_path, update, use_cache) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("bench_gate: FAIL\n{e}");

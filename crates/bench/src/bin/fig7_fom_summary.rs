@@ -16,6 +16,9 @@ fn main() {
     let cnn = cnn_surrogate(&cfg, &data).expect("CNN trains");
     let mlp_xgb = mlp_xgb_surrogate(&cfg, &data).expect("MLP_XGB trains");
     let s1 = isop::spaces::s1();
+    // Variants within each task reuse each other's accurate simulations;
+    // FoM bars are identical with or without the cache.
+    let em_cache = isop::evalcache::EvalCache::new();
 
     let mut table = Table::new(vec!["Task", "Variant", "FoM"]);
     let mut per_task: Vec<(TaskId, Vec<(String, f64)>)> = Vec::new();
@@ -34,6 +37,7 @@ fn main() {
                 "S1",
                 &s1,
                 &isop_telemetry::Telemetry::disabled(),
+                &em_cache,
             ) {
                 let label = format!("{}+{}", row.technique, row.model);
                 table.push_row(vec![

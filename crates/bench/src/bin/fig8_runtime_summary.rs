@@ -22,6 +22,10 @@ fn main() {
     let cnn = cnn_surrogate(&cfg, &data).expect("CNN trains");
     let mlp_xgb = mlp_xgb_surrogate(&cfg, &data).expect("MLP_XGB trains");
     let s1 = isop::spaces::s1();
+    // Fig. 8 measures wall-clock, so each variant re-simulates everything:
+    // a shared cache here would report roll-out spans that depend on run
+    // order. Keep the cache disabled for honest per-variant timings.
+    let em_cache = isop::evalcache::EvalCache::disabled();
 
     let mut table = Table::new(vec![
         "Task",
@@ -45,9 +49,9 @@ fn main() {
             // cell's trials, so dividing by trial count gives per-trial
             // stage averages.
             let tele = Telemetry::enabled();
-            if let Some(row) =
-                run_ablation_variant(&cfg, surrogate, technique, task, "S1", &s1, &tele)
-            {
+            if let Some(row) = run_ablation_variant(
+                &cfg, surrogate, technique, task, "S1", &s1, &tele, &em_cache,
+            ) {
                 let report: RunReport = tele.run_report();
                 let trials = row.stats.trials.max(1) as f64;
                 let label = format!("{}+{}", row.technique, row.model);

@@ -14,6 +14,17 @@ fn main() {
     let cnn = cnn_surrogate(&cfg, &data).expect("CNN trains");
     let mlp_xgb = mlp_xgb_surrogate(&cfg, &data).expect("MLP_XGB trains");
 
+    // Shared EM-result cache + JSON spill, exactly as in table7: variants
+    // of one task reuse each other's accurate sims, and the spill shares
+    // them across the two ablation binaries.
+    let em_cache = isop::evalcache::EvalCache::new();
+    let spill = cfg.results_dir.join("em_cache.json");
+    match em_cache.load_json(&spill) {
+        Ok(n) if n > 0 => eprintln!("[isop-bench] em-cache: {n} spilled sims loaded"),
+        Ok(_) => {}
+        Err(e) => eprintln!("[isop-bench] em-cache: ignoring unreadable spill: {e}"),
+    }
+
     let mut rows: Vec<AblationRow> = Vec::new();
     for (task, label, space) in table_cells([TaskId::T3, TaskId::T4]) {
         for (technique, surrogate) in [
@@ -29,10 +40,14 @@ fn main() {
                 label,
                 &space,
                 &isop_telemetry::Telemetry::disabled(),
+                &em_cache,
             ) {
                 rows.push(row);
             }
         }
+    }
+    if let Err(e) = em_cache.save_json(&spill) {
+        eprintln!("[isop-bench] em-cache: spill not written: {e}");
     }
     let table = render_ablation(&rows, true);
     emit(

@@ -107,6 +107,8 @@ fn main() {
         n_trials: 1,
         seed: 0x7AB9,
         telemetry: isop_telemetry::Telemetry::disabled(),
+        eval_cache: isop::evalcache::EvalCache::new(),
+        surrogate_memo: isop::evalcache::SurrogateMemo::new(),
     };
     let s1 = isop::spaces::s1();
     let s1p = isop::spaces::s1_prime();

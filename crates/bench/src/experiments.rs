@@ -1,6 +1,7 @@
 //! Shared experiment drivers for the table-regenerating binaries.
 
 use crate::{isop_config, BenchConfig};
+use isop::evalcache::{EvalCache, SurrogateMemo};
 use isop::experiment::{ExperimentContext, MatchMode, TrialStats};
 use isop::objective::Objective;
 use isop::params::ParamSpace;
@@ -48,6 +49,10 @@ pub fn run_comparison_cell(
         n_trials: cfg.trials,
         seed: 0x15_0b,
         telemetry: Telemetry::disabled(),
+        // Fresh per cell: repeated ISOP+ trials within the cell reuse each
+        // other's roll-out simulations (outcomes are identical either way).
+        eval_cache: EvalCache::new(),
+        surrogate_memo: SurrogateMemo::new(),
     };
     let objective: Objective = objective_for(task, vec![]);
     eprintln!(
@@ -158,6 +163,13 @@ pub struct AblationRow {
 /// figures read stage timings from the resulting
 /// [`RunReport`](isop_telemetry::RunReport) instead of re-measuring), or
 /// [`Telemetry::disabled()`] to record nothing.
+///
+/// `eval_cache` is shared across every trial of this variant; pass the
+/// *same* handle to every variant of one (task, space) cell so ablations
+/// reuse each other's accurate simulations (they all round to the same
+/// handful of grid designs), or [`EvalCache::disabled()`] to re-simulate
+/// everything. Outcomes are bit-identical either way.
+#[allow(clippy::too_many_arguments)]
 pub fn run_ablation_variant(
     cfg: &BenchConfig,
     surrogate: &dyn Surrogate,
@@ -166,6 +178,7 @@ pub fn run_ablation_variant(
     space_label: &str,
     space: &ParamSpace,
     telemetry: &Telemetry,
+    eval_cache: &EvalCache,
 ) -> Option<AblationRow> {
     let simulator = AnalyticalSolver::new();
     let mut pipeline = isop_config();
@@ -184,6 +197,8 @@ pub fn run_ablation_variant(
         n_trials: cfg.trials,
         seed: 0xAB1A,
         telemetry: telemetry.clone(),
+        eval_cache: eval_cache.clone(),
+        surrogate_memo: SurrogateMemo::new(),
     };
     let objective = objective_for(task, vec![]);
     eprintln!(

@@ -2,6 +2,7 @@
 //! FoM-improvement metric (Eq. 12) behind Tables IV, V, VII, and VIII.
 
 use crate::baselines::{run_bo, run_sa, BaselineOutcome};
+use crate::evalcache::{EvalCache, SurrogateMemo};
 use crate::objective::{Metric, Objective};
 use crate::params::ParamSpace;
 use crate::pipeline::{DesignCandidate, IsopConfig, IsopOptimizer, IsopOutcome};
@@ -176,6 +177,14 @@ pub struct ExperimentContext<'a> {
     /// disabled; enable it to aggregate counters and stage spans across
     /// the cell's trials (the bench harness reads stage timings here).
     pub telemetry: Telemetry,
+    /// Accurate-EM result cache shared by every ISOP+ trial in this cell.
+    /// Repeated trials (and, when the handle is shared wider, repeated
+    /// ablation variants of one task) serve identical grid designs from
+    /// cache; outcomes are bit-identical either way. Defaults to disabled.
+    pub eval_cache: EvalCache,
+    /// Surrogate-prediction memo shared by every ISOP+ trial in this cell.
+    /// Defaults to disabled.
+    pub surrogate_memo: SurrogateMemo,
 }
 
 impl ExperimentContext<'_> {
@@ -192,7 +201,9 @@ impl ExperimentContext<'_> {
                 self.simulator,
                 self.isop_config.clone(),
             )
-            .with_telemetry(self.telemetry.clone());
+            .with_telemetry(self.telemetry.clone())
+            .with_eval_cache(self.eval_cache.clone())
+            .with_surrogate_memo(self.surrogate_memo.clone());
             let outcome = opt.run(objective.clone(), Budget::unlimited(), self.seed + i as u64);
             total_samples += outcome.samples_seen as f64;
             total_algo += outcome.algorithm_seconds;

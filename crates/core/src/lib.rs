@@ -61,6 +61,7 @@
 pub mod baselines;
 pub mod board;
 pub mod data;
+pub mod evalcache;
 pub mod exec;
 pub mod experiment;
 pub mod manual;
@@ -75,6 +76,7 @@ pub mod weights;
 
 /// Convenience re-exports for typical use.
 pub mod prelude {
+    pub use crate::evalcache::{DesignKey, EvalCache, MemoizedSurrogate, SurrogateMemo};
     pub use crate::exec::Parallelism;
     pub use crate::experiment::{ExperimentContext, MatchMode, TrialResult, TrialStats};
     pub use crate::objective::{FomSpec, InputConstraint, Metric, Objective, OutputConstraint};

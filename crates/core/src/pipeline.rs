@@ -15,6 +15,7 @@
 //!    `cand_num` best with the *accurate* simulator, rank by the exact
 //!    objective `g`.
 
+use crate::evalcache::{CacheProbe, EvalCache, MemoizedSurrogate, SurrogateMemo};
 use crate::exec::{par_map_indexed, Parallelism};
 use crate::objective::Objective;
 use crate::params::ParamSpace;
@@ -115,6 +116,11 @@ pub struct IsopOutcome {
     /// Simulated EM time at roll-out, seconds (batches of three in
     /// parallel, as in the paper).
     pub em_seconds: f64,
+    /// EM time elided by the evaluation cache, seconds. A batch served
+    /// entirely from cache moves its `nominal_seconds` here instead of
+    /// [`em_seconds`](Self::em_seconds); `em_seconds + em_seconds_saved`
+    /// is invariant under toggling the cache.
+    pub em_seconds_saved: f64,
     /// Final adapted objective (weights frozen after the global stage).
     pub final_objective: Objective,
     /// Whether the best candidate satisfies every constraint under the
@@ -141,6 +147,8 @@ pub struct IsopOptimizer<'a> {
     simulator: &'a dyn EmSimulator,
     config: IsopConfig,
     telemetry: Telemetry,
+    eval_cache: EvalCache,
+    surrogate_memo: SurrogateMemo,
 }
 
 /// Binary objective bridging bits -> design values -> surrogate -> `g_hat`,
@@ -197,6 +205,8 @@ impl<'a> IsopOptimizer<'a> {
             simulator,
             config,
             telemetry: Telemetry::disabled(),
+            eval_cache: EvalCache::disabled(),
+            surrogate_memo: SurrogateMemo::disabled(),
         }
     }
 
@@ -207,6 +217,29 @@ impl<'a> IsopOptimizer<'a> {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches an accurate-EM result cache consulted at roll-out. Hits
+    /// replay the stored simulation bit-exactly (including the simulator's
+    /// counter footprint, provided the simulator shares this optimizer's
+    /// telemetry handle) and move the elided batch wall-clock into the
+    /// seconds-saved ledger. Outcomes are identical with the cache enabled,
+    /// disabled, or shared across runs.
+    #[must_use]
+    pub fn with_eval_cache(mut self, cache: EvalCache) -> Self {
+        self.eval_cache = cache;
+        self
+    }
+
+    /// Attaches a surrogate-prediction memo consulted from the serial
+    /// Harmonica sampling loop (stage 1). Repeated bitstrings replay the
+    /// surrogate's metric predictions bit-exactly; `surrogate.predict`
+    /// totals are unchanged because the memo sits *inside* the counting
+    /// wrapper.
+    #[must_use]
+    pub fn with_surrogate_memo(mut self, memo: SurrogateMemo) -> Self {
+        self.surrogate_memo = memo;
         self
     }
 
@@ -222,12 +255,24 @@ impl<'a> IsopOptimizer<'a> {
         // Every surrogate call in the pipeline goes through the counting
         // wrapper; with a disabled handle it adds one branch per call.
         let instrumented = InstrumentedSurrogate::new(self.surrogate, self.telemetry.clone());
+        // Harmonica's serial sampling loop additionally consults the
+        // prediction memo. The memo sits *inside* the counting wrapper so
+        // `surrogate.predict` totals are identical with the memo on or off,
+        // and it is kept out of the parallel sections (Hyperband, Adam,
+        // roll-out) where concurrent miss-then-insert races on one key
+        // would make hit/miss totals depend on thread interleaving.
+        let memoized = MemoizedSurrogate::new(
+            self.surrogate,
+            self.surrogate_memo.clone(),
+            self.telemetry.clone(),
+        );
+        let memo_instrumented = InstrumentedSurrogate::new(&memoized, self.telemetry.clone());
 
         // ---- Stage 1: global exploration (Harmonica + weights + Hyperband).
         let global_span = isop_telemetry::span!(self.telemetry, "pipeline.global");
         let mut bin_obj = SurrogateBinaryObjective {
             space: self.space,
-            surrogate: &instrumented,
+            surrogate: &memo_instrumented,
             objective: &obj_cell,
             records: &records,
             valid: 0,
@@ -449,30 +494,60 @@ impl<'a> IsopOptimizer<'a> {
         scored.sort_by(|a, b| nan_last(a.2, b.2));
         scored.truncate(self.config.cand_num.max(1));
 
-        // Simulate the survivors concurrently — the paper's "three EM runs
-        // in parallel". Results collect by index, so the ranking below sees
-        // the same order at any thread count.
-        let simulated = par_map_indexed(self.config.parallelism.threads, &scored, |_, entry| {
-            let (x, _, _) = entry;
-            let layer = DiffStripline::from_vector(x).ok()?;
-            self.simulator.simulate(&layer).ok()
-        });
-        let mut em_seconds = 0.0;
+        // Probe the evaluation cache serially, in candidate order, before
+        // the parallel section — hit/miss counters come out identical at
+        // any thread width. Only successful simulations are ever cached, so
+        // a hit replays the simulator's counter footprint (attempted +
+        // succeeded) on this optimizer's telemetry handle; attach the same
+        // handle to the simulator to keep totals identical cache on/off.
+        let probes: Vec<CacheProbe> = scored
+            .iter()
+            .map(|(x, _, _)| self.eval_cache.probe(self.space, x, &self.telemetry))
+            .collect();
+        for p in &probes {
+            if p.hit.is_some() {
+                self.telemetry.incr(Counter::EmSimAttempted);
+                self.telemetry.incr(Counter::EmSimSucceeded);
+            }
+        }
+        // Simulate only the cache misses, concurrently — the paper's "three
+        // EM runs in parallel". Results collect by index, so the merge
+        // below sees the same order at any thread count.
+        let miss_inputs: Vec<Vec<f64>> = scored
+            .iter()
+            .zip(&probes)
+            .filter(|(_, p)| p.hit.is_none())
+            .map(|((x, _, _), _)| x.clone())
+            .collect();
+        let miss_results =
+            par_map_indexed(self.config.parallelism.threads, &miss_inputs, |_, x| {
+                let layer = DiffStripline::from_vector(x).ok()?;
+                self.simulator.simulate(&layer).ok()
+            });
+        // Merge hits and fresh results back into candidate order; fresh
+        // successes enter the cache serially, after the parallel section.
+        let mut fresh = miss_results.into_iter();
+        let simulated: Vec<(Option<SimulationResult>, bool)> = probes
+            .into_iter()
+            .map(|p| {
+                if let Some(hit) = p.hit {
+                    (Some(hit), true)
+                } else {
+                    let sim = fresh.next().expect("one result per cache miss");
+                    if let (Some(sim), Some(key)) = (sim, p.key) {
+                        self.eval_cache.insert(key, sim);
+                    }
+                    (sim, false)
+                }
+            })
+            .collect();
         let mut candidates: Vec<DesignCandidate> = Vec::new();
-        for ((x, predicted, _), sim) in scored.into_iter().zip(simulated) {
+        let mut served_from_cache: Vec<bool> = Vec::new();
+        for ((x, predicted, _), (sim, from_cache)) in scored.into_iter().zip(simulated) {
             let Some(sim) = sim else {
                 continue;
             };
-            // EM wall-clock: each batch of up to three *successful*
-            // simulations runs in parallel and occupies the wall-clock of a
-            // single run (`nominal_seconds`). Charge once per batch, not
-            // per run, and not for designs the simulator rejected.
-            if candidates.len().is_multiple_of(3) {
-                em_seconds += self.simulator.nominal_seconds();
-                self.telemetry.incr(Counter::EmBatchesCharged);
-                self.telemetry
-                    .charge_em_seconds(self.simulator.nominal_seconds());
-            }
+            served_from_cache.push(from_cache);
             let metrics = sim.to_array();
             let g = final_objective.g_exact(&metrics, &x);
             candidates.push(DesignCandidate {
@@ -481,6 +556,27 @@ impl<'a> IsopOptimizer<'a> {
                 simulated: Some(sim),
                 g_exact: g,
             });
+        }
+        // EM wall-clock: each batch of up to three *successful*
+        // simulations runs in parallel and occupies the wall-clock of a
+        // single run (`nominal_seconds`). Charge once per batch, not per
+        // run, and not for designs the simulator rejected. A batch served
+        // entirely from cache costs nothing — its wall-clock lands in the
+        // saved ledger instead, so charged + saved is invariant under
+        // toggling the cache (and `em.batches_charged` counts every
+        // logical batch either way).
+        let mut em_seconds = 0.0;
+        let mut em_seconds_saved = 0.0;
+        for batch in served_from_cache.chunks(3) {
+            let nominal = self.simulator.nominal_seconds();
+            self.telemetry.incr(Counter::EmBatchesCharged);
+            if batch.iter().all(|&from_cache| from_cache) {
+                em_seconds_saved += nominal;
+                self.telemetry.save_em_seconds(nominal);
+            } else {
+                em_seconds += nominal;
+                self.telemetry.charge_em_seconds(nominal);
+            }
         }
         // Rank feasible candidates ahead of infeasible ones, then by exact
         // objective — the paper's success criterion counts a trial as
@@ -503,6 +599,7 @@ impl<'a> IsopOptimizer<'a> {
             invalid_seen,
             algorithm_seconds: t0.elapsed().as_secs_f64(),
             em_seconds,
+            em_seconds_saved,
             final_objective,
             success,
         }
@@ -759,6 +856,71 @@ mod tests {
         ] {
             assert!(serial.span(label).is_some(), "missing span {label}");
         }
+    }
+
+    /// The evaluation-cache contract: a run with a cache is bit-identical
+    /// to a run without one, and a second run sharing the cache serves its
+    /// roll-out from hits — moving the batch charge into the saved ledger
+    /// while `charged + saved` stays invariant.
+    #[test]
+    fn shared_eval_cache_elides_repeat_roll_outs_bit_exactly() {
+        let space = s1();
+        let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+        let simulator = AnalyticalSolver::new();
+        let baseline = IsopOptimizer::new(&space, &surrogate, &simulator, fast_config()).run(
+            objective_for(TaskId::T1, vec![]),
+            Budget::unlimited(),
+            3,
+        );
+
+        let cache = crate::evalcache::EvalCache::new();
+        let memo = crate::evalcache::SurrogateMemo::new();
+        let run = |tele: &Telemetry| {
+            IsopOptimizer::new(&space, &surrogate, &simulator, fast_config())
+                .with_telemetry(tele.clone())
+                .with_eval_cache(cache.clone())
+                .with_surrogate_memo(memo.clone())
+                .run(objective_for(TaskId::T1, vec![]), Budget::unlimited(), 3)
+        };
+        let tele_a = Telemetry::enabled();
+        let cold = run(&tele_a);
+        let tele_b = Telemetry::enabled();
+        let warm = run(&tele_b);
+
+        // Candidates, FoM, and ranking are bit-identical across all three.
+        assert_eq!(baseline.candidates, cold.candidates);
+        assert_eq!(cold.candidates, warm.candidates);
+        assert_eq!(cold.success, warm.success);
+
+        // Cold run: every probe missed, everything was charged.
+        assert_eq!(cold.em_seconds.to_bits(), baseline.em_seconds.to_bits());
+        assert_eq!(cold.em_seconds_saved, 0.0);
+        assert_eq!(tele_a.counter(Counter::EmCacheHits), 0);
+        assert!(tele_a.counter(Counter::EmCacheMisses) > 0);
+
+        // Warm run: the whole roll-out came from the cache.
+        assert_eq!(warm.em_seconds, 0.0);
+        assert!(warm.em_seconds_saved > 0.0);
+        assert!(tele_b.counter(Counter::EmCacheHits) > 0);
+        assert_eq!(
+            (warm.em_seconds + warm.em_seconds_saved).to_bits(),
+            cold.em_seconds.to_bits(),
+            "charged + saved must be invariant under the cache"
+        );
+        // Batch accounting is unchanged: same number of logical batches.
+        assert_eq!(
+            tele_a.counter(Counter::EmBatchesCharged),
+            tele_b.counter(Counter::EmBatchesCharged)
+        );
+        // The memo replayed repeated Harmonica bitstrings on the warm run.
+        assert!(tele_b.counter(Counter::SurrogateMemoHits) > 0);
+        assert_eq!(
+            tele_a.counter(Counter::SurrogateMemoHits)
+                + tele_a.counter(Counter::SurrogateMemoMisses),
+            tele_b.counter(Counter::SurrogateMemoHits)
+                + tele_b.counter(Counter::SurrogateMemoMisses),
+            "memo probe totals are a property of the seed, not the memo state"
+        );
     }
 
     /// An optimizer without `with_telemetry` records nothing anywhere.

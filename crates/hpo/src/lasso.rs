@@ -18,16 +18,17 @@ pub struct LassoFit {
 
 impl LassoFit {
     /// Indices of the `k` largest-magnitude nonzero coefficients, sorted by
-    /// magnitude descending.
+    /// magnitude descending. NaN coefficients rank after every finite one
+    /// (same [`nan_last`](crate::order::nan_last) total order as the rest
+    /// of the ranking paths) instead of panicking the comparator.
     pub fn top_k(&self, k: usize) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.coefficients.len())
             .filter(|&i| self.coefficients[i] != 0.0)
             .collect();
+        // Ascending on -|c| is descending on |c|; -|NaN| is NaN and lands
+        // last under the total order.
         idx.sort_by(|&a, &b| {
-            self.coefficients[b]
-                .abs()
-                .partial_cmp(&self.coefficients[a].abs())
-                .expect("finite coefficients")
+            crate::order::nan_last(-self.coefficients[a].abs(), -self.coefficients[b].abs())
         });
         idx.truncate(k);
         idx
@@ -89,16 +90,24 @@ pub fn lasso_coordinate_descent_traced(
     assert_eq!(y.len(), n, "target length mismatch");
     assert!(n > 0, "need at least one sample");
 
-    // Precompute column norms: z_j = sum_i x_ij^2 / n.
-    let mut col_norm = vec![0.0f64; d];
+    // Transpose once into a column-major layout: each coordinate update
+    // then streams one contiguous column instead of a stride-`d` walk
+    // through the row-major input — the O(n·d)-strided pass this kernel
+    // used to pay per update.
+    let mut cols = vec![0.0f64; n * d];
     for row in 0..n {
         for j in 0..d {
-            let v = x[row * d + j];
-            col_norm[j] += v * v;
+            cols[j * n + row] = x[row * d + j];
         }
     }
-    for z in &mut col_norm {
-        *z /= n as f64;
+
+    // Precompute the column self-inner-products: z_j = <x_j, x_j> / n.
+    // Row accumulation order matches the update loops below, so the same
+    // value falls out whichever layout computed it.
+    let mut col_norm = vec![0.0f64; d];
+    for (j, z) in col_norm.iter_mut().enumerate() {
+        let col = &cols[j * n..(j + 1) * n];
+        *z = col.iter().map(|v| v * v).sum::<f64>() / n as f64;
     }
 
     let mut w = vec![0.0f64; d];
@@ -108,26 +117,34 @@ pub fn lasso_coordinate_descent_traced(
     // Residual r_i = y_i - intercept - sum_j x_ij w_j.
     let mut resid: Vec<f64> = y.iter().map(|v| v - intercept).collect();
 
+    // Active-set cycling: after one full sweep, restrict sweeps to the
+    // coordinates currently in the support (w_j != 0). When an active-only
+    // sweep stagnates, run a full sweep to let new coordinates enter; the
+    // solve only converges when a *full* sweep stagnates, so the optimality
+    // conditions are checked over every coordinate.
     let mut iterations = 0;
+    let mut sweep_all = true;
     for iter in 0..max_iter {
         iterations = iter + 1;
+        let full = sweep_all;
         let mut max_delta = 0.0f64;
         for j in 0..d {
-            if col_norm[j] == 0.0 {
+            if col_norm[j] == 0.0 || (!full && w[j] == 0.0) {
                 continue;
             }
+            let col = &cols[j * n..(j + 1) * n];
             // rho = (1/n) * sum_i x_ij (r_i + x_ij w_j)
+            let wj = w[j];
             let mut rho = 0.0;
-            for row in 0..n {
-                let xij = x[row * d + j];
-                rho += xij * (resid[row] + xij * w[j]);
+            for (xij, r) in col.iter().zip(resid.iter()) {
+                rho += xij * (r + xij * wj);
             }
             rho /= n as f64;
             let w_new = soft_threshold(rho, lambda) / col_norm[j];
-            let delta = w_new - w[j];
+            let delta = w_new - wj;
             if delta != 0.0 {
-                for row in 0..n {
-                    resid[row] -= x[row * d + j] * delta;
+                for (xij, r) in col.iter().zip(resid.iter_mut()) {
+                    *r -= xij * delta;
                 }
                 w[j] = w_new;
                 max_delta = max_delta.max(delta.abs());
@@ -142,8 +159,13 @@ pub fn lasso_coordinate_descent_traced(
             }
             max_delta = max_delta.max(r_mean.abs());
         }
-        if max_delta < tol {
-            break;
+        if full {
+            if max_delta < tol {
+                break;
+            }
+            sweep_all = false;
+        } else if max_delta < tol {
+            sweep_all = true;
         }
     }
 
@@ -279,5 +301,30 @@ mod tests {
         };
         assert_eq!(fit.top_k(2), vec![1, 3]);
         assert_eq!(fit.top_k(10), vec![1, 3, 0]);
+    }
+
+    /// The seed code sorted with `partial_cmp(..).expect("finite
+    /// coefficients")` and panicked on any NaN coefficient (a divergent
+    /// solve, e.g. NaN targets, produces them). NaNs must rank last.
+    #[test]
+    fn top_k_ranks_nan_coefficients_last_without_panicking() {
+        let fit = LassoFit {
+            coefficients: vec![f64::NAN, 2.0, -5.0, 0.0, f64::NAN],
+            intercept: 0.0,
+            iterations: 1,
+        };
+        assert_eq!(fit.top_k(2), vec![2, 1]);
+        let all = fit.top_k(10);
+        assert_eq!(&all[..2], &[2, 1]);
+        assert_eq!(all.len(), 4, "NaN coefficients stay eligible, rank last");
+        assert!(fit.coefficients[all[2]].is_nan());
+        assert!(fit.coefficients[all[3]].is_nan());
+
+        // End-to-end: a fit against NaN targets must not panic top_k.
+        let (n, dd) = (30, 6);
+        let x = sign_matrix(n, dd, 9);
+        let y = vec![f64::NAN; n];
+        let fit = lasso_coordinate_descent(&x, &y, n, dd, 0.05, 50, 1e-8);
+        let _ = fit.top_k(3);
     }
 }

@@ -142,17 +142,91 @@ impl Matrix {
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let lhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(lhs_row) {
+        // Same shape-based dispatch as `matmul_transposed`, picking the
+        // layout each kernel wants without a redundant transpose. Callers
+        // that already hold the RHS in transposed layout (e.g. dense layers
+        // storing `W` as `out x in`) should call `matmul_transposed`
+        // directly.
+        if self.rows >= AXPY_MIN_ROWS {
+            self.kernel_axpy(rhs)
+        } else {
+            self.kernel_dot(&rhs.transpose())
+        }
+    }
+
+    /// Matrix product `self * rhs_t^T`, with the right operand supplied
+    /// already transposed (`rhs_t` is `m x k` for a `n x k` left operand).
+    ///
+    /// Bit-identical to `self.matmul(&rhs_t.transpose())` — both entry
+    /// points dispatch on the same row count, so the same kernel (and the
+    /// same per-element summation tree) runs either way. For narrow left
+    /// operands (per-row surrogate inference, Jacobian chains) this skips
+    /// the transpose allocation that would otherwise dominate the call.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul_transposed(&self, rhs_t: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs_t.cols,
+            "matmul_transposed dimension mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs_t.rows, rhs_t.cols
+        );
+        if self.rows >= AXPY_MIN_ROWS {
+            self.kernel_axpy(&rhs_t.transpose())
+        } else {
+            self.kernel_dot(rhs_t)
+        }
+    }
+
+    /// Wide-batch kernel: stream the row-major right operand and accumulate
+    /// output rows vertically (axpy). No horizontal reductions, so the
+    /// inner loop vectorises into pure element-wise multiply-adds — the
+    /// fastest layout once there are enough left rows to amortise holding
+    /// `rhs` row-major.
+    fn kernel_axpy(&self, rhs: &Matrix) -> Matrix {
+        debug_assert_eq!(self.cols, rhs.rows);
+        let (n, k, m) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(n, m);
+        for i in 0..n {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * m..(i + 1) * m];
+            for (l, &a) in a_row.iter().enumerate() {
+                let rhs_row = &rhs.data[l * m..(l + 1) * m];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
                     *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Narrow-batch kernel over a pre-transposed right operand: every
+    /// output element is a dot of two contiguous slices, and the output is
+    /// tiled so a block of `rhs_t` rows stays hot in cache across a block
+    /// of `self` rows. Each element is an independent dot with a fixed
+    /// summation tree, so the result does not depend on the tiling.
+    fn kernel_dot(&self, rhs_t: &Matrix) -> Matrix {
+        debug_assert_eq!(self.cols, rhs_t.cols);
+        let (n, k, m) = (self.rows, self.cols, rhs_t.rows);
+        let mut out = Matrix::zeros(n, m);
+        if k == 0 {
+            return out; // empty inner dimension: every dot is 0.0
+        }
+        const BLOCK: usize = 32;
+        for i0 in (0..n).step_by(BLOCK) {
+            let i1 = (i0 + BLOCK).min(n);
+            for j0 in (0..m).step_by(BLOCK) {
+                let j1 = (j0 + BLOCK).min(m);
+                for i in i0..i1 {
+                    let a_row = &self.data[i * k..(i + 1) * k];
+                    let out_row = &mut out.data[i * m..(i + 1) * m];
+                    for (o, rt_row) in out_row[j0..j1]
+                        .iter_mut()
+                        .zip(rhs_t.data[j0 * k..j1 * k].chunks_exact(k))
+                    {
+                        *o = dot_unrolled(a_row, rt_row);
+                    }
                 }
             }
         }
@@ -287,6 +361,38 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
     a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Left-operand row count at which `matmul` switches from the dot kernel
+/// (zero-copy over a transposed RHS, best for per-row inference) to the
+/// axpy kernel (vertical accumulation, best for wide training/inference
+/// batches). Dispatch is purely shape-driven, so identical operands always
+/// take identical paths — determinism does not depend on the threshold.
+const AXPY_MIN_ROWS: usize = 16;
+
+/// Four-accumulator dot product over equal-length slices: breaks the serial
+/// add dependency so the loop keeps multiple FMAs in flight. The summation
+/// tree is fixed — `(a0 + a1) + (a2 + a3) + tail` — and elementwise products
+/// commute bitwise, so `dot_unrolled(u, v) == dot_unrolled(v, u)` exactly
+/// (which is what keeps `(AB)^T == B^T A^T` bit-identical in `matmul`).
+#[inline]
+fn dot_unrolled(u: &[f64], v: &[f64]) -> f64 {
+    // `chunks_exact` hands the compiler fixed-size blocks with no bounds
+    // checks, so the four independent accumulators pack into SIMD lanes.
+    let mut acc = [0.0f64; 4];
+    let mut uc = u.chunks_exact(4);
+    let mut vc = v.chunks_exact(4);
+    for (a4, b4) in (&mut uc).zip(&mut vc) {
+        acc[0] += a4[0] * b4[0];
+        acc[1] += a4[1] * b4[1];
+        acc[2] += a4[2] * b4[2];
+        acc[3] += a4[3] * b4[3];
+    }
+    let mut tail = 0.0;
+    for (a, b) in uc.remainder().iter().zip(vc.remainder()) {
+        tail += a * b;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 #[cfg(test)]

@@ -71,7 +71,10 @@ impl Dense {
 
     /// `a (n x in) -> z (n x out)`.
     fn forward(&self, a: &Matrix) -> Matrix {
-        let mut z = a.matmul(&self.w.transpose());
+        // `w` is stored `out x in`, i.e. already the transposed right
+        // operand — feed it to the kernel directly instead of paying a
+        // transpose allocation per layer per call.
+        let mut z = a.matmul_transposed(&self.w);
         for r in 0..z.rows() {
             for (v, b) in z.row_mut(r).iter_mut().zip(&self.b) {
                 *v += b;

@@ -71,11 +71,25 @@ pub enum Counter {
     HyperbandPrunes,
     /// Adam refinement steps taken in the local stage.
     AdamSteps,
+    /// Roll-out designs served from the deterministic EM-result cache
+    /// (the simulation was elided; its counters are replayed and its
+    /// wall-clock lands in the seconds-saved ledger).
+    EmCacheHits,
+    /// Roll-out designs the EM-result cache could not serve. A *disabled*
+    /// cache counts every probe as a miss, so the bench gate catches a
+    /// cache outage as a miss-count regression.
+    EmCacheMisses,
+    /// Harmonica-stage surrogate predictions served from the
+    /// bitstring-keyed prediction memo.
+    SurrogateMemoHits,
+    /// Harmonica-stage memo probes that fell through to the surrogate
+    /// (a disabled memo counts every probe here).
+    SurrogateMemoMisses,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 19] = [
         Counter::EmSimAttempted,
         Counter::EmSimSucceeded,
         Counter::EmSimFailed,
@@ -91,6 +105,10 @@ impl Counter {
         Counter::HyperbandPromotions,
         Counter::HyperbandPrunes,
         Counter::AdamSteps,
+        Counter::EmCacheHits,
+        Counter::EmCacheMisses,
+        Counter::SurrogateMemoHits,
+        Counter::SurrogateMemoMisses,
     ];
 
     /// Stable dotted label used in reports and threshold files.
@@ -112,6 +130,10 @@ impl Counter {
             Counter::HyperbandPromotions => "hyperband.promotions",
             Counter::HyperbandPrunes => "hyperband.prunes",
             Counter::AdamSteps => "adam.steps",
+            Counter::EmCacheHits => "em.cache.hits",
+            Counter::EmCacheMisses => "em.cache.misses",
+            Counter::SurrogateMemoHits => "surrogate.memo_hits",
+            Counter::SurrogateMemoMisses => "surrogate.memo_misses",
         }
     }
 
@@ -158,6 +180,11 @@ struct Inner {
     /// the serial accounting section of the pipeline, so plain f64
     /// accumulation under a mutex stays deterministic.
     em_seconds: Mutex<f64>,
+    /// EM seconds the evaluation cache elided: batches whose every member
+    /// was a cache hit land here instead of `em_seconds`. The two ledgers
+    /// partition the same logical charge — `charged + saved` is invariant
+    /// under toggling the cache.
+    em_seconds_saved: Mutex<f64>,
     spans: Mutex<BTreeMap<&'static str, SpanStat>>,
 }
 
@@ -166,6 +193,7 @@ impl Inner {
         Self {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             em_seconds: Mutex::new(0.0),
+            em_seconds_saved: Mutex::new(0.0),
             spans: Mutex::new(BTreeMap::new()),
         }
     }
@@ -238,6 +266,23 @@ impl Telemetry {
             .map_or(0.0, |i| *i.em_seconds.lock().expect("em ledger lock"))
     }
 
+    /// Adds `seconds` to the seconds-saved ledger: EM wall-clock that
+    /// *would* have been charged had the evaluation cache not already held
+    /// the result.
+    pub fn save_em_seconds(&self, seconds: f64) {
+        if let Some(inner) = &self.inner {
+            *inner.em_seconds_saved.lock().expect("em ledger lock") += seconds;
+        }
+    }
+
+    /// Total EM seconds elided by cache hits so far (0 when disabled).
+    #[must_use]
+    pub fn em_seconds_saved(&self) -> f64 {
+        self.inner
+            .as_ref()
+            .map_or(0.0, |i| *i.em_seconds_saved.lock().expect("em ledger lock"))
+    }
+
     /// Starts a wall-clock span; elapsed time is recorded under `label`
     /// when the returned guard drops. On a disabled handle the guard is
     /// inert and the clock is never read.
@@ -258,6 +303,7 @@ impl Telemetry {
     pub fn run_report(&self) -> RunReport {
         let mut report = RunReport::empty();
         report.em_seconds_charged = self.em_seconds();
+        report.em_seconds_saved = self.em_seconds_saved();
         report.counters = Counter::ALL
             .iter()
             .map(|&c| CounterEntry {
@@ -367,6 +413,10 @@ pub struct RunReport {
     pub algorithm_seconds: f64,
     /// Simulated EM wall-clock charged at roll-out, seconds.
     pub em_seconds_charged: f64,
+    /// Simulated EM wall-clock elided by evaluation-cache hits, seconds.
+    /// `em_seconds_charged + em_seconds_saved` is invariant under toggling
+    /// the cache for a fixed seed.
+    pub em_seconds_saved: f64,
     /// Every typed counter, in [`Counter::ALL`] order.
     pub counters: Vec<CounterEntry>,
     /// Per-label span statistics, sorted by label.
@@ -375,7 +425,7 @@ pub struct RunReport {
 
 impl RunReport {
     /// Current schema version.
-    pub const SCHEMA_VERSION: u32 = 1;
+    pub const SCHEMA_VERSION: u32 = 2;
 
     /// A report with zeroed metrics and empty metadata.
     #[must_use]
@@ -391,6 +441,7 @@ impl RunReport {
             invalid_seen: 0,
             algorithm_seconds: 0.0,
             em_seconds_charged: 0.0,
+            em_seconds_saved: 0.0,
             counters: Vec::new(),
             spans: Vec::new(),
         }
@@ -524,6 +575,36 @@ mod tests {
         tele.charge_em_seconds(0.5);
         assert!((tele.em_seconds() - 15.5).abs() < 1e-12);
         assert!((tele.run_report().em_seconds_charged - 15.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saved_ledger_is_separate_from_charged() {
+        let tele = Telemetry::enabled();
+        tele.charge_em_seconds(15.0);
+        tele.save_em_seconds(30.0);
+        tele.save_em_seconds(15.0);
+        assert!((tele.em_seconds() - 15.0).abs() < 1e-12);
+        assert!((tele.em_seconds_saved() - 45.0).abs() < 1e-12);
+        let report = tele.run_report();
+        assert!((report.em_seconds_charged - 15.0).abs() < 1e-12);
+        assert!((report.em_seconds_saved - 45.0).abs() < 1e-12);
+        // Disabled handles ignore the saved ledger too.
+        let off = Telemetry::disabled();
+        off.save_em_seconds(1.0);
+        assert_eq!(off.em_seconds_saved(), 0.0);
+    }
+
+    #[test]
+    fn cache_counters_have_stable_labels() {
+        assert_eq!(Counter::EmCacheHits.name(), "em.cache.hits");
+        assert_eq!(Counter::EmCacheMisses.name(), "em.cache.misses");
+        assert_eq!(Counter::SurrogateMemoHits.name(), "surrogate.memo_hits");
+        assert_eq!(Counter::SurrogateMemoMisses.name(), "surrogate.memo_misses");
+        let tele = Telemetry::enabled();
+        tele.add(Counter::EmCacheHits, 3);
+        tele.incr(Counter::EmCacheMisses);
+        assert_eq!(tele.run_report().counter("em.cache.hits"), 3);
+        assert_eq!(tele.run_report().counter("em.cache.misses"), 1);
     }
 
     #[test]

@@ -3,9 +3,15 @@
 # writes results/BENCH_ci.json, and fails on counter regressions or a >10%
 # wall-clock overshoot against scripts/bench_thresholds.json.
 #
+# The smoke workload runs the pipeline twice with a shared evaluation
+# cache: the second roll-out is served from cache, and the gate checks both
+# bit-identity of the two runs and a >= 20% saved-EM-seconds floor.
+#
 # Usage:
 #   scripts/bench_gate.sh            # gate against the checked-in budget
 #   scripts/bench_gate.sh --update   # refresh the budget from a local run
+#   scripts/bench_gate.sh --no-cache # cache off; fails a cache-on budget
+#                                    # (em.cache.misses over budget)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -23,6 +23,8 @@ fn context<'a>(
         n_trials: 2,
         seed: 77,
         telemetry: isop_telemetry::Telemetry::disabled(),
+        eval_cache: isop::evalcache::EvalCache::disabled(),
+        surrogate_memo: isop::evalcache::SurrogateMemo::disabled(),
     }
 }
 
