@@ -1,0 +1,68 @@
+//! Micro-benchmark: random-forest training through the data-parallel
+//! engine. Bootstrap plans are drawn serially, then the trees build in
+//! parallel — run with e.g. `THREADS=4 cargo bench` to compare widths; the
+//! fits are bit-identical at every width (asserted once before timing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isop::data::generate_dataset;
+use isop::exec::Parallelism;
+use isop_em::simulator::AnalyticalSolver;
+use isop_ml::models::{RandomForest, TreeConfig};
+use isop_ml::train::TrainContext;
+use isop_ml::Regressor;
+use std::hint::black_box;
+
+fn forest() -> RandomForest {
+    RandomForest::new(
+        16,
+        TreeConfig {
+            max_depth: 10,
+            ..TreeConfig::default()
+        },
+        7,
+    )
+}
+
+fn bench_forest_training(c: &mut Criterion) {
+    let data =
+        generate_dataset(&isop::spaces::s1(), 1500, &AnalyticalSolver::new(), 1).expect("dataset");
+    let threads = Parallelism::from_env().threads;
+
+    // Contract check outside the timed region: the parallel fit must equal
+    // the serial fit bit for bit.
+    let mut serial = forest();
+    serial
+        .fit_with(&data, &TrainContext::serial())
+        .expect("serial fit");
+    let mut wide = forest();
+    wide.fit_with(&data, &TrainContext::new(Parallelism::new(threads.max(2))))
+        .expect("parallel fit");
+    assert_eq!(
+        serial.predict(&data.x).expect("ok"),
+        wide.predict(&data.x).expect("ok"),
+        "parallel forest fit diverged from serial"
+    );
+
+    let mut g = c.benchmark_group("train_forest_1500rows_16trees");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut m = forest();
+            m.fit_with(black_box(&data), &TrainContext::serial())
+                .expect("ok");
+            m
+        })
+    });
+    g.bench_function(format!("t{threads}"), |b| {
+        let ctx = TrainContext::new(Parallelism::new(threads));
+        b.iter(|| {
+            let mut m = forest();
+            m.fit_with(black_box(&data), &ctx).expect("ok");
+            m
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_forest_training);
+criterion_main!(benches);

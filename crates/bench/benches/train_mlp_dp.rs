@@ -1,0 +1,69 @@
+//! Micro-benchmark: MLP minibatch backprop through the data-parallel
+//! engine. Dropout masks are pre-drawn serially per batch, 16-row chunks
+//! run forward/backward in parallel, and gradients reduce in chunk order —
+//! run with e.g. `THREADS=4 cargo bench` to compare widths; the fits are
+//! bit-identical at every width (asserted once before timing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isop::data::generate_dataset;
+use isop::exec::Parallelism;
+use isop_em::simulator::AnalyticalSolver;
+use isop_ml::models::{Mlp, MlpConfig};
+use isop_ml::train::TrainContext;
+use isop_ml::Regressor;
+use std::hint::black_box;
+
+fn mlp() -> Mlp {
+    Mlp::new(MlpConfig {
+        hidden: vec![96, 96, 48],
+        epochs: 8,
+        batch_size: 64,
+        dropout: 0.05,
+        seed: 7,
+        ..MlpConfig::default()
+    })
+}
+
+fn bench_mlp_training(c: &mut Criterion) {
+    let data =
+        generate_dataset(&isop::spaces::s1(), 1200, &AnalyticalSolver::new(), 1).expect("dataset");
+    let threads = Parallelism::from_env().threads;
+
+    // Contract check outside the timed region: the parallel fit must equal
+    // the serial fit bit for bit — dropout masks included.
+    let mut serial = mlp();
+    serial
+        .fit_with(&data, &TrainContext::serial())
+        .expect("serial fit");
+    let mut wide = mlp();
+    wide.fit_with(&data, &TrainContext::new(Parallelism::new(threads.max(2))))
+        .expect("parallel fit");
+    assert_eq!(
+        serial.predict(&data.x).expect("ok"),
+        wide.predict(&data.x).expect("ok"),
+        "parallel MLP fit diverged from serial"
+    );
+
+    let mut g = c.benchmark_group("train_mlp_1200rows_8epochs");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut m = mlp();
+            m.fit_with(black_box(&data), &TrainContext::serial())
+                .expect("ok");
+            m
+        })
+    });
+    g.bench_function(format!("t{threads}"), |b| {
+        let ctx = TrainContext::new(Parallelism::new(threads));
+        b.iter(|| {
+            let mut m = mlp();
+            m.fit_with(black_box(&data), &ctx).expect("ok");
+            m
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mlp_training);
+criterion_main!(benches);

@@ -22,6 +22,12 @@
 //! *fails* (`em.cache.misses` lands over budget), which is the CI tripwire
 //! for the cache being silently turned off.
 //!
+//! A training smoke phase then gates the data-parallel training engine: a
+//! random forest and a dropout MLP each train serially and at 4 workers,
+//! the fits must be bit-identical, the phase's wall-clock has its own
+//! budget (`max_train_seconds`), and — only on hosts that actually have
+//! >= 4 cores — the forest fit must be at least 2x faster in parallel.
+//!
 //! ```text
 //! bench_gate [--thresholds scripts/bench_thresholds.json]
 //!            [--out results/BENCH_ci.json] [--update] [--no-cache]
@@ -30,12 +36,16 @@
 //! `--update` reruns the smoke pipeline and rewrites the thresholds file
 //! from the measurement (counters exact, wall-clock with 3x headroom).
 
+use isop::data::generate_dataset;
 use isop::evalcache::{EvalCache, SurrogateMemo};
 use isop::prelude::*;
 use isop_em::simulator::AnalyticalSolver;
 use isop_hpo::budget::Budget;
 use isop_hpo::harmonica::HarmonicaConfig;
 use isop_hpo::hyperband::HyperbandConfig;
+use isop_ml::models::{Mlp, MlpConfig, RandomForest, TreeConfig};
+use isop_ml::train::TrainContext;
+use isop_ml::Regressor;
 use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -50,6 +60,12 @@ const WALL_UPDATE_HEADROOM: f64 = 3.0;
 const SMOKE_SEED: u64 = 3;
 /// Worker threads of the smoke run (counters are width-independent).
 const SMOKE_THREADS: usize = 2;
+/// Worker threads of the training smoke (the data-parallel engine's gate).
+const TRAIN_THREADS: usize = 4;
+/// Minimum forest-training speedup at [`TRAIN_THREADS`] workers, enforced
+/// only on hosts that actually have that many cores — bit-identity of the
+/// fits is enforced everywhere.
+const MIN_TRAIN_SPEEDUP: f64 = 2.0;
 
 /// The checked-in perf budget the gate compares against.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,6 +77,9 @@ struct GateThresholds {
     /// Wall-clock budget for the whole smoke run, seconds (compared with
     /// a [`WALL_MARGIN`] tolerance).
     max_wall_seconds: f64,
+    /// Wall-clock budget for the training smoke (serial + parallel fits),
+    /// seconds (compared with a [`WALL_MARGIN`] tolerance).
+    max_train_seconds: f64,
     /// Exact counter budget, one entry per [`Counter`](isop::prelude::Counter).
     counters: Vec<isop_telemetry::CounterEntry>,
 }
@@ -70,12 +89,102 @@ struct GateThresholds {
 /// 0.5; 0.2 leaves room for a partial-hit batch without going stale).
 const MIN_SAVED_FRACTION: f64 = 0.2;
 
+/// A named serial/parallel model pair for the training smoke.
+type TrainTwin = (&'static str, Box<dyn Regressor>, Box<dyn Regressor>);
+
+/// The data-parallel training engine's smoke: fits a random forest and a
+/// dropout MLP twice each — serial and at [`TRAIN_THREADS`] workers — on
+/// `telemetry`, and fails unless every parallel fit is bit-identical to
+/// its serial twin. On hosts with at least [`TRAIN_THREADS`] cores the
+/// forest (the embarrassingly parallel workload) must also come back at
+/// least [`MIN_TRAIN_SPEEDUP`]x faster. Returns the phase's total
+/// wall-clock, seconds.
+fn train_smoke(telemetry: &Telemetry) -> Result<f64, String> {
+    let data = generate_dataset(
+        &isop::spaces::s1(),
+        1200,
+        &AnalyticalSolver::new(),
+        SMOKE_SEED,
+    )
+    .map_err(|e| format!("train smoke dataset: {e:?}"))?;
+    let serial_ctx = TrainContext::serial().with_telemetry(telemetry.clone());
+    let par_ctx =
+        TrainContext::new(Parallelism::new(TRAIN_THREADS)).with_telemetry(telemetry.clone());
+    let forest = || {
+        RandomForest::new(
+            12,
+            TreeConfig {
+                max_depth: 9,
+                ..TreeConfig::default()
+            },
+            SMOKE_SEED,
+        )
+    };
+    let mlp = || {
+        Mlp::new(MlpConfig {
+            hidden: vec![48, 48],
+            epochs: 6,
+            dropout: 0.05,
+            seed: SMOKE_SEED,
+            ..MlpConfig::default()
+        })
+    };
+    let mut twins: Vec<TrainTwin> = vec![
+        ("forest", Box::new(forest()), Box::new(forest())),
+        ("mlp", Box::new(mlp()), Box::new(mlp())),
+    ];
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut total = 0.0;
+    for (name, serial, parallel) in &mut twins {
+        let t0 = Instant::now();
+        serial
+            .fit_with(&data, &serial_ctx)
+            .map_err(|e| format!("{name} serial fit: {e:?}"))?;
+        let serial_secs = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        parallel
+            .fit_with(&data, &par_ctx)
+            .map_err(|e| format!("{name} parallel fit: {e:?}"))?;
+        let par_secs = t1.elapsed().as_secs_f64();
+        total += serial_secs + par_secs;
+
+        let a = serial.predict(&data.x).map_err(|e| format!("{e:?}"))?;
+        let b = parallel.predict(&data.x).map_err(|e| format!("{e:?}"))?;
+        if a != b {
+            return Err(format!(
+                "training determinism violation: {name} fit at {TRAIN_THREADS} threads \
+                 diverged from the serial fit"
+            ));
+        }
+        let speedup = serial_secs / par_secs.max(1e-9);
+        if *name == "forest" && cores >= TRAIN_THREADS && speedup < MIN_TRAIN_SPEEDUP {
+            return Err(format!(
+                "training speedup regression: forest {speedup:.2}x < \
+                 {MIN_TRAIN_SPEEDUP:.1}x at {TRAIN_THREADS} threads ({cores} cores)"
+            ));
+        }
+        println!(
+            "bench_gate: train smoke {name}: serial {serial_secs:.2}s, \
+             {TRAIN_THREADS} threads {par_secs:.2}s ({speedup:.2}x, bit-identical)"
+        );
+    }
+    if cores < TRAIN_THREADS {
+        println!(
+            "bench_gate: host has {cores} core(s) < {TRAIN_THREADS} — speedup ratio not \
+             enforced (bit-identity still checked)"
+        );
+    }
+    Ok(total)
+}
+
 /// Runs the seeded smoke pipeline twice on one telemetry handle, sharing
 /// one evaluation cache + surrogate memo across the runs (both disabled
-/// under `--no-cache`). Returns (report, wall seconds) aggregated over
-/// both runs, or an error if the runs are not bit-identical or (cache on)
-/// the saved-EM fraction falls under [`MIN_SAVED_FRACTION`].
-fn run_smoke(use_cache: bool) -> Result<(RunReport, f64), String> {
+/// under `--no-cache`), then runs the [`train_smoke`] phase on the same
+/// handle. Returns (report, pipeline wall seconds, training wall seconds),
+/// or an error if the runs are not bit-identical, (cache on) the saved-EM
+/// fraction falls under [`MIN_SAVED_FRACTION`], or the training smoke
+/// breaks its determinism/speedup contract.
+fn run_smoke(use_cache: bool) -> Result<(RunReport, f64, f64), String> {
     let space = isop::spaces::s1();
     let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
     let telemetry = Telemetry::enabled();
@@ -155,6 +264,10 @@ fn run_smoke(use_cache: bool) -> Result<(RunReport, f64), String> {
         );
     }
 
+    // Training phase on the same telemetry handle, so `train.chunks` (and
+    // any future training counters) land in the budgeted report.
+    let train_wall = train_smoke(&telemetry)?;
+
     let mut report = telemetry.run_report();
     report.task = TaskId::T1.to_string();
     report.space = "s1".to_string();
@@ -164,7 +277,7 @@ fn run_smoke(use_cache: bool) -> Result<(RunReport, f64), String> {
     report.samples_seen = first.samples_seen + second.samples_seen;
     report.invalid_seen = first.invalid_seen + second.invalid_seen;
     report.algorithm_seconds = first.algorithm_seconds + second.algorithm_seconds;
-    Ok((report, wall))
+    Ok((report, wall, train_wall))
 }
 
 fn write_file(path: &str, contents: &str) -> Result<(), String> {
@@ -182,15 +295,18 @@ fn gate(
     update: bool,
     use_cache: bool,
 ) -> Result<(), String> {
-    let (report, wall) = run_smoke(use_cache)?;
+    let (report, wall, train_wall) = run_smoke(use_cache)?;
     write_file(out_path, &report.to_json().map_err(|e| format!("{e:?}"))?)?;
-    println!("bench_gate: smoke run took {wall:.2}s, report at {out_path}");
+    println!(
+        "bench_gate: smoke run took {wall:.2}s (+{train_wall:.2}s training), report at {out_path}"
+    );
 
     if update {
         let thresholds = GateThresholds {
             schema_version: RunReport::SCHEMA_VERSION,
             seed: SMOKE_SEED,
             max_wall_seconds: wall * WALL_UPDATE_HEADROOM,
+            max_train_seconds: train_wall * WALL_UPDATE_HEADROOM,
             counters: report.counters.clone(),
         };
         let json = serde_json::to_string(&thresholds).map_err(|e| format!("{e:?}"))?;
@@ -241,6 +357,16 @@ fn gate(
         ));
     } else {
         println!("bench_gate: wall-clock {wall:.2}s within {wall_limit:.2}s limit");
+    }
+    let train_limit = thresholds.max_train_seconds * WALL_MARGIN;
+    if train_wall > train_limit {
+        failures.push(format!(
+            "training wall-clock regression: {train_wall:.2}s > {train_limit:.2}s \
+             ({:.2}s budget x {WALL_MARGIN} margin)",
+            thresholds.max_train_seconds
+        ));
+    } else {
+        println!("bench_gate: training wall-clock {train_wall:.2}s within {train_limit:.2}s limit");
     }
 
     if failures.is_empty() {

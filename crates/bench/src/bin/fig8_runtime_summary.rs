@@ -13,14 +13,21 @@
 use isop::report::{fmt, Table};
 use isop::tasks::TaskId;
 use isop_bench::experiments::run_ablation_variant;
-use isop_bench::{cnn_surrogate, emit, mlp_xgb_surrogate, training_dataset, BenchConfig};
+use isop_bench::{
+    cnn_surrogate_with, emit, env_zoo, mlp_xgb_surrogate_with, training_dataset, BenchConfig,
+};
 use isop_telemetry::{RunReport, Telemetry};
 
 fn main() {
     let cfg = BenchConfig::from_env();
     let data = training_dataset(&cfg);
-    let cnn = cnn_surrogate(&cfg, &data).expect("CNN trains");
-    let mlp_xgb = mlp_xgb_surrogate(&cfg, &data).expect("MLP_XGB trains");
+    // Surrogate training goes through the data-parallel model zoo (THREADS
+    // env var) with its own telemetry handle, so the runtime summary can
+    // report training spans alongside the pipeline stages.
+    let train_tele = Telemetry::enabled();
+    let zoo = env_zoo().with_telemetry(train_tele.clone());
+    let cnn = cnn_surrogate_with(&cfg, &data, "full", &zoo).expect("CNN trains");
+    let mlp_xgb = mlp_xgb_surrogate_with(&cfg, &data, "full", &zoo).expect("MLP_XGB trains");
     let s1 = isop::spaces::s1();
     // Fig. 8 measures wall-clock, so each variant re-simulates everything:
     // a shared cache here would report roll-out spans that depend on run
@@ -74,6 +81,19 @@ fn main() {
         "fig8_runtime_summary",
         "Fig. 8 — runtime by technique and surrogate",
         &table,
+    );
+
+    // Training-side spans (zero when every surrogate came from the disk
+    // cache): the `ml.fit.*` seconds the zoo recorded, plus the thread
+    // width they ran at.
+    let train_report: RunReport = train_tele.run_report();
+    println!(
+        "\nSurrogate training at {} thread(s): 1D-CNN {:.1}s, MLP {:.1}s, XGB {:.1}s ({} train chunks)",
+        zoo.context().parallelism.threads,
+        train_report.span_seconds("ml.fit.cnn"),
+        train_report.span_seconds("ml.fit.mlp"),
+        train_report.span_seconds("ml.fit.xgb"),
+        train_report.counter("train.chunks"),
     );
 
     // Shape check: the GD variant sees no more samples than the H variants

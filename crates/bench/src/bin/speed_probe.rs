@@ -1,14 +1,22 @@
 //! Internal scaling probe (not part of the experiment index): measures
 //! dataset generation and surrogate training throughput/accuracy so the
-//! defaults in `BenchConfig` stay laptop-honest.
+//! defaults in `BenchConfig` stay laptop-honest. With `THREADS>1` it also
+//! times the data-parallel training engine against the serial baseline and
+//! checks the two fits are bit-identical.
 
 use isop::data::{generate_dataset, generate_mixed_dataset};
+use isop::exec::Parallelism;
 use isop_bench::{cnn_config, mlp_config};
 use isop_em::simulator::AnalyticalSolver;
 use isop_ml::metrics::{mae, mape, smape};
 use isop_ml::models::{Cnn1d, Mlp};
+use isop_ml::train::TrainContext;
 use isop_ml::Regressor;
 use isop_telemetry::Telemetry;
+
+/// A named serial/parallel model pair: the parallel engine trains a fresh
+/// twin from the same seed as the serial baseline.
+type TrainTwin = (&'static str, Box<dyn Regressor>, Box<dyn Regressor>);
 
 fn main() {
     let n: usize = std::env::var("N")
@@ -19,6 +27,7 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(50);
+    let par = Parallelism::from_env();
     let data = generate_mixed_dataset(
         &isop::spaces::training_space(),
         &isop::spaces::s2(),
@@ -32,14 +41,24 @@ fn main() {
     let region =
         generate_dataset(&isop::spaces::s2(), 3000, &AnalyticalSolver::new(), 77).expect("ok");
 
-    let mut models: Vec<(&str, Box<dyn Regressor>)> = vec![
-        ("mlp", Box::new(Mlp::new(mlp_config(epochs)))),
-        ("cnn", Box::new(Cnn1d::new(cnn_config(epochs)))),
+    // Each entry carries a twin so the parallel engine trains a fresh model
+    // from the same seed as the serial baseline.
+    let mut models: Vec<TrainTwin> = vec![
+        (
+            "mlp",
+            Box::new(Mlp::new(mlp_config(epochs))),
+            Box::new(Mlp::new(mlp_config(epochs))),
+        ),
+        (
+            "cnn",
+            Box::new(Cnn1d::new(cnn_config(epochs))),
+            Box::new(Cnn1d::new(cnn_config(epochs))),
+        ),
     ];
     // Timing goes through the telemetry span registry (the same surface the
     // run report aggregates) instead of an ad-hoc stopwatch.
     let tele = Telemetry::enabled();
-    for (name, model) in &mut models {
+    for (name, model, twin) in &mut models {
         let label = match *name {
             "mlp" => "train.mlp",
             _ => "train.cnn",
@@ -49,6 +68,25 @@ fn main() {
             model.fit(&train).expect("ok");
         }
         let el = tele.run_report().span_seconds(label);
+        if par.is_parallel() {
+            let par_label = match *name {
+                "mlp" => "train.mlp.par",
+                _ => "train.cnn.par",
+            };
+            {
+                let _g = isop_telemetry::span!(tele, par_label);
+                twin.fit_with(&train, &TrainContext::new(par)).expect("ok");
+            }
+            let el_par = tele.run_report().span_seconds(par_label);
+            let identical =
+                model.predict(&test.x).expect("ok") == twin.predict(&test.x).expect("ok");
+            println!(
+                "{name} train: serial {el:.1}s, {} threads {el_par:.1}s (speedup {:.2}x, bit-identical: {identical})",
+                par.threads,
+                el / el_par.max(1e-9),
+            );
+            assert!(identical, "{name}: parallel fit diverged from serial fit");
+        }
         let pred = model.predict(&test.x).expect("ok");
         let (tz, pz) = (test.y.col_vec(0), pred.col_vec(0));
         let (tl, pl) = (test.y.col_vec(1), pred.col_vec(1));

@@ -7,17 +7,23 @@
 //! (or tied-best) MAPE/sMAPE.
 
 use isop::report::{fmt, Table};
-use isop_bench::{cnn_config, emit, mlp_config, training_dataset, BenchConfig};
+use isop_bench::{cnn_config, emit, env_zoo, mlp_config, training_dataset, BenchConfig};
 use isop_ml::dataset::Dataset;
 use isop_ml::metrics::{mae, mape, smape};
 use isop_ml::models::{
     Cnn1d, DecisionTree, GradientBoosting, LinearSvr, Mlp, PolynomialRidge, RandomForest,
     TreeConfig, XgbRegressor,
 };
+use isop_ml::train::TrainContext;
 use isop_ml::Regressor;
 
-fn evaluate(model: &mut dyn Regressor, train: &Dataset, test: &Dataset) -> [f64; 6] {
-    model.fit(train).expect("model trains");
+fn evaluate(
+    model: &mut dyn Regressor,
+    train: &Dataset,
+    test: &Dataset,
+    ctx: &TrainContext,
+) -> [f64; 6] {
+    model.fit_with(train, ctx).expect("model trains");
     let pred = model.predict(&test.x).expect("model predicts");
     let col = |c: usize| (test.y.col_vec(c), pred.col_vec(c));
     let (tz, pz) = col(0);
@@ -77,10 +83,22 @@ fn main() {
         "NEXT MAE",
         "NEXT sMAPE",
     ]);
+    // The whole zoo trains through the data-parallel engine (THREADS env
+    // var); accuracy numbers are bit-identical at any thread count.
+    let zoo = env_zoo();
+    eprintln!(
+        "[isop-bench] training at {} thread(s)",
+        zoo.context().parallelism.threads
+    );
     let mut scores = Vec::new();
     for (name, model) in &mut models {
         eprintln!("[isop-bench] training {name}...");
-        let m = evaluate(model.as_mut(), &train, &test);
+        let started = std::time::Instant::now();
+        let m = evaluate(model.as_mut(), &train, &test, zoo.context());
+        eprintln!(
+            "[isop-bench] {name} trained in {:.2}s",
+            started.elapsed().as_secs_f64()
+        );
         scores.push((name.to_string(), m));
         table.push_row(vec![
             name.to_string(),

@@ -19,13 +19,14 @@
 
 use isop::data::generate_mixed_dataset;
 use isop::params::ParamSpace;
-use isop::surrogate::{MlpXgbSurrogate, NeuralSurrogate};
+use isop::surrogate::{MlpXgbSurrogate, ModelZoo, NeuralSurrogate};
 use isop_em::simulator::AnalyticalSolver;
 use isop_ml::dataset::Dataset;
 use isop_ml::models::{Cnn1d, Cnn1dConfig, Mlp, MlpConfig, XgbRegressor};
 use isop_ml::MlError;
 use std::fs;
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Experiment scale read from the environment.
 #[derive(Debug, Clone)]
@@ -144,6 +145,22 @@ pub fn cnn_config(epochs: usize) -> Cnn1dConfig {
     }
 }
 
+/// The harnesses' default training engine: a [`ModelZoo`] honouring the
+/// `THREADS` environment variable, so the same binary can be timed serial
+/// (`THREADS=1`) vs data-parallel (`THREADS=N`) — results are bit-identical
+/// either way.
+pub fn env_zoo() -> ModelZoo {
+    ModelZoo::from_env()
+}
+
+fn announce_trained(what: &str, zoo: &ModelZoo, started: Instant) {
+    eprintln!(
+        "[isop-bench] trained {what} in {:.2}s at {} thread(s)",
+        started.elapsed().as_secs_f64(),
+        zoo.context().parallelism.threads
+    );
+}
+
 fn load_model<M: serde::de::DeserializeOwned>(name: &str) -> Option<M> {
     let text = fs::read_to_string(cache_path(name)).ok()?;
     serde_json::from_str(&text).ok()
@@ -175,6 +192,21 @@ pub fn cnn_surrogate_tagged(
     data: &Dataset,
     tag: &str,
 ) -> Result<NeuralSurrogate<Cnn1d>, MlError> {
+    cnn_surrogate_with(cfg, data, tag, &env_zoo())
+}
+
+/// [`cnn_surrogate_tagged`] training through an explicit [`ModelZoo`]
+/// (thread knob + telemetry).
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn cnn_surrogate_with(
+    cfg: &BenchConfig,
+    data: &Dataset,
+    tag: &str,
+    zoo: &ModelZoo,
+) -> Result<NeuralSurrogate<Cnn1d>, MlError> {
     let key = format!("cnn_{}_{}_{}.json", cfg.dataset_size, cfg.epochs, tag);
     if let Some(model) = load_model::<Cnn1d>(&key) {
         eprintln!("[isop-bench] reusing cached 1D-CNN surrogate");
@@ -184,7 +216,9 @@ pub fn cnn_surrogate_tagged(
         "[isop-bench] training 1D-CNN surrogate ({} epochs)...",
         cfg.epochs
     );
-    let s = NeuralSurrogate::fit(Cnn1d::new(cnn_config(cfg.epochs)), data)?;
+    let started = Instant::now();
+    let s = zoo.fit_neural(Cnn1d::new(cnn_config(cfg.epochs)), data)?;
+    announce_trained("1D-CNN surrogate", zoo, started);
     store_model(&key, s.model());
     Ok(s)
 }
@@ -195,6 +229,19 @@ pub fn cnn_surrogate_tagged(
 ///
 /// Propagates training failures.
 pub fn mlp_surrogate(cfg: &BenchConfig, data: &Dataset) -> Result<NeuralSurrogate<Mlp>, MlError> {
+    mlp_surrogate_with(cfg, data, &env_zoo())
+}
+
+/// [`mlp_surrogate`] training through an explicit [`ModelZoo`].
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn mlp_surrogate_with(
+    cfg: &BenchConfig,
+    data: &Dataset,
+    zoo: &ModelZoo,
+) -> Result<NeuralSurrogate<Mlp>, MlError> {
     let key = format!("mlp_{}_{}.json", cfg.dataset_size, cfg.epochs);
     if let Some(model) = load_model::<Mlp>(&key) {
         eprintln!("[isop-bench] reusing cached MLP surrogate");
@@ -204,7 +251,9 @@ pub fn mlp_surrogate(cfg: &BenchConfig, data: &Dataset) -> Result<NeuralSurrogat
         "[isop-bench] training MLP surrogate ({} epochs)...",
         cfg.epochs
     );
-    let s = NeuralSurrogate::fit(Mlp::new(mlp_config(cfg.epochs)), data)?;
+    let started = Instant::now();
+    let s = zoo.fit_neural(Mlp::new(mlp_config(cfg.epochs)), data)?;
+    announce_trained("MLP surrogate", zoo, started);
     store_model(&key, s.model());
     Ok(s)
 }
@@ -228,17 +277,33 @@ pub fn mlp_xgb_surrogate_tagged(
     data: &Dataset,
     tag: &str,
 ) -> Result<MlpXgbSurrogate, MlError> {
+    mlp_xgb_surrogate_with(cfg, data, tag, &env_zoo())
+}
+
+/// [`mlp_xgb_surrogate_tagged`] training through an explicit [`ModelZoo`].
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn mlp_xgb_surrogate_with(
+    cfg: &BenchConfig,
+    data: &Dataset,
+    tag: &str,
+    zoo: &ModelZoo,
+) -> Result<MlpXgbSurrogate, MlError> {
     let key = format!("mlp_xgb_{}_{}_{}.json", cfg.dataset_size, cfg.epochs, tag);
     if let Some(model) = load_model::<MlpXgbSurrogate>(&key) {
         eprintln!("[isop-bench] reusing cached MLP_XGB surrogate");
         return Ok(model);
     }
     eprintln!("[isop-bench] training MLP_XGB surrogate...");
-    let s = MlpXgbSurrogate::fit(
+    let started = Instant::now();
+    let s = zoo.fit_mlp_xgb(
         Mlp::new(mlp_config(cfg.epochs)),
         XgbRegressor::new(120, 0.15, 6, 1.0, 0.0),
         data,
     )?;
+    announce_trained("MLP_XGB surrogate", zoo, started);
     store_model(&key, &s);
     Ok(s)
 }

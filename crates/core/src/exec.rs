@@ -1,204 +1,28 @@
-//! Deterministic parallel execution for the pipeline's embarrassingly
-//! parallel sections (stage-2 Adam refinements, stage-3 roll-out, Hyperband
-//! fidelity replicas).
+//! Deterministic parallel execution — re-exported from the leaf crate
+//! [`isop_exec`] so existing `isop::exec::*` paths (and the prelude's
+//! `Parallelism`) keep working after the executor moved out of core.
 //!
-//! Built on `std::thread::scope` plus an `mpsc` channel — no external
-//! thread-pool crate. Determinism contract: [`par_map_indexed`] returns
-//! results **in input order** regardless of thread count or scheduling, and
-//! the pipeline draws every random number *before* entering a parallel
-//! section. `threads = 1` therefore produces bit-identical outcomes to
-//! `threads = N` for a fixed seed, and the single-thread path runs inline
-//! with zero spawn overhead.
+//! The move lets `isop-ml`'s data-parallel training engine share the exact
+//! executor the pipeline uses without a core -> ml -> core cycle. See
+//! `crates/exec/src/lib.rs` for the determinism contract.
 
-use serde::json::{Error, Value};
-use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-
-/// Thread-count knob for the pipeline's parallel sections.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
-pub struct Parallelism {
-    /// Worker threads for parallel sections (1 = fully serial).
-    pub threads: usize,
-}
-
-impl Parallelism {
-    /// A knob with `threads` workers (clamped to at least 1).
-    #[must_use]
-    pub fn new(threads: usize) -> Self {
-        Self {
-            threads: threads.max(1),
-        }
-    }
-
-    /// Reads the `THREADS` environment variable, falling back to serial
-    /// execution when unset or unparsable. Benches use this so one harness
-    /// can be timed at several widths.
-    #[must_use]
-    pub fn from_env() -> Self {
-        let threads = std::env::var("THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or(1);
-        Self::new(threads)
-    }
-}
-
-impl Default for Parallelism {
-    fn default() -> Self {
-        Self { threads: 1 }
-    }
-}
-
-// Hand-written so configs serialized before this knob existed (no
-// "parallelism" key -> Null) still deserialize, defaulting to serial.
-impl Deserialize for Parallelism {
-    fn from_value(v: &Value) -> Result<Self, Error> {
-        match v {
-            Value::Null => Ok(Self::default()),
-            other => {
-                let obj = other
-                    .as_obj()
-                    .ok_or_else(|| Error::mismatch("object (Parallelism)", other))?;
-                let threads = usize::from_value(Value::field(obj, "threads"))?;
-                Ok(Self::new(threads))
-            }
-        }
-    }
-}
-
-/// Maps `f` over `items` on up to `threads` workers, returning results in
-/// input order.
-///
-/// Workers claim indices from a shared atomic counter and send
-/// `(index, result)` pairs over a channel; the caller reassembles them by
-/// index, so the output is independent of scheduling. `f` must be pure with
-/// respect to ordering (no interior mutability whose effects depend on
-/// which thread runs first) — everything order-sensitive (RNG draws,
-/// counters, accounting) belongs in the caller, before or after this call.
-///
-/// # Panics
-///
-/// Propagates a panic from `f` (the scope joins all workers first).
-pub fn par_map_indexed<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    let n = items.len();
-    if threads <= 1 || n <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let workers = threads.min(n);
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let next = &next;
-            let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                // A send can only fail if the receiver is gone, which
-                // cannot happen while the scope borrows it.
-                let _ = tx.send((i, f(i, &items[i])));
-            });
-        }
-        drop(tx);
-        for (i, r) in rx {
-            slots[i] = Some(r);
-        }
-    });
-    slots
-        .into_iter()
-        .map(|r| r.expect("every index computed exactly once"))
-        .collect()
-}
+pub use isop_exec::{
+    fixed_chunks, par_map_indexed, par_map_indexed_with, par_map_mut, Parallelism,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The shim must hand back the same types the rest of core links
+    /// against: `IsopConfig.parallelism` and `isop-ml`'s `TrainContext`
+    /// share one `Parallelism`, so a knob built here drives training too.
     #[test]
-    fn results_are_in_input_order_at_any_width() {
-        let items: Vec<usize> = (0..97).collect();
-        let serial = par_map_indexed(1, &items, |i, &x| i * 1000 + x * x);
-        for threads in [2, 4, 8] {
-            let parallel = par_map_indexed(threads, &items, |i, &x| i * 1000 + x * x);
-            assert_eq!(parallel, serial, "threads = {threads}");
-        }
-    }
-
-    #[test]
-    fn handles_empty_and_singleton_inputs() {
-        let empty: Vec<u32> = Vec::new();
-        assert!(par_map_indexed(4, &empty, |_, &x| x).is_empty());
-        assert_eq!(par_map_indexed(4, &[7u32], |_, &x| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn more_threads_than_items_is_fine() {
-        let out = par_map_indexed(32, &[1, 2, 3], |_, &x| x * 2);
-        assert_eq!(out, vec![2, 4, 6]);
-    }
-
-    /// Telemetry recording from inside `par_map_indexed` workers: counter
-    /// increments are commutative atomic adds and span stats fold under one
-    /// registry lock, so 1-thread and 4-thread sweeps over the same items
-    /// report identical counter totals and span counts.
-    #[test]
-    fn telemetry_totals_identical_across_widths() {
-        use isop_telemetry::{Counter, Telemetry};
-        let items: Vec<u64> = (0..113).collect();
-        let reports: Vec<_> = [1usize, 4]
-            .iter()
-            .map(|&threads| {
-                let tele = Telemetry::enabled();
-                let out = par_map_indexed(threads, &items, |_, &x| {
-                    let _g = isop_telemetry::span!(tele, "exec.worker");
-                    tele.incr(Counter::SurrogatePredict);
-                    tele.add(Counter::SurrogatePredictBatchRows, x);
-                    x * 2
-                });
-                assert_eq!(out.len(), items.len());
-                tele.run_report()
-            })
-            .collect();
-        let (serial, parallel) = (&reports[0], &reports[1]);
-        assert_eq!(serial.counters, parallel.counters);
-        assert_eq!(serial.counter("surrogate.predict"), 113);
-        assert_eq!(
-            serial.counter("surrogate.predict_batch_rows"),
-            (0..113).sum::<u64>()
-        );
-        assert_eq!(serial.span("exec.worker").expect("span").count, 113);
-        assert_eq!(parallel.span("exec.worker").expect("span").count, 113);
-    }
-
-    #[test]
-    fn parallelism_knob_clamps_and_reads_env() {
-        assert_eq!(Parallelism::new(0).threads, 1);
-        assert_eq!(Parallelism::default().threads, 1);
-        // from_env falls back to serial when THREADS is unset/garbage; the
-        // suite does not set the variable, so only the fallback is asserted
-        // (mutating the environment would race with other tests).
-        assert!(Parallelism::from_env().threads >= 1);
-    }
-
-    #[test]
-    fn parallelism_deserializes_missing_as_default() {
-        use serde::json::Value;
-        use serde::Deserialize;
-        assert_eq!(
-            Parallelism::from_value(&Value::Null).unwrap(),
-            Parallelism::default()
-        );
-        let v = Value::parse("{\"threads\": 4}").unwrap();
-        assert_eq!(Parallelism::from_value(&v).unwrap().threads, 4);
+    fn reexported_executor_is_the_shared_one() {
+        let knob = Parallelism::new(3);
+        let ctx = isop_ml::train::TrainContext::new(knob);
+        assert_eq!(ctx.parallelism, knob);
+        let out = par_map_indexed(knob.threads, &[1u32, 2, 3], |i, &x| x as usize + i);
+        assert_eq!(out, vec![1, 3, 5]);
     }
 }

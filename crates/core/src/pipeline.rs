@@ -68,6 +68,16 @@ pub struct IsopConfig {
     pub parallelism: Parallelism,
 }
 
+impl IsopConfig {
+    /// A [`ModelZoo`](crate::surrogate::ModelZoo) training surrogates on
+    /// this config's parallelism knob, so surrogate fitting and pipeline
+    /// search share one thread setting.
+    #[must_use]
+    pub fn model_zoo(&self) -> crate::surrogate::ModelZoo {
+        crate::surrogate::ModelZoo::new(self.parallelism)
+    }
+}
+
 impl Default for IsopConfig {
     fn default() -> Self {
         Self {

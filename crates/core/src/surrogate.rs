@@ -15,11 +15,90 @@
 
 use isop_em::simulator::EmSimulator;
 use isop_em::stackup::DiffStripline;
+use isop_exec::Parallelism;
 use isop_ml::dataset::Dataset;
 use isop_ml::linalg::Matrix;
 use isop_ml::models::{Cnn1d, Mlp, XgbRegressor};
+use isop_ml::train::TrainContext;
 use isop_ml::{Differentiable, MlError, Regressor};
 use isop_telemetry::{Counter, Telemetry};
+
+/// Data-parallel training front end for the surrogate model zoo.
+///
+/// Holds the [`TrainContext`] (worker-thread knob + telemetry sink) that
+/// every model's `fit_with` receives, so call sites pick their parallelism
+/// once instead of threading it through each training call. Training is
+/// bit-identical at any thread count for a fixed seed — the zoo only
+/// changes wall-clock, never results.
+#[derive(Debug, Clone, Default)]
+pub struct ModelZoo {
+    ctx: TrainContext,
+}
+
+impl ModelZoo {
+    /// A zoo training on `parallelism` worker threads, telemetry disabled.
+    #[must_use]
+    pub fn new(parallelism: Parallelism) -> Self {
+        Self {
+            ctx: TrainContext::new(parallelism),
+        }
+    }
+
+    /// A zoo honoring the `THREADS` environment variable.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::new(Parallelism::from_env())
+    }
+
+    /// Routes `ml.fit.*` spans and the `train.chunks` counter to
+    /// `telemetry`.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.ctx = self.ctx.with_telemetry(telemetry);
+        self
+    }
+
+    /// The training context handed to every fit.
+    pub fn context(&self) -> &TrainContext {
+        &self.ctx
+    }
+
+    /// Trains any regressor under the zoo's context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn fit(&self, model: &mut dyn Regressor, data: &Dataset) -> Result<(), MlError> {
+        model.fit_with(data, &self.ctx)
+    }
+
+    /// Trains a differentiable model and wraps it as a [`NeuralSurrogate`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn fit_neural<M: Differentiable>(
+        &self,
+        model: M,
+        data: &Dataset,
+    ) -> Result<NeuralSurrogate<M>, MlError> {
+        NeuralSurrogate::fit_with(model, data, &self.ctx)
+    }
+
+    /// Trains the DATE'23 [`MlpXgbSurrogate`] pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures from either part.
+    pub fn fit_mlp_xgb(
+        &self,
+        mlp: Mlp,
+        xgb: XgbRegressor,
+        data: &Dataset,
+    ) -> Result<MlpXgbSurrogate, MlError> {
+        MlpXgbSurrogate::fit_with(mlp, xgb, data, &self.ctx)
+    }
+}
 
 /// A surrogate predicting `[Z, L, NEXT]` from the 15-parameter design vector.
 pub trait Surrogate: Send + Sync {
@@ -79,8 +158,18 @@ impl<M: Differentiable> NeuralSurrogate<M> {
     /// # Errors
     ///
     /// Propagates training failures.
-    pub fn fit(mut model: M, data: &Dataset) -> Result<Self, MlError> {
-        model.fit(data)?;
+    pub fn fit(model: M, data: &Dataset) -> Result<Self, MlError> {
+        Self::fit_with(model, data, &TrainContext::serial())
+    }
+
+    /// [`NeuralSurrogate::fit`] under an explicit training context (thread
+    /// knob + telemetry) — what [`ModelZoo::fit_neural`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn fit_with(mut model: M, data: &Dataset, ctx: &TrainContext) -> Result<Self, MlError> {
+        model.fit_with(data, ctx)?;
         Ok(Self { model })
     }
 
@@ -149,7 +238,22 @@ impl MlpXgbSurrogate {
     /// # Errors
     ///
     /// Propagates training failures from either part.
-    pub fn fit(mut mlp: Mlp, mut xgb: XgbRegressor, data: &Dataset) -> Result<Self, MlError> {
+    pub fn fit(mlp: Mlp, xgb: XgbRegressor, data: &Dataset) -> Result<Self, MlError> {
+        Self::fit_with(mlp, xgb, data, &TrainContext::serial())
+    }
+
+    /// [`MlpXgbSurrogate::fit`] under an explicit training context — what
+    /// [`ModelZoo::fit_mlp_xgb`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures from either part.
+    pub fn fit_with(
+        mut mlp: Mlp,
+        mut xgb: XgbRegressor,
+        data: &Dataset,
+        ctx: &TrainContext,
+    ) -> Result<Self, MlError> {
         // Split targets: MLP gets [Z, L], XGB gets [NEXT].
         let n = data.len();
         let mut y_zl = Matrix::zeros(n, 2);
@@ -159,8 +263,8 @@ impl MlpXgbSurrogate {
             y_zl[(r, 1)] = data.y[(r, 1)];
             y_next[(r, 0)] = data.y[(r, 2)];
         }
-        mlp.fit(&Dataset::new(data.x.clone(), y_zl)?)?;
-        xgb.fit(&Dataset::new(data.x.clone(), y_next)?)?;
+        mlp.fit_with(&Dataset::new(data.x.clone(), y_zl)?, ctx)?;
+        xgb.fit_with(&Dataset::new(data.x.clone(), y_next)?, ctx)?;
         Ok(Self { mlp, xgb })
     }
 }

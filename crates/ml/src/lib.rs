@@ -47,6 +47,7 @@ pub mod linalg;
 pub mod metrics;
 pub mod models;
 pub mod optim;
+pub mod train;
 
 use dataset::Dataset;
 use linalg::Matrix;
@@ -97,6 +98,21 @@ pub trait Regressor: Send + Sync {
     ///
     /// Returns [`MlError`] on inconsistent shapes or divergence.
     fn fit(&mut self, data: &Dataset) -> Result<(), MlError>;
+
+    /// Trains on `data` under an explicit [`train::TrainContext`] (thread
+    /// knob + telemetry). The default implementation ignores the context
+    /// and calls [`Regressor::fit`]; models with a data-parallel training
+    /// path override this instead and have `fit` delegate back with the
+    /// serial default. Fitted parameters are bit-identical at every
+    /// `ctx.parallelism.threads` width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError`] on inconsistent shapes or divergence.
+    fn fit_with(&mut self, data: &Dataset, ctx: &train::TrainContext) -> Result<(), MlError> {
+        let _ = ctx;
+        self.fit(data)
+    }
 
     /// Predicts targets for each row of `x` (`n x m` output).
     ///

@@ -185,9 +185,16 @@ impl Matrix {
     /// fastest layout once there are enough left rows to amortise holding
     /// `rhs` row-major.
     fn kernel_axpy(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.kernel_axpy_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::kernel_axpy`] into a pre-shaped, zeroed output.
+    fn kernel_axpy_into(&self, rhs: &Matrix, out: &mut Matrix) {
         debug_assert_eq!(self.cols, rhs.rows);
+        debug_assert_eq!((out.rows, out.cols), (self.rows, rhs.cols));
         let (n, k, m) = (self.rows, self.cols, rhs.cols);
-        let mut out = Matrix::zeros(n, m);
         for i in 0..n {
             let a_row = &self.data[i * k..(i + 1) * k];
             let out_row = &mut out.data[i * m..(i + 1) * m];
@@ -198,7 +205,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Narrow-batch kernel over a pre-transposed right operand: every
@@ -207,11 +213,18 @@ impl Matrix {
     /// of `self` rows. Each element is an independent dot with a fixed
     /// summation tree, so the result does not depend on the tiling.
     fn kernel_dot(&self, rhs_t: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs_t.rows);
+        self.kernel_dot_into(rhs_t, &mut out);
+        out
+    }
+
+    /// [`Matrix::kernel_dot`] into a pre-shaped, zeroed output.
+    fn kernel_dot_into(&self, rhs_t: &Matrix, out: &mut Matrix) {
         debug_assert_eq!(self.cols, rhs_t.cols);
+        debug_assert_eq!((out.rows, out.cols), (self.rows, rhs_t.rows));
         let (n, k, m) = (self.rows, self.cols, rhs_t.rows);
-        let mut out = Matrix::zeros(n, m);
         if k == 0 {
-            return out; // empty inner dimension: every dot is 0.0
+            return; // empty inner dimension: every dot is 0.0
         }
         const BLOCK: usize = 32;
         for i0 in (0..n).step_by(BLOCK) {
@@ -230,18 +243,24 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::transpose`] into a caller-provided buffer (resized in
+    /// place), for loops that re-transpose the same weights every step.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reset(self.cols, self.rows);
         for i in 0..self.rows {
             for j in 0..self.cols {
                 out[(j, i)] = self[(i, j)];
             }
         }
-        out
     }
 
     /// Elementwise sum.
@@ -271,6 +290,62 @@ impl Matrix {
             self.cols,
             self.data.iter().map(|v| v * k).collect(),
         )
+    }
+
+    /// Elementwise `self += rhs` without allocating. Element order is
+    /// left-to-right, the same as [`Matrix::add`], so an in-place
+    /// accumulation chain produces the exact bits of the allocating one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    pub fn add_in_place(&mut self, rhs: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Scales every entry by `k` in place (allocation-free [`Matrix::scale`]).
+    pub fn scale_in_place(&mut self, k: f64) {
+        for v in &mut self.data {
+            *v *= k;
+        }
+    }
+
+    /// Resizes to `rows x cols` reusing the existing allocation, with every
+    /// entry reset to zero. The workhorse of reusable scratch buffers.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// [`Matrix::matmul`] writing into a caller-provided output buffer
+    /// (resized in place; its previous shape and contents are irrelevant).
+    /// Bit-identical to `matmul` — the same kernels run, they just write
+    /// into `out` instead of a fresh allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.reset(self.rows, rhs.cols);
+        if self.rows >= AXPY_MIN_ROWS {
+            self.kernel_axpy_into(rhs, out);
+        } else {
+            self.kernel_dot_into(&rhs.transpose(), out);
+        }
     }
 
     /// Solves `A x = b` for symmetric positive-definite `A = self` via

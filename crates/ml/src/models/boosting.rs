@@ -10,10 +10,62 @@
 use super::tree::{build_tree, Node, TreeConfig};
 use crate::dataset::Dataset;
 use crate::linalg::Matrix;
+use crate::train::{TrainContext, BOOST_ROW_CHUNK};
 use crate::{MlError, Regressor};
+use isop_exec::par_map_mut;
+use isop_telemetry::Counter;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Fills `out[r][c] = f(y[r][c], pred[r][c])` over fixed row chunks on up
+/// to `threads` workers. Writes are disjoint (no floating-point reduction
+/// happens), so any width produces the same bits. Returns the chunk count.
+fn fill_gradients(
+    threads: usize,
+    y: &Matrix,
+    pred: &Matrix,
+    out: &mut Matrix,
+    f: impl Fn(f64, f64) -> f64 + Sync,
+) -> u64 {
+    let chunk_len = BOOST_ROW_CHUNK * out.cols();
+    let mut views: Vec<&mut [f64]> = out.as_mut_slice().chunks_mut(chunk_len).collect();
+    let n_chunks = views.len() as u64;
+    par_map_mut(threads, &mut views, |ci, chunk| {
+        let start = ci * chunk_len;
+        for (k, o) in chunk.iter_mut().enumerate() {
+            *o = f(y.as_slice()[start + k], pred.as_slice()[start + k]);
+        }
+    });
+    n_chunks
+}
+
+/// Applies one boosted stage in place over fixed row chunks:
+/// `pred[r] += lr * predict(x[r])`. Row-disjoint writes, width-independent
+/// bits. Returns the chunk count.
+fn apply_stage(
+    threads: usize,
+    x: &Matrix,
+    pred: &mut Matrix,
+    lr: f64,
+    predict: impl Fn(&[f64], &mut [f64]) + Sync,
+) -> u64 {
+    let m = pred.cols();
+    let chunk_len = BOOST_ROW_CHUNK * m;
+    let mut views: Vec<&mut [f64]> = pred.as_mut_slice().chunks_mut(chunk_len).collect();
+    let n_chunks = views.len() as u64;
+    par_map_mut(threads, &mut views, |ci, chunk| {
+        let mut scratch = vec![0.0; m];
+        let base_row = ci * BOOST_ROW_CHUNK;
+        for (local, row) in chunk.chunks_mut(m).enumerate() {
+            predict(x.row(base_row + local), &mut scratch);
+            for (p, s) in row.iter_mut().zip(&scratch) {
+                *p += lr * s;
+            }
+        }
+    });
+    n_chunks
+}
 
 /// First-order gradient-boosted trees (GBR).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -21,6 +73,7 @@ pub struct GradientBoosting {
     n_stages: usize,
     learning_rate: f64,
     cfg: TreeConfig,
+    seed: u64,
     base: Vec<f64>,
     stages: Vec<Node>,
     n_features: usize,
@@ -29,12 +82,15 @@ pub struct GradientBoosting {
 
 impl GradientBoosting {
     /// Creates a boosted ensemble of `n_stages` trees with shrinkage
-    /// `learning_rate` and per-stage tree shape `cfg`.
+    /// `learning_rate`, per-stage tree shape `cfg`, and a deterministic
+    /// `seed` for the stage trees' feature-subsampling RNG (only consumed
+    /// when `cfg.max_features` is set — but distinct seeds are what let
+    /// boosted members of an [`super::Ensemble`] decorrelate).
     ///
     /// # Panics
     ///
     /// Panics if `n_stages == 0` or `learning_rate` is outside `(0, 1]`.
-    pub fn new(n_stages: usize, learning_rate: f64, cfg: TreeConfig) -> Self {
+    pub fn new(n_stages: usize, learning_rate: f64, cfg: TreeConfig, seed: u64) -> Self {
         assert!(n_stages > 0, "need at least one boosting stage");
         assert!(
             learning_rate > 0.0 && learning_rate <= 1.0,
@@ -44,6 +100,7 @@ impl GradientBoosting {
             n_stages,
             learning_rate,
             cfg,
+            seed,
             base: Vec::new(),
             stages: Vec::new(),
             n_features: 0,
@@ -62,6 +119,7 @@ impl GradientBoosting {
                 min_samples_leaf: 2,
                 max_features: None,
             },
+            0,
         )
     }
 
@@ -73,10 +131,16 @@ impl GradientBoosting {
 
 impl Regressor for GradientBoosting {
     fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        self.fit_with(data, &TrainContext::serial())
+    }
+
+    fn fit_with(&mut self, data: &Dataset, ctx: &TrainContext) -> Result<(), MlError> {
+        let _span = isop_telemetry::span!(ctx.telemetry, "ml.fit.gbr");
         self.n_features = data.n_features();
         self.n_outputs = data.n_outputs();
         let n = data.len();
         let m = self.n_outputs;
+        let threads = ctx.parallelism.threads;
 
         // Base prediction: per-output mean.
         self.base = (0..m)
@@ -88,25 +152,34 @@ impl Regressor for GradientBoosting {
             pred.row_mut(r).copy_from_slice(&self.base);
         }
 
-        let mut rng = StdRng::seed_from_u64(0x6272);
+        // Stages are inherently sequential (each fits the previous
+        // residual), so parallelism lives *inside* a stage: the residual
+        // fill and prediction update fan out over fixed row chunks, and
+        // the tree's split search fans out per feature on large nodes.
+        let mut rng = StdRng::seed_from_u64(self.seed);
         self.stages = Vec::with_capacity(self.n_stages);
-        let mut scratch = vec![0.0; m];
+        let mut resid = Matrix::zeros(n, m);
         for _ in 0..self.n_stages {
             // Residuals are the negative gradient of the squared loss.
-            let mut resid = Matrix::zeros(n, m);
-            for r in 0..n {
-                for c in 0..m {
-                    resid[(r, c)] = data.y[(r, c)] - pred[(r, c)];
-                }
-            }
+            let mut chunks = fill_gradients(threads, &data.y, &pred, &mut resid, |y, p| y - p);
             let mut idx: Vec<usize> = (0..n).collect();
-            let tree = build_tree(&data.x, &resid, &mut idx, 0, &self.cfg, &mut rng);
-            for r in 0..n {
-                tree.predict_into(data.x.row(r), &mut scratch);
-                for (p, s) in pred.row_mut(r).iter_mut().zip(&scratch) {
-                    *p += self.learning_rate * s;
-                }
-            }
+            let tree = build_tree(
+                &data.x,
+                &resid,
+                &mut idx,
+                0,
+                &self.cfg,
+                &mut rng,
+                ctx.parallelism,
+            );
+            chunks += apply_stage(
+                threads,
+                &data.x,
+                &mut pred,
+                self.learning_rate,
+                |row, out| tree.predict_into(row, out),
+            );
+            ctx.telemetry.add(Counter::TrainChunks, chunks);
             self.stages.push(tree);
         }
         Ok(())
@@ -232,9 +305,66 @@ impl XgbRegressor {
         Self::new(200, 0.1, 6, 1.0, 0.0)
     }
 
+    /// Best split candidate for one feature: `(feature, threshold, gain)`.
+    /// Sorts a fresh copy of `idx` so the result is a pure function of
+    /// `(x, g, idx, f)` and can be computed on any worker (see
+    /// `best_split_for_feature` in `tree.rs` for why a shared sort buffer
+    /// would break that).
+    #[allow(clippy::too_many_arguments)]
+    fn best_xgb_split(
+        &self,
+        x: &Matrix,
+        g: &Matrix,
+        idx: &[usize],
+        f: usize,
+        g_total: &[f64],
+        h_total: f64,
+        parent_score: f64,
+    ) -> Option<(usize, f64, f64)> {
+        let m = g.cols();
+        let score = |gs: &[f64], h: f64| -> f64 {
+            gs.iter().map(|gv| gv * gv / (h + self.lambda)).sum::<f64>()
+        };
+        let mut order: Vec<usize> = idx.to_vec();
+        order.sort_unstable_by(|&a, &b| x[(a, f)].partial_cmp(&x[(b, f)]).expect("NaN"));
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut g_left = vec![0.0; m];
+        let mut h_left = 0.0f64;
+        for pos in 0..order.len() - 1 {
+            let i = order[pos];
+            for (acc, v) in g_left.iter_mut().zip(g.row(i)) {
+                *acc += v;
+            }
+            h_left += 1.0;
+            let v_here = x[(i, f)];
+            let v_next = x[(order[pos + 1], f)];
+            if v_next <= v_here {
+                continue;
+            }
+            let h_right = h_total - h_left;
+            if h_left < self.min_child_weight || h_right < self.min_child_weight {
+                continue;
+            }
+            let g_right: Vec<f64> = g_total.iter().zip(&g_left).map(|(t, l)| t - l).collect();
+            let gain = 0.5 * (score(&g_left, h_left) + score(&g_right, h_right) - parent_score)
+                - self.gamma;
+            if gain > best.as_ref().map_or(0.0, |b| b.2) {
+                best = Some((f, 0.5 * (v_here + v_next), gain));
+            }
+        }
+        best
+    }
+
     /// Builds one tree on gradients `g` (squared loss: `pred - y`; Hessian is
     /// identically 1, so `H` is the sample count).
-    fn build(&self, x: &Matrix, g: &Matrix, idx: &[usize], depth: usize) -> XgbNode {
+    fn build(
+        &self,
+        x: &Matrix,
+        g: &Matrix,
+        idx: &[usize],
+        depth: usize,
+        par: isop_exec::Parallelism,
+    ) -> XgbNode {
         let m = g.cols();
         let h_total = idx.len() as f64;
         let mut g_total = vec![0.0; m];
@@ -258,33 +388,24 @@ impl XgbRegressor {
         };
         let parent_score = score(&g_total, h_total);
 
+        // Per-feature scans fan out on big nodes only (size-based gate, so
+        // the serial/parallel choice is width-independent); the fold keeps
+        // the serial sweep's first-strict-maximum rule in feature order.
+        let features: Vec<usize> = (0..x.cols()).collect();
+        let scan_threads = if par.is_parallel()
+            && idx.len() * features.len() >= crate::train::SPLIT_SCAN_MIN_WORK
+        {
+            par.threads
+        } else {
+            1
+        };
+        let candidates = isop_exec::par_map_indexed(scan_threads, &features, |_, &f| {
+            self.best_xgb_split(x, g, idx, f, &g_total, h_total, parent_score)
+        });
         let mut best: Option<(usize, f64, f64)> = None; // feature, threshold, gain
-        let mut order: Vec<usize> = idx.to_vec();
-        for f in 0..x.cols() {
-            order.sort_unstable_by(|&a, &b| x[(a, f)].partial_cmp(&x[(b, f)]).expect("NaN"));
-            let mut g_left = vec![0.0; m];
-            let mut h_left = 0.0f64;
-            for pos in 0..order.len() - 1 {
-                let i = order[pos];
-                for (acc, v) in g_left.iter_mut().zip(g.row(i)) {
-                    *acc += v;
-                }
-                h_left += 1.0;
-                let v_here = x[(i, f)];
-                let v_next = x[(order[pos + 1], f)];
-                if v_next <= v_here {
-                    continue;
-                }
-                let h_right = h_total - h_left;
-                if h_left < self.min_child_weight || h_right < self.min_child_weight {
-                    continue;
-                }
-                let g_right: Vec<f64> = g_total.iter().zip(&g_left).map(|(t, l)| t - l).collect();
-                let gain = 0.5 * (score(&g_left, h_left) + score(&g_right, h_right) - parent_score)
-                    - self.gamma;
-                if gain > best.as_ref().map_or(0.0, |b| b.2) {
-                    best = Some((f, 0.5 * (v_here + v_next), gain));
-                }
+        for cand in candidates.into_iter().flatten() {
+            if cand.2 > best.as_ref().map_or(0.0, |b| b.2) {
+                best = Some(cand);
             }
         }
 
@@ -302,17 +423,23 @@ impl XgbRegressor {
         XgbNode::Split {
             feature,
             threshold,
-            left: Box::new(self.build(x, g, &li, depth + 1)),
-            right: Box::new(self.build(x, g, &ri, depth + 1)),
+            left: Box::new(self.build(x, g, &li, depth + 1, par)),
+            right: Box::new(self.build(x, g, &ri, depth + 1, par)),
         }
     }
 }
 
 impl Regressor for XgbRegressor {
     fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        self.fit_with(data, &TrainContext::serial())
+    }
+
+    fn fit_with(&mut self, data: &Dataset, ctx: &TrainContext) -> Result<(), MlError> {
+        let _span = isop_telemetry::span!(ctx.telemetry, "ml.fit.xgb");
         self.n_features = data.n_features();
         self.n_outputs = data.n_outputs();
         let (n, m) = (data.len(), self.n_outputs);
+        let threads = ctx.parallelism.threads;
         self.base = (0..m)
             .map(|c| data.y.col_vec(c).iter().sum::<f64>() / n as f64)
             .collect();
@@ -321,22 +448,19 @@ impl Regressor for XgbRegressor {
             pred.row_mut(r).copy_from_slice(&self.base);
         }
         let idx: Vec<usize> = (0..n).collect();
-        let mut scratch = vec![0.0; m];
         self.stages = Vec::with_capacity(self.n_stages);
+        let mut grad = Matrix::zeros(n, m);
         for _ in 0..self.n_stages {
-            let mut grad = Matrix::zeros(n, m);
-            for r in 0..n {
-                for c in 0..m {
-                    grad[(r, c)] = pred[(r, c)] - data.y[(r, c)];
-                }
-            }
-            let tree = self.build(&data.x, &grad, &idx, 0);
-            for r in 0..n {
-                tree.predict_into(data.x.row(r), &mut scratch);
-                for (p, s) in pred.row_mut(r).iter_mut().zip(&scratch) {
-                    *p += self.learning_rate * s;
-                }
-            }
+            let mut chunks = fill_gradients(threads, &data.y, &pred, &mut grad, |y, p| p - y);
+            let tree = self.build(&data.x, &grad, &idx, 0, ctx.parallelism);
+            chunks += apply_stage(
+                threads,
+                &data.x,
+                &mut pred,
+                self.learning_rate,
+                |row, out| tree.predict_into(row, out),
+            );
+            ctx.telemetry.add(Counter::TrainChunks, chunks);
             self.stages.push(tree);
         }
         Ok(())
@@ -401,6 +525,7 @@ mod tests {
                 max_depth: 3,
                 ..TreeConfig::default()
             },
+            0,
         );
         let mut long = GradientBoosting::new(
             100,
@@ -409,6 +534,7 @@ mod tests {
                 max_depth: 3,
                 ..TreeConfig::default()
             },
+            0,
         );
         short.fit(&d).unwrap();
         long.fit(&d).unwrap();
@@ -478,7 +604,7 @@ mod tests {
     #[test]
     fn stage_count_reported() {
         let d = surface(8);
-        let mut m = GradientBoosting::new(7, 0.3, TreeConfig::default());
+        let mut m = GradientBoosting::new(7, 0.3, TreeConfig::default(), 0);
         m.fit(&d).unwrap();
         assert_eq!(m.n_fitted_stages(), 7);
     }

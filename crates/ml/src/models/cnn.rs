@@ -16,7 +16,10 @@
 use crate::dataset::{Dataset, Scaler};
 use crate::linalg::Matrix;
 use crate::optim::Adam;
+use crate::train::{TrainContext, CNN_CHUNK_ROWS};
 use crate::{Differentiable, MlError, Regressor};
+use isop_exec::{fixed_chunks, par_map_mut};
+use isop_telemetry::Counter;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -109,18 +112,72 @@ impl Tensor {
     }
 }
 
-/// Per-sample forward caches used by backprop.
+/// Per-sample forward caches used by backprop, preallocated once and
+/// refilled by [`Cnn1d::forward_sample_into`] so the per-sample hot loop
+/// is allocation-free.
 struct Caches {
     x: Vec<f64>,
     e_pre: Vec<f64>,
     e_act: Vec<f64>,
     z1: Vec<f64>,
+    a1: Vec<f64>,
     p1: Vec<f64>,
     z2: Vec<f64>,
+    a2: Vec<f64>,
     p2: Vec<f64>,
     h_pre: Vec<f64>,
     h_act: Vec<f64>,
     out: Vec<f64>,
+}
+
+impl Caches {
+    /// Buffers sized for `model` (which must already know its data shape).
+    fn zeros_like(model: &Cnn1d) -> Self {
+        let c1 = model.cfg.conv_channels;
+        let (l0, l1, l2) = (model.l0(), model.l1(), model.l2());
+        Self {
+            x: vec![0.0; model.n_features],
+            e_pre: vec![0.0; model.cfg.expand],
+            e_act: vec![0.0; model.cfg.expand],
+            z1: vec![0.0; c1 * l0],
+            a1: vec![0.0; c1 * l0],
+            p1: vec![0.0; c1 * l1],
+            z2: vec![0.0; c1 * l1],
+            a2: vec![0.0; c1 * l1],
+            p2: vec![0.0; c1 * l2],
+            h_pre: vec![0.0; model.cfg.head],
+            h_act: vec![0.0; model.cfg.head],
+            out: vec![0.0; model.n_outputs],
+        }
+    }
+}
+
+/// Reusable backward-pass buffers; every field is (re)zeroed at its point
+/// of use inside [`Cnn1d::backward_sample`].
+struct BackScratch {
+    d_h: Vec<f64>,
+    d_p2: Vec<f64>,
+    d_a2: Vec<f64>,
+    d_p1: Vec<f64>,
+    d_a1: Vec<f64>,
+    d_e: Vec<f64>,
+    d_x: Vec<f64>,
+}
+
+impl BackScratch {
+    fn zeros_like(model: &Cnn1d) -> Self {
+        let (c0, c1) = (model.cfg.channels, model.cfg.conv_channels);
+        let (l0, l1, l2) = (model.l0(), model.l1(), model.l2());
+        Self {
+            d_h: vec![0.0; model.cfg.head],
+            d_p2: vec![0.0; c1 * l2],
+            d_a2: vec![0.0; c1 * l1],
+            d_p1: vec![0.0; c1 * l1],
+            d_a1: vec![0.0; c1 * l0],
+            d_e: vec![0.0; c0 * l0],
+            d_x: vec![0.0; model.n_features],
+        }
+    }
 }
 
 /// 1D-CNN regressor with the FC-expand + reshape front end.
@@ -305,15 +362,18 @@ impl Cnn1d {
         }
     }
 
-    /// Forward pass on a standardized sample; caches every intermediate.
-    fn forward_sample(&self, x: &[f64]) -> Caches {
+    /// Forward pass on a standardized sample, caching every intermediate
+    /// into the reusable `c` (same arithmetic as the original allocating
+    /// pass — `conv_forward` and the dense loops overwrite every element).
+    fn forward_sample_into(&self, x: &[f64], c: &mut Caches) {
         let cfg = &self.cfg;
         let (c0, c1, k) = (cfg.channels, cfg.conv_channels, cfg.kernel);
-        let (l0, l1, l2) = (self.l0(), self.l1(), self.l2());
+        let (l0, l1) = (self.l0(), self.l1());
         let s = cfg.leaky_slope;
 
-        let mut e_pre = vec![0.0; cfg.expand];
-        for (o, pre) in e_pre.iter_mut().enumerate() {
+        c.x.clear();
+        c.x.extend_from_slice(x);
+        for (o, pre) in c.e_pre.iter_mut().enumerate() {
             let mut acc = self.b_expand.data[o];
             let base = o * self.n_features;
             for (j, xv) in x.iter().enumerate() {
@@ -321,135 +381,125 @@ impl Cnn1d {
             }
             *pre = acc;
         }
-        let e_act: Vec<f64> = e_pre.iter().map(|&v| leaky(v, s)).collect();
+        for (a, &z) in c.e_act.iter_mut().zip(&c.e_pre) {
+            *a = leaky(z, s);
+        }
 
-        let mut z1 = vec![0.0; c1 * l0];
         Self::conv_forward(
             &self.w_conv1.data,
             &self.b_conv1.data,
-            &e_act,
-            &mut z1,
+            &c.e_act,
+            &mut c.z1,
             c0,
             c1,
             l0,
             k,
         );
-        let a1: Vec<f64> = z1.iter().map(|&v| leaky(v, s)).collect();
-        let mut p1 = vec![0.0; c1 * l1];
-        Self::avg_pool2(&a1, c1, l0, &mut p1);
+        for (a, &z) in c.a1.iter_mut().zip(&c.z1) {
+            *a = leaky(z, s);
+        }
+        Self::avg_pool2(&c.a1, c1, l0, &mut c.p1);
 
-        let mut z2 = vec![0.0; c1 * l1];
         Self::conv_forward(
             &self.w_conv2.data,
             &self.b_conv2.data,
-            &p1,
-            &mut z2,
+            &c.p1,
+            &mut c.z2,
             c1,
             c1,
             l1,
             k,
         );
-        let a2: Vec<f64> = z2.iter().map(|&v| leaky(v, s)).collect();
-        let mut p2 = vec![0.0; c1 * l2];
-        Self::avg_pool2(&a2, c1, l1, &mut p2);
+        for (a, &z) in c.a2.iter_mut().zip(&c.z2) {
+            *a = leaky(z, s);
+        }
+        Self::avg_pool2(&c.a2, c1, l1, &mut c.p2);
 
         let flat = self.flat_len();
-        let mut h_pre = vec![0.0; cfg.head];
-        for (o, pre) in h_pre.iter_mut().enumerate() {
+        for (o, pre) in c.h_pre.iter_mut().enumerate() {
             let mut acc = self.b_head.data[o];
             let base = o * flat;
-            for (j, v) in p2.iter().enumerate() {
+            for (j, v) in c.p2.iter().enumerate() {
                 acc += self.w_head.data[base + j] * v;
             }
             *pre = acc;
         }
-        let h_act: Vec<f64> = h_pre.iter().map(|&v| leaky(v, s)).collect();
+        for (a, &z) in c.h_act.iter_mut().zip(&c.h_pre) {
+            *a = leaky(z, s);
+        }
 
-        let mut out = vec![0.0; self.n_outputs];
-        for (o, ov) in out.iter_mut().enumerate() {
+        for (o, ov) in c.out.iter_mut().enumerate() {
             let mut acc = self.b_out.data[o];
             let base = o * cfg.head;
-            for (j, v) in h_act.iter().enumerate() {
+            for (j, v) in c.h_act.iter().enumerate() {
                 acc += self.w_out.data[base + j] * v;
             }
             *ov = acc;
         }
-
-        Caches {
-            x: x.to_vec(),
-            e_pre,
-            e_act,
-            z1,
-            p1,
-            z2,
-            p2,
-            h_pre,
-            h_act,
-            out,
-        }
     }
 
     /// Backward pass from `d_out` (gradient at the network output); adds
-    /// parameter gradients into `grads` and returns the input gradient.
-    /// `head_mask` is the inverted-dropout mask applied to the head
-    /// activation during training (`None` at inference).
+    /// parameter gradients into `grads` and leaves the input gradient in
+    /// `scratch.d_x`. `head_mask` is the inverted-dropout mask applied to
+    /// the head activation during training (`None` at inference).
     fn backward_sample(
         &self,
         caches: &Caches,
         d_out: &[f64],
         head_mask: Option<&[f64]>,
         grads: &mut CnnGrads,
-    ) -> Vec<f64> {
+        scratch: &mut BackScratch,
+    ) {
         let cfg = &self.cfg;
         let (c0, c1, k) = (cfg.channels, cfg.conv_channels, cfg.kernel);
-        let (l0, l1, l2) = (self.l0(), self.l1(), self.l2());
+        let (l0, l1) = (self.l0(), self.l1());
         let s = cfg.leaky_slope;
         let flat = self.flat_len();
 
         // Output layer.
-        let mut d_h = vec![0.0; cfg.head];
+        scratch.d_h.fill(0.0);
         for (o, &g) in d_out.iter().enumerate() {
             grads.b_out[o] += g;
             let base = o * cfg.head;
-            for (j, dh) in d_h.iter_mut().enumerate() {
+            for (j, dh) in scratch.d_h.iter_mut().enumerate() {
                 grads.w_out[base + j] += g * caches.h_act[j];
                 *dh += g * self.w_out.data[base + j];
             }
         }
         if let Some(mask) = head_mask {
-            for (dh, mk) in d_h.iter_mut().zip(mask) {
+            for (dh, mk) in scratch.d_h.iter_mut().zip(mask) {
                 *dh *= mk;
             }
         }
-        for (j, dh) in d_h.iter_mut().enumerate() {
+        for (j, dh) in scratch.d_h.iter_mut().enumerate() {
             *dh *= leaky_d(caches.h_pre[j], s);
         }
 
         // Head layer.
-        let mut d_p2 = vec![0.0; c1 * l2];
-        for (o, &g) in d_h.iter().enumerate() {
+        scratch.d_p2.fill(0.0);
+        for (o, &g) in scratch.d_h.iter().enumerate() {
             grads.b_head[o] += g;
             let base = o * flat;
-            for (j, dp) in d_p2.iter_mut().enumerate() {
+            for (j, dp) in scratch.d_p2.iter_mut().enumerate() {
                 grads.w_head[base + j] += g * caches.p2[j];
                 *dp += g * self.w_head.data[base + j];
             }
         }
 
         // Pool2 + conv2.
-        let mut d_a2 = vec![0.0; c1 * l1];
-        Self::avg_unpool2(&d_p2, c1, l1, &mut d_a2);
-        for (j, da) in d_a2.iter_mut().enumerate() {
+        scratch.d_a2.fill(0.0);
+        Self::avg_unpool2(&scratch.d_p2, c1, l1, &mut scratch.d_a2);
+        for (j, da) in scratch.d_a2.iter_mut().enumerate() {
             *da *= leaky_d(caches.z2[j], s);
         }
-        let mut d_p1 = vec![0.0; c1 * l1];
+        scratch.d_p1.fill(0.0);
         Self::conv_backward(
             &self.w_conv2.data,
-            &d_a2,
+            &scratch.d_a2,
             &caches.p1,
             &mut grads.w_conv2,
             &mut grads.b_conv2,
-            &mut d_p1,
+            &mut scratch.d_p1,
             c1,
             c1,
             l1,
@@ -457,19 +507,19 @@ impl Cnn1d {
         );
 
         // Pool1 + conv1.
-        let mut d_a1 = vec![0.0; c1 * l0];
-        Self::avg_unpool2(&d_p1, c1, l0, &mut d_a1);
-        for (j, da) in d_a1.iter_mut().enumerate() {
+        scratch.d_a1.fill(0.0);
+        Self::avg_unpool2(&scratch.d_p1, c1, l0, &mut scratch.d_a1);
+        for (j, da) in scratch.d_a1.iter_mut().enumerate() {
             *da *= leaky_d(caches.z1[j], s);
         }
-        let mut d_e = vec![0.0; c0 * l0];
+        scratch.d_e.fill(0.0);
         Self::conv_backward(
             &self.w_conv1.data,
-            &d_a1,
+            &scratch.d_a1,
             &caches.e_act,
             &mut grads.w_conv1,
             &mut grads.b_conv1,
-            &mut d_e,
+            &mut scratch.d_e,
             c0,
             c1,
             l0,
@@ -477,19 +527,18 @@ impl Cnn1d {
         );
 
         // Expansion layer.
-        for (j, de) in d_e.iter_mut().enumerate() {
+        for (j, de) in scratch.d_e.iter_mut().enumerate() {
             *de *= leaky_d(caches.e_pre[j], s);
         }
-        let mut d_x = vec![0.0; self.n_features];
-        for (o, &g) in d_e.iter().enumerate() {
+        scratch.d_x.fill(0.0);
+        for (o, &g) in scratch.d_e.iter().enumerate() {
             grads.b_expand[o] += g;
             let base = o * self.n_features;
-            for (j, dx) in d_x.iter_mut().enumerate() {
+            for (j, dx) in scratch.d_x.iter_mut().enumerate() {
                 grads.w_expand[base + j] += g * caches.x[j];
                 *dx += g * self.w_expand.data[base + j];
             }
         }
-        d_x
     }
 }
 
@@ -523,27 +572,96 @@ impl CnnGrads {
         }
     }
 
+    /// The tensors in parameter order (matching the optimizer order).
+    fn fields(&self) -> [&Vec<f64>; 10] {
+        [
+            &self.w_expand,
+            &self.b_expand,
+            &self.w_conv1,
+            &self.b_conv1,
+            &self.w_conv2,
+            &self.b_conv2,
+            &self.w_head,
+            &self.b_head,
+            &self.w_out,
+            &self.b_out,
+        ]
+    }
+
+    fn fields_mut(&mut self) -> [&mut Vec<f64>; 10] {
+        [
+            &mut self.w_expand,
+            &mut self.b_expand,
+            &mut self.w_conv1,
+            &mut self.b_conv1,
+            &mut self.w_conv2,
+            &mut self.b_conv2,
+            &mut self.w_head,
+            &mut self.b_head,
+            &mut self.w_out,
+            &mut self.b_out,
+        ]
+    }
+
+    fn zero_fill(&mut self) {
+        for t in self.fields_mut() {
+            t.fill(0.0);
+        }
+    }
+
+    /// Element-wise accumulation; tensors are summed left-to-right by the
+    /// caller, which keeps the chunk-order reduction a fixed association.
+    fn add_in_place(&mut self, rhs: &CnnGrads) {
+        for (t, r) in self.fields_mut().into_iter().zip(rhs.fields()) {
+            for (a, b) in t.iter_mut().zip(r) {
+                *a += b;
+            }
+        }
+    }
+
     fn scale(&mut self, k: f64) {
-        for v in self
-            .w_expand
-            .iter_mut()
-            .chain(&mut self.b_expand)
-            .chain(&mut self.w_conv1)
-            .chain(&mut self.b_conv1)
-            .chain(&mut self.w_conv2)
-            .chain(&mut self.b_conv2)
-            .chain(&mut self.w_head)
-            .chain(&mut self.b_head)
-            .chain(&mut self.w_out)
-            .chain(&mut self.b_out)
-        {
-            *v *= k;
+        for t in self.fields_mut() {
+            for v in t.iter_mut() {
+                *v *= k;
+            }
+        }
+    }
+}
+
+/// Reusable workspace for one gradient chunk of the CNN's data-parallel
+/// backprop: forward caches, backward scratch, and the chunk's gradient
+/// partial — one slot per chunk, recycled every minibatch.
+struct CnnChunkSlot {
+    /// Sample range `[r0, r1)` into the current minibatch, set before
+    /// dispatch.
+    r0: usize,
+    r1: usize,
+    caches: Caches,
+    scratch: BackScratch,
+    d_out: Vec<f64>,
+    grads: CnnGrads,
+}
+
+impl CnnChunkSlot {
+    fn zeros_like(model: &Cnn1d) -> Self {
+        Self {
+            r0: 0,
+            r1: 0,
+            caches: Caches::zeros_like(model),
+            scratch: BackScratch::zeros_like(model),
+            d_out: vec![0.0; model.n_outputs],
+            grads: CnnGrads::zeros_like(model),
         }
     }
 }
 
 impl Regressor for Cnn1d {
     fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        self.fit_with(data, &TrainContext::serial())
+    }
+
+    fn fit_with(&mut self, data: &Dataset, ctx: &TrainContext) -> Result<(), MlError> {
+        let _span = isop_telemetry::span!(ctx.telemetry, "ml.fit.cnn");
         self.n_features = data.n_features();
         self.n_outputs = data.n_outputs();
         let cfg = self.cfg.clone();
@@ -586,7 +704,16 @@ impl Regressor for Cnn1d {
         let n = data.len();
         let bs = cfg.batch_size.clamp(1, n);
         let keep = 1.0 - cfg.dropout;
+        let has_dropout = cfg.dropout > 0.0;
         let mut order: Vec<usize> = (0..n).collect();
+        let threads = ctx.parallelism.threads;
+
+        // Reusable training state: one workspace slot per gradient chunk,
+        // the reduced per-batch gradient, and the pre-drawn head dropout
+        // masks for the whole minibatch.
+        let mut slots: Vec<CnnChunkSlot> = Vec::new();
+        let mut totals = CnnGrads::zeros_like(self);
+        let mut head_masks = Matrix::zeros(0, 0);
 
         for epoch in 0..cfg.epochs {
             // Step decay mirroring the MLP schedule.
@@ -601,73 +728,107 @@ impl Regressor for Cnn1d {
                 opt.set_learning_rate(cfg.lr * decay);
             }
             order.shuffle(&mut rng);
-            for chunk in order.chunks(bs) {
-                let mut grads = CnnGrads::zeros_like(self);
-                for &i in chunk {
-                    let mut caches = self.forward_sample(xs.row(i));
-                    // Inverted dropout on the head activation.
-                    let mask: Option<Vec<f64>> = if cfg.dropout > 0.0 {
-                        let m: Vec<f64> = (0..cfg.head)
-                            .map(|_| {
-                                if rng.gen::<f64>() < keep {
-                                    1.0 / keep
-                                } else {
-                                    0.0
-                                }
-                            })
-                            .collect();
-                        for (h, mk) in caches.h_act.iter_mut().zip(&m) {
-                            *h *= mk;
-                        }
-                        // Recompute output with the dropped activations.
-                        for (o, ov) in caches.out.iter_mut().enumerate() {
-                            let mut acc = self.b_out.data[o];
-                            let base = o * cfg.head;
-                            for (j, v) in caches.h_act.iter().enumerate() {
-                                acc += self.w_out.data[base + j] * v;
-                            }
-                            *ov = acc;
-                        }
-                        Some(m)
-                    } else {
-                        None
-                    };
-                    let d_out: Vec<f64> = caches
-                        .out
-                        .iter()
-                        .zip(ys.row(i))
-                        .map(|(p, t)| 2.0 * (p - t))
-                        .collect();
-                    let _ = self.backward_sample(&caches, &d_out, mask.as_deref(), &mut grads);
+            for batch in order.chunks(bs) {
+                // All randomness is drawn serially before the parallel
+                // section: one inverted-dropout head mask per sample, in
+                // sample order — the same stream the serial trainer drew.
+                if has_dropout {
+                    head_masks.reset(batch.len(), cfg.head);
+                    for v in head_masks.as_mut_slice() {
+                        *v = if rng.gen::<f64>() < keep {
+                            1.0 / keep
+                        } else {
+                            0.0
+                        };
+                    }
                 }
-                grads.scale(1.0 / chunk.len() as f64);
+
+                // Chunk boundaries depend only on the batch length, never
+                // the thread count, so the chunk-order reduction below
+                // associates identically at any parallelism width.
+                let ranges = fixed_chunks(batch.len(), CNN_CHUNK_ROWS);
+                ctx.telemetry.add(Counter::TrainChunks, ranges.len() as u64);
+                while slots.len() < ranges.len() {
+                    slots.push(CnnChunkSlot::zeros_like(self));
+                }
+                for (slot, &(r0, r1)) in slots.iter_mut().zip(&ranges) {
+                    slot.r0 = r0;
+                    slot.r1 = r1;
+                }
+
+                let model: &Cnn1d = self;
+                par_map_mut(threads, &mut slots[..ranges.len()], |_, slot| {
+                    slot.grads.zero_fill();
+                    for (off, &i) in batch[slot.r0..slot.r1].iter().enumerate() {
+                        model.forward_sample_into(xs.row(i), &mut slot.caches);
+                        // Inverted dropout on the head activation.
+                        let mask: Option<&[f64]> = if has_dropout {
+                            let m = head_masks.row(slot.r0 + off);
+                            for (h, mk) in slot.caches.h_act.iter_mut().zip(m) {
+                                *h *= mk;
+                            }
+                            // Recompute output with the dropped activations.
+                            for (o, ov) in slot.caches.out.iter_mut().enumerate() {
+                                let mut acc = model.b_out.data[o];
+                                let base = o * model.cfg.head;
+                                for (j, v) in slot.caches.h_act.iter().enumerate() {
+                                    acc += model.w_out.data[base + j] * v;
+                                }
+                                *ov = acc;
+                            }
+                            Some(m)
+                        } else {
+                            None
+                        };
+                        for ((d, p), t) in
+                            slot.d_out.iter_mut().zip(&slot.caches.out).zip(ys.row(i))
+                        {
+                            *d = 2.0 * (p - t);
+                        }
+                        model.backward_sample(
+                            &slot.caches,
+                            &slot.d_out,
+                            mask,
+                            &mut slot.grads,
+                            &mut slot.scratch,
+                        );
+                    }
+                });
+
+                // Reduce chunk partials in chunk order (fixed association),
+                // then take the optimizer steps serially.
+                totals.zero_fill();
+                for slot in &slots[..ranges.len()] {
+                    totals.add_in_place(&slot.grads);
+                }
+                totals.scale(1.0 / batch.len() as f64);
                 let mut it = opts.iter_mut();
                 it.next()
                     .unwrap()
-                    .step(&mut self.w_expand.data, &grads.w_expand);
+                    .step(&mut self.w_expand.data, &totals.w_expand);
                 it.next()
                     .unwrap()
-                    .step(&mut self.b_expand.data, &grads.b_expand);
+                    .step(&mut self.b_expand.data, &totals.b_expand);
                 it.next()
                     .unwrap()
-                    .step(&mut self.w_conv1.data, &grads.w_conv1);
+                    .step(&mut self.w_conv1.data, &totals.w_conv1);
                 it.next()
                     .unwrap()
-                    .step(&mut self.b_conv1.data, &grads.b_conv1);
+                    .step(&mut self.b_conv1.data, &totals.b_conv1);
                 it.next()
                     .unwrap()
-                    .step(&mut self.w_conv2.data, &grads.w_conv2);
+                    .step(&mut self.w_conv2.data, &totals.w_conv2);
                 it.next()
                     .unwrap()
-                    .step(&mut self.b_conv2.data, &grads.b_conv2);
+                    .step(&mut self.b_conv2.data, &totals.b_conv2);
                 it.next()
                     .unwrap()
-                    .step(&mut self.w_head.data, &grads.w_head);
+                    .step(&mut self.w_head.data, &totals.w_head);
                 it.next()
                     .unwrap()
-                    .step(&mut self.b_head.data, &grads.b_head);
-                it.next().unwrap().step(&mut self.w_out.data, &grads.w_out);
-                it.next().unwrap().step(&mut self.b_out.data, &grads.b_out);
+                    .step(&mut self.b_head.data, &totals.b_head);
+                it.next().unwrap().step(&mut self.w_out.data, &totals.w_out);
+                it.next().unwrap().step(&mut self.b_out.data, &totals.b_out);
             }
         }
 
@@ -696,8 +857,9 @@ impl Regressor for Cnn1d {
             .ok_or(MlError::NotFitted)?
             .transform(x);
         let mut out = Matrix::zeros(x.rows(), self.n_outputs);
+        let mut caches = Caches::zeros_like(self);
         for r in 0..x.rows() {
-            let caches = self.forward_sample(xs.row(r));
+            self.forward_sample_into(xs.row(r), &mut caches);
             out.row_mut(r).copy_from_slice(&caches.out);
         }
         Ok(self
@@ -727,16 +889,19 @@ impl Differentiable for Cnn1d {
         let y_scaler = self.y_scaler.as_ref().ok_or(MlError::NotFitted)?;
         let mut row = x.to_vec();
         x_scaler.transform_row(&mut row);
-        let caches = self.forward_sample(&row);
+        let mut caches = Caches::zeros_like(self);
+        self.forward_sample_into(&row, &mut caches);
 
         let mut jac = Matrix::zeros(self.n_outputs, self.n_features);
-        let mut scratch = CnnGrads::zeros_like(self);
+        let mut grads = CnnGrads::zeros_like(self);
+        let mut scratch = BackScratch::zeros_like(self);
+        let mut d_out = vec![0.0; self.n_outputs];
         for o in 0..self.n_outputs {
-            let mut d_out = vec![0.0; self.n_outputs];
+            d_out.fill(0.0);
             d_out[o] = 1.0;
-            let d_x = self.backward_sample(&caches, &d_out, None, &mut scratch);
+            self.backward_sample(&caches, &d_out, None, &mut grads, &mut scratch);
             let sy = y_scaler.stds()[o];
-            for (c, g) in d_x.iter().enumerate() {
+            for (c, g) in scratch.d_x.iter().enumerate() {
                 jac[(o, c)] = g * sy / x_scaler.stds()[c];
             }
         }

@@ -9,7 +9,10 @@
 
 use crate::dataset::Dataset;
 use crate::linalg::Matrix;
+use crate::train::TrainContext;
 use crate::{Differentiable, MlError, Regressor};
+use isop_exec::par_map_mut;
+use isop_telemetry::Counter;
 
 /// A uniform average of regressors.
 ///
@@ -48,24 +51,34 @@ impl<M: Regressor> Ensemble<M> {
 
 impl<M: Regressor> Regressor for Ensemble<M> {
     fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
-        for m in &mut self.members {
-            m.fit(data)?;
-        }
-        Ok(())
+        self.fit_with(data, &TrainContext::serial())
+    }
+
+    fn fit_with(&mut self, data: &Dataset, ctx: &TrainContext) -> Result<(), MlError> {
+        let _span = isop_telemetry::span!(ctx.telemetry, "ml.fit.ensemble");
+        ctx.telemetry
+            .add(Counter::TrainChunks, self.members.len() as u64);
+        // Members are the coarse parallel unit; each trains under the same
+        // serial inner context at every outer width (so member `i`'s fit is
+        // a pure function of `(data, members[i])`, never of scheduling).
+        let inner = ctx.nested();
+        let results = par_map_mut(ctx.parallelism.threads, &mut self.members, |_, m| {
+            m.fit_with(data, &inner)
+        });
+        // Surface the first failure in member order, as serial fitting did.
+        results.into_iter().collect()
     }
 
     fn predict(&self, x: &Matrix) -> Result<Matrix, MlError> {
-        let mut acc: Option<Matrix> = None;
-        for m in &self.members {
-            let p = m.predict(x)?;
-            acc = Some(match acc {
-                None => p,
-                Some(a) => a.add(&p),
-            });
+        // Accumulate into the first member's output: element order inside
+        // add_in_place matches the old add() chain, so the mean's bits are
+        // unchanged — only the per-member allocations are gone.
+        let mut acc = self.members[0].predict(x)?;
+        for m in &self.members[1..] {
+            acc.add_in_place(&m.predict(x)?);
         }
-        Ok(acc
-            .expect("non-empty ensemble")
-            .scale(1.0 / self.members.len() as f64))
+        acc.scale_in_place(1.0 / self.members.len() as f64);
+        Ok(acc)
     }
 
     fn name(&self) -> &'static str {
@@ -75,17 +88,12 @@ impl<M: Regressor> Regressor for Ensemble<M> {
 
 impl<M: Differentiable> Differentiable for Ensemble<M> {
     fn input_jacobian(&self, x: &[f64]) -> Result<Matrix, MlError> {
-        let mut acc: Option<Matrix> = None;
-        for m in &self.members {
-            let j = m.input_jacobian(x)?;
-            acc = Some(match acc {
-                None => j,
-                Some(a) => a.add(&j),
-            });
+        let mut acc = self.members[0].input_jacobian(x)?;
+        for m in &self.members[1..] {
+            acc.add_in_place(&m.input_jacobian(x)?);
         }
-        Ok(acc
-            .expect("non-empty ensemble")
-            .scale(1.0 / self.members.len() as f64))
+        acc.scale_in_place(1.0 / self.members.len() as f64);
+        Ok(acc)
     }
 }
 

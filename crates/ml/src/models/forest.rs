@@ -4,7 +4,10 @@
 use super::tree::{build_tree, Node, TreeConfig};
 use crate::dataset::Dataset;
 use crate::linalg::Matrix;
+use crate::train::TrainContext;
 use crate::{MlError, Regressor};
+use isop_exec::{par_map_indexed, Parallelism};
+use isop_telemetry::Counter;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -66,24 +69,60 @@ impl RandomForest {
     }
 }
 
+/// Everything a worker needs to build one bootstrap tree, drawn serially
+/// from the forest seed *before* the parallel section: the bootstrap
+/// sample and a derived seed for the tree's own split-subsampling RNG.
+struct TreePlan {
+    idx: Vec<usize>,
+    split_seed: u64,
+}
+
 impl Regressor for RandomForest {
     fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        self.fit_with(data, &TrainContext::serial())
+    }
+
+    fn fit_with(&mut self, data: &Dataset, ctx: &TrainContext) -> Result<(), MlError> {
+        let _span = isop_telemetry::span!(ctx.telemetry, "ml.fit.rfr");
         self.n_features = data.n_features();
         self.n_outputs = data.n_outputs();
         let mut cfg = self.cfg;
         if cfg.max_features.is_none() {
             cfg.max_features = Some(data.n_features().div_ceil(3).max(1));
         }
+        // All randomness is consumed here, in tree order, on one serial
+        // stream: bootstrap indices then a derived split seed per tree.
+        // Each worker then reseeds its own StdRng from the plan, so tree
+        // `t` is a pure function of `(data, cfg, plans[t])` and the build
+        // order cannot matter.
         let mut rng = StdRng::seed_from_u64(self.seed);
-        self.trees = (0..self.n_trees)
+        let plans: Vec<TreePlan> = (0..self.n_trees)
             .map(|_| {
-                // Bootstrap sample with replacement.
-                let mut idx: Vec<usize> = (0..data.len())
+                let idx: Vec<usize> = (0..data.len())
                     .map(|_| rng.gen_range(0..data.len()))
                     .collect();
-                build_tree(&data.x, &data.y, &mut idx, 0, &cfg, &mut rng)
+                TreePlan {
+                    idx,
+                    split_seed: rng.gen::<u64>(),
+                }
             })
             .collect();
+        ctx.telemetry.add(Counter::TrainChunks, plans.len() as u64);
+        // Trees are the coarse work unit, so the node-level split scan
+        // inside each worker stays serial (no spawn-on-spawn).
+        self.trees = par_map_indexed(ctx.parallelism.threads, &plans, |_, plan| {
+            let mut idx = plan.idx.clone();
+            let mut tree_rng = StdRng::seed_from_u64(plan.split_seed);
+            build_tree(
+                &data.x,
+                &data.y,
+                &mut idx,
+                0,
+                &cfg,
+                &mut tree_rng,
+                Parallelism::serial(),
+            )
+        });
         Ok(())
     }
 

@@ -7,7 +7,10 @@
 use crate::dataset::{Dataset, Scaler};
 use crate::linalg::Matrix;
 use crate::optim::Adam;
+use crate::train::{TrainContext, MLP_CHUNK_ROWS};
 use crate::{Differentiable, MlError, Regressor};
+use isop_exec::{fixed_chunks, par_map_mut};
+use isop_telemetry::Counter;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -81,6 +84,65 @@ impl Dense {
             }
         }
         z
+    }
+}
+
+/// Gradient accumulator for one dense layer: `gw` is `out x in` like the
+/// weights, `gb` is per-output.
+struct LayerGrads {
+    gw: Matrix,
+    gb: Vec<f64>,
+}
+
+impl LayerGrads {
+    fn empty() -> Self {
+        Self {
+            gw: Matrix::zeros(0, 0),
+            gb: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self, n_out: usize, n_in: usize) {
+        self.gw.reset(n_out, n_in);
+        self.gb.clear();
+        self.gb.resize(n_out, 0.0);
+    }
+}
+
+/// Reusable workspace for one gradient chunk of the data-parallel backprop:
+/// one slot per chunk (not per worker — the chunk's partial gradients stay
+/// in the slot until the in-order reduction), allocated once per `fit` and
+/// recycled every minibatch so the training loop is allocation-free.
+struct ChunkSlot {
+    /// Row range `[r0, r1)` into the current minibatch, set before dispatch.
+    r0: usize,
+    r1: usize,
+    /// Gathered targets for this chunk's rows.
+    yb: Matrix,
+    /// `a[l]` = input to layer `l` (post-activation/dropout of `l - 1`,
+    /// `a[0]` = the gathered input rows).
+    a: Vec<Matrix>,
+    /// `z[l]` = pre-activation output of layer `l` (bias included).
+    z: Vec<Matrix>,
+    /// Loss gradient flowing backwards, plus its swap partner.
+    delta: Matrix,
+    next_delta: Matrix,
+    /// Per-layer gradient partials for this chunk.
+    grads: Vec<LayerGrads>,
+}
+
+impl ChunkSlot {
+    fn new(n_layers: usize) -> Self {
+        Self {
+            r0: 0,
+            r1: 0,
+            yb: Matrix::zeros(0, 0),
+            a: (0..n_layers).map(|_| Matrix::zeros(0, 0)).collect(),
+            z: (0..n_layers).map(|_| Matrix::zeros(0, 0)).collect(),
+            delta: Matrix::zeros(0, 0),
+            next_delta: Matrix::zeros(0, 0),
+            grads: (0..n_layers).map(|_| LayerGrads::empty()).collect(),
+        }
     }
 }
 
@@ -161,6 +223,11 @@ impl Mlp {
 
 impl Regressor for Mlp {
     fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        self.fit_with(data, &TrainContext::serial())
+    }
+
+    fn fit_with(&mut self, data: &Dataset, ctx: &TrainContext) -> Result<(), MlError> {
+        let _span = isop_telemetry::span!(ctx.telemetry, "ml.fit.mlp");
         self.n_features = data.n_features();
         self.n_outputs = data.n_outputs();
         let x_scaler = Scaler::fit(&data.x);
@@ -176,6 +243,7 @@ impl Regressor for Mlp {
             .windows(2)
             .map(|w| Dense::init(w[0], w[1], &mut rng))
             .collect();
+        let n_layers = self.layers.len();
 
         // One Adam per parameter tensor.
         let mut opts: Vec<(Adam, Adam)> = self
@@ -193,6 +261,17 @@ impl Regressor for Mlp {
         let bs = self.cfg.batch_size.clamp(1, n);
         let mut order: Vec<usize> = (0..n).collect();
         let keep = 1.0 - self.cfg.dropout;
+        let has_dropout = self.cfg.dropout > 0.0;
+        let slope = self.cfg.leaky_slope;
+        let threads = ctx.parallelism.threads;
+
+        // Reusable training state: gradient-chunk slots, per-layer gradient
+        // totals, batch-wide dropout masks, and per-batch weight transposes
+        // (`w^T` once per layer per step instead of once per chunk).
+        let mut slots: Vec<ChunkSlot> = Vec::new();
+        let mut totals: Vec<LayerGrads> = (0..n_layers).map(|_| LayerGrads::empty()).collect();
+        let mut masks: Vec<Matrix> = (1..n_layers).map(|_| Matrix::zeros(0, 0)).collect();
+        let mut w_t: Vec<Matrix> = (0..n_layers).map(|_| Matrix::zeros(0, 0)).collect();
 
         for epoch in 0..self.cfg.epochs {
             // Step decay: halve the learning rate at 50% and again at 75%
@@ -209,92 +288,143 @@ impl Regressor for Mlp {
                 b_opt.set_learning_rate(self.cfg.lr * decay);
             }
             order.shuffle(&mut rng);
-            for chunk in order.chunks(bs) {
-                // Gather the minibatch.
-                let mut xb = Matrix::zeros(chunk.len(), self.n_features);
-                let mut yb = Matrix::zeros(chunk.len(), self.n_outputs);
-                for (r, &i) in chunk.iter().enumerate() {
-                    xb.row_mut(r).copy_from_slice(xs.row(i));
-                    yb.row_mut(r).copy_from_slice(ys.row(i));
+            for batch in order.chunks(bs) {
+                // All randomness is drawn serially before the parallel
+                // section: dropout masks for the whole minibatch, in
+                // (layer, element) order — the same stream the serial
+                // trainer consumed.
+                if has_dropout {
+                    for (l, mask) in masks.iter_mut().enumerate() {
+                        mask.reset(batch.len(), dims[l + 1]);
+                        for v in mask.as_mut_slice() {
+                            *v = if rng.gen::<f64>() < keep {
+                                1.0 / keep
+                            } else {
+                                0.0
+                            };
+                        }
+                    }
+                }
+                for (layer, t) in self.layers.iter().zip(&mut w_t) {
+                    layer.w.transpose_into(t);
                 }
 
-                // Forward with cached activations (post-activation `as_`,
-                // pre-activation `zs`), applying inverted dropout on hidden
-                // activations.
-                let n_layers = self.layers.len();
-                let mut as_: Vec<Matrix> = vec![xb];
-                let mut zs: Vec<Matrix> = Vec::with_capacity(n_layers);
-                let mut masks: Vec<Option<Vec<f64>>> = Vec::with_capacity(n_layers);
-                for (l, layer) in self.layers.iter().enumerate() {
-                    let z = layer.forward(&as_[l]);
-                    if l + 1 < n_layers {
-                        let mut act = z.clone();
-                        for v in act.as_mut_slice() {
-                            *v = leaky(*v, self.cfg.leaky_slope);
+                // Chunk boundaries depend only on the batch length, never
+                // the thread count, so the chunk-order gradient reduction
+                // below associates identically at every width.
+                let ranges = fixed_chunks(batch.len(), MLP_CHUNK_ROWS);
+                ctx.telemetry.add(Counter::TrainChunks, ranges.len() as u64);
+                while slots.len() < ranges.len() {
+                    slots.push(ChunkSlot::new(n_layers));
+                }
+                for (slot, &(r0, r1)) in slots.iter_mut().zip(&ranges) {
+                    slot.r0 = r0;
+                    slot.r1 = r1;
+                }
+
+                let layers = &self.layers;
+                let scale = 2.0 / batch.len() as f64;
+                par_map_mut(threads, &mut slots[..ranges.len()], |_, slot| {
+                    let rows = slot.r1 - slot.r0;
+                    // Gather this chunk's input and target rows.
+                    slot.a[0].reset(rows, dims[0]);
+                    slot.yb.reset(rows, *dims.last().expect("nonempty dims"));
+                    for r in 0..rows {
+                        let i = batch[slot.r0 + r];
+                        slot.a[0].row_mut(r).copy_from_slice(xs.row(i));
+                        slot.yb.row_mut(r).copy_from_slice(ys.row(i));
+                    }
+
+                    // Forward, caching pre-activations `z` and layer inputs
+                    // `a`, applying the pre-drawn inverted-dropout masks.
+                    for l in 0..n_layers {
+                        let (done, rest) = slot.a.split_at_mut(l + 1);
+                        done[l].matmul_into(&w_t[l], &mut slot.z[l]);
+                        for r in 0..rows {
+                            for (v, b) in slot.z[l].row_mut(r).iter_mut().zip(&layers[l].b) {
+                                *v += b;
+                            }
                         }
-                        let mask = if self.cfg.dropout > 0.0 {
-                            let m: Vec<f64> = act
-                                .as_slice()
-                                .iter()
-                                .map(|_| {
-                                    if rng.gen::<f64>() < keep {
-                                        1.0 / keep
-                                    } else {
-                                        0.0
+                        if l + 1 < n_layers {
+                            let act = &mut rest[0];
+                            act.reset(rows, dims[l + 1]);
+                            for r in 0..rows {
+                                let zr = slot.z[l].row(r);
+                                let ar = act.row_mut(r);
+                                if has_dropout {
+                                    let mr = masks[l].row(slot.r0 + r);
+                                    for ((v, z), k) in ar.iter_mut().zip(zr).zip(mr) {
+                                        *v = leaky(*z, slope) * k;
                                     }
-                                })
-                                .collect();
-                            for (v, k) in act.as_mut_slice().iter_mut().zip(&m) {
-                                *v *= k;
+                                } else {
+                                    for (v, z) in ar.iter_mut().zip(zr) {
+                                        *v = leaky(*z, slope);
+                                    }
+                                }
                             }
-                            Some(m)
-                        } else {
-                            None
-                        };
-                        masks.push(mask);
-                        zs.push(z);
-                        as_.push(act);
-                    } else {
-                        masks.push(None);
-                        zs.push(z.clone());
-                        as_.push(z);
+                        }
                     }
-                }
 
-                // Backward: squared loss, delta = 2 (pred - y) / batch.
-                let pred = &as_[n_layers];
-                let mut delta = Matrix::zeros(pred.rows(), pred.cols());
-                let scale = 2.0 / chunk.len() as f64;
-                for r in 0..pred.rows() {
-                    for c in 0..pred.cols() {
-                        delta[(r, c)] = scale * (pred[(r, c)] - yb[(r, c)]);
+                    // Backward: squared loss, delta = 2 (pred - y) / batch.
+                    let pred = &slot.z[n_layers - 1];
+                    slot.delta.reset(rows, pred.cols());
+                    for r in 0..rows {
+                        for c in 0..pred.cols() {
+                            slot.delta[(r, c)] = scale * (pred[(r, c)] - slot.yb[(r, c)]);
+                        }
                     }
-                }
+                    for l in (0..n_layers).rev() {
+                        // grad_w = delta^T * a[l], accumulated row by row so
+                        // every (out, in) entry is a left fold over the
+                        // chunk's rows in input order.
+                        let g = &mut slot.grads[l];
+                        g.reset(layers[l].w.rows(), layers[l].w.cols());
+                        for r in 0..rows {
+                            let ar = slot.a[l].row(r);
+                            for o in 0..g.gw.rows() {
+                                let d = slot.delta[(r, o)];
+                                g.gb[o] += d;
+                                for (gv, av) in g.gw.row_mut(o).iter_mut().zip(ar) {
+                                    *gv += d * av;
+                                }
+                            }
+                        }
+                        if l > 0 {
+                            slot.delta.matmul_into(&layers[l].w, &mut slot.next_delta);
+                            let nd = &mut slot.next_delta;
+                            for r in 0..rows {
+                                let zr = slot.z[l - 1].row(r);
+                                let dr = nd.row_mut(r);
+                                if has_dropout {
+                                    let mr = masks[l - 1].row(slot.r0 + r);
+                                    for ((v, z), k) in dr.iter_mut().zip(zr).zip(mr) {
+                                        *v *= leaky_deriv(*z, slope) * k;
+                                    }
+                                } else {
+                                    for (v, z) in dr.iter_mut().zip(zr) {
+                                        *v *= leaky_deriv(*z, slope);
+                                    }
+                                }
+                            }
+                            std::mem::swap(&mut slot.delta, &mut slot.next_delta);
+                        }
+                    }
+                });
 
+                // Reduce chunk partials in chunk order (fixed association),
+                // then take the optimizer steps serially.
                 for l in (0..n_layers).rev() {
-                    let grad_w = delta.transpose().matmul(&as_[l]);
-                    let grad_b: Vec<f64> = (0..delta.cols())
-                        .map(|c| delta.col_vec(c).iter().sum())
-                        .collect();
-                    if l > 0 {
-                        let mut next = delta.matmul(&self.layers[l].w);
-                        if let Some(mask) = &masks[l - 1] {
-                            for (v, k) in next.as_mut_slice().iter_mut().zip(mask) {
-                                *v *= k;
-                            }
+                    let total = &mut totals[l];
+                    total.reset(self.layers[l].w.rows(), self.layers[l].w.cols());
+                    for slot in &slots[..ranges.len()] {
+                        total.gw.add_in_place(&slot.grads[l].gw);
+                        for (t, g) in total.gb.iter_mut().zip(&slot.grads[l].gb) {
+                            *t += g;
                         }
-                        for (v, z) in next.as_mut_slice().iter_mut().zip(zs[l - 1].as_slice()) {
-                            *v *= leaky_deriv(*z, self.cfg.leaky_slope);
-                        }
-                        let (w_opt, b_opt) = &mut opts[l];
-                        w_opt.step(self.layers[l].w.as_mut_slice(), grad_w.as_slice());
-                        b_opt.step(&mut self.layers[l].b, &grad_b);
-                        delta = next;
-                    } else {
-                        let (w_opt, b_opt) = &mut opts[l];
-                        w_opt.step(self.layers[l].w.as_mut_slice(), grad_w.as_slice());
-                        b_opt.step(&mut self.layers[l].b, &grad_b);
                     }
+                    let (w_opt, b_opt) = &mut opts[l];
+                    w_opt.step(self.layers[l].w.as_mut_slice(), total.gw.as_slice());
+                    b_opt.step(&mut self.layers[l].b, &total.gb);
                 }
             }
         }

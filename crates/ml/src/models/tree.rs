@@ -7,7 +7,9 @@
 
 use crate::dataset::Dataset;
 use crate::linalg::Matrix;
+use crate::train::{TrainContext, SPLIT_SCAN_MIN_WORK};
 use crate::{MlError, Regressor};
+use isop_exec::{par_map_indexed, Parallelism};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -138,6 +140,49 @@ impl SseAccumulator {
     }
 }
 
+/// Best split candidate for one feature: `(feature, threshold, sse,
+/// left_count)`, or `None` if no valid split exists. Always sorts a fresh
+/// copy of `idx`, so the result is a pure function of `(x, y, idx, f)` —
+/// the property that lets the per-feature scan run on any thread without
+/// changing a bit (a reused, cross-feature sort buffer would leak the
+/// previous feature's tie ordering into this one's SSE sums).
+fn best_split_for_feature(
+    x: &Matrix,
+    y: &Matrix,
+    idx: &[usize],
+    f: usize,
+    min_samples_leaf: usize,
+) -> Option<(usize, f64, f64, usize)> {
+    let mut order: Vec<usize> = idx.to_vec();
+    order.sort_unstable_by(|&a, &b| x[(a, f)].partial_cmp(&x[(b, f)]).expect("NaN feature"));
+    let mut best: Option<(usize, f64, f64, usize)> = None;
+    let mut left = SseAccumulator::new(y.cols());
+    let mut right = SseAccumulator::new(y.cols());
+    for &i in order.iter() {
+        right.add(y.row(i));
+    }
+    for pos in 0..order.len() - 1 {
+        let i = order[pos];
+        left.add(y.row(i));
+        right.remove(y.row(i));
+        let v_here = x[(i, f)];
+        let v_next = x[(order[pos + 1], f)];
+        if v_next <= v_here {
+            continue; // tied values cannot be separated
+        }
+        let n_left = pos + 1;
+        let n_right = order.len() - n_left;
+        if n_left < min_samples_leaf || n_right < min_samples_leaf {
+            continue;
+        }
+        let sse = left.sse() + right.sse();
+        if best.as_ref().is_none_or(|b| sse < b.2) {
+            best = Some((f, 0.5 * (v_here + v_next), sse, n_left));
+        }
+    }
+    best
+}
+
 pub(crate) fn build_tree(
     x: &Matrix,
     y: &Matrix,
@@ -145,6 +190,7 @@ pub(crate) fn build_tree(
     depth: usize,
     cfg: &TreeConfig,
     rng: &mut StdRng,
+    par: Parallelism,
 ) -> Node {
     if depth >= cfg.max_depth || idx.len() < cfg.min_samples_split {
         return Node::Leaf {
@@ -159,33 +205,24 @@ pub(crate) fn build_tree(
         features.truncate(k.clamp(1, d));
     }
 
+    // Fan the per-feature scans out only where the node is big enough for
+    // spawn latency to pay off; the gate is size-based, never
+    // thread-count-based, so the serial/parallel decision is identical at
+    // every width. Candidates come back in feature order and the fold
+    // below keeps the serial scan's first-strict-minimum tie rule, so the
+    // winning split is bit-identical to a one-thread sweep.
+    let scan_threads = if par.is_parallel() && idx.len() * features.len() >= SPLIT_SCAN_MIN_WORK {
+        par.threads
+    } else {
+        1
+    };
+    let candidates = par_map_indexed(scan_threads, &features, |_, &f| {
+        best_split_for_feature(x, y, idx, f, cfg.min_samples_leaf)
+    });
     let mut best: Option<(usize, f64, f64, usize)> = None; // (feature, threshold, sse, left_count)
-    let mut order: Vec<usize> = idx.to_vec();
-    for &f in &features {
-        order.sort_unstable_by(|&a, &b| x[(a, f)].partial_cmp(&x[(b, f)]).expect("NaN feature"));
-        let mut left = SseAccumulator::new(y.cols());
-        let mut right = SseAccumulator::new(y.cols());
-        for &i in order.iter() {
-            right.add(y.row(i));
-        }
-        for pos in 0..order.len() - 1 {
-            let i = order[pos];
-            left.add(y.row(i));
-            right.remove(y.row(i));
-            let v_here = x[(i, f)];
-            let v_next = x[(order[pos + 1], f)];
-            if v_next <= v_here {
-                continue; // tied values cannot be separated
-            }
-            let n_left = pos + 1;
-            let n_right = order.len() - n_left;
-            if n_left < cfg.min_samples_leaf || n_right < cfg.min_samples_leaf {
-                continue;
-            }
-            let sse = left.sse() + right.sse();
-            if best.as_ref().is_none_or(|b| sse < b.2) {
-                best = Some((f, 0.5 * (v_here + v_next), sse, n_left));
-            }
+    for cand in candidates.into_iter().flatten() {
+        if best.as_ref().is_none_or(|b| cand.2 < b.2) {
+            best = Some(cand);
         }
     }
 
@@ -206,8 +243,8 @@ pub(crate) fn build_tree(
         }
     }
     debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
-    let left = build_tree(x, y, &mut left_idx, depth + 1, cfg, rng);
-    let right = build_tree(x, y, &mut right_idx, depth + 1, cfg, rng);
+    let left = build_tree(x, y, &mut left_idx, depth + 1, cfg, rng, par);
+    let right = build_tree(x, y, &mut right_idx, depth + 1, cfg, rng, par);
     Node::Split {
         feature,
         threshold,
@@ -252,12 +289,23 @@ impl DecisionTree {
 
 impl Regressor for DecisionTree {
     fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        self.fit_with(data, &TrainContext::serial())
+    }
+
+    fn fit_with(&mut self, data: &Dataset, ctx: &TrainContext) -> Result<(), MlError> {
+        let _span = isop_telemetry::span!(ctx.telemetry, "ml.fit.dtr");
         self.n_features = data.n_features();
         self.n_outputs = data.n_outputs();
         let mut idx: Vec<usize> = (0..data.len()).collect();
         let mut rng = StdRng::seed_from_u64(self.seed);
         self.root = Some(build_tree(
-            &data.x, &data.y, &mut idx, 0, &self.cfg, &mut rng,
+            &data.x,
+            &data.y,
+            &mut idx,
+            0,
+            &self.cfg,
+            &mut rng,
+            ctx.parallelism,
         ));
         Ok(())
     }

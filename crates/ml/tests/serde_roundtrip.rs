@@ -56,7 +56,7 @@ fn random_forest_roundtrips() {
 
 #[test]
 fn gradient_boosting_roundtrips() {
-    roundtrip(GradientBoosting::new(10, 0.2, TreeConfig::default()));
+    roundtrip(GradientBoosting::new(10, 0.2, TreeConfig::default(), 0));
 }
 
 #[test]

@@ -85,11 +85,16 @@ pub enum Counter {
     /// Harmonica-stage memo probes that fell through to the surrogate
     /// (a disabled memo counts every probe here).
     SurrogateMemoMisses,
+    /// Work units dispatched to the data-parallel training engine: minibatch
+    /// gradient chunks (MLP/CNN), bootstrap trees (forest), boosting-stage
+    /// row chunks, and ensemble members. Deterministic for a fixed config —
+    /// chunk boundaries never depend on the thread count.
+    TrainChunks,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 20] = [
         Counter::EmSimAttempted,
         Counter::EmSimSucceeded,
         Counter::EmSimFailed,
@@ -109,6 +114,7 @@ impl Counter {
         Counter::EmCacheMisses,
         Counter::SurrogateMemoHits,
         Counter::SurrogateMemoMisses,
+        Counter::TrainChunks,
     ];
 
     /// Stable dotted label used in reports and threshold files.
@@ -134,6 +140,7 @@ impl Counter {
             Counter::EmCacheMisses => "em.cache.misses",
             Counter::SurrogateMemoHits => "surrogate.memo_hits",
             Counter::SurrogateMemoMisses => "surrogate.memo_misses",
+            Counter::TrainChunks => "train.chunks",
         }
     }
 

@@ -7,6 +7,11 @@
 # cache: the second roll-out is served from cache, and the gate checks both
 # bit-identity of the two runs and a >= 20% saved-EM-seconds floor.
 #
+# A training smoke phase then gates the data-parallel training engine:
+# serial and 4-thread fits of a forest and an MLP must be bit-identical,
+# the phase has its own wall-clock budget (max_train_seconds), and on
+# hosts with >= 4 cores the forest fit must parallelize >= 2x.
+#
 # Usage:
 #   scripts/bench_gate.sh            # gate against the checked-in budget
 #   scripts/bench_gate.sh --update   # refresh the budget from a local run
