@@ -4,7 +4,7 @@
 //! to one `AnalyticalSolver` run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use isop::evalcache::EvalCache;
+use isop::evalcache::{CachedSim, EvalCache};
 use isop_em::simulator::{AnalyticalSolver, EmSimulator};
 use isop_em::stackup::DiffStripline;
 use isop_telemetry::Telemetry;
@@ -21,7 +21,13 @@ fn bench_evalcache(c: &mut Criterion) {
 
     let warm = EvalCache::new();
     let key = EvalCache::key_for(&space, &design).expect("on grid");
-    warm.insert(key, sim);
+    warm.insert(
+        key,
+        CachedSim {
+            result: sim,
+            attempts: 1,
+        },
+    );
     let cold = EvalCache::new();
 
     let mut g = c.benchmark_group("evalcache");

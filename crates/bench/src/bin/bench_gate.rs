@@ -28,6 +28,16 @@
 //! budget (`max_train_seconds`), and — only on hosts that actually have
 //! >= 4 cores — the forest fit must be at least 2x faster in parallel.
 //!
+//! A fault-injection smoke phase then gates the roll-out's fault
+//! tolerance: a rate-0 run through the [`FaultInjector`] must be
+//! bit-identical to a run without the fault layer (candidates, ledgers,
+//! every counter), and at a fixed fault rate the outcome and all fault
+//! counters must be bit-identical at 1 vs 4 threads, with retries actually
+//! exercised. The faulted serial run's counters fold into the budgeted
+//! report, so `em.retries` / `em.failures_*` / `em.topped_up` regressions
+//! (e.g. a retry storm) trip the gate like any other counter; the phase's
+//! wall-clock has its own budget (`max_fault_seconds`).
+//!
 //! ```text
 //! bench_gate [--thresholds scripts/bench_thresholds.json]
 //!            [--out results/BENCH_ci.json] [--update] [--no-cache]
@@ -66,6 +76,15 @@ const TRAIN_THREADS: usize = 4;
 /// only on hosts that actually have that many cores — bit-identity of the
 /// fits is enforced everywhere.
 const MIN_TRAIN_SPEEDUP: f64 = 2.0;
+/// Transient fault rate of the fault-injection smoke — high enough to
+/// guarantee retries at [`SMOKE_SEED`], low enough that the retry budget
+/// usually rescues the candidate.
+const FAULT_RATE: f64 = 0.35;
+/// Per-design permanent ("doomed") fault rate of the fault-injection
+/// smoke, exercising the top-up path.
+const FAULT_PERMANENT_RATE: f64 = 0.30;
+/// Seed of the injected fault stream (independent of the pipeline seed).
+const FAULT_SEED: u64 = 2;
 
 /// The checked-in perf budget the gate compares against.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -80,6 +99,9 @@ struct GateThresholds {
     /// Wall-clock budget for the training smoke (serial + parallel fits),
     /// seconds (compared with a [`WALL_MARGIN`] tolerance).
     max_train_seconds: f64,
+    /// Wall-clock budget for the fault-injection smoke (four pipeline
+    /// runs), seconds (compared with a [`WALL_MARGIN`] tolerance).
+    max_fault_seconds: f64,
     /// Exact counter budget, one entry per [`Counter`](isop::prelude::Counter).
     counters: Vec<isop_telemetry::CounterEntry>,
 }
@@ -184,12 +206,8 @@ fn train_smoke(telemetry: &Telemetry) -> Result<f64, String> {
 /// or an error if the runs are not bit-identical, (cache on) the saved-EM
 /// fraction falls under [`MIN_SAVED_FRACTION`], or the training smoke
 /// breaks its determinism/speedup contract.
-fn run_smoke(use_cache: bool) -> Result<(RunReport, f64, f64), String> {
-    let space = isop::spaces::s1();
-    let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
-    let telemetry = Telemetry::enabled();
-    let simulator = AnalyticalSolver::new().with_telemetry(telemetry.clone());
-    let config = IsopConfig {
+fn smoke_config(threads: usize) -> IsopConfig {
+    IsopConfig {
         harmonica: HarmonicaConfig {
             stages: 2,
             samples_per_stage: 120,
@@ -204,9 +222,17 @@ fn run_smoke(use_cache: bool) -> Result<(RunReport, f64, f64), String> {
         gd_candidates: 4,
         gd_epochs: 25,
         cand_num: 3,
-        parallelism: Parallelism::new(SMOKE_THREADS),
+        parallelism: Parallelism::new(threads),
         ..IsopConfig::default()
-    };
+    }
+}
+
+fn run_smoke(use_cache: bool) -> Result<(RunReport, f64, f64, f64), String> {
+    let space = isop::spaces::s1();
+    let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+    let telemetry = Telemetry::enabled();
+    let simulator = AnalyticalSolver::new().with_telemetry(telemetry.clone());
+    let config = smoke_config(SMOKE_THREADS);
     let cache = if use_cache {
         EvalCache::new()
     } else {
@@ -268,6 +294,11 @@ fn run_smoke(use_cache: bool) -> Result<(RunReport, f64, f64), String> {
     // any future training counters) land in the budgeted report.
     let train_wall = train_smoke(&telemetry)?;
 
+    // Fault-injection phase: runs on scratch handles, then folds the
+    // faulted serial run's counters into the main handle so the retry
+    // budgets land in the gated report.
+    let fault_wall = fault_smoke(&telemetry)?;
+
     let mut report = telemetry.run_report();
     report.task = TaskId::T1.to_string();
     report.space = "s1".to_string();
@@ -277,7 +308,118 @@ fn run_smoke(use_cache: bool) -> Result<(RunReport, f64, f64), String> {
     report.samples_seen = first.samples_seen + second.samples_seen;
     report.invalid_seen = first.invalid_seen + second.invalid_seen;
     report.algorithm_seconds = first.algorithm_seconds + second.algorithm_seconds;
-    Ok((report, wall, train_wall))
+    report.resolution = first.resolution.as_str().to_string();
+    Ok((report, wall, train_wall, fault_wall))
+}
+
+/// The fault-tolerant roll-out's smoke. Four pipeline runs on scratch
+/// telemetry handles (no shared cache, so each roll-out is cold):
+///
+/// 1. a plain run without the fault layer;
+/// 2. a rate-0 run *through* [`FaultInjector`] — must be bit-identical to
+///    (1) in candidates, success, both EM ledgers, and every counter (the
+///    disabled fault layer is invisible);
+/// 3. a faulted run at 1 thread and 4. at 4 threads — the per-design fault
+///    stream must make them bit-identical to each other, with retries and
+///    transient failures actually observed.
+///
+/// Folds run (3)'s counters into `main`, so `em.retries` and friends are
+/// gated by the checked-in counter budgets. Returns the phase wall-clock.
+fn fault_smoke(main: &Telemetry) -> Result<f64, String> {
+    let space = isop::spaces::s1();
+    let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+    let t0 = Instant::now();
+    let run = |rate: f64, permanent: f64, threads: usize, telemetry: &Telemetry| {
+        let solver = AnalyticalSolver::new().with_telemetry(telemetry.clone());
+        let injector = FaultInjector::new(
+            solver,
+            FaultConfig {
+                transient_rate: rate,
+                permanent_rate: permanent,
+                seed: FAULT_SEED,
+            },
+        )
+        .with_telemetry(telemetry.clone());
+        IsopOptimizer::new(&space, &surrogate, &injector, smoke_config(threads))
+            .with_telemetry(telemetry.clone())
+            .run(
+                isop::tasks::objective_for(TaskId::T1, vec![]),
+                Budget::unlimited(),
+                SMOKE_SEED,
+            )
+    };
+    let plain_tele = Telemetry::enabled();
+    let plain = {
+        let solver = AnalyticalSolver::new().with_telemetry(plain_tele.clone());
+        IsopOptimizer::new(&space, &surrogate, &solver, smoke_config(SMOKE_THREADS))
+            .with_telemetry(plain_tele.clone())
+            .run(
+                isop::tasks::objective_for(TaskId::T1, vec![]),
+                Budget::unlimited(),
+                SMOKE_SEED,
+            )
+    };
+    let zero_tele = Telemetry::enabled();
+    let zero = run(0.0, 0.0, SMOKE_THREADS, &zero_tele);
+    if zero.candidates != plain.candidates
+        || zero.success != plain.success
+        || zero.em_seconds.to_bits() != plain.em_seconds.to_bits()
+        || zero.em_seconds_saved.to_bits() != plain.em_seconds_saved.to_bits()
+        || zero.resolution != RolloutResolution::Full
+    {
+        return Err("fault transparency violation: rate-0 fault layer changed the outcome".into());
+    }
+    for c in Counter::ALL {
+        if zero_tele.counter(c) != plain_tele.counter(c) {
+            return Err(format!(
+                "fault transparency violation: rate-0 fault layer moved counter {}",
+                c.name()
+            ));
+        }
+    }
+
+    let serial_tele = Telemetry::enabled();
+    let serial = run(FAULT_RATE, FAULT_PERMANENT_RATE, 1, &serial_tele);
+    let wide_tele = Telemetry::enabled();
+    let wide = run(FAULT_RATE, FAULT_PERMANENT_RATE, 4, &wide_tele);
+    if serial.candidates != wide.candidates
+        || serial.resolution != wide.resolution
+        || serial.em_seconds.to_bits() != wide.em_seconds.to_bits()
+        || serial.em_seconds_saved.to_bits() != wide.em_seconds_saved.to_bits()
+    {
+        return Err(
+            "fault determinism violation: faulted outcome diverged between 1 and 4 threads".into(),
+        );
+    }
+    for c in Counter::ALL {
+        if serial_tele.counter(c) != wide_tele.counter(c) {
+            return Err(format!(
+                "fault determinism violation: counter {} diverged between 1 and 4 threads",
+                c.name()
+            ));
+        }
+    }
+    if serial_tele.counter(Counter::EmRetries) == 0
+        || serial_tele.counter(Counter::EmFailuresTransient) == 0
+    {
+        return Err(format!(
+            "fault smoke inert: rate {FAULT_RATE} produced no retries at seed {SMOKE_SEED} — \
+             the retry budgets below gate nothing"
+        ));
+    }
+    for c in Counter::ALL {
+        main.add(c, serial_tele.counter(c));
+    }
+    println!(
+        "bench_gate: fault smoke: rate-0 transparent; 1 vs 4 threads bit-identical \
+         ({} retries, {} transient, {} permanent, {} topped up, resolution {})",
+        serial_tele.counter(Counter::EmRetries),
+        serial_tele.counter(Counter::EmFailuresTransient),
+        serial_tele.counter(Counter::EmFailuresPermanent),
+        serial_tele.counter(Counter::EmToppedUp),
+        serial.resolution
+    );
+    Ok(t0.elapsed().as_secs_f64())
 }
 
 fn write_file(path: &str, contents: &str) -> Result<(), String> {
@@ -295,10 +437,11 @@ fn gate(
     update: bool,
     use_cache: bool,
 ) -> Result<(), String> {
-    let (report, wall, train_wall) = run_smoke(use_cache)?;
+    let (report, wall, train_wall, fault_wall) = run_smoke(use_cache)?;
     write_file(out_path, &report.to_json().map_err(|e| format!("{e:?}"))?)?;
     println!(
-        "bench_gate: smoke run took {wall:.2}s (+{train_wall:.2}s training), report at {out_path}"
+        "bench_gate: smoke run took {wall:.2}s (+{train_wall:.2}s training, \
+         +{fault_wall:.2}s faults), report at {out_path}"
     );
 
     if update {
@@ -307,6 +450,7 @@ fn gate(
             seed: SMOKE_SEED,
             max_wall_seconds: wall * WALL_UPDATE_HEADROOM,
             max_train_seconds: train_wall * WALL_UPDATE_HEADROOM,
+            max_fault_seconds: fault_wall * WALL_UPDATE_HEADROOM,
             counters: report.counters.clone(),
         };
         let json = serde_json::to_string(&thresholds).map_err(|e| format!("{e:?}"))?;
@@ -367,6 +511,18 @@ fn gate(
         ));
     } else {
         println!("bench_gate: training wall-clock {train_wall:.2}s within {train_limit:.2}s limit");
+    }
+    let fault_limit = thresholds.max_fault_seconds * WALL_MARGIN;
+    if fault_wall > fault_limit {
+        failures.push(format!(
+            "fault-smoke wall-clock regression: {fault_wall:.2}s > {fault_limit:.2}s \
+             ({:.2}s budget x {WALL_MARGIN} margin)",
+            thresholds.max_fault_seconds
+        ));
+    } else {
+        println!(
+            "bench_gate: fault-smoke wall-clock {fault_wall:.2}s within {fault_limit:.2}s limit"
+        );
     }
 
     if failures.is_empty() {

@@ -73,7 +73,7 @@ fn main() {
             surrogate_memo: isop::evalcache::SurrogateMemo::new(),
         };
         let objective = isop::tasks::objective_for(TaskId::T3, vec![]);
-        let (results, _, _) = ctx.run_isop(&objective);
+        let results = ctx.run_isop(&objective).results;
         if results.is_empty() {
             continue;
         }

@@ -115,7 +115,7 @@ fn main() {
     for task in [TaskId::T1, TaskId::T3, TaskId::T4] {
         let fom: &dyn Fn(&[f64; 3]) -> f64 = if task == TaskId::T4 { &t4_fom } else { &l_fom };
         // Without input constraints on S1.
-        let (res, _, _) = ctx(&s1).run_isop(&objective_for(task, vec![]));
+        let res = ctx(&s1).run_isop(&objective_for(task, vec![])).results;
         if let Some(r) = res.first() {
             design_row(
                 &mut table,
@@ -126,7 +126,9 @@ fn main() {
             );
         }
         // With input constraints on S1'.
-        let (res, _, _) = ctx(&s1p).run_isop(&objective_for(task, table_ix_input_constraints()));
+        let res = ctx(&s1p)
+            .run_isop(&objective_for(task, table_ix_input_constraints()))
+            .results;
         if let Some(r) = res.first() {
             design_row(
                 &mut table,

@@ -59,7 +59,17 @@ pub fn run_comparison_cell(
         "[isop-bench] {task}/{space_label}: running ISOP+ x{}",
         cfg.trials
     );
-    let (isop_results, avg_samples, avg_algo) = ctx.run_isop(&objective);
+    let isop_cell = ctx.run_isop(&objective);
+    for (trial, resolution) in &isop_cell.degraded {
+        eprintln!(
+            "[isop-bench] {task}/{space_label}: trial {trial} roll-out degraded ({resolution})"
+        );
+    }
+    let (isop_results, avg_samples, avg_algo) = (
+        isop_cell.results,
+        isop_cell.avg_samples,
+        isop_cell.avg_algo_seconds,
+    );
 
     let mut rows = Vec::new();
     for (label, runner) in [("SA-1", MatchMode::Runtime), ("SA-2", MatchMode::Samples)] {
@@ -205,7 +215,7 @@ pub fn run_ablation_variant(
         "[isop-bench] ablation {technique}+{} on {task}/{space_label}",
         surrogate.name()
     );
-    let (results, _, _) = ctx.run_isop(&objective);
+    let results = ctx.run_isop(&objective).results;
     if results.is_empty() {
         return None;
     }

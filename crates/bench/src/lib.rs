@@ -356,6 +356,7 @@ pub fn isop_config() -> isop::pipeline::IsopConfig {
         // can be timed serial vs. parallel; outcomes are identical either
         // way (see `isop::exec`).
         parallelism: isop::exec::Parallelism::from_env(),
+        retry: isop::prelude::RetryPolicy::default(),
     }
 }
 

@@ -162,6 +162,7 @@ fn roll_out(
             values,
             predicted,
             simulated: Some(sim),
+            attempts: 1,
         });
     }
     // Feasible-first ranking, then exact objective (see pipeline roll-out).

@@ -3,6 +3,7 @@
 //! ```text
 //! isop simulate --w 5 --s 6 --d 30 [--dk 3.6] [--df 0.008] [--engine fd]
 //! isop optimize --task t1 --space s1 [--seed 42] [--trials 1] [--threads 4] [--with-ic]
+//!               [--em-fault-rate 0.3] [--em-permanent-rate 0.05] [--em-retries 3]
 //!               [--report] [--report-out results/run_report.json]
 //! isop spaces
 //! isop dataset --n 1000 --out dataset.json [--space training]
@@ -13,6 +14,15 @@
 //! `--report` attaches a telemetry handle to the pipeline and the verifying
 //! simulator, prints the per-stage span/counter table, and writes the
 //! machine-readable [`RunReport`] JSON for the CI bench gate.
+//!
+//! `--em-fault-rate` / `--em-permanent-rate` wrap the verifying simulator
+//! in the seeded deterministic fault injector (faults keyed by design
+//! identity, so outcomes are identical at any `--threads`); `--em-retries`
+//! bounds the roll-out's transient-failure retry budget. When every
+//! simulation fails, the run exits non-zero with the explicit
+//! `all_simulations_failed` resolution — and `--report` still writes the
+//! report, carrying that resolution, so the outage is never mistaken for
+//! an ordinary infeasible trial.
 //!
 //! The CLI is intentionally dependency-free (hand-rolled flag parsing); it
 //! exists so the library is usable from shell workflows without writing
@@ -127,22 +137,56 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
         Telemetry::disabled()
     };
 
+    // Fault-tolerance knobs: a non-zero fault rate wraps the verifying
+    // simulator in the deterministic, design-keyed fault injector; the
+    // retry budget bounds how often the roll-out re-runs a transient
+    // failure before giving up on that candidate.
+    let fault_rate = flag_f64(flags, "em-fault-rate", 0.0);
+    let permanent_rate = flag_f64(flags, "em-permanent-rate", 0.0);
+    let default_retries = RetryPolicy::default().max_attempts;
+    let em_retries = flag_f64(flags, "em-retries", f64::from(default_retries)) as u32;
+
     // The roll-out verifier records EM attempts/successes/failures; the
     // surrogate's inner solver stays untraced on purpose — its queries are
     // surrogate predictions, already counted inside the pipeline.
-    let simulator = AnalyticalSolver::new().with_telemetry(telemetry.clone());
+    let solver = AnalyticalSolver::new().with_telemetry(telemetry.clone());
+    let simulator: Box<dyn EmSimulator> = if fault_rate > 0.0 || permanent_rate > 0.0 {
+        Box::new(
+            FaultInjector::new(
+                solver,
+                FaultConfig {
+                    transient_rate: fault_rate,
+                    permanent_rate,
+                    seed,
+                },
+            )
+            .with_telemetry(telemetry.clone()),
+        )
+    } else {
+        Box::new(solver)
+    };
     let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
     let mut best: Option<(f64, DesignCandidate, bool)> = None;
     let mut samples_seen = 0u64;
     let mut invalid_seen = 0u64;
     let mut algorithm_seconds = 0.0f64;
     let mut any_success = false;
+    let mut worst_resolution = RolloutResolution::Full;
+    let severity = |r: RolloutResolution| match r {
+        RolloutResolution::Full => 0,
+        RolloutResolution::Degraded => 1,
+        RolloutResolution::AllSimulationsFailed => 2,
+    };
     for t in 0..trials.max(1) {
         let config = IsopConfig {
             parallelism: isop::exec::Parallelism::new(threads),
+            retry: RetryPolicy {
+                max_attempts: em_retries,
+                ..RetryPolicy::default()
+            },
             ..IsopConfig::default()
         };
-        let optimizer = IsopOptimizer::new(&space, &surrogate, &simulator, config)
+        let optimizer = IsopOptimizer::new(&space, &surrogate, &*simulator, config)
             .with_telemetry(telemetry.clone());
         let outcome = optimizer.run(
             isop::tasks::objective_for(task, ics.clone()),
@@ -153,23 +197,38 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
         invalid_seen += outcome.invalid_seen;
         algorithm_seconds += outcome.algorithm_seconds;
         any_success |= outcome.success;
+        if outcome.resolution != RolloutResolution::Full {
+            eprintln!(
+                "warning: trial {t} roll-out degraded ({}): \
+                 {} transient, {} permanent failure(s), {} retried, {} topped up",
+                outcome.resolution,
+                outcome.em_failures_transient,
+                outcome.em_failures_permanent,
+                outcome.em_retries,
+                outcome.em_topped_up
+            );
+        }
+        if severity(outcome.resolution) > severity(worst_resolution) {
+            worst_resolution = outcome.resolution;
+        }
         if let Some(c) = outcome.best() {
             if best.as_ref().is_none_or(|(g, _, _)| c.g_exact < *g) {
                 best = Some((c.g_exact, c.clone(), outcome.success));
             }
         }
     }
-    let (g, cand, success) = best.ok_or("no design survived roll-out")?;
-    let sim = cand.simulated.ok_or("candidate unverified")?;
     println!("task {task} on {space_name} (seed {seed}, {trials} trial(s))");
-    for (name, v) in isop_em::PARAM_NAMES.iter().zip(&cand.values) {
-        println!("  {name:>8} = {v}");
+    if let Some((g, cand, success)) = &best {
+        let sim = cand.simulated.ok_or("candidate unverified")?;
+        for (name, v) in isop_em::PARAM_NAMES.iter().zip(&cand.values) {
+            println!("  {name:>8} = {v}");
+        }
+        println!(
+            "Z = {:.2} ohm, L = {:.3} dB/in, NEXT = {:.3} mV",
+            sim.z_diff, sim.insertion_loss, sim.next
+        );
+        println!("g = {g:.4}, constraints satisfied: {success}");
     }
-    println!(
-        "Z = {:.2} ohm, L = {:.3} dB/in, NEXT = {:.3} mV",
-        sim.z_diff, sim.insertion_loss, sim.next
-    );
-    println!("g = {g:.4}, constraints satisfied: {success}");
 
     if report {
         let mut rep = telemetry.run_report();
@@ -181,6 +240,7 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
         rep.samples_seen = samples_seen;
         rep.invalid_seen = invalid_seen;
         rep.algorithm_seconds = algorithm_seconds;
+        rep.resolution = worst_resolution.as_str().to_string();
         print_run_report(&rep);
         let out = flags
             .get("report-out")
@@ -194,6 +254,18 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
         let json = rep.to_json().map_err(|e| format!("{e:?}"))?;
         std::fs::write(&out, json).map_err(|e| e.to_string())?;
         println!("\nwrote run report to {out}");
+    }
+    // The report (when requested) is written *before* this bail-out so a
+    // total simulator outage still leaves a machine-readable record of the
+    // degraded resolution rather than vanishing behind the exit code.
+    if best.is_none() {
+        return Err(match worst_resolution {
+            RolloutResolution::AllSimulationsFailed => format!(
+                "every accurate EM simulation failed (resolution: {worst_resolution}); \
+                 raise --em-retries or lower --em-fault-rate"
+            ),
+            _ => "no design survived roll-out".to_string(),
+        });
     }
     Ok(())
 }
@@ -265,6 +337,7 @@ fn usage() {
         "isop — inverse stack-up optimization\n\n\
          USAGE:\n  isop simulate [--w 5] [--s 6] [--d 30] [--dk 3.6] [--df 0.008] [--engine fd]\n  \
          isop optimize --task t1 --space s1 [--seed 42] [--trials 1] [--threads 4] [--with-ic]\n           \
+         [--em-fault-rate 0.3] [--em-permanent-rate 0.05] [--em-retries 3]\n           \
          [--report] [--report-out results/run_report.json]\n  \
          isop spaces\n  \
          isop dataset --n 1000 --out dataset.json [--space training]\n\n\

@@ -11,11 +11,14 @@
 //!   the **canonical discrete grid indices** of a design (never raw floats:
 //!   two values a rounding error apart would silently be distinct keys,
 //!   while two grids can produce bit-different floats for the same level).
-//!   Hits replay the exact stored [`SimulationResult`], tick the same
+//!   Hits replay the exact stored [`SimulationResult`] (and the attempt
+//!   count of the original evaluation, via [`CachedSim`]), tick the same
 //!   simulator counters a real run would, and move the batch wall-clock into
-//!   the *seconds-saved* ledger instead of the charged one. An optional JSON
-//!   spill (`results/em_cache.json`) lets the table VII/VIII ablation bins
-//!   reuse simulations across variants of the same task.
+//!   the *seconds-saved* ledger instead of the charged one. Only **final
+//!   successes** are cached; a hit bypasses the fault-tolerant retry path
+//!   entirely, so retry counters and backoff charges never replay. An
+//!   optional JSON spill (`results/em_cache.json`) lets the table VII/VIII
+//!   ablation bins reuse simulations across variants of the same task.
 //! * [`SurrogateMemo`] + [`MemoizedSurrogate`] — a sibling memo for repeated
 //!   designs inside Harmonica's adaptive-reweighting loop. It stores the
 //!   surrogate's *metrics* (`[Z, L, NEXT]`), never the weighted objective
@@ -78,6 +81,23 @@ fn space_fingerprint(space: &ParamSpace) -> u64 {
     h & ((1u64 << 48) - 1)
 }
 
+/// A cached accurate simulation: the final successful result plus the
+/// attempt count the fresh run needed to obtain it.
+///
+/// Only **final successes** ever enter the cache — transiently failed
+/// attempts are never stored, and a hit bypasses the retry path entirely
+/// (no retry counters tick, no backoff is charged). The stored `attempts`
+/// exist so a warm run can replay the candidate's attempt count
+/// bit-exactly and produce candidates identical to the cold run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CachedSim {
+    /// The successful simulation.
+    pub result: SimulationResult,
+    /// Attempts the original (uncached) evaluation took, including the
+    /// final successful one.
+    pub attempts: u32,
+}
+
 /// Outcome of one [`EvalCache::probe`]: the design's key (when it sits on
 /// the grid) and the cached result, if any.
 #[derive(Debug, Clone)]
@@ -86,7 +106,7 @@ pub struct CacheProbe {
     /// (such designs are never cached — the simulator rejects them anyway).
     pub key: Option<DesignKey>,
     /// The stored simulation, present only on a hit.
-    pub hit: Option<SimulationResult>,
+    pub hit: Option<CachedSim>,
 }
 
 /// One entry of the JSON spill file.
@@ -95,6 +115,7 @@ struct SpillEntry {
     space_id: u64,
     levels: Vec<u32>,
     result: SimulationResult,
+    attempts: u32,
 }
 
 /// On-disk shape of the spill (`results/em_cache.json`).
@@ -104,14 +125,15 @@ struct SpillFile {
     entries: Vec<SpillEntry>,
 }
 
-const SPILL_SCHEMA_VERSION: u32 = 1;
+/// v2: entries carry the attempt count of the original evaluation.
+const SPILL_SCHEMA_VERSION: u32 = 2;
 
 /// A thread-safe, seed-independent cache of accurate EM results keyed by
 /// [`DesignKey`]. Clones share one store; the default/`disabled` handle
 /// stores nothing and reports every probe as a miss.
 #[derive(Debug, Clone, Default)]
 pub struct EvalCache {
-    inner: Option<Arc<Mutex<HashMap<DesignKey, SimulationResult>>>>,
+    inner: Option<Arc<Mutex<HashMap<DesignKey, CachedSim>>>>,
 }
 
 impl EvalCache {
@@ -185,10 +207,12 @@ impl EvalCache {
         CacheProbe { key, hit }
     }
 
-    /// Stores a fresh accurate result under `key`. No-op when disabled.
-    pub fn insert(&self, key: DesignKey, result: SimulationResult) {
+    /// Stores a fresh accurate result under `key`. Only final successes
+    /// reach this point — callers never cache failed attempts. No-op when
+    /// disabled.
+    pub fn insert(&self, key: DesignKey, sim: CachedSim) {
         if let Some(map) = &self.inner {
-            map.lock().expect("eval cache lock").insert(key, result);
+            map.lock().expect("eval cache lock").insert(key, sim);
         }
     }
 
@@ -207,7 +231,8 @@ impl EvalCache {
                 .map(|(k, v)| SpillEntry {
                     space_id: k.space_id,
                     levels: k.levels.clone(),
-                    result: *v,
+                    result: v.result,
+                    attempts: v.attempts,
                 })
                 .collect()
         });
@@ -260,7 +285,10 @@ impl EvalCache {
                     space_id: e.space_id,
                     levels: e.levels,
                 },
-                e.result,
+                CachedSim {
+                    result: e.result,
+                    attempts: e.attempts,
+                },
             );
         }
         Ok(n)
@@ -408,10 +436,13 @@ mod tests {
         space.round_to_grid(&crate::manual::MANUAL_VECTOR)
     }
 
-    fn simulate(x: &[f64]) -> SimulationResult {
-        AnalyticalSolver::new()
-            .simulate(&DiffStripline::from_vector(x).expect("valid"))
-            .expect("simulates")
+    fn simulate(x: &[f64]) -> CachedSim {
+        CachedSim {
+            result: AnalyticalSolver::new()
+                .simulate(&DiffStripline::from_vector(x).expect("valid"))
+                .expect("simulates"),
+            attempts: 1,
+        }
     }
 
     #[test]
@@ -493,7 +524,13 @@ mod tests {
         let cache = EvalCache::new();
         let tele = Telemetry::disabled();
         let probe = cache.probe(&space, &x, &tele);
-        cache.insert(probe.key.expect("on grid"), simulate(&x));
+        // A retried entry: the attempt count must survive the spill so warm
+        // runs replay candidates bit-exactly.
+        let retried = CachedSim {
+            attempts: 3,
+            ..simulate(&x)
+        };
+        cache.insert(probe.key.expect("on grid"), retried);
 
         let dir = std::env::temp_dir().join("isop-evalcache-test");
         let path = dir.join("em_cache.json");
@@ -503,7 +540,7 @@ mod tests {
         assert_eq!(fresh.load_json(&path).expect("reads"), 1);
         assert_eq!(
             fresh.probe(&space, &x, &tele).hit.expect("reloaded"),
-            simulate(&x)
+            retried
         );
         // Missing files are an empty load, not an error.
         assert_eq!(fresh.load_json(&dir.join("absent.json")).expect("ok"), 0);

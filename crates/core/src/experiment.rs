@@ -5,7 +5,7 @@ use crate::baselines::{run_bo, run_sa, BaselineOutcome};
 use crate::evalcache::{EvalCache, SurrogateMemo};
 use crate::objective::{Metric, Objective};
 use crate::params::ParamSpace;
-use crate::pipeline::{DesignCandidate, IsopConfig, IsopOptimizer, IsopOutcome};
+use crate::pipeline::{DesignCandidate, IsopConfig, IsopOptimizer, IsopOutcome, RolloutResolution};
 use crate::surrogate::Surrogate;
 use isop_em::simulator::EmSimulator;
 use isop_hpo::budget::Budget;
@@ -30,6 +30,12 @@ pub struct TrialResult {
     pub fom: f64,
     /// The winning design vector.
     pub design: Vec<f64>,
+    /// Roll-out resolution label (`"full"` / `"degraded"`); baselines have
+    /// no fault layer and always report `"full"`. A trial whose every
+    /// simulation failed produces no `TrialResult` at all — it is surfaced
+    /// through [`IsopCellOutcome::degraded`] instead of masquerading as an
+    /// ordinary infeasible trial.
+    pub resolution: String,
 }
 
 impl TrialResult {
@@ -39,6 +45,7 @@ impl TrialResult {
         success: bool,
         runtime_seconds: f64,
         samples_seen: u64,
+        resolution: RolloutResolution,
     ) -> Self {
         let metrics = c.simulated.expect("verified candidate").to_array();
         Self {
@@ -48,6 +55,7 @@ impl TrialResult {
             metrics,
             fom: objective.fom.value(&metrics),
             design: c.values.clone(),
+            resolution: resolution.as_str().to_string(),
         }
     }
 
@@ -60,6 +68,7 @@ impl TrialResult {
                 outcome.success,
                 outcome.total_seconds(),
                 outcome.samples_seen,
+                outcome.resolution,
             )
         })
     }
@@ -73,6 +82,7 @@ impl TrialResult {
                 outcome.success,
                 outcome.total_seconds(),
                 outcome.samples_seen,
+                RolloutResolution::Full,
             )
         })
     }
@@ -187,11 +197,32 @@ pub struct ExperimentContext<'a> {
     pub surrogate_memo: SurrogateMemo,
 }
 
+/// Outcome of one ISOP+ experiment cell: per-trial results, the
+/// budget-matching averages the baselines consume, and every roll-out that
+/// did not fully resolve.
+#[derive(Debug, Clone)]
+pub struct IsopCellOutcome {
+    /// Per-trial results (trials whose every simulation failed yield no
+    /// result and appear only in [`degraded`](Self::degraded)).
+    pub results: Vec<TrialResult>,
+    /// Average valid samples per trial — the baselines' sample budget.
+    pub avg_samples: f64,
+    /// Average algorithm wall-clock per trial, seconds — the baselines'
+    /// runtime budget.
+    pub avg_algo_seconds: f64,
+    /// `(trial index, resolution)` for every trial whose roll-out was
+    /// degraded or failed entirely. Consumers must report these instead of
+    /// folding them into the ordinary failure count.
+    pub degraded: Vec<(usize, RolloutResolution)>,
+}
+
 impl ExperimentContext<'_> {
-    /// Runs ISOP+ for `n_trials` and returns per-trial results plus the
-    /// average (samples, algorithm wall-clock) the baselines will match.
-    pub fn run_isop(&self, objective: &Objective) -> (Vec<TrialResult>, f64, f64) {
+    /// Runs ISOP+ for `n_trials` and returns per-trial results, the average
+    /// (samples, algorithm wall-clock) the baselines will match, and the
+    /// degraded-roll-out record.
+    pub fn run_isop(&self, objective: &Objective) -> IsopCellOutcome {
         let mut results = Vec::with_capacity(self.n_trials);
+        let mut degraded = Vec::new();
         let mut total_samples = 0.0;
         let mut total_algo = 0.0;
         for i in 0..self.n_trials {
@@ -207,12 +238,20 @@ impl ExperimentContext<'_> {
             let outcome = opt.run(objective.clone(), Budget::unlimited(), self.seed + i as u64);
             total_samples += outcome.samples_seen as f64;
             total_algo += outcome.algorithm_seconds;
+            if outcome.resolution != RolloutResolution::Full {
+                degraded.push((i, outcome.resolution));
+            }
             if let Some(r) = TrialResult::from_isop(&outcome, objective) {
                 results.push(r);
             }
         }
         let n = self.n_trials.max(1) as f64;
-        (results, total_samples / n, total_algo / n)
+        IsopCellOutcome {
+            results,
+            avg_samples: total_samples / n,
+            avg_algo_seconds: total_algo / n,
+            degraded,
+        }
     }
 
     /// Runs the SA baseline matched to ISOP+'s budget.
@@ -309,6 +348,7 @@ mod tests {
             metrics: [z, l, next],
             fom: -l,
             design: vec![],
+            resolution: "full".to_string(),
         }
     }
 

@@ -76,17 +76,22 @@ pub mod weights;
 
 /// Convenience re-exports for typical use.
 pub mod prelude {
-    pub use crate::evalcache::{DesignKey, EvalCache, MemoizedSurrogate, SurrogateMemo};
+    pub use crate::evalcache::{CachedSim, DesignKey, EvalCache, MemoizedSurrogate, SurrogateMemo};
     pub use crate::exec::Parallelism;
-    pub use crate::experiment::{ExperimentContext, MatchMode, TrialResult, TrialStats};
+    pub use crate::experiment::{
+        ExperimentContext, IsopCellOutcome, MatchMode, TrialResult, TrialStats,
+    };
     pub use crate::objective::{FomSpec, InputConstraint, Metric, Objective, OutputConstraint};
     pub use crate::params::{ParamDef, ParamSpace};
-    pub use crate::pipeline::{DesignCandidate, IsopConfig, IsopOptimizer, IsopOutcome};
+    pub use crate::pipeline::{
+        DesignCandidate, IsopConfig, IsopOptimizer, IsopOutcome, RolloutResolution,
+    };
     pub use crate::surrogate::{
         CnnSurrogate, InstrumentedSurrogate, MlpSurrogate, MlpXgbSurrogate, NeuralSurrogate,
         OracleSurrogate, Surrogate,
     };
     pub use crate::tasks::TaskId;
     pub use crate::weights::WeightAdapter;
+    pub use isop_em::fault::{FaultConfig, FaultInjector, RetryPolicy, SimError};
     pub use isop_telemetry::{Counter, RunReport, Telemetry};
 }

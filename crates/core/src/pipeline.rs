@@ -13,14 +13,20 @@
 //!    (the `H + MLP_XGB` ablation) or disabled (`H + 1D-CNN`).
 //! 3. **Candidate roll-out** — round to the grid (Eq. 6), evaluate the
 //!    `cand_num` best with the *accurate* simulator, rank by the exact
-//!    objective `g`.
+//!    objective `g`. The roll-out is fault-tolerant: transient simulator
+//!    failures retry under a bounded exponential-backoff policy (charged
+//!    as simulated seconds, never slept), permanently failed designs are
+//!    replaced by the next-best from the surplus surrogate-scored pool,
+//!    and the outcome reports an explicit resolution (full / degraded /
+//!    all simulations failed).
 
-use crate::evalcache::{CacheProbe, EvalCache, MemoizedSurrogate, SurrogateMemo};
+use crate::evalcache::{CacheProbe, CachedSim, EvalCache, MemoizedSurrogate, SurrogateMemo};
 use crate::exec::{par_map_indexed, Parallelism};
 use crate::objective::Objective;
 use crate::params::ParamSpace;
 use crate::surrogate::{InstrumentedSurrogate, Surrogate};
 use crate::weights::{SampleRecord, WeightAdapter};
+use isop_em::fault::{PermanentFault, RetryPolicy, SimError};
 use isop_em::simulator::{EmSimulator, SimulationResult};
 use isop_em::stackup::DiffStripline;
 use isop_hpo::budget::Budget;
@@ -66,6 +72,9 @@ pub struct IsopConfig {
     /// replicas, stage-2 Adam refinements, stage-3 roll-out). Outcomes are
     /// identical for any thread count at a fixed seed.
     pub parallelism: Parallelism,
+    /// Retry schedule for transient EM failures at roll-out. Backoff is
+    /// charged to the EM ledger as simulated seconds, never slept.
+    pub retry: RetryPolicy,
 }
 
 impl IsopConfig {
@@ -95,6 +104,7 @@ impl Default for IsopConfig {
             adapt_weights: true,
             weight_adapter: WeightAdapter::default(),
             parallelism: Parallelism::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -110,6 +120,42 @@ pub struct DesignCandidate {
     pub simulated: Option<SimulationResult>,
     /// Exact objective `g` on the simulated metrics.
     pub g_exact: f64,
+    /// Accurate-simulator attempts this design took (including the final
+    /// successful one). Greater than 1 exactly when transient failures
+    /// forced retries; cache hits replay the original run's count.
+    pub attempts: u32,
+}
+
+/// How the stage-3 roll-out resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RolloutResolution {
+    /// Every requested slot was filled by a successful accurate simulation
+    /// (possibly after retries and top-ups).
+    Full,
+    /// Permanent simulator failures left the roll-out short of `cand_num`
+    /// even after drawing every available backup from the scored pool.
+    Degraded,
+    /// No accurate simulation succeeded at all; the run's `success=false`
+    /// is a simulator outage, not an ordinary infeasible trial.
+    AllSimulationsFailed,
+}
+
+impl RolloutResolution {
+    /// Stable label used in `RunReport.resolution` and trial records.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RolloutResolution::Full => "full",
+            RolloutResolution::Degraded => "degraded",
+            RolloutResolution::AllSimulationsFailed => "all_simulations_failed",
+        }
+    }
+}
+
+impl std::fmt::Display for RolloutResolution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// Full pipeline outcome with the accounting the paper's tables report.
@@ -136,6 +182,20 @@ pub struct IsopOutcome {
     /// Whether the best candidate satisfies every constraint under the
     /// accurate simulator.
     pub success: bool,
+    /// Roll-out retry attempts (re-issued simulations after transient
+    /// failures); mirrors the `em.retries` counter.
+    pub em_retries: u64,
+    /// Transient EM failures observed at roll-out; mirrors
+    /// `em.failures_transient`.
+    pub em_failures_transient: u64,
+    /// Designs abandoned for good at roll-out (permanent failure or
+    /// exhausted retry budget); mirrors `em.failures_permanent`.
+    pub em_failures_permanent: u64,
+    /// Backup designs drawn from the surplus scored pool; mirrors
+    /// `em.topped_up`.
+    pub em_topped_up: u64,
+    /// How the roll-out resolved (full / degraded / all failed).
+    pub resolution: RolloutResolution,
 }
 
 impl IsopOutcome {
@@ -424,8 +484,10 @@ impl<'a> IsopOptimizer<'a> {
         let refined: Vec<Vec<f64>> =
             par_map_indexed(self.config.parallelism.threads, &decoded, |_, start| {
                 let mut x = start.clone();
-                let differentiable = instrumented.jacobian(&x).is_some();
-                if self.config.use_gradient_descent && differentiable {
+                // Short-circuit order matters: the differentiability probe
+                // costs a full Jacobian per seed, so it must not run when
+                // the GD stage is disabled and the answer is unused.
+                if self.config.use_gradient_descent && instrumented.jacobian(&x).is_some() {
                     // Optimize in normalized coordinates u = (x - lo) / span.
                     let mut u: Vec<f64> = x
                         .iter()
@@ -489,10 +551,13 @@ impl<'a> IsopOptimizer<'a> {
                 }
             }
         }
-        // Rank by surrogate g_hat (one batched forward pass) and simulate
-        // the top cand_num.
+        // Rank by surrogate g_hat (one batched forward pass). The whole
+        // scored pool is retained — the rows beyond cand_num were already
+        // paid for by the single predict_batch above, and the surplus is
+        // exactly the backup stock the fault-tolerant top-up draws from
+        // when a permanent simulator failure empties a roll-out slot.
         let predictions = instrumented.predict_batch(&rounded);
-        let mut scored: Vec<(Vec<f64>, [f64; 3], f64)> = rounded
+        let mut pool: Vec<(Vec<f64>, [f64; 3], f64)> = rounded
             .into_iter()
             .zip(predictions)
             .filter_map(|(x, m)| {
@@ -501,72 +566,113 @@ impl<'a> IsopOptimizer<'a> {
                 Some((x, m, g))
             })
             .collect();
-        scored.sort_by(|a, b| nan_last(a.2, b.2));
-        scored.truncate(self.config.cand_num.max(1));
+        pool.sort_by(|a, b| nan_last(a.2, b.2));
 
-        // Probe the evaluation cache serially, in candidate order, before
-        // the parallel section — hit/miss counters come out identical at
-        // any thread width. Only successful simulations are ever cached, so
-        // a hit replays the simulator's counter footprint (attempted +
-        // succeeded) on this optimizer's telemetry handle; attach the same
-        // handle to the simulator to keep totals identical cache on/off.
-        let probes: Vec<CacheProbe> = scored
-            .iter()
-            .map(|(x, _, _)| self.eval_cache.probe(self.space, x, &self.telemetry))
-            .collect();
-        for p in &probes {
-            if p.hit.is_some() {
-                self.telemetry.incr(Counter::EmSimAttempted);
-                self.telemetry.incr(Counter::EmSimSucceeded);
-            }
-        }
-        // Simulate only the cache misses, concurrently — the paper's "three
-        // EM runs in parallel". Results collect by index, so the merge
-        // below sees the same order at any thread count.
-        let miss_inputs: Vec<Vec<f64>> = scored
-            .iter()
-            .zip(&probes)
-            .filter(|(_, p)| p.hit.is_none())
-            .map(|((x, _, _), _)| x.clone())
-            .collect();
-        let miss_results =
-            par_map_indexed(self.config.parallelism.threads, &miss_inputs, |_, x| {
-                let layer = DiffStripline::from_vector(x).ok()?;
-                self.simulator.simulate(&layer).ok()
-            });
-        // Merge hits and fresh results back into candidate order; fresh
-        // successes enter the cache serially, after the parallel section.
-        let mut fresh = miss_results.into_iter();
-        let simulated: Vec<(Option<SimulationResult>, bool)> = probes
-            .into_iter()
-            .map(|p| {
-                if let Some(hit) = p.hit {
-                    (Some(hit), true)
-                } else {
-                    let sim = fresh.next().expect("one result per cache miss");
-                    if let (Some(sim), Some(key)) = (sim, p.key) {
-                        self.eval_cache.insert(key, sim);
-                    }
-                    (sim, false)
-                }
-            })
-            .collect();
+        // Draw from the pool in score order until cand_num designs have
+        // been *successfully* simulated or the pool runs dry. Wave 1 is the
+        // classic top-cand_num roll-out; every further draw is a top-up
+        // replacing a permanently failed design.
+        let retry = self.config.retry;
+        let target = self.config.cand_num.max(1);
+        let first_wave = target.min(pool.len());
         let mut candidates: Vec<DesignCandidate> = Vec::new();
         let mut served_from_cache: Vec<bool> = Vec::new();
-        for ((x, predicted, _), (sim, from_cache)) in scored.into_iter().zip(simulated) {
-            let Some(sim) = sim else {
-                continue;
-            };
-            served_from_cache.push(from_cache);
-            let metrics = sim.to_array();
-            let g = final_objective.g_exact(&metrics, &x);
-            candidates.push(DesignCandidate {
-                values: x,
-                predicted,
-                simulated: Some(sim),
-                g_exact: g,
-            });
+        let mut fresh_records: Vec<RolloutSim> = Vec::new();
+        let mut next = 0usize;
+        let mut delivered = 0usize;
+        while delivered < target && next < pool.len() {
+            let take = (target - delivered).min(pool.len() - next);
+            let wave = &pool[next..next + take];
+            next += take;
+            // Probe the evaluation cache serially, in draw order, before
+            // the parallel section — hit/miss counters come out identical
+            // at any thread width. Only successful simulations are ever
+            // cached, so a hit replays the simulator's counter footprint
+            // (attempted + succeeded) and the stored attempt count while
+            // bypassing the retry path entirely (no retry counters, no
+            // backoff); attach the same handle to the simulator to keep
+            // totals identical cache on/off.
+            let probes: Vec<CacheProbe> = wave
+                .iter()
+                .map(|(x, _, _)| self.eval_cache.probe(self.space, x, &self.telemetry))
+                .collect();
+            for p in &probes {
+                if p.hit.is_some() {
+                    self.telemetry.incr(Counter::EmSimAttempted);
+                    self.telemetry.incr(Counter::EmSimSucceeded);
+                }
+            }
+            // Simulate only the cache misses, concurrently — the paper's
+            // "three EM runs in parallel". One worker owns a design's whole
+            // retry chain and results collect by index, so the merge below
+            // sees the same order at any thread count (fault decisions are
+            // keyed by design identity, never call order).
+            let miss_inputs: Vec<Vec<f64>> = wave
+                .iter()
+                .zip(&probes)
+                .filter(|(_, p)| p.hit.is_none())
+                .map(|((x, _, _), _)| x.clone())
+                .collect();
+            let miss_runs =
+                par_map_indexed(self.config.parallelism.threads, &miss_inputs, |_, x| {
+                    simulate_with_retry(self.simulator, x, retry)
+                });
+            // Merge hits and fresh outcomes back into draw order; fresh
+            // successes enter the cache serially, after the parallel section.
+            let mut fresh = miss_runs.into_iter();
+            for ((x, predicted, _), probe) in wave.iter().zip(probes) {
+                let (sim, attempts, from_cache) = if let Some(hit) = probe.hit {
+                    (Some(hit.result), hit.attempts, true)
+                } else {
+                    let run = fresh.next().expect("one outcome per cache miss");
+                    if let (Some(result), Some(key)) = (run.result, probe.key) {
+                        self.eval_cache.insert(
+                            key,
+                            CachedSim {
+                                result,
+                                attempts: run.attempts,
+                            },
+                        );
+                    }
+                    fresh_records.push(run);
+                    (run.result, run.attempts, false)
+                };
+                let Some(sim) = sim else {
+                    continue;
+                };
+                delivered += 1;
+                served_from_cache.push(from_cache);
+                let metrics = sim.to_array();
+                let g = final_objective.g_exact(&metrics, x);
+                candidates.push(DesignCandidate {
+                    values: x.clone(),
+                    predicted: *predicted,
+                    simulated: Some(sim),
+                    g_exact: g,
+                    attempts,
+                });
+            }
         }
+        // Fault accounting, folded serially from the merged records — the
+        // totals are a function of per-design outcomes, never of thread
+        // interleaving, so they are bit-identical at any width.
+        let em_retries: u64 = fresh_records
+            .iter()
+            .map(|r| u64::from(r.attempts.saturating_sub(1)))
+            .sum();
+        let em_failures_transient: u64 = fresh_records
+            .iter()
+            .map(|r| u64::from(r.transient_failures))
+            .sum();
+        let em_failures_permanent =
+            fresh_records.iter().filter(|r| r.result.is_none()).count() as u64;
+        let em_topped_up = (next - first_wave) as u64;
+        self.telemetry.add(Counter::EmRetries, em_retries);
+        self.telemetry
+            .add(Counter::EmFailuresTransient, em_failures_transient);
+        self.telemetry
+            .add(Counter::EmFailuresPermanent, em_failures_permanent);
+        self.telemetry.add(Counter::EmToppedUp, em_topped_up);
         // EM wall-clock: each batch of up to three *successful*
         // simulations runs in parallel and occupies the wall-clock of a
         // single run (`nominal_seconds`). Charge once per batch, not per
@@ -588,6 +694,34 @@ impl<'a> IsopOptimizer<'a> {
                 self.telemetry.charge_em_seconds(nominal);
             }
         }
+        // Retry surcharge: every failed attempt that reached the tool
+        // costs one nominal run, and each re-issue waits out its
+        // exponential backoff — all charged as *simulated* seconds (no
+        // real sleeps). The final successful attempt is already covered by
+        // its batch charge above, and fail-fast geometry rejections never
+        // reach the solver. Accumulated serially in draw order so the f64
+        // ledger is bit-identical at any thread width; a fault-free run
+        // adds nothing here and its ledger stays bit-identical to a run
+        // without the fault layer.
+        let nominal = self.simulator.nominal_seconds();
+        for r in &fresh_records {
+            let charged_runs = r
+                .attempts
+                .saturating_sub(u32::from(r.geometry_rejected))
+                .saturating_sub(u32::from(r.result.is_some()));
+            let surcharge = f64::from(charged_runs) * nominal + retry.total_backoff(r.attempts);
+            if surcharge > 0.0 {
+                em_seconds += surcharge;
+                self.telemetry.charge_em_seconds(surcharge);
+            }
+        }
+        let resolution = if delivered == 0 && next > 0 {
+            RolloutResolution::AllSimulationsFailed
+        } else if delivered < target && em_failures_permanent > 0 {
+            RolloutResolution::Degraded
+        } else {
+            RolloutResolution::Full
+        };
         // Rank feasible candidates ahead of infeasible ones, then by exact
         // objective — the paper's success criterion counts a trial as
         // successful when *a* constraint-satisfying solution is discovered.
@@ -612,6 +746,66 @@ impl<'a> IsopOptimizer<'a> {
             em_seconds_saved,
             final_objective,
             success,
+            em_retries,
+            em_failures_transient,
+            em_failures_permanent,
+            em_topped_up,
+            resolution,
+        }
+    }
+}
+
+/// Outcome of one fresh (uncached) roll-out evaluation after the retry
+/// loop.
+#[derive(Debug, Clone, Copy)]
+struct RolloutSim {
+    /// Final successful simulation, if any attempt succeeded.
+    result: Option<SimulationResult>,
+    /// Attempts issued, including the final one (0 when the design never
+    /// formed a valid layer).
+    attempts: u32,
+    /// Transient failures observed across the attempts.
+    transient_failures: u32,
+    /// The design never reached the solver: vector-to-layer conversion or
+    /// fail-fast geometry validation rejected it, so no solver time is
+    /// charged for the rejecting attempt.
+    geometry_rejected: bool,
+}
+
+/// Runs one design through the accurate simulator under `policy`:
+/// transient failures retry up to the attempt budget, permanent failures
+/// abort immediately (they would recur forever). Nothing sleeps here —
+/// backoff is charged as simulated seconds by the caller's serial
+/// accounting section.
+fn simulate_with_retry(sim: &dyn EmSimulator, x: &[f64], policy: RetryPolicy) -> RolloutSim {
+    let mut out = RolloutSim {
+        result: None,
+        attempts: 0,
+        transient_failures: 0,
+        geometry_rejected: false,
+    };
+    let Ok(layer) = DiffStripline::from_vector(x) else {
+        out.geometry_rejected = true;
+        return out;
+    };
+    let budget = policy.attempt_budget();
+    loop {
+        out.attempts += 1;
+        match sim.simulate(&layer) {
+            Ok(r) => {
+                out.result = Some(r);
+                return out;
+            }
+            Err(SimError::Transient(_)) => {
+                out.transient_failures += 1;
+                if out.attempts >= budget {
+                    return out;
+                }
+            }
+            Err(SimError::Permanent(p)) => {
+                out.geometry_rejected = matches!(p, PermanentFault::Geometry(_));
+                return out;
+            }
         }
     }
 }

@@ -18,7 +18,11 @@
 //! * [`fdsolver`] — a 2-D finite-difference Laplace solver used as the
 //!   approximation-free reference engine;
 //! * [`simulator`] — the [`EmSimulator`][simulator::EmSimulator] facade the
-//!   optimizer consumes.
+//!   optimizer consumes;
+//! * [`fault`] — transient/permanent failure taxonomy
+//!   ([`SimError`][fault::SimError]), the seeded deterministic
+//!   [`FaultInjector`][fault::FaultInjector] decorator, and the
+//!   [`RetryPolicy`][fault::RetryPolicy] the roll-out applies.
 //!
 //! ## Quick example
 //!
@@ -48,6 +52,7 @@ pub mod complex;
 pub mod crosstalk;
 pub mod dispersion;
 pub mod eye;
+pub mod fault;
 pub mod fdsolver;
 pub mod rlgc;
 pub mod roughness;
@@ -58,5 +63,8 @@ pub mod stripline;
 pub mod units;
 pub mod via;
 
+pub use fault::{
+    FaultConfig, FaultInjector, PermanentFault, RetryPolicy, SimError, TransientFault,
+};
 pub use simulator::{AnalyticalSolver, EmSimulator, FieldSolver, SimulationResult};
 pub use stackup::{DiffStripline, GeometryError, PARAM_COUNT, PARAM_NAMES};

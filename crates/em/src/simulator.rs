@@ -16,9 +16,10 @@
 //! sleeping, via an internal cost ledger.
 
 use crate::crosstalk::next_mv;
+use crate::fault::SimError;
 use crate::fdsolver::{solve_odd_mode, FdConfig};
 use crate::rlgc::insertion_loss_db_per_inch;
-use crate::stackup::{DiffStripline, GeometryError};
+use crate::stackup::DiffStripline;
 use crate::stripline::differential_z0;
 use isop_telemetry::{Counter, Telemetry};
 use serde::{Deserialize, Serialize};
@@ -58,8 +59,11 @@ pub trait EmSimulator: Send + Sync {
     ///
     /// # Errors
     ///
-    /// Returns [`GeometryError`] when the layer is physically invalid.
-    fn simulate(&self, layer: &DiffStripline) -> Result<SimulationResult, GeometryError>;
+    /// Returns a [`SimError`] classifying the failure: permanent for a
+    /// physically invalid layer (or an injected unsolvable design) and
+    /// transient for retryable tool failures injected by
+    /// [`FaultInjector`](crate::fault::FaultInjector).
+    fn simulate(&self, layer: &DiffStripline) -> Result<SimulationResult, SimError>;
 
     /// Nominal wall-clock cost of one evaluation in seconds, used by the
     /// experiment harness to account simulated EM time like the paper does.
@@ -98,12 +102,12 @@ impl AnalyticalSolver {
 }
 
 impl EmSimulator for AnalyticalSolver {
-    fn simulate(&self, layer: &DiffStripline) -> Result<SimulationResult, GeometryError> {
+    fn simulate(&self, layer: &DiffStripline) -> Result<SimulationResult, SimError> {
         let _span = isop_telemetry::span!(self.telemetry, "em.simulate");
         self.telemetry.incr(Counter::EmSimAttempted);
         if let Err(e) = layer.validate() {
             self.telemetry.incr(Counter::EmSimFailed);
-            return Err(e);
+            return Err(e.into());
         }
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.telemetry.incr(Counter::EmSimSucceeded);
@@ -165,12 +169,12 @@ impl FieldSolver {
 }
 
 impl EmSimulator for FieldSolver {
-    fn simulate(&self, layer: &DiffStripline) -> Result<SimulationResult, GeometryError> {
+    fn simulate(&self, layer: &DiffStripline) -> Result<SimulationResult, SimError> {
         let _span = isop_telemetry::span!(self.telemetry, "em.simulate");
         self.telemetry.incr(Counter::EmSimAttempted);
         if let Err(e) = layer.validate() {
             self.telemetry.incr(Counter::EmSimFailed);
-            return Err(e);
+            return Err(e.into());
         }
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.telemetry.incr(Counter::EmSimSucceeded);

@@ -90,11 +90,28 @@ pub enum Counter {
     /// row chunks, and ensemble members. Deterministic for a fixed config —
     /// chunk boundaries never depend on the thread count.
     TrainChunks,
+    /// Roll-out retry attempts: EM simulations re-issued after a
+    /// *transient* failure (license contention, mesh non-convergence,
+    /// timeout). Deterministic for a fixed fault seed at any thread width;
+    /// cache hits bypass the retry path and never tick this.
+    EmRetries,
+    /// Transient EM failure events observed at roll-out (each one either
+    /// precedes a retry or exhausts the retry budget).
+    EmFailuresTransient,
+    /// Roll-out designs abandoned for good: a permanent simulator failure
+    /// (invalid geometry or an unsolvable mesh) or an exhausted retry
+    /// budget. Each one makes the roll-out draw a top-up candidate when
+    /// the surrogate-ranked pool still has one.
+    EmFailuresPermanent,
+    /// Backup designs drawn from the surplus surrogate-ranked pool after a
+    /// permanent roll-out failure, so the accurate simulator still sees
+    /// `cand_num` successful evaluations whenever the pool allows.
+    EmToppedUp,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 24] = [
         Counter::EmSimAttempted,
         Counter::EmSimSucceeded,
         Counter::EmSimFailed,
@@ -115,6 +132,10 @@ impl Counter {
         Counter::SurrogateMemoHits,
         Counter::SurrogateMemoMisses,
         Counter::TrainChunks,
+        Counter::EmRetries,
+        Counter::EmFailuresTransient,
+        Counter::EmFailuresPermanent,
+        Counter::EmToppedUp,
     ];
 
     /// Stable dotted label used in reports and threshold files.
@@ -141,6 +162,10 @@ impl Counter {
             Counter::SurrogateMemoHits => "surrogate.memo_hits",
             Counter::SurrogateMemoMisses => "surrogate.memo_misses",
             Counter::TrainChunks => "train.chunks",
+            Counter::EmRetries => "em.retries",
+            Counter::EmFailuresTransient => "em.failures_transient",
+            Counter::EmFailuresPermanent => "em.failures_permanent",
+            Counter::EmToppedUp => "em.topped_up",
         }
     }
 
@@ -412,6 +437,12 @@ pub struct RunReport {
     pub threads: usize,
     /// Whether the best verified design satisfied every constraint.
     pub success: bool,
+    /// How the EM roll-out resolved: `"full"` when every requested slot was
+    /// filled by a successful simulation, `"degraded"` when permanent
+    /// failures left the roll-out short of `cand_num` even after top-up,
+    /// `"all_simulations_failed"` when no simulation succeeded at all, and
+    /// empty when not applicable (non-pipeline reports).
+    pub resolution: String,
     /// Valid surrogate samples consumed.
     pub samples_seen: u64,
     /// Invalid encodings encountered.
@@ -432,7 +463,7 @@ pub struct RunReport {
 
 impl RunReport {
     /// Current schema version.
-    pub const SCHEMA_VERSION: u32 = 2;
+    pub const SCHEMA_VERSION: u32 = 3;
 
     /// A report with zeroed metrics and empty metadata.
     #[must_use]
@@ -444,6 +475,7 @@ impl RunReport {
             seed: 0,
             threads: 1,
             success: false,
+            resolution: String::new(),
             samples_seen: 0,
             invalid_seen: 0,
             algorithm_seconds: 0.0,
@@ -615,6 +647,24 @@ mod tests {
     }
 
     #[test]
+    fn fault_counters_have_stable_labels() {
+        assert_eq!(Counter::EmRetries.name(), "em.retries");
+        assert_eq!(Counter::EmFailuresTransient.name(), "em.failures_transient");
+        assert_eq!(Counter::EmFailuresPermanent.name(), "em.failures_permanent");
+        assert_eq!(Counter::EmToppedUp.name(), "em.topped_up");
+        let tele = Telemetry::enabled();
+        tele.add(Counter::EmRetries, 2);
+        tele.incr(Counter::EmFailuresTransient);
+        tele.incr(Counter::EmFailuresPermanent);
+        tele.incr(Counter::EmToppedUp);
+        let report = tele.run_report();
+        assert_eq!(report.counter("em.retries"), 2);
+        assert_eq!(report.counter("em.failures_transient"), 1);
+        assert_eq!(report.counter("em.failures_permanent"), 1);
+        assert_eq!(report.counter("em.topped_up"), 1);
+    }
+
+    #[test]
     fn run_report_serde_round_trip() {
         let tele = Telemetry::enabled();
         tele.incr(Counter::EmSimSucceeded);
@@ -629,6 +679,7 @@ mod tests {
         report.seed = 42;
         report.threads = 4;
         report.success = true;
+        report.resolution = "full".to_string();
         report.samples_seen = 900;
         report.algorithm_seconds = 1.25;
 
@@ -636,6 +687,7 @@ mod tests {
         let back = RunReport::from_json(&json).expect("parses");
         assert_eq!(back, report);
         assert_eq!(back.schema_version, RunReport::SCHEMA_VERSION);
+        assert_eq!(back.resolution, "full");
         assert_eq!(back.counter("hyperband.prunes"), 12);
         assert_eq!(back.span("pipeline.rollout").expect("kept").count, 1);
     }

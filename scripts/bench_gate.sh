@@ -12,6 +12,14 @@
 # the phase has its own wall-clock budget (max_train_seconds), and on
 # hosts with >= 4 cores the forest fit must parallelize >= 2x.
 #
+# A fault-injection smoke phase then gates the fault-tolerant roll-out: a
+# rate-0 run through the FaultInjector must be bit-identical to a run
+# without the fault layer, a fixed-rate faulted run must be bit-identical
+# at 1 vs 4 threads (outcome and every counter), and the faulted run's
+# em.retries / em.failures_* / em.topped_up land in the counter budget, so
+# a retry storm fails the gate. The phase has its own wall-clock budget
+# (max_fault_seconds).
+#
 # Usage:
 #   scripts/bench_gate.sh            # gate against the checked-in budget
 #   scripts/bench_gate.sh --update   # refresh the budget from a local run

@@ -35,7 +35,10 @@ fn sample_matched_sa_respects_budget() {
     let simulator = AnalyticalSolver::new();
     let ctx = context(&space, &surrogate, &simulator);
     let objective = isop::tasks::objective_for(TaskId::T1, vec![]);
-    let (isop_results, avg_samples, avg_algo) = ctx.run_isop(&objective);
+    let cell = ctx.run_isop(&objective);
+    let (isop_results, avg_samples, avg_algo) =
+        (cell.results, cell.avg_samples, cell.avg_algo_seconds);
+    assert!(cell.degraded.is_empty(), "no faults injected here");
     assert!(!isop_results.is_empty());
     assert!(
         avg_samples > 100.0,
@@ -62,7 +65,8 @@ fn runtime_matched_bo_observes_fewer_samples_than_isop() {
     let simulator = AnalyticalSolver::new();
     let ctx = context(&space, &surrogate, &simulator);
     let objective = isop::tasks::objective_for(TaskId::T1, vec![]);
-    let (_, avg_samples, avg_algo) = ctx.run_isop(&objective);
+    let cell = ctx.run_isop(&objective);
+    let (avg_samples, avg_algo) = (cell.avg_samples, cell.avg_algo_seconds);
 
     let bo = ctx.run_bo(
         &objective,
@@ -84,7 +88,8 @@ fn all_methods_verify_with_real_simulation() {
     let simulator = AnalyticalSolver::new();
     let ctx = context(&space, &surrogate, &simulator);
     let objective = isop::tasks::objective_for(TaskId::T2, vec![]);
-    let (isop_results, s, a) = ctx.run_isop(&objective);
+    let cell = ctx.run_isop(&objective);
+    let (isop_results, s, a) = (cell.results, cell.avg_samples, cell.avg_algo_seconds);
     let sa = ctx.run_sa(&objective, MatchMode::Samples, s, a);
     let bo = ctx.run_bo(&objective, MatchMode::Samples, 100.0, a);
 
@@ -110,7 +115,7 @@ fn aggregation_matches_trial_data() {
     let simulator = AnalyticalSolver::new();
     let ctx = context(&space, &surrogate, &simulator);
     let objective = isop::tasks::objective_for(TaskId::T1, vec![]);
-    let (results, _, _) = ctx.run_isop(&objective);
+    let results = ctx.run_isop(&objective).results;
     let stats = TrialStats::aggregate("ISOP+", &results, 85.0);
     assert_eq!(stats.trials, results.len());
     let manual_fom: f64 = results.iter().map(|r| r.fom).sum::<f64>() / results.len() as f64;
