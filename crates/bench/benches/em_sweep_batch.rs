@@ -1,0 +1,125 @@
+//! Micro-benchmark: batched structure-of-arrays frequency sweep
+//! ([`SweepPlan`]) against the scalar per-point ABCD path, on a fleet of
+//! link-level channels sharing layers and via prototypes.
+//!
+//! Bit-identity of the two paths is asserted before any timing — a
+//! benchmark of a wrong kernel measures nothing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isop_em::channel::{Channel, Element};
+use isop_em::stackup::DiffStripline;
+use isop_em::sweep::SweepPlan;
+use isop_em::via::Via;
+use std::hint::black_box;
+
+const N_FREQ: usize = 256;
+const F_START: f64 = 1e8;
+const F_STOP: f64 = 4e10;
+
+/// A fleet of channels with shared layers, repeated segments, and mixed
+/// stubbed/back-drilled vias — the structure the plan's interning exploits.
+fn make_channels(n: usize) -> Vec<Channel> {
+    let layers: Vec<DiffStripline> = (0..4)
+        .map(|i| DiffStripline {
+            trace_width: 4.0 + 0.5 * i as f64,
+            ..DiffStripline::default()
+        })
+        .collect();
+    (0..n)
+        .map(|c| {
+            let mut elems = Vec::new();
+            for s in 0..4usize {
+                elems.push(Element::Stripline {
+                    layer: layers[(c + s) % layers.len()],
+                    length_inches: 1.0 + ((c + 2 * s) % 3) as f64,
+                });
+                elems.push(Element::Via(Via {
+                    stub_length: if (c + s) % 2 == 0 { 20.0 } else { 0.0 },
+                    ..Via::default()
+                }));
+            }
+            Channel::new(elems).expect("valid channel")
+        })
+        .collect()
+}
+
+fn scalar_sweep(channels: &[Channel], freqs: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    for ch in channels {
+        let z = ch.reference_impedance();
+        for &f in freqs {
+            let (s11, s21, _, _) = ch.abcd(f).to_s_params(z);
+            out.push(s21.re);
+            out.push(s21.im);
+            out.push(s11.re);
+            out.push(s11.im);
+        }
+    }
+}
+
+fn batched_sweep(channels: &[Channel], plan: &mut SweepPlan, out: &mut Vec<f64>) {
+    out.clear();
+    for ch in channels {
+        let view = plan.sweep(ch);
+        for i in 0..view.len() {
+            let (s11, s21) = (view.s11(i), view.s21(i));
+            out.push(s21.re);
+            out.push(s21.im);
+            out.push(s11.re);
+            out.push(s11.im);
+        }
+    }
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("em_sweep_batch");
+    g.sample_size(10);
+    for &n_chan in &[4usize, 16] {
+        let channels = make_channels(n_chan);
+        let freqs = SweepPlan::log_spaced(F_START, F_STOP, N_FREQ)
+            .freqs()
+            .to_vec();
+
+        // Identity gate before timing.
+        let mut scalar = Vec::new();
+        scalar_sweep(&channels, &freqs, &mut scalar);
+        let mut plan = SweepPlan::log_spaced(F_START, F_STOP, N_FREQ);
+        let mut batched = Vec::new();
+        batched_sweep(&channels, &mut plan, &mut batched);
+        assert_eq!(scalar.len(), batched.len());
+        assert!(
+            scalar
+                .iter()
+                .zip(&batched)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "batched sweep must be bit-identical to the scalar path"
+        );
+
+        g.bench_function(format!("scalar_{n_chan}x{N_FREQ}"), |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                scalar_sweep(black_box(&channels), black_box(&freqs), &mut out);
+                black_box(&out);
+            })
+        });
+        g.bench_function(format!("batched_warm_{n_chan}x{N_FREQ}"), |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                batched_sweep(black_box(&channels), &mut plan, &mut out);
+                black_box(&out);
+            })
+        });
+        g.bench_function(format!("batched_cold_{n_chan}x{N_FREQ}"), |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                let mut cold = SweepPlan::log_spaced(F_START, F_STOP, N_FREQ);
+                batched_sweep(black_box(&channels), &mut cold, &mut out);
+                black_box(&out);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

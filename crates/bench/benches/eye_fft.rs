@@ -1,0 +1,66 @@
+//! Micro-benchmark: the eye-diagram impulse response through the radix-2
+//! inverse real FFT ([`EyeWorkspace`]) against the O(n²) naive weighted
+//! sum ([`impulse_response_naive`]), plus the full peak-distortion eye
+//! with a warm (zero-alloc) workspace.
+//!
+//! Numerical equivalence (~1e-12; the FFT is not bit-identical to the
+//! naive sum, only to itself) is asserted before any timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isop_em::channel::{Channel, Element};
+use isop_em::eye::{impulse_response_naive, peak_distortion_eye_with, EyeWorkspace};
+use isop_em::stackup::DiffStripline;
+use std::hint::black_box;
+
+fn line(inches: f64) -> Channel {
+    Channel::new(vec![Element::Stripline {
+        layer: DiffStripline::default(),
+        length_inches: inches,
+    }])
+    .expect("valid channel")
+}
+
+fn bench_eye(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eye_fft");
+    g.sample_size(10);
+    let ch = line(6.0);
+    for &n_freq in &[128usize, 512] {
+        let f_max = 6.4e10;
+
+        // Equivalence gate before timing.
+        let mut ws = EyeWorkspace::new();
+        let fast = ws.impulse_response(&ch, f_max, n_freq).to_vec();
+        let slow = impulse_response_naive(&ch, f_max, n_freq);
+        assert_eq!(fast.len(), slow.len());
+        assert!(
+            fast.iter().zip(&slow).all(|(a, b)| (a - b).abs() < 1e-9),
+            "FFT impulse response must match the naive reference"
+        );
+
+        g.bench_function(format!("impulse_naive_{n_freq}"), |b| {
+            b.iter(|| black_box(impulse_response_naive(black_box(&ch), f_max, n_freq)))
+        });
+        g.bench_function(format!("impulse_fft_warm_{n_freq}"), |b| {
+            b.iter(|| {
+                let h = ws.impulse_response(black_box(&ch), f_max, n_freq);
+                black_box(h[0]);
+            })
+        });
+    }
+    g.bench_function("peak_distortion_eye_warm", |b| {
+        let mut ws = EyeWorkspace::new();
+        b.iter(|| {
+            black_box(peak_distortion_eye_with(
+                &mut ws,
+                black_box(&ch),
+                16.0,
+                8,
+                16,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_eye);
+criterion_main!(benches);

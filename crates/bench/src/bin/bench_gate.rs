@@ -38,6 +38,17 @@
 //! (e.g. a retry storm) trip the gate like any other counter; the phase's
 //! wall-clock has its own budget (`max_fault_seconds`).
 //!
+//! A batched-sweep smoke phase then gates the structure-of-arrays EM
+//! frequency sweep: a fleet of link-level channels is swept once through
+//! the scalar per-point path and once through a shared [`SweepPlan`], the
+//! two must agree **bit for bit** at every (channel, frequency) point, and
+//! lane width 1 vs 4 must also be bit-identical. The identity checks run
+//! on every build; the >= [`MIN_SWEEP_SPEEDUP`]x batched-over-scalar
+//! throughput requirement is enforced only when the crate was compiled
+//! with the `simd-lanes` feature (`lanes_compiled()`), mirroring how the
+//! training speedup is only enforced on hosts with enough cores. The
+//! phase's wall-clock has its own budget (`max_sweep_seconds`).
+//!
 //! ```text
 //! bench_gate [--thresholds scripts/bench_thresholds.json]
 //!            [--out results/BENCH_ci.json] [--update] [--no-cache]
@@ -85,6 +96,12 @@ const FAULT_RATE: f64 = 0.35;
 const FAULT_PERMANENT_RATE: f64 = 0.30;
 /// Seed of the injected fault stream (independent of the pipeline seed).
 const FAULT_SEED: u64 = 2;
+/// Minimum batched-over-scalar sweep speedup, enforced only when the
+/// `simd-lanes` feature is compiled in ([`isop_em::sweep::lanes_compiled`])
+/// — bit-identity of the two paths is enforced everywhere.
+const MIN_SWEEP_SPEEDUP: f64 = 2.0;
+/// Frequency points of the sweep smoke grid.
+const SWEEP_POINTS: usize = 256;
 
 /// The checked-in perf budget the gate compares against.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -102,6 +119,10 @@ struct GateThresholds {
     /// Wall-clock budget for the fault-injection smoke (four pipeline
     /// runs), seconds (compared with a [`WALL_MARGIN`] tolerance).
     max_fault_seconds: f64,
+    /// Wall-clock budget for the batched-sweep smoke (scalar + batched +
+    /// lane-width passes), seconds (compared with a [`WALL_MARGIN`]
+    /// tolerance).
+    max_sweep_seconds: f64,
     /// Exact counter budget, one entry per [`Counter`](isop::prelude::Counter).
     counters: Vec<isop_telemetry::CounterEntry>,
 }
@@ -227,7 +248,7 @@ fn smoke_config(threads: usize) -> IsopConfig {
     }
 }
 
-fn run_smoke(use_cache: bool) -> Result<(RunReport, f64, f64, f64), String> {
+fn run_smoke(use_cache: bool) -> Result<(RunReport, f64, f64, f64, f64), String> {
     let space = isop::spaces::s1();
     let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
     let telemetry = Telemetry::enabled();
@@ -299,6 +320,9 @@ fn run_smoke(use_cache: bool) -> Result<(RunReport, f64, f64, f64), String> {
     // budgets land in the gated report.
     let fault_wall = fault_smoke(&telemetry)?;
 
+    // Batched-sweep phase: pure-function identity checks, no telemetry.
+    let sweep_wall = sweep_smoke()?;
+
     let mut report = telemetry.run_report();
     report.task = TaskId::T1.to_string();
     report.space = "s1".to_string();
@@ -309,7 +333,7 @@ fn run_smoke(use_cache: bool) -> Result<(RunReport, f64, f64, f64), String> {
     report.invalid_seen = first.invalid_seen + second.invalid_seen;
     report.algorithm_seconds = first.algorithm_seconds + second.algorithm_seconds;
     report.resolution = first.resolution.as_str().to_string();
-    Ok((report, wall, train_wall, fault_wall))
+    Ok((report, wall, train_wall, fault_wall, sweep_wall))
 }
 
 /// The fault-tolerant roll-out's smoke. Four pipeline runs on scratch
@@ -422,6 +446,117 @@ fn fault_smoke(main: &Telemetry) -> Result<f64, String> {
     Ok(t0.elapsed().as_secs_f64())
 }
 
+/// Appends the eight re/im bit patterns of a sweep point's four
+/// S-parameters, the unit of the bitwise identity comparisons below.
+fn collect_sweep_bits(view: isop_em::sweep::SweepView<'_>, out: &mut Vec<u64>) {
+    for i in 0..view.len() {
+        for s in [view.s11(i), view.s21(i), view.s12(i), view.s22(i)] {
+            out.push(s.re.to_bits());
+            out.push(s.im.to_bits());
+        }
+    }
+}
+
+/// The batched sweep's smoke: a fleet of link-level channels (shared
+/// layers, repeated segments, stubbed and back-drilled vias) swept once
+/// through the scalar per-point path and once through a shared cold
+/// [`SweepPlan`](isop_em::sweep::SweepPlan).
+///
+/// Always enforced: the two passes are bit-identical at every (channel,
+/// frequency) point, and lane width 1 equals lane width 4 bit for bit.
+/// Enforced only when the `simd-lanes` feature is compiled in: the batched
+/// pass (interning cost included) is at least [`MIN_SWEEP_SPEEDUP`]x
+/// faster than the scalar pass. Returns the phase wall-clock, seconds.
+fn sweep_smoke() -> Result<f64, String> {
+    use isop_em::channel::{Channel, Element};
+    use isop_em::stackup::DiffStripline;
+    use isop_em::sweep::{lanes_compiled, LaneWidth, SweepPlan};
+    use isop_em::via::Via;
+
+    let t0 = Instant::now();
+    let layers: Vec<DiffStripline> = (0..4)
+        .map(|i| DiffStripline {
+            trace_width: 4.0 + 0.5 * i as f64,
+            ..DiffStripline::default()
+        })
+        .collect();
+    let mut channels = Vec::new();
+    for c in 0..16usize {
+        let mut elems = Vec::new();
+        for s in 0..4usize {
+            elems.push(Element::Stripline {
+                layer: layers[(c + s) % layers.len()],
+                length_inches: 1.0 + ((c + 2 * s) % 3) as f64,
+            });
+            elems.push(Element::Via(Via {
+                stub_length: if (c + s) % 2 == 0 { 20.0 } else { 0.0 },
+                ..Via::default()
+            }));
+        }
+        channels.push(Channel::new(elems).map_err(|e| format!("sweep smoke channel: {e}"))?);
+    }
+    let freqs = SweepPlan::log_spaced(1e8, 4e10, SWEEP_POINTS)
+        .freqs()
+        .to_vec();
+
+    // Scalar reference pass: per-point ABCD chain + S-parameter conversion.
+    let t_scalar = Instant::now();
+    let mut scalar_bits: Vec<u64> = Vec::with_capacity(channels.len() * SWEEP_POINTS * 8);
+    for ch in &channels {
+        let z = ch.reference_impedance();
+        for &f in &freqs {
+            let (s11, s21, s12, s22) = ch.abcd(f).to_s_params(z);
+            for s in [s11, s21, s12, s22] {
+                scalar_bits.push(s.re.to_bits());
+                scalar_bits.push(s.im.to_bits());
+            }
+        }
+    }
+    let scalar_secs = t_scalar.elapsed().as_secs_f64();
+
+    // Batched pass through one cold plan (interning cost included).
+    let t_batched = Instant::now();
+    let mut plan = SweepPlan::log_spaced(1e8, 4e10, SWEEP_POINTS);
+    let mut batched_bits: Vec<u64> = Vec::with_capacity(scalar_bits.len());
+    plan.sweep_channels(&channels, |_, view| {
+        collect_sweep_bits(view, &mut batched_bits)
+    });
+    let batched_secs = t_batched.elapsed().as_secs_f64();
+
+    if scalar_bits != batched_bits {
+        return Err("sweep identity violation: batched sweep diverged from the scalar path".into());
+    }
+
+    // Lane-determinism contract: width 1 must reproduce width 4 bit for bit.
+    let mut narrow = SweepPlan::log_spaced(1e8, 4e10, SWEEP_POINTS).with_lanes(LaneWidth::W1);
+    let mut narrow_bits: Vec<u64> = Vec::with_capacity(batched_bits.len());
+    narrow.sweep_channels(&channels, |_, view| {
+        collect_sweep_bits(view, &mut narrow_bits)
+    });
+    if narrow_bits != batched_bits {
+        return Err("sweep lane determinism violation: lane width 1 diverged from width 4".into());
+    }
+
+    let speedup = scalar_secs / batched_secs.max(1e-9);
+    if lanes_compiled() && speedup < MIN_SWEEP_SPEEDUP {
+        return Err(format!(
+            "sweep speedup regression: batched {speedup:.2}x < {MIN_SWEEP_SPEEDUP:.1}x \
+             over the scalar path ({scalar_secs:.3}s vs {batched_secs:.3}s)"
+        ));
+    }
+    println!(
+        "bench_gate: sweep smoke: {} channels x {SWEEP_POINTS} points bit-identical, \
+         lanes 1 == 4 (scalar {scalar_secs:.3}s, batched {batched_secs:.3}s, {speedup:.2}x{})",
+        channels.len(),
+        if lanes_compiled() {
+            ""
+        } else {
+            "; lanes off — speedup not enforced"
+        }
+    );
+    Ok(t0.elapsed().as_secs_f64())
+}
+
 fn write_file(path: &str, contents: &str) -> Result<(), String> {
     if let Some(dir) = std::path::Path::new(path).parent() {
         if !dir.as_os_str().is_empty() {
@@ -437,11 +572,11 @@ fn gate(
     update: bool,
     use_cache: bool,
 ) -> Result<(), String> {
-    let (report, wall, train_wall, fault_wall) = run_smoke(use_cache)?;
+    let (report, wall, train_wall, fault_wall, sweep_wall) = run_smoke(use_cache)?;
     write_file(out_path, &report.to_json().map_err(|e| format!("{e:?}"))?)?;
     println!(
         "bench_gate: smoke run took {wall:.2}s (+{train_wall:.2}s training, \
-         +{fault_wall:.2}s faults), report at {out_path}"
+         +{fault_wall:.2}s faults, +{sweep_wall:.2}s sweep), report at {out_path}"
     );
 
     if update {
@@ -451,6 +586,7 @@ fn gate(
             max_wall_seconds: wall * WALL_UPDATE_HEADROOM,
             max_train_seconds: train_wall * WALL_UPDATE_HEADROOM,
             max_fault_seconds: fault_wall * WALL_UPDATE_HEADROOM,
+            max_sweep_seconds: sweep_wall * WALL_UPDATE_HEADROOM,
             counters: report.counters.clone(),
         };
         let json = serde_json::to_string(&thresholds).map_err(|e| format!("{e:?}"))?;
@@ -522,6 +658,18 @@ fn gate(
     } else {
         println!(
             "bench_gate: fault-smoke wall-clock {fault_wall:.2}s within {fault_limit:.2}s limit"
+        );
+    }
+    let sweep_limit = thresholds.max_sweep_seconds * WALL_MARGIN;
+    if sweep_wall > sweep_limit {
+        failures.push(format!(
+            "sweep-smoke wall-clock regression: {sweep_wall:.2}s > {sweep_limit:.2}s \
+             ({:.2}s budget x {WALL_MARGIN} margin)",
+            thresholds.max_sweep_seconds
+        ));
+    } else {
+        println!(
+            "bench_gate: sweep-smoke wall-clock {sweep_wall:.2}s within {sweep_limit:.2}s limit"
         );
     }
 

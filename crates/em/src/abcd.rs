@@ -94,13 +94,18 @@ impl AbcdMatrix {
 
     /// Converts to S-parameters with real reference impedance `z0` (ohms).
     ///
-    /// Returns `(s11, s21, s12, s22)`.
+    /// Returns `(s11, s21, s12, s22)` following the standard convention
+    /// (e.g. Pozar, *Microwave Engineering*, Table 4.2):
+    /// `s21 = 2 / denom` and `s12 = 2 (ad - bc) / denom`. For reciprocal
+    /// networks the determinant is 1 and the two coincide, which is why a
+    /// swapped implementation survives every reciprocal-element test — the
+    /// non-reciprocal regression test below pins the orientation.
     pub fn to_s_params(&self, z0: f64) -> (Complex, Complex, Complex, Complex) {
         let z0c = Complex::real(z0);
         let denom = self.a + self.b / z0c + self.c * z0c + self.d;
         let s11 = (self.a + self.b / z0c - self.c * z0c - self.d) / denom;
-        let s21 = (Complex::real(2.0) * self.det()) / denom;
-        let s12 = Complex::real(2.0) / denom;
+        let s21 = Complex::real(2.0) / denom;
+        let s12 = (Complex::real(2.0) * self.det()) / denom;
         let s22 = (-self.a + self.b / z0c - self.c * z0c + self.d) / denom;
         (s11, s21, s12, s22)
     }
@@ -112,9 +117,25 @@ impl Default for AbcdMatrix {
     }
 }
 
+/// Floor returned by [`to_db`] for zero-magnitude (or non-finite) input,
+/// dB. -300 dB is far below anything a passive channel model produces
+/// (thermal noise floors sit around -170 dBm/Hz) but keeps downstream
+/// ranking, differencing, and serialization finite where a raw
+/// `20 log10(0) = -inf` or `20 log10(NaN) = NaN` would poison them.
+pub const DB_FLOOR: f64 = -300.0;
+
 /// Magnitude of a transmission coefficient in dB (`20 log10 |s|`).
+///
+/// Returns [`DB_FLOOR`] for zero-magnitude or NaN input and clamps
+/// sub-floor magnitudes to it, so the result is always a finite number
+/// `>= DB_FLOOR` for any passive coefficient.
 pub fn to_db(s: Complex) -> f64 {
-    20.0 * s.abs().log10()
+    let mag = s.abs();
+    if mag.is_nan() || mag <= 0.0 {
+        // Zero magnitude (log10 would be -inf) or NaN.
+        return DB_FLOOR;
+    }
+    (20.0 * mag.log10()).max(DB_FLOOR)
 }
 
 #[cfg(test)]
@@ -191,6 +212,38 @@ mod tests {
         assert!(close(net.b, Complex::real(50.0), 1e-12));
         assert!(close(net.c, Complex::real(0.02), 1e-12));
         assert!(close(net.d, ONE, 1e-12));
+    }
+
+    /// Regression for the S21/S12 swap: on a *non-reciprocal* matrix
+    /// (det != 1) the two formulas give different values, so a swapped
+    /// implementation fails here even though every reciprocal-element
+    /// test passes. With `a = 1, b = 0, c = 0, d = 2` (det = 2) at
+    /// `z0 = 50`: `denom = 3`, so `s21 = 2/3` and `s12 = 4/3`.
+    #[test]
+    fn non_reciprocal_matrix_orients_s21_and_s12() {
+        let m = AbcdMatrix {
+            a: ONE,
+            b: ZERO,
+            c: ZERO,
+            d: Complex::real(2.0),
+        };
+        assert!(close(m.det(), Complex::real(2.0), 1e-12));
+        let (_, s21, s12, _) = m.to_s_params(50.0);
+        assert!(close(s21, Complex::real(2.0 / 3.0), 1e-12), "s21 = {s21}");
+        assert!(close(s12, Complex::real(4.0 / 3.0), 1e-12), "s12 = {s12}");
+    }
+
+    /// Regression for the `to_db` floor: zero-magnitude and NaN inputs
+    /// must return the documented finite floor, not `-inf`/NaN.
+    #[test]
+    fn to_db_floors_zero_and_nan_magnitudes() {
+        assert_eq!(to_db(ZERO), DB_FLOOR);
+        assert_eq!(to_db(Complex::new(f64::NAN, 0.0)), DB_FLOOR);
+        assert_eq!(to_db(Complex::new(0.0, f64::NAN)), DB_FLOOR);
+        // Sub-floor magnitudes clamp; ordinary magnitudes are untouched.
+        assert_eq!(to_db(Complex::real(1e-200)), DB_FLOOR);
+        assert!((to_db(Complex::real(0.5)) - 20.0 * 0.5f64.log10()).abs() < 1e-12);
+        assert!(to_db(Complex::real(1e-300)).is_finite());
     }
 
     #[test]

@@ -26,13 +26,36 @@
 //! ```
 
 use crate::abcd::{to_db, AbcdMatrix};
-use crate::rlgc::odd_mode_rlgc;
+use crate::rlgc::{odd_mode_rlgc, RlgcParams};
 use crate::stackup::DiffStripline;
 use crate::stripline::odd_mode_z0;
+use crate::sweep::{SweepPlan, SweepView};
 use crate::units::METERS_PER_INCH;
 use crate::via::Via;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Reference impedance (ohms) for a channel that contains no stripline
+/// segment (via-only), where there is no first-segment odd-mode impedance
+/// to reference S-parameters to. 42.5 ohm is the odd-mode impedance of the
+/// paper's Table IX expert stripline (half of its ~85 ohm differential
+/// target) — the impedance such a via would be embedded in on a real link.
+pub const VIA_ONLY_Z_REF_OHMS: f64 = 42.5;
+
+/// The ABCD matrix of a stripline segment given its per-unit-length line
+/// constants at `f_hz`. This is the one place the segment matrix is built —
+/// the scalar path ([`Channel::abcd`]) and the batched path
+/// ([`SweepPlan`](crate::sweep::SweepPlan)) both call it, which is what
+/// makes their results bit-identical by construction: the batched sweep
+/// only *reuses* values from pure functions, it never re-derives them
+/// through different arithmetic.
+pub(crate) fn stripline_abcd(p: &RlgcParams, f_hz: f64, length_inches: f64) -> AbcdMatrix {
+    AbcdMatrix::transmission_line(
+        p.propagation_constant(f_hz),
+        p.characteristic_impedance(f_hz),
+        length_inches * METERS_PER_INCH,
+    )
+}
 
 /// One element of a channel, in signal order.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,6 +69,21 @@ pub enum Element {
     },
     /// A layer-change via.
     Via(Via),
+}
+
+impl Element {
+    /// The element's two-port ABCD matrix at `f_hz` — the single scalar
+    /// reference implementation shared by [`Channel::abcd`] and the batched
+    /// sweep machinery.
+    pub fn abcd_at(&self, f_hz: f64) -> AbcdMatrix {
+        match self {
+            Element::Stripline {
+                layer,
+                length_inches,
+            } => stripline_abcd(&odd_mode_rlgc(layer, f_hz), f_hz, *length_inches),
+            Element::Via(v) => v.abcd(f_hz),
+        }
+    }
 }
 
 /// Error building a channel.
@@ -110,7 +148,7 @@ impl Channel {
         }
         Ok(Self {
             elements,
-            z_ref: z_ref.unwrap_or(42.5),
+            z_ref: z_ref.unwrap_or(VIA_ONLY_Z_REF_OHMS),
         })
     }
 
@@ -135,27 +173,44 @@ impl Channel {
             .sum()
     }
 
-    /// Cascaded ABCD matrix at `f_hz`.
+    /// Cascaded ABCD matrix at `f_hz` — the scalar per-point reference path.
+    ///
+    /// For sweeps over many frequencies, [`Channel::sweep`] computes the
+    /// same chain bit-identically with per-layer RLGC results hoisted out
+    /// of the frequency loop (this method recomputes RLGC for every
+    /// element at every call, even when segments share a layer).
     pub fn abcd(&self, f_hz: f64) -> AbcdMatrix {
         let mut chain = AbcdMatrix::identity();
         for e in &self.elements {
-            let m = match e {
-                Element::Stripline {
-                    layer,
-                    length_inches,
-                } => {
-                    let p = odd_mode_rlgc(layer, f_hz);
-                    AbcdMatrix::transmission_line(
-                        p.propagation_constant(f_hz),
-                        p.characteristic_impedance(f_hz),
-                        length_inches * METERS_PER_INCH,
-                    )
-                }
-                Element::Via(v) => v.abcd(f_hz),
-            };
-            chain = chain.cascade(&m);
+            chain = chain.cascade(&e.abcd_at(f_hz));
         }
         chain
+    }
+
+    /// Sweeps the channel's four S-parameters over `plan`'s frequency grid
+    /// through the batched structure-of-arrays path (see [`crate::sweep`]).
+    /// Bit-identical to calling [`Channel::abcd`] +
+    /// [`AbcdMatrix::to_s_params`] per point, at any lane width.
+    pub fn sweep<'p>(&self, plan: &'p mut SweepPlan) -> SweepView<'p> {
+        plan.sweep(self)
+    }
+
+    /// Batched equivalent of [`Channel::insertion_loss_db`] over `plan`'s
+    /// grid: clears `out` and appends one dB value per frequency.
+    /// Allocation-free once `out` has capacity.
+    pub fn insertion_loss_db_sweep(&self, plan: &mut SweepPlan, out: &mut Vec<f64>) {
+        let view = plan.sweep(self);
+        out.clear();
+        out.extend((0..view.len()).map(|i| view.il_db(i)));
+    }
+
+    /// Batched equivalent of [`Channel::return_loss_db`] over `plan`'s
+    /// grid: clears `out` and appends one dB value per frequency.
+    /// Allocation-free once `out` has capacity.
+    pub fn return_loss_db_sweep(&self, plan: &mut SweepPlan, out: &mut Vec<f64>) {
+        let view = plan.sweep(self);
+        out.clear();
+        out.extend((0..view.len()).map(|i| view.rl_db(i)));
     }
 
     /// End-to-end `|S21|` in dB at `f_hz` (non-positive for this passive
@@ -283,7 +338,7 @@ mod tests {
         let ch = Channel::new(vec![one_inch()]).expect("ok");
         assert!((ch.reference_impedance() - odd_mode_z0(&DiffStripline::default())).abs() < 1e-9);
         let via_only = Channel::new(vec![Element::Via(Via::default())]).expect("ok");
-        assert_eq!(via_only.reference_impedance(), 42.5);
+        assert_eq!(via_only.reference_impedance(), VIA_ONLY_Z_REF_OHMS);
     }
 
     #[test]

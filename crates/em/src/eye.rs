@@ -11,10 +11,19 @@
 //! This deliberately simple estimator (no equalization, no jitter) is the
 //! standard first-pass link check and gives the channel designer a scalar
 //! to trade against the stack-up FoM.
+//!
+//! The spectrum is sampled through the batched [`SweepPlan`] path and the
+//! inverse DFT runs through the radix-2 [`RealInverseFft`] (O(n log n));
+//! all buffers live in a reusable [`EyeWorkspace`], so a warm analysis
+//! allocates nothing. The O(n²) scalar reference survives as
+//! [`impulse_response_naive`] for equivalence tests and benches.
 
 use crate::channel::Channel;
 use crate::complex::Complex;
+use crate::fft::RealInverseFft;
+use crate::sweep::SweepPlan;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 
 /// Result of a peak-distortion eye analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -37,49 +46,183 @@ impl EyeReport {
     }
 }
 
-/// Samples `channel`'s transfer function and returns the impulse response by
-/// inverse real DFT. `n_freq` spectral bins span `[0, f_max]`; the time
-/// resolution is `1 / (2 f_max)`.
-fn impulse_response(channel: &Channel, f_max: f64, n_freq: usize) -> Vec<f64> {
+/// Total order that ranks every NaN below every number (`nan_last` for a
+/// max search): a degenerate pulse sample can never win the main cursor,
+/// and an all-NaN pulse is handled by an explicit fallback instead of a
+/// panic.
+fn nan_last(a: &f64, b: &f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.total_cmp(b),
+    }
+}
+
+/// Reusable scratch arenas for eye analysis: the embedded batched sweep
+/// plan, the FFT plan (cached per grid), and the spectrum/time/pulse
+/// buffers. A warm workspace (same grid, prototypes already interned)
+/// allocates nothing per analysis.
+#[derive(Debug, Default)]
+pub struct EyeWorkspace {
+    /// `(f_max bits, n_freq)` of the grid the plan/FFT are built for.
+    grid: Option<(u64, usize)>,
+    plan: SweepPlan,
+    /// Present when `2 * n_freq` is a power of two (always true for the
+    /// grids [`peak_distortion_eye`] builds); otherwise the naive O(n²)
+    /// sum runs in-place as a fallback.
+    fft: Option<RealInverseFft>,
+    half_re: Vec<f64>,
+    half_im: Vec<f64>,
+    time_re: Vec<f64>,
+    time_im: Vec<f64>,
+    pulse: Vec<f64>,
+}
+
+impl EyeWorkspace {
+    /// An empty workspace; arenas fill on first use.
+    pub fn new() -> Self {
+        Self {
+            plan: SweepPlan::new(Vec::new()),
+            ..Self::default()
+        }
+    }
+
+    /// Samples `channel`'s transfer function and returns the impulse
+    /// response by inverse real DFT, borrowed from the workspace arena.
+    /// `n_freq` spectral bins span `[0, f_max]` (DC and Nyquist inclusive);
+    /// the time resolution is `1 / (2 f_max)`.
+    ///
+    /// Only the `k == 0` bin is treated as DC (`H = 1`: a passive series
+    /// path passes DC fully); every `k >= 1` bin — however low its
+    /// frequency — is evaluated through the channel model. Gating on the
+    /// frequency *value* instead (the pre-fix `f < 1.0` Hz) collapses
+    /// multiple low bins to `H = 1` on fine grids and flattens the
+    /// low-frequency response.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_freq == 0` or `f_max <= 0`.
+    pub fn impulse_response(&mut self, channel: &Channel, f_max: f64, n_freq: usize) -> &[f64] {
+        assert!(n_freq >= 1, "need at least one spectral bin");
+        assert!(f_max > 0.0, "f_max must be positive");
+        let key = (f_max.to_bits(), n_freq);
+        if self.grid != Some(key) {
+            // Grid change: rebuild the sweep plan (bins k = 1..=n_freq; DC
+            // is pinned analytically below) and the FFT plan.
+            let freqs: Vec<f64> = (1..=n_freq)
+                .map(|k| f_max * k as f64 / n_freq as f64)
+                .collect();
+            self.plan = SweepPlan::new(freqs);
+            let n_time = 2 * n_freq;
+            self.fft = n_time
+                .is_power_of_two()
+                .then(|| RealInverseFft::new(n_time));
+            self.grid = Some(key);
+        }
+
+        let view = self.plan.sweep(channel);
+        self.half_re.clear();
+        self.half_im.clear();
+        // k == 0: DC. A passive channel passes DC fully (series path).
+        self.half_re.push(1.0);
+        self.half_im.push(0.0);
+        for k in 0..n_freq {
+            let s21 = view.s21(k);
+            self.half_re.push(s21.re);
+            self.half_im.push(s21.im);
+        }
+
+        let n_time = 2 * n_freq;
+        self.time_re.resize(n_time, 0.0);
+        self.time_im.resize(n_time, 0.0);
+        if let Some(fft) = &self.fft {
+            fft.inverse_real(
+                &self.half_re,
+                &self.half_im,
+                &mut self.time_re,
+                &mut self.time_im,
+            );
+        } else {
+            naive_inverse_into(&self.half_re, &self.half_im, &mut self.time_re);
+        }
+        &self.time_re
+    }
+}
+
+/// The O(n²) weighted-sum inverse of a Hermitian half-spectrum, written
+/// into `out` (length `2 * (half_re.len() - 1)`).
+fn naive_inverse_into(half_re: &[f64], half_im: &[f64], out: &mut [f64]) {
+    let n_freq = half_re.len() - 1;
+    let n_time = 2 * n_freq;
+    for (m, slot) in out.iter_mut().enumerate() {
+        let mut acc = half_re[0];
+        for k in 1..=n_freq {
+            let phase = 2.0 * std::f64::consts::PI * (k * m) as f64 / n_time as f64;
+            let w = if k == n_freq { 1.0 } else { 2.0 };
+            acc += w * (half_re[k] * phase.cos() - half_im[k] * phase.sin());
+        }
+        *slot = acc / n_time as f64;
+    }
+}
+
+/// Convenience wrapper over [`EyeWorkspace::impulse_response`] that
+/// allocates a fresh workspace and returns an owned impulse response.
+pub fn impulse_response(channel: &Channel, f_max: f64, n_freq: usize) -> Vec<f64> {
+    let mut ws = EyeWorkspace::new();
+    ws.impulse_response(channel, f_max, n_freq).to_vec()
+}
+
+/// The scalar O(n²) reference implementation of [`impulse_response`]: the
+/// spectrum is sampled point-by-point through [`Channel::abcd`] and
+/// inverse-transformed by the naive weighted sum. Kept as the equivalence
+/// anchor for the FFT path (equal in exact arithmetic; ~1e-12 apart in
+/// floats) and as the baseline for the `eye_fft` bench.
+///
+/// # Panics
+///
+/// Panics when `n_freq == 0` or `f_max <= 0`.
+pub fn impulse_response_naive(channel: &Channel, f_max: f64, n_freq: usize) -> Vec<f64> {
+    assert!(n_freq >= 1, "need at least one spectral bin");
+    assert!(f_max > 0.0, "f_max must be positive");
     let z_ref = channel.reference_impedance();
-    // H[k] for k = 0..n_freq (inclusive of DC and Nyquist).
+    // H[k] for k = 0..n_freq (inclusive of DC and Nyquist); only k == 0 is
+    // the DC bin (see EyeWorkspace::impulse_response).
     let spectrum: Vec<Complex> = (0..=n_freq)
         .map(|k| {
-            let f = f_max * k as f64 / n_freq as f64;
-            if f < 1.0 {
-                // DC: passive channel passes DC fully (series path).
+            if k == 0 {
                 Complex::real(1.0)
             } else {
+                let f = f_max * k as f64 / n_freq as f64;
                 let (_, s21, _, _) = channel.abcd(f).to_s_params(z_ref);
                 s21
             }
         })
         .collect();
-    // Inverse real DFT with Hermitian symmetry: h[m] = (1/N) * sum_k H_k e^{j 2 pi k m / N}
-    // over the full length N = 2 * n_freq.
-    let n_time = 2 * n_freq;
-    (0..n_time)
-        .map(|m| {
-            let mut acc = spectrum[0].re; // DC term
-            for (k, h) in spectrum.iter().enumerate().skip(1) {
-                let phase = 2.0 * std::f64::consts::PI * (k * m) as f64 / n_time as f64;
-                let w = if k == n_freq { 1.0 } else { 2.0 };
-                acc += w * (h.re * phase.cos() - h.im * phase.sin());
-            }
-            acc / n_time as f64
-        })
-        .collect()
+    let half_re: Vec<f64> = spectrum.iter().map(|h| h.re).collect();
+    let half_im: Vec<f64> = spectrum.iter().map(|h| h.im).collect();
+    let mut out = vec![0.0; 2 * n_freq];
+    naive_inverse_into(&half_re, &half_im, &mut out);
+    out
 }
 
-/// Runs peak-distortion analysis of `channel` at `gbps` gigabits per second.
+/// Runs peak-distortion analysis of `channel` at `gbps` gigabits per
+/// second, reusing `ws`'s arenas (allocation-free when warm).
 ///
 /// `oversample` time samples per bit (8–32 is typical); the analysis window
 /// covers `n_bits` bit periods of pulse-response tail.
 ///
+/// A degenerate channel (overflowed cosh/sinh, zero denominators) yields
+/// NaN pulse samples; those are ranked below every finite sample for the
+/// main cursor and skipped in the ISI sum, and an all-NaN pulse reports a
+/// fully closed eye (`main_cursor = isi = eye_height = 0`) instead of
+/// panicking.
+///
 /// # Panics
 ///
 /// Panics on non-positive `gbps` or `oversample < 2`.
-pub fn peak_distortion_eye(
+pub fn peak_distortion_eye_with(
+    ws: &mut EyeWorkspace,
     channel: &Channel,
     gbps: f64,
     oversample: usize,
@@ -91,32 +234,48 @@ pub fn peak_distortion_eye(
     let dt = bit_period / oversample as f64;
     let f_max = 0.5 / dt;
     let n_freq = (oversample * n_bits.max(4)).next_power_of_two();
-    let h = impulse_response(channel, f_max, n_freq);
+    ws.impulse_response(channel, f_max, n_freq);
 
     // Pulse response: convolve the impulse response with a one-bit-wide
     // rectangular pulse (sum of `oversample` consecutive impulse samples).
-    let pulse: Vec<f64> = (0..h.len())
-        .map(|m| {
-            (0..oversample)
-                .map(|j| if m >= j { h[m - j] } else { 0.0 })
-                .sum()
-        })
-        .collect();
+    let h = &ws.time_re;
+    ws.pulse.clear();
+    ws.pulse.extend((0..h.len()).map(|m| {
+        (0..oversample)
+            .map(|j| if m >= j { h[m - j] } else { 0.0 })
+            .sum::<f64>()
+    }));
 
-    // Main cursor: the pulse-response peak.
-    let (peak_idx, &main_cursor) = pulse
+    // Main cursor: the pulse-response peak, NaNs ranked last.
+    let (peak_idx, main_cursor) = ws
+        .pulse
         .iter()
+        .copied()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite pulse"))
+        .max_by(|a, b| nan_last(&a.1, &b.1))
         .expect("non-empty");
+    if main_cursor.is_nan() {
+        // Every sample is NaN: the channel model broke down entirely.
+        // Report a fully closed eye rather than propagating NaN.
+        return EyeReport {
+            main_cursor: 0.0,
+            isi: 0.0,
+            eye_height: 0.0,
+            bit_period,
+        };
+    }
 
-    // Worst-case ISI: sample at bit-period offsets from the cursor.
+    // Worst-case ISI: sample at bit-period offsets from the cursor,
+    // skipping any degenerate NaN samples.
     let mut isi = 0.0;
     for n in 1..n_bits as isize {
         for &sign in &[-1isize, 1] {
             let idx = peak_idx as isize + sign * n * oversample as isize;
-            if idx >= 0 && (idx as usize) < pulse.len() {
-                isi += pulse[idx as usize].abs();
+            if idx >= 0 && (idx as usize) < ws.pulse.len() {
+                let v = ws.pulse[idx as usize];
+                if !v.is_nan() {
+                    isi += v.abs();
+                }
             }
         }
     }
@@ -127,6 +286,24 @@ pub fn peak_distortion_eye(
         eye_height: main_cursor - isi,
         bit_period,
     }
+}
+
+/// Runs peak-distortion analysis of `channel` at `gbps` gigabits per
+/// second with a fresh (throwaway) workspace — see
+/// [`peak_distortion_eye_with`] for the semantics and the reusable entry
+/// point.
+///
+/// # Panics
+///
+/// Panics on non-positive `gbps` or `oversample < 2`.
+pub fn peak_distortion_eye(
+    channel: &Channel,
+    gbps: f64,
+    oversample: usize,
+    n_bits: usize,
+) -> EyeReport {
+    let mut ws = EyeWorkspace::new();
+    peak_distortion_eye_with(&mut ws, channel, gbps, oversample, n_bits)
 }
 
 #[cfg(test)]
@@ -214,5 +391,86 @@ mod tests {
     #[should_panic(expected = "bit rate must be positive")]
     fn zero_rate_panics() {
         let _ = peak_distortion_eye(&line(1.0), 0.0, 8, 16);
+    }
+
+    /// Regression for the NaN panic: an absurdly long line overflows
+    /// `cosh`/`sinh`, the S-parameter denominator goes infinite, and
+    /// `2 / inf` evaluates to NaN through the complex division — the
+    /// pre-fix `partial_cmp(...).expect("finite pulse")` panicked here.
+    /// The fixed ranking reports a closed eye instead.
+    #[test]
+    fn degenerate_channel_reports_closed_eye_instead_of_panicking() {
+        let eye = peak_distortion_eye(&line(1e9), 32.0, 8, 16);
+        assert!(eye.main_cursor.is_finite());
+        assert!(eye.isi.is_finite());
+        assert!(!eye.is_open(), "a broken channel cannot have an open eye");
+        assert_eq!(eye.main_cursor, 0.0);
+        assert_eq!(eye.isi, 0.0);
+    }
+
+    /// Regression for the DC gating bug: with `f_max / n_freq < 1` Hz the
+    /// pre-fix code forced every bin below 1 Hz to `H = 1`; reconstructing
+    /// bin 1 from the impulse response then returned exactly 1 instead of
+    /// the channel's true (mismatch-dominated) low-frequency `S21`.
+    #[test]
+    fn low_frequency_bins_are_not_collapsed_to_dc() {
+        let ch = line(100.0);
+        let (f_max, n_freq) = (4.0, 16);
+        let f1 = f_max / n_freq as f64; // 0.25 Hz — below the old gate
+        let z = ch.reference_impedance();
+        let (_, s21, _, _) = ch.abcd(f1).to_s_params(z);
+        // The channel is strongly mismatched at sub-Hz frequencies, so the
+        // true bin-1 response is far from the pre-fix forced value of 1.
+        assert!(
+            (s21 - Complex::real(1.0)).abs() > 1e-3,
+            "test needs a discriminating channel, |s21 - 1| too small"
+        );
+        let h = impulse_response(&ch, f_max, n_freq);
+        // Forward-DFT the impulse response back to bin 1.
+        let n_time = h.len();
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (m, &v) in h.iter().enumerate() {
+            let phase = 2.0 * std::f64::consts::PI * m as f64 / n_time as f64;
+            re += v * phase.cos();
+            im -= v * phase.sin();
+        }
+        let err = ((re - s21.re).powi(2) + (im - s21.im).powi(2)).sqrt();
+        assert!(err < 1e-6, "reconstructed H[1] off by {err}");
+    }
+
+    /// The FFT path and the O(n²) scalar reference agree to numerical
+    /// noise (equal in exact arithmetic; the float rounding differs at the
+    /// 1e-12 level).
+    #[test]
+    fn fft_impulse_matches_naive_reference() {
+        let ch = line(5.0);
+        let (f_max, n_freq) = (6.4e10, 128);
+        let fast = impulse_response(&ch, f_max, n_freq);
+        let slow = impulse_response_naive(&ch, f_max, n_freq);
+        assert_eq!(fast.len(), slow.len());
+        for (m, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            assert!((a - b).abs() < 1e-9, "sample {m}: {a} vs {b}");
+        }
+    }
+
+    /// A reused (warm) workspace reproduces the cold result bit for bit,
+    /// across interleaved channels and grids.
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let a = line(3.0);
+        let b = line(7.0);
+        let mut ws = EyeWorkspace::new();
+        let cold_a = ws.impulse_response(&a, 3.2e10, 64).to_vec();
+        let cold_b = ws.impulse_response(&b, 3.2e10, 64).to_vec();
+        let _grid_change = ws.impulse_response(&a, 1.6e10, 32).to_vec();
+        let warm_a = ws.impulse_response(&a, 3.2e10, 64).to_vec();
+        let warm_b = ws.impulse_response(&b, 3.2e10, 64).to_vec();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&cold_a), bits(&warm_a));
+        assert_eq!(bits(&cold_b), bits(&warm_b));
+        let eye_fresh = peak_distortion_eye(&a, 16.0, 8, 16);
+        let eye_warm = peak_distortion_eye_with(&mut ws, &a, 16.0, 8, 16);
+        assert_eq!(eye_fresh, eye_warm);
     }
 }

@@ -1,0 +1,215 @@
+//! Radix-2 inverse real FFT for the eye-diagram impulse response.
+//!
+//! The peak-distortion analysis needs the inverse DFT of a Hermitian
+//! half-spectrum (`n/2 + 1` bins spanning DC..Nyquist) back to `n` real
+//! time samples. The naive weighted sum is O(n^2); this module provides the
+//! O(n log n) Cooley–Tukey equivalent with all twiddle factors and the
+//! bit-reversal permutation precomputed at construction, so a transform
+//! allocates nothing — callers own (and reuse) the work buffers.
+//!
+//! The transform computes exactly the same quantity as the naive reference
+//! in [`crate::eye::impulse_response_naive`]:
+//!
+//! `h[m] = (1/n) * sum_{k=0}^{n-1} X[k] e^{+j 2 pi k m / n}`
+//!
+//! with `X` the Hermitian extension of the half-spectrum (`X[n-k] =
+//! conj(X[k])`), whose inverse DFT is real by construction. Floating-point
+//! rounding differs from the naive sum at the 1e-12 level — the FFT is
+//! *not* bit-identical to the O(n^2) reference, only to itself.
+
+/// Precomputed plan for an `n`-point inverse FFT (`n` a power of two).
+#[derive(Debug, Clone)]
+pub struct RealInverseFft {
+    n: usize,
+    /// Twiddles `e^{+j 2 pi k / n}` for `k < n/2` (inverse-transform sign).
+    tw_re: Vec<f64>,
+    tw_im: Vec<f64>,
+    /// Bit-reversal permutation of `0..n`.
+    rev: Vec<u32>,
+}
+
+impl RealInverseFft {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two and at least 2.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "FFT length must be 2^k >= 2");
+        let half = n / 2;
+        let mut tw_re = Vec::with_capacity(half);
+        let mut tw_im = Vec::with_capacity(half);
+        for k in 0..half {
+            let theta = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            tw_re.push(theta.cos());
+            tw_im.push(theta.sin());
+        }
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
+        Self {
+            n,
+            tw_re,
+            tw_im,
+            rev,
+        }
+    }
+
+    /// Transform length `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` only for the degenerate zero-length plan (unreachable: `new`
+    /// requires `n >= 2`); provided to satisfy the `len`/`is_empty` pair.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Inverse-transforms the Hermitian half-spectrum (`half_re`/`half_im`,
+    /// `n/2 + 1` bins from DC to Nyquist inclusive) into `n` real time
+    /// samples, written to `work_re`. `work_im` is scratch; both must be
+    /// exactly `n` long. No allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a buffer has the wrong length.
+    pub fn inverse_real(
+        &self,
+        half_re: &[f64],
+        half_im: &[f64],
+        work_re: &mut [f64],
+        work_im: &mut [f64],
+    ) {
+        let n = self.n;
+        let half = n / 2;
+        assert_eq!(half_re.len(), half + 1, "half-spectrum length");
+        assert_eq!(half_im.len(), half + 1, "half-spectrum length");
+        assert_eq!(work_re.len(), n, "work buffer length");
+        assert_eq!(work_im.len(), n, "work buffer length");
+
+        // Hermitian extension, written in bit-reversed order so the
+        // butterflies below run in natural order.
+        for (i, &r) in self.rev.iter().enumerate() {
+            let k = r as usize;
+            if k <= half {
+                work_re[i] = half_re[k];
+                work_im[i] = half_im[k];
+            } else {
+                work_re[i] = half_re[n - k];
+                work_im[i] = -half_im[n - k];
+            }
+        }
+
+        // Iterative radix-2 decimation-in-time butterflies with the
+        // inverse-transform twiddle sign (+j).
+        let mut len = 2;
+        while len <= n {
+            let half_len = len / 2;
+            let stride = n / len;
+            let mut base = 0;
+            while base < n {
+                for j in 0..half_len {
+                    let (wr, wi) = (self.tw_re[j * stride], self.tw_im[j * stride]);
+                    let (lo, hi) = (base + j, base + j + half_len);
+                    let tr = work_re[hi] * wr - work_im[hi] * wi;
+                    let ti = work_re[hi] * wi + work_im[hi] * wr;
+                    work_re[hi] = work_re[lo] - tr;
+                    work_im[hi] = work_im[lo] - ti;
+                    work_re[lo] += tr;
+                    work_im[lo] += ti;
+                }
+                base += len;
+            }
+            len *= 2;
+        }
+
+        let scale = 1.0 / n as f64;
+        for v in work_re.iter_mut() {
+            *v *= scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The naive O(n^2) inverse of a Hermitian half-spectrum — the exact
+    /// quantity `inverse_real` must reproduce.
+    fn naive_inverse(half_re: &[f64], half_im: &[f64], n: usize) -> Vec<f64> {
+        let half = n / 2;
+        (0..n)
+            .map(|m| {
+                let mut acc = half_re[0];
+                for k in 1..=half {
+                    let phase = 2.0 * std::f64::consts::PI * (k * m) as f64 / n as f64;
+                    let w = if k == half { 1.0 } else { 2.0 };
+                    acc += w * (half_re[k] * phase.cos() - half_im[k] * phase.sin());
+                }
+                acc / n as f64
+            })
+            .collect()
+    }
+
+    fn transform(half_re: &[f64], half_im: &[f64], n: usize) -> Vec<f64> {
+        let fft = RealInverseFft::new(n);
+        let mut re = vec![0.0; n];
+        let mut im = vec![0.0; n];
+        fft.inverse_real(half_re, half_im, &mut re, &mut im);
+        re
+    }
+
+    #[test]
+    fn flat_spectrum_is_a_delta() {
+        let n = 16;
+        let half_re = vec![1.0; n / 2 + 1];
+        let half_im = vec![0.0; n / 2 + 1];
+        let h = transform(&half_re, &half_im, n);
+        assert!((h[0] - 1.0).abs() < 1e-12, "h[0] = {}", h[0]);
+        for (m, &v) in h.iter().enumerate().skip(1) {
+            assert!(v.abs() < 1e-12, "h[{m}] = {v}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_inverse_dft() {
+        for n in [4usize, 8, 64, 256] {
+            let half = n / 2;
+            // Deterministic pseudo-arbitrary Hermitian half-spectrum.
+            let half_re: Vec<f64> = (0..=half).map(|k| (k as f64 * 0.7).sin()).collect();
+            let mut half_im: Vec<f64> = (0..=half).map(|k| (k as f64 * 1.3).cos()).collect();
+            // DC and Nyquist bins of a real signal are purely real.
+            half_im[0] = 0.0;
+            half_im[half] = 0.0;
+            let got = transform(&half_re, &half_im, n);
+            let want = naive_inverse(&half_re, &half_im, n);
+            for m in 0..n {
+                assert!(
+                    (got[m] - want[m]).abs() < 1e-9,
+                    "n={n} m={m}: {} vs {}",
+                    got[m],
+                    want[m]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_transforms_are_bit_identical() {
+        let n = 128;
+        let half = n / 2;
+        let half_re: Vec<f64> = (0..=half).map(|k| 1.0 / (1.0 + k as f64)).collect();
+        let half_im = vec![0.0; half + 1];
+        let a = transform(&half_re, &half_im, n);
+        let b = transform(&half_re, &half_im, n);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn non_power_of_two_rejected() {
+        let _ = RealInverseFft::new(12);
+    }
+}

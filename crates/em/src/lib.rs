@@ -14,6 +14,11 @@
 //! * [`roughness`] / [`rlgc`] — conductor & dielectric loss, per-unit-length
 //!   line constants;
 //! * [`abcd`] / [`sparams`] — frequency-domain network analysis;
+//! * [`sweep`] — batched structure-of-arrays frequency sweeps
+//!   ([`SweepPlan`][sweep::SweepPlan]) with interned RLGC/ABCD prototypes,
+//!   bit-identical to the scalar path at every lane width;
+//! * [`fft`] — the radix-2 inverse real FFT behind the eye-diagram
+//!   impulse response;
 //! * [`crosstalk`] — near-end crosstalk between adjacent pairs;
 //! * [`fdsolver`] — a 2-D finite-difference Laplace solver used as the
 //!   approximation-free reference engine;
@@ -54,12 +59,14 @@ pub mod dispersion;
 pub mod eye;
 pub mod fault;
 pub mod fdsolver;
+pub mod fft;
 pub mod rlgc;
 pub mod roughness;
 pub mod simulator;
 pub mod sparams;
 pub mod stackup;
 pub mod stripline;
+pub mod sweep;
 pub mod units;
 pub mod via;
 
@@ -68,3 +75,4 @@ pub use fault::{
 };
 pub use simulator::{AnalyticalSolver, EmSimulator, FieldSolver, SimulationResult};
 pub use stackup::{DiffStripline, GeometryError, PARAM_COUNT, PARAM_NAMES};
+pub use sweep::{lanes_compiled, LaneWidth, SweepPlan, SweepView};

@@ -9,6 +9,7 @@ use crate::abcd::{to_db, AbcdMatrix};
 use crate::dispersion::WidebandDebye;
 use crate::rlgc::odd_mode_rlgc;
 use crate::stackup::DiffStripline;
+use crate::sweep::SweepPlan;
 use crate::units::METERS_PER_INCH;
 use serde::{Deserialize, Serialize};
 
@@ -34,6 +35,10 @@ impl FrequencySweep {
     /// `[f_start_hz, f_stop_hz]` for a line of `length_inches`, referenced to
     /// `z_ref` ohms (odd-mode reference = half the differential reference).
     ///
+    /// Runs through the batched [`SweepPlan`] path (RLGC hoisted per layer,
+    /// structure-of-arrays lanes); results are bit-identical to the former
+    /// scalar per-point loop — see [`crate::sweep`] for the argument.
+    ///
     /// # Panics
     ///
     /// Panics if `n < 2` or the band is empty/non-positive.
@@ -45,29 +50,24 @@ impl FrequencySweep {
         length_inches: f64,
         z_ref: f64,
     ) -> Self {
-        assert!(n >= 2, "sweep needs at least two points");
-        assert!(
-            f_start_hz > 0.0 && f_stop_hz > f_start_hz,
-            "invalid frequency band"
-        );
-        let len_m = length_inches * METERS_PER_INCH;
-        let log_lo = f_start_hz.ln();
-        let log_hi = f_stop_hz.ln();
-        let points = (0..n)
-            .map(|i| {
-                let f = (log_lo + (log_hi - log_lo) * i as f64 / (n - 1) as f64).exp();
-                let p = odd_mode_rlgc(layer, f);
-                let line = AbcdMatrix::transmission_line(
-                    p.propagation_constant(f),
-                    p.characteristic_impedance(f),
-                    len_m,
-                );
-                let (s11, s21, _, _) = line.to_s_params(z_ref);
-                SweepPoint {
-                    f_hz: f,
-                    il_db: to_db(s21),
-                    rl_db: to_db(s11),
-                }
+        let mut plan = SweepPlan::log_spaced(f_start_hz, f_stop_hz, n);
+        Self::of_layer_with(&mut plan, layer, length_inches, z_ref)
+    }
+
+    /// Like [`FrequencySweep::of_layer`] but over `plan`'s grid, reusing
+    /// its interned prototypes and scratch arenas across calls.
+    pub fn of_layer_with(
+        plan: &mut SweepPlan,
+        layer: &DiffStripline,
+        length_inches: f64,
+        z_ref: f64,
+    ) -> Self {
+        let view = plan.sweep_line(layer, length_inches, z_ref);
+        let points = (0..view.len())
+            .map(|i| SweepPoint {
+                f_hz: view.freq(i),
+                il_db: view.il_db(i),
+                rl_db: view.rl_db(i),
             })
             .collect();
         Self { points }
@@ -78,6 +78,11 @@ impl FrequencySweep {
     /// per frequency through the wideband-Debye model
     /// ([`crate::dispersion`]), so the phase response is Kramers–Kronig
     /// consistent. Same sampling/termination as [`FrequencySweep::of_layer`].
+    ///
+    /// Stays on the scalar per-point path deliberately: dispersion gives
+    /// every frequency its own effective layer, so routing through
+    /// [`SweepPlan`] would intern `n` distinct single-use layer prototypes
+    /// per sweep and turn the arena into a leak.
     ///
     /// # Panics
     ///

@@ -20,6 +20,13 @@
 # a retry storm fails the gate. The phase has its own wall-clock budget
 # (max_fault_seconds).
 #
+# A sweep smoke phase then gates the batched EM frequency sweep: the
+# structure-of-arrays SweepPlan must be bit-identical to the scalar
+# per-point ABCD chain over a fleet of link channels (and at lane width 1
+# vs 4), and when the simd-lanes feature is compiled in, the batched path
+# must beat the scalar path by >= 2x. The phase has its own wall-clock
+# budget (max_sweep_seconds).
+#
 # Usage:
 #   scripts/bench_gate.sh            # gate against the checked-in budget
 #   scripts/bench_gate.sh --update   # refresh the budget from a local run
