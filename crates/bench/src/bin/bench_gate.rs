@@ -38,9 +38,20 @@
 //! (e.g. a retry storm) trip the gate like any other counter; the phase's
 //! wall-clock has its own budget (`max_fault_seconds`).
 //!
+//! A scheduler smoke phase then gates the async batched roll-out: under
+//! the same fault config the async schedule must deliver the synchronous
+//! schedule's candidate set while charging **strictly less** EM time (the
+//! retry surcharge the batch stream exists to absorb), and the faulted
+//! async run must be bit-identical at 1 vs 4 threads — candidates, both
+//! ledgers, and every counter including the `em.sched.*` gauges. The
+//! async serial run's counters fold into the budgeted report, so batch
+//! and slack regressions trip the gate; the phase's wall-clock has its
+//! own budget (`max_sched_seconds`).
+//!
 //! A batched-sweep smoke phase then gates the structure-of-arrays EM
 //! frequency sweep: a fleet of link-level channels is swept once through
-//! the scalar per-point path and once through a shared [`SweepPlan`], the
+//! the scalar per-point path and once through a shared
+//! [`SweepPlan`](isop_em::sweep::SweepPlan), the
 //! two must agree **bit for bit** at every (channel, frequency) point, and
 //! lane width 1 vs 4 must also be bit-identical. The identity checks run
 //! on every build; the >= [`MIN_SWEEP_SPEEDUP`]x batched-over-scalar
@@ -119,11 +130,15 @@ struct GateThresholds {
     /// Wall-clock budget for the fault-injection smoke (four pipeline
     /// runs), seconds (compared with a [`WALL_MARGIN`] tolerance).
     max_fault_seconds: f64,
+    /// Wall-clock budget for the scheduler smoke (sync-vs-async ledger
+    /// comparison plus the 1-vs-4-thread async identity run), seconds
+    /// (compared with a [`WALL_MARGIN`] tolerance).
+    max_sched_seconds: f64,
     /// Wall-clock budget for the batched-sweep smoke (scalar + batched +
     /// lane-width passes), seconds (compared with a [`WALL_MARGIN`]
     /// tolerance).
     max_sweep_seconds: f64,
-    /// Exact counter budget, one entry per [`Counter`](isop::prelude::Counter).
+    /// Exact counter budget, one entry per [`Counter`].
     counters: Vec<isop_telemetry::CounterEntry>,
 }
 
@@ -248,7 +263,7 @@ fn smoke_config(threads: usize) -> IsopConfig {
     }
 }
 
-fn run_smoke(use_cache: bool) -> Result<(RunReport, f64, f64, f64, f64), String> {
+fn run_smoke(use_cache: bool) -> Result<(RunReport, f64, f64, f64, f64, f64), String> {
     let space = isop::spaces::s1();
     let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
     let telemetry = Telemetry::enabled();
@@ -320,6 +335,11 @@ fn run_smoke(use_cache: bool) -> Result<(RunReport, f64, f64, f64, f64), String>
     // budgets land in the gated report.
     let fault_wall = fault_smoke(&telemetry)?;
 
+    // Scheduler phase: sync-vs-async ledger comparison plus the async
+    // thread-width identity run, folding the async counters into the
+    // main handle so the `em.sched.*` budgets are gated.
+    let sched_wall = sched_smoke(&telemetry)?;
+
     // Batched-sweep phase: pure-function identity checks, no telemetry.
     let sweep_wall = sweep_smoke()?;
 
@@ -333,7 +353,7 @@ fn run_smoke(use_cache: bool) -> Result<(RunReport, f64, f64, f64, f64), String>
     report.invalid_seen = first.invalid_seen + second.invalid_seen;
     report.algorithm_seconds = first.algorithm_seconds + second.algorithm_seconds;
     report.resolution = first.resolution.as_str().to_string();
-    Ok((report, wall, train_wall, fault_wall, sweep_wall))
+    Ok((report, wall, train_wall, fault_wall, sched_wall, sweep_wall))
 }
 
 /// The fault-tolerant roll-out's smoke. Four pipeline runs on scratch
@@ -442,6 +462,112 @@ fn fault_smoke(main: &Telemetry) -> Result<f64, String> {
         serial_tele.counter(Counter::EmFailuresPermanent),
         serial_tele.counter(Counter::EmToppedUp),
         serial.resolution
+    );
+    Ok(t0.elapsed().as_secs_f64())
+}
+
+/// The async batched scheduler's smoke. Three faulted pipeline runs on
+/// scratch telemetry handles (no shared cache, so every roll-out is cold),
+/// all at the [`FAULT_RATE`]/[`FAULT_PERMANENT_RATE`] fault config:
+///
+/// 1. the synchronous reference schedule at [`SMOKE_THREADS`];
+/// 2. the async batched schedule at 1 thread and 3. at 4 threads.
+///
+/// Gated properties: the two async runs are bit-identical to each other
+/// (candidates, both ledgers, every counter — batch composition is a pure
+/// function of design identity and the logical clock, never thread
+/// arrival order); the async schedule delivers the synchronous schedule's
+/// candidate set; and — because retries genuinely fired — the async
+/// charged ledger lands **strictly below** the synchronous one, whose
+/// per-record retry surcharge and backoff the batch stream absorbs into
+/// shared slots. Folds run (2)'s counters into `main`, so the
+/// `em.sched.*` budgets gate batch-count and slack regressions like any
+/// other counter. Returns the phase wall-clock.
+fn sched_smoke(main: &Telemetry) -> Result<f64, String> {
+    let space = isop::spaces::s1();
+    let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+    let t0 = Instant::now();
+    let run = |schedule: RolloutSchedule, threads: usize, telemetry: &Telemetry| {
+        let solver = AnalyticalSolver::new().with_telemetry(telemetry.clone());
+        let injector = FaultInjector::new(
+            solver,
+            FaultConfig {
+                transient_rate: FAULT_RATE,
+                permanent_rate: FAULT_PERMANENT_RATE,
+                seed: FAULT_SEED,
+            },
+        )
+        .with_telemetry(telemetry.clone());
+        let config = IsopConfig {
+            schedule,
+            ..smoke_config(threads)
+        };
+        IsopOptimizer::new(&space, &surrogate, &injector, config)
+            .with_telemetry(telemetry.clone())
+            .run(
+                isop::tasks::objective_for(TaskId::T1, vec![]),
+                Budget::unlimited(),
+                SMOKE_SEED,
+            )
+    };
+    let sync_tele = Telemetry::enabled();
+    let sync = run(RolloutSchedule::Synchronous, SMOKE_THREADS, &sync_tele);
+    let serial_tele = Telemetry::enabled();
+    let serial = run(RolloutSchedule::AsyncBatched, 1, &serial_tele);
+    let wide_tele = Telemetry::enabled();
+    let wide = run(RolloutSchedule::AsyncBatched, 4, &wide_tele);
+
+    if serial.candidates != wide.candidates
+        || serial.resolution != wide.resolution
+        || serial.em_seconds.to_bits() != wide.em_seconds.to_bits()
+        || serial.em_seconds_saved.to_bits() != wide.em_seconds_saved.to_bits()
+    {
+        return Err(
+            "scheduler determinism violation: async outcome diverged between 1 and 4 threads"
+                .into(),
+        );
+    }
+    for c in Counter::ALL {
+        if serial_tele.counter(c) != wide_tele.counter(c) {
+            return Err(format!(
+                "scheduler determinism violation: counter {} diverged between 1 and 4 threads",
+                c.name()
+            ));
+        }
+    }
+    if serial.candidates != sync.candidates || serial.resolution != sync.resolution {
+        return Err(
+            "scheduler quality violation: async schedule changed the delivered candidate set"
+                .into(),
+        );
+    }
+    if serial_tele.counter(Counter::EmRetries) == 0 {
+        return Err(format!(
+            "scheduler smoke inert: rate {FAULT_RATE} produced no retries at seed \
+             {SMOKE_SEED} — the ledger comparison below proves nothing"
+        ));
+    }
+    if serial.em_seconds >= sync.em_seconds {
+        return Err(format!(
+            "scheduler ledger regression: async charged {:.2}s >= synchronous {:.2}s — \
+             batching no longer absorbs the retry surcharge",
+            serial.em_seconds, sync.em_seconds
+        ));
+    }
+    if serial_tele.counter(Counter::EmSchedBatches) == 0 {
+        return Err("scheduler smoke inert: async run formed no live batches".into());
+    }
+    for c in Counter::ALL {
+        main.add(c, serial_tele.counter(c));
+    }
+    println!(
+        "bench_gate: sched smoke: async charged {:.2}s < sync {:.2}s at equal candidates; \
+         1 vs 4 threads bit-identical ({} batches, {} slack slots, {} interleaved)",
+        serial.em_seconds,
+        sync.em_seconds,
+        serial_tele.counter(Counter::EmSchedBatches),
+        serial_tele.counter(Counter::EmSchedSlackSlots),
+        serial_tele.counter(Counter::EmSchedInterleaved),
     );
     Ok(t0.elapsed().as_secs_f64())
 }
@@ -572,11 +698,12 @@ fn gate(
     update: bool,
     use_cache: bool,
 ) -> Result<(), String> {
-    let (report, wall, train_wall, fault_wall, sweep_wall) = run_smoke(use_cache)?;
+    let (report, wall, train_wall, fault_wall, sched_wall, sweep_wall) = run_smoke(use_cache)?;
     write_file(out_path, &report.to_json().map_err(|e| format!("{e:?}"))?)?;
     println!(
         "bench_gate: smoke run took {wall:.2}s (+{train_wall:.2}s training, \
-         +{fault_wall:.2}s faults, +{sweep_wall:.2}s sweep), report at {out_path}"
+         +{fault_wall:.2}s faults, +{sched_wall:.2}s scheduler, +{sweep_wall:.2}s sweep), \
+         report at {out_path}"
     );
 
     if update {
@@ -586,6 +713,7 @@ fn gate(
             max_wall_seconds: wall * WALL_UPDATE_HEADROOM,
             max_train_seconds: train_wall * WALL_UPDATE_HEADROOM,
             max_fault_seconds: fault_wall * WALL_UPDATE_HEADROOM,
+            max_sched_seconds: sched_wall * WALL_UPDATE_HEADROOM,
             max_sweep_seconds: sweep_wall * WALL_UPDATE_HEADROOM,
             counters: report.counters.clone(),
         };
@@ -658,6 +786,18 @@ fn gate(
     } else {
         println!(
             "bench_gate: fault-smoke wall-clock {fault_wall:.2}s within {fault_limit:.2}s limit"
+        );
+    }
+    let sched_limit = thresholds.max_sched_seconds * WALL_MARGIN;
+    if sched_wall > sched_limit {
+        failures.push(format!(
+            "sched-smoke wall-clock regression: {sched_wall:.2}s > {sched_limit:.2}s \
+             ({:.2}s budget x {WALL_MARGIN} margin)",
+            thresholds.max_sched_seconds
+        ));
+    } else {
+        println!(
+            "bench_gate: sched-smoke wall-clock {sched_wall:.2}s within {sched_limit:.2}s limit"
         );
     }
     let sweep_limit = thresholds.max_sweep_seconds * WALL_MARGIN;

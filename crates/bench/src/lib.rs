@@ -357,6 +357,7 @@ pub fn isop_config() -> isop::pipeline::IsopConfig {
         // way (see `isop::exec`).
         parallelism: isop::exec::Parallelism::from_env(),
         retry: isop::prelude::RetryPolicy::default(),
+        schedule: isop::scheduler::RolloutSchedule::default(),
     }
 }
 

@@ -22,6 +22,8 @@
 //! * [`tasks`] — benchmark tasks T1–T4 (Table II);
 //! * [`surrogate`] / [`data`] — surrogate training against the simulator;
 //! * [`pipeline`] — the three-stage ISOP+ optimizer (Algorithm 1);
+//! * [`scheduler`] — deterministic EM roll-out scheduling: the reference
+//!   synchronous waves and the default async batch stream;
 //! * [`baselines`] / [`experiment`] — the SA/BO comparison protocol and
 //!   statistics of Tables IV/V/VII/VIII;
 //! * [`manual`] — the published Table IX reference designs.
@@ -69,6 +71,7 @@ pub mod objective;
 pub mod params;
 pub mod pipeline;
 pub mod report;
+pub mod scheduler;
 pub mod spaces;
 pub mod surrogate;
 pub mod tasks;
@@ -84,7 +87,10 @@ pub mod prelude {
     pub use crate::objective::{FomSpec, InputConstraint, Metric, Objective, OutputConstraint};
     pub use crate::params::{ParamDef, ParamSpace};
     pub use crate::pipeline::{
-        DesignCandidate, IsopConfig, IsopOptimizer, IsopOutcome, RolloutResolution,
+        DesignCandidate, IsopConfig, IsopOptimizer, IsopOutcome, PreparedRollout, RolloutResolution,
+    };
+    pub use crate::scheduler::{
+        JobRollout, PoolEntry, RolloutJob, RolloutSchedule, SchedulerCtx, EM_BATCH_SLOTS,
     };
     pub use crate::surrogate::{
         CnnSurrogate, InstrumentedSurrogate, MlpSurrogate, MlpXgbSurrogate, NeuralSurrogate,

@@ -20,15 +20,15 @@
 //!    and the outcome reports an explicit resolution (full / degraded /
 //!    all simulations failed).
 
-use crate::evalcache::{CacheProbe, CachedSim, EvalCache, MemoizedSurrogate, SurrogateMemo};
+use crate::evalcache::{EvalCache, MemoizedSurrogate, SurrogateMemo};
 use crate::exec::{par_map_indexed, Parallelism};
 use crate::objective::Objective;
 use crate::params::ParamSpace;
+use crate::scheduler::{self, JobRollout, PoolEntry, RolloutJob, RolloutSchedule, SchedulerCtx};
 use crate::surrogate::{InstrumentedSurrogate, Surrogate};
 use crate::weights::{SampleRecord, WeightAdapter};
-use isop_em::fault::{PermanentFault, RetryPolicy, SimError};
+use isop_em::fault::RetryPolicy;
 use isop_em::simulator::{EmSimulator, SimulationResult};
-use isop_em::stackup::DiffStripline;
 use isop_hpo::budget::Budget;
 use isop_hpo::harmonica::{self, HarmonicaConfig};
 use isop_hpo::hyperband::{self, HyperbandConfig};
@@ -75,6 +75,11 @@ pub struct IsopConfig {
     /// Retry schedule for transient EM failures at roll-out. Backoff is
     /// charged to the EM ledger as simulated seconds, never slept.
     pub retry: RetryPolicy,
+    /// Which stage-3 schedule drives the accurate simulator. The default
+    /// async batched scheduler interleaves retries and top-ups into full
+    /// batches; the synchronous wave loop is kept as the reference its
+    /// ledger is gated against.
+    pub schedule: RolloutSchedule,
 }
 
 impl IsopConfig {
@@ -105,6 +110,7 @@ impl Default for IsopConfig {
             weight_adapter: WeightAdapter::default(),
             parallelism: Parallelism::default(),
             retry: RetryPolicy::default(),
+            schedule: RolloutSchedule::default(),
         }
     }
 }
@@ -316,9 +322,24 @@ impl<'a> IsopOptimizer<'a> {
     /// Runs the full three-stage pipeline on `objective`.
     ///
     /// `budget` bounds the global stage (samples and/or wall-clock); the
-    /// local stage and roll-out always complete.
-    pub fn run(&self, objective: Objective, mut budget: Budget, seed: u64) -> IsopOutcome {
+    /// local stage and roll-out always complete. Equivalent to
+    /// [`prepare`](Self::prepare) → [`roll_out`](Self::roll_out) →
+    /// [`finalize`](Self::finalize); experiment cells that interleave
+    /// several trials into one scheduler pass call the pieces directly.
+    pub fn run(&self, objective: Objective, budget: Budget, seed: u64) -> IsopOutcome {
         let t0 = Instant::now();
+        let prep = self.prepare(objective, budget, seed);
+        let rollout = self.roll_out(&prep);
+        self.finalize(prep, rollout, t0.elapsed().as_secs_f64())
+    }
+
+    /// Stages 1–2 plus the surrogate-ranked pool build: everything before
+    /// the accurate simulator runs. The returned [`PreparedRollout`] holds
+    /// the scheduler's input; [`roll_out`](Self::roll_out) consumes it for
+    /// this optimizer alone, while
+    /// [`run_isop_interleaved`](crate::experiment::ExperimentContext::run_isop_interleaved)
+    /// batches several trials' pools into one scheduler pass.
+    pub fn prepare(&self, objective: Objective, mut budget: Budget, seed: u64) -> PreparedRollout {
         let mut rng = StdRng::seed_from_u64(seed);
         let obj_cell = RefCell::new(objective);
         let records = RefCell::new(Vec::new());
@@ -526,8 +547,7 @@ impl<'a> IsopOptimizer<'a> {
             });
         drop(local_span);
 
-        // ---- Stage 3: roll-out (round, dedupe, simulate, rank by g).
-        let rollout_span = isop_telemetry::span!(self.telemetry, "pipeline.rollout");
+        // ---- Pool build for stage 3 (round, dedupe, rank by g_hat).
         let mut rounded: Vec<Vec<f64>> = Vec::new();
         for x in refined {
             let r = self.space.round_to_grid(&x);
@@ -557,167 +577,105 @@ impl<'a> IsopOptimizer<'a> {
         // exactly the backup stock the fault-tolerant top-up draws from
         // when a permanent simulator failure empties a roll-out slot.
         let predictions = instrumented.predict_batch(&rounded);
-        let mut pool: Vec<(Vec<f64>, [f64; 3], f64)> = rounded
+        let mut pool: Vec<PoolEntry> = rounded
             .into_iter()
             .zip(predictions)
             .filter_map(|(x, m)| {
                 let m = m.ok()?;
                 let g = final_objective.g_hat(&m, &x);
-                Some((x, m, g))
+                Some(PoolEntry {
+                    values: x,
+                    predicted: m,
+                    g_hat: g,
+                })
             })
             .collect();
-        pool.sort_by(|a, b| nan_last(a.2, b.2));
+        pool.sort_by(|a, b| nan_last(a.g_hat, b.g_hat));
 
-        // Draw from the pool in score order until cand_num designs have
-        // been *successfully* simulated or the pool runs dry. Wave 1 is the
-        // classic top-cand_num roll-out; every further draw is a top-up
-        // replacing a permanently failed design.
-        let retry = self.config.retry;
+        PreparedRollout {
+            pool,
+            final_objective,
+            samples_seen,
+            invalid_seen,
+        }
+    }
+
+    /// The scheduler context this optimizer's roll-out runs under — the
+    /// simulator, cache, telemetry, retry policy, and thread width shared
+    /// by every flight. Experiment cells build one from their first trial
+    /// and schedule all trials' jobs through it.
+    #[must_use]
+    pub fn scheduler_ctx(&self) -> SchedulerCtx<'_> {
+        SchedulerCtx {
+            simulator: self.simulator,
+            space: self.space,
+            eval_cache: &self.eval_cache,
+            telemetry: &self.telemetry,
+            retry: self.config.retry,
+            threads: self.config.parallelism.threads,
+        }
+    }
+
+    /// Stage 3: drives the accurate simulator over the prepared pool under
+    /// the configured [`RolloutSchedule`], drawing in score order until
+    /// `cand_num` designs have been successfully simulated or the pool runs
+    /// dry (every draw past the first wave is a top-up replacing a
+    /// permanently failed design).
+    #[must_use]
+    pub fn roll_out(&self, prep: &PreparedRollout) -> JobRollout {
+        let _rollout_span = isop_telemetry::span!(self.telemetry, "pipeline.rollout");
+        let ctx = self.scheduler_ctx();
+        let job = RolloutJob {
+            pool: &prep.pool,
+            target: self.config.cand_num.max(1),
+        };
+        match self.config.schedule {
+            RolloutSchedule::Synchronous => scheduler::run_synchronous(job, &ctx),
+            RolloutSchedule::AsyncBatched => scheduler::run_async(&[job], &ctx)
+                .pop()
+                .expect("one rollout per job"),
+        }
+    }
+
+    /// Turns a scheduler roll-out into the final [`IsopOutcome`]: exact
+    /// objectives on the delivered simulations, feasible-first ranking, and
+    /// the resolution / fault accounting the paper's tables report.
+    /// `algorithm_seconds` is the caller-measured real wall-clock (the
+    /// scheduler's EM ledgers are simulated seconds and land in
+    /// [`em_seconds`](IsopOutcome::em_seconds) /
+    /// [`em_seconds_saved`](IsopOutcome::em_seconds_saved)).
+    #[must_use]
+    pub fn finalize(
+        &self,
+        prep: PreparedRollout,
+        rollout: JobRollout,
+        algorithm_seconds: f64,
+    ) -> IsopOutcome {
+        let PreparedRollout {
+            pool,
+            final_objective,
+            samples_seen,
+            invalid_seen,
+        } = prep;
         let target = self.config.cand_num.max(1);
-        let first_wave = target.min(pool.len());
-        let mut candidates: Vec<DesignCandidate> = Vec::new();
-        let mut served_from_cache: Vec<bool> = Vec::new();
-        let mut fresh_records: Vec<RolloutSim> = Vec::new();
-        let mut next = 0usize;
-        let mut delivered = 0usize;
-        while delivered < target && next < pool.len() {
-            let take = (target - delivered).min(pool.len() - next);
-            let wave = &pool[next..next + take];
-            next += take;
-            // Probe the evaluation cache serially, in draw order, before
-            // the parallel section — hit/miss counters come out identical
-            // at any thread width. Only successful simulations are ever
-            // cached, so a hit replays the simulator's counter footprint
-            // (attempted + succeeded) and the stored attempt count while
-            // bypassing the retry path entirely (no retry counters, no
-            // backoff); attach the same handle to the simulator to keep
-            // totals identical cache on/off.
-            let probes: Vec<CacheProbe> = wave
-                .iter()
-                .map(|(x, _, _)| self.eval_cache.probe(self.space, x, &self.telemetry))
-                .collect();
-            for p in &probes {
-                if p.hit.is_some() {
-                    self.telemetry.incr(Counter::EmSimAttempted);
-                    self.telemetry.incr(Counter::EmSimSucceeded);
+        let mut candidates: Vec<DesignCandidate> = rollout
+            .delivered
+            .iter()
+            .map(|d| {
+                let entry = &pool[d.pool_index];
+                let metrics = d.result.to_array();
+                DesignCandidate {
+                    values: entry.values.clone(),
+                    predicted: entry.predicted,
+                    simulated: Some(d.result),
+                    g_exact: final_objective.g_exact(&metrics, &entry.values),
+                    attempts: d.attempts,
                 }
-            }
-            // Simulate only the cache misses, concurrently — the paper's
-            // "three EM runs in parallel". One worker owns a design's whole
-            // retry chain and results collect by index, so the merge below
-            // sees the same order at any thread count (fault decisions are
-            // keyed by design identity, never call order).
-            let miss_inputs: Vec<Vec<f64>> = wave
-                .iter()
-                .zip(&probes)
-                .filter(|(_, p)| p.hit.is_none())
-                .map(|((x, _, _), _)| x.clone())
-                .collect();
-            let miss_runs =
-                par_map_indexed(self.config.parallelism.threads, &miss_inputs, |_, x| {
-                    simulate_with_retry(self.simulator, x, retry)
-                });
-            // Merge hits and fresh outcomes back into draw order; fresh
-            // successes enter the cache serially, after the parallel section.
-            let mut fresh = miss_runs.into_iter();
-            for ((x, predicted, _), probe) in wave.iter().zip(probes) {
-                let (sim, attempts, from_cache) = if let Some(hit) = probe.hit {
-                    (Some(hit.result), hit.attempts, true)
-                } else {
-                    let run = fresh.next().expect("one outcome per cache miss");
-                    if let (Some(result), Some(key)) = (run.result, probe.key) {
-                        self.eval_cache.insert(
-                            key,
-                            CachedSim {
-                                result,
-                                attempts: run.attempts,
-                            },
-                        );
-                    }
-                    fresh_records.push(run);
-                    (run.result, run.attempts, false)
-                };
-                let Some(sim) = sim else {
-                    continue;
-                };
-                delivered += 1;
-                served_from_cache.push(from_cache);
-                let metrics = sim.to_array();
-                let g = final_objective.g_exact(&metrics, x);
-                candidates.push(DesignCandidate {
-                    values: x.clone(),
-                    predicted: *predicted,
-                    simulated: Some(sim),
-                    g_exact: g,
-                    attempts,
-                });
-            }
-        }
-        // Fault accounting, folded serially from the merged records — the
-        // totals are a function of per-design outcomes, never of thread
-        // interleaving, so they are bit-identical at any width.
-        let em_retries: u64 = fresh_records
-            .iter()
-            .map(|r| u64::from(r.attempts.saturating_sub(1)))
-            .sum();
-        let em_failures_transient: u64 = fresh_records
-            .iter()
-            .map(|r| u64::from(r.transient_failures))
-            .sum();
-        let em_failures_permanent =
-            fresh_records.iter().filter(|r| r.result.is_none()).count() as u64;
-        let em_topped_up = (next - first_wave) as u64;
-        self.telemetry.add(Counter::EmRetries, em_retries);
-        self.telemetry
-            .add(Counter::EmFailuresTransient, em_failures_transient);
-        self.telemetry
-            .add(Counter::EmFailuresPermanent, em_failures_permanent);
-        self.telemetry.add(Counter::EmToppedUp, em_topped_up);
-        // EM wall-clock: each batch of up to three *successful*
-        // simulations runs in parallel and occupies the wall-clock of a
-        // single run (`nominal_seconds`). Charge once per batch, not per
-        // run, and not for designs the simulator rejected. A batch served
-        // entirely from cache costs nothing — its wall-clock lands in the
-        // saved ledger instead, so charged + saved is invariant under
-        // toggling the cache (and `em.batches_charged` counts every
-        // logical batch either way).
-        let mut em_seconds = 0.0;
-        let mut em_seconds_saved = 0.0;
-        for batch in served_from_cache.chunks(3) {
-            let nominal = self.simulator.nominal_seconds();
-            self.telemetry.incr(Counter::EmBatchesCharged);
-            if batch.iter().all(|&from_cache| from_cache) {
-                em_seconds_saved += nominal;
-                self.telemetry.save_em_seconds(nominal);
-            } else {
-                em_seconds += nominal;
-                self.telemetry.charge_em_seconds(nominal);
-            }
-        }
-        // Retry surcharge: every failed attempt that reached the tool
-        // costs one nominal run, and each re-issue waits out its
-        // exponential backoff — all charged as *simulated* seconds (no
-        // real sleeps). The final successful attempt is already covered by
-        // its batch charge above, and fail-fast geometry rejections never
-        // reach the solver. Accumulated serially in draw order so the f64
-        // ledger is bit-identical at any thread width; a fault-free run
-        // adds nothing here and its ledger stays bit-identical to a run
-        // without the fault layer.
-        let nominal = self.simulator.nominal_seconds();
-        for r in &fresh_records {
-            let charged_runs = r
-                .attempts
-                .saturating_sub(u32::from(r.geometry_rejected))
-                .saturating_sub(u32::from(r.result.is_some()));
-            let surcharge = f64::from(charged_runs) * nominal + retry.total_backoff(r.attempts);
-            if surcharge > 0.0 {
-                em_seconds += surcharge;
-                self.telemetry.charge_em_seconds(surcharge);
-            }
-        }
-        let resolution = if delivered == 0 && next > 0 {
+            })
+            .collect();
+        let resolution = if candidates.is_empty() && rollout.drawn > 0 {
             RolloutResolution::AllSimulationsFailed
-        } else if delivered < target && em_failures_permanent > 0 {
+        } else if candidates.len() < target && rollout.em_failures_permanent > 0 {
             RolloutResolution::Degraded
         } else {
             RolloutResolution::Full
@@ -735,79 +693,40 @@ impl<'a> IsopOptimizer<'a> {
                 .then(nan_last(a.g_exact, b.g_exact))
         });
         let success = candidates.first().is_some_and(feasible);
-        drop(rollout_span);
 
         IsopOutcome {
             candidates,
             samples_seen,
             invalid_seen,
-            algorithm_seconds: t0.elapsed().as_secs_f64(),
-            em_seconds,
-            em_seconds_saved,
+            algorithm_seconds,
+            em_seconds: rollout.em_seconds,
+            em_seconds_saved: rollout.em_seconds_saved,
             final_objective,
             success,
-            em_retries,
-            em_failures_transient,
-            em_failures_permanent,
-            em_topped_up,
+            em_retries: rollout.em_retries,
+            em_failures_transient: rollout.em_failures_transient,
+            em_failures_permanent: rollout.em_failures_permanent,
+            em_topped_up: rollout.em_topped_up,
             resolution,
         }
     }
 }
 
-/// Outcome of one fresh (uncached) roll-out evaluation after the retry
-/// loop.
-#[derive(Debug, Clone, Copy)]
-struct RolloutSim {
-    /// Final successful simulation, if any attempt succeeded.
-    result: Option<SimulationResult>,
-    /// Attempts issued, including the final one (0 when the design never
-    /// formed a valid layer).
-    attempts: u32,
-    /// Transient failures observed across the attempts.
-    transient_failures: u32,
-    /// The design never reached the solver: vector-to-layer conversion or
-    /// fail-fast geometry validation rejected it, so no solver time is
-    /// charged for the rejecting attempt.
-    geometry_rejected: bool,
-}
-
-/// Runs one design through the accurate simulator under `policy`:
-/// transient failures retry up to the attempt budget, permanent failures
-/// abort immediately (they would recur forever). Nothing sleeps here —
-/// backoff is charged as simulated seconds by the caller's serial
-/// accounting section.
-fn simulate_with_retry(sim: &dyn EmSimulator, x: &[f64], policy: RetryPolicy) -> RolloutSim {
-    let mut out = RolloutSim {
-        result: None,
-        attempts: 0,
-        transient_failures: 0,
-        geometry_rejected: false,
-    };
-    let Ok(layer) = DiffStripline::from_vector(x) else {
-        out.geometry_rejected = true;
-        return out;
-    };
-    let budget = policy.attempt_budget();
-    loop {
-        out.attempts += 1;
-        match sim.simulate(&layer) {
-            Ok(r) => {
-                out.result = Some(r);
-                return out;
-            }
-            Err(SimError::Transient(_)) => {
-                out.transient_failures += 1;
-                if out.attempts >= budget {
-                    return out;
-                }
-            }
-            Err(SimError::Permanent(p)) => {
-                out.geometry_rejected = matches!(p, PermanentFault::Geometry(_));
-                return out;
-            }
-        }
-    }
+/// Everything stage 3 needs, produced by
+/// [`IsopOptimizer::prepare`](IsopOptimizer::prepare): the surrogate-ranked
+/// candidate pool plus the frozen objective and stage-1 sample accounting
+/// that [`IsopOptimizer::finalize`] folds into the outcome.
+#[derive(Debug, Clone)]
+pub struct PreparedRollout {
+    /// Surrogate-scored candidate pool, best `g_hat` first. The rows
+    /// beyond `cand_num` are the backup stock top-ups draw from.
+    pub pool: Vec<PoolEntry>,
+    /// The adapted objective, frozen after the global stage.
+    pub final_objective: Objective,
+    /// Valid surrogate evaluations consumed by stages 1–2.
+    pub samples_seen: u64,
+    /// Invalid encodings encountered by stages 1–2.
+    pub invalid_seen: u64,
 }
 
 #[cfg(test)]

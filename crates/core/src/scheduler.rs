@@ -1,0 +1,634 @@
+//! # Deterministic EM roll-out scheduling
+//!
+//! Stage 3 of the pipeline hands the accurate simulator a stream of
+//! surrogate-ranked designs. This module owns *when* each simulation runs
+//! and what the paper's charging model bills for it, in two schedules:
+//!
+//! * [`run_synchronous`] — the classic wave loop: draw `cand_num` designs,
+//!   let every retry chain finish, charge one `nominal_seconds()` per batch
+//!   of three delivered designs plus a per-failure surcharge (each failed
+//!   solver attempt costs a nominal run, and every re-issue waits out its
+//!   exponential backoff). A transient failure stalls its whole wave.
+//! * [`run_async`] — the asynchronous batched scheduler (the default): a
+//!   global batch stream that interleaves fresh candidates, retry chains,
+//!   and top-ups — and, across experiment cells, flights from multiple
+//!   jobs — into full batches of [`EM_BATCH_SLOTS`]. Every batch of up to
+//!   three concurrent solver attempts costs exactly one nominal charge;
+//!   there is no separate failure surcharge and no backoff billing, because
+//!   a retry simply occupies a slot in a later batch instead of idling a
+//!   reserved wave. The charged ledger therefore lands at or strictly below
+//!   the synchronous schedule for the same candidate set — strictly below
+//!   whenever any retry fires (the synchronous schedule then pays backoff
+//!   on top of per-attempt charges, while the async stream only pays for
+//!   batches), and bit-identical when no fault fires (both schedules then
+//!   run the same full batches).
+//!
+//! ## The logical clock, and why the async schedule is deterministic
+//!
+//! The scheduler never asks "which simulation finished first" — wall-clock
+//! arrival order would make batch composition depend on thread scheduling.
+//! Instead it advances a logical tick counter:
+//!
+//! 1. **Admission** (serial, job order): while a job has fewer than
+//!    `target` designs delivered-or-in-flight, draw the next pool entry in
+//!    surrogate-rank order. Cache hits deliver instantly and never occupy
+//!    a batch slot; geometry-invalid designs fail instantly; everything
+//!    else becomes a *flight* ready at the current tick.
+//! 2. **Batch selection** (pure): the ready flights, sorted by
+//!    `(job, rank)`, fill up to [`EM_BATCH_SLOTS`] slots — at most one
+//!    flight per distinct design, so concurrent attempts can never race a
+//!    per-design fault stream.
+//! 3. **Execution** (parallel): each slot runs exactly one solver attempt;
+//!    results collect by slot index, so the merge below is order-stable at
+//!    any worker count.
+//! 4. **Merge** (serial, slot order): successes deliver and enter the
+//!    evaluation cache; transient failures re-enqueue at `tick + 1` while
+//!    the retry budget lasts; permanent failures release their admission
+//!    slot so the next tick tops the job back up.
+//!
+//! Batch composition is thus a pure function of design identity and the
+//! tick counter, so candidates, both EM ledgers, and every telemetry
+//! counter are bit-identical at any `--threads` width.
+//!
+//! ## Charging rules
+//!
+//! * Each **live batch** charges one `nominal_seconds()` to the charged
+//!   ledger, split across the participating jobs by slot share (a
+//!   single-job batch charges the job exactly one nominal). Live batches
+//!   tick `em.batches_charged`, `em.sched.batches`, `em.sched.slack_slots`
+//!   (empty slots), and `em.sched.interleaved` (batches spanning jobs).
+//! * **Cache hits never occupy a slot.** After the live stream drains, a
+//!   *replay pass* re-schedules each job's hits with oracle outcomes taken
+//!   from their stored attempt counts; each replay batch books one nominal
+//!   to the *saved* ledger and ticks `em.batches_charged` (but none of the
+//!   `em.sched.*` counters, which count live work only). A fully-warm
+//!   roll-out therefore reports the same `em.batches_charged` and the same
+//!   `charged + saved` total as its cold twin, with `charged == 0`.
+
+use crate::evalcache::{CachedSim, EvalCache};
+use crate::exec::par_map_indexed;
+use crate::params::ParamSpace;
+use isop_em::fault::{PermanentFault, RetryPolicy, SimError};
+use isop_em::simulator::{EmSimulator, SimulationResult};
+use isop_em::stackup::DiffStripline;
+use isop_telemetry::{Counter, Telemetry};
+use serde::{Deserialize, Serialize};
+
+/// Slots per charged EM batch — the paper's "three runs in parallel".
+pub const EM_BATCH_SLOTS: usize = 3;
+
+/// Which stage-3 schedule drives the accurate simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RolloutSchedule {
+    /// The classic wave loop: retry chains complete inside their wave, and
+    /// failed attempts are surcharged per run plus simulated backoff. Kept
+    /// as the reference schedule the async ledger is compared against.
+    Synchronous,
+    /// The deterministic async batch stream (default): retries and top-ups
+    /// share batches with fresh candidates, one nominal charge per batch,
+    /// no surcharge and no backoff billing.
+    #[default]
+    AsyncBatched,
+}
+
+/// One surrogate-scored roll-out pool entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolEntry {
+    /// Grid-valid design vector.
+    pub values: Vec<f64>,
+    /// Surrogate-predicted `[Z, L, NEXT]`.
+    pub predicted: [f64; 3],
+    /// Smoothed objective `g_hat` on the prediction (ranking key).
+    pub g_hat: f64,
+}
+
+/// One roll-out job: a ranked pool (best `g_hat` first) and how many
+/// successful accurate simulations it wants delivered.
+#[derive(Debug, Clone, Copy)]
+pub struct RolloutJob<'p> {
+    /// Surrogate-ranked candidate pool; indices are the admission order.
+    pub pool: &'p [PoolEntry],
+    /// Successful simulations to deliver (`cand_num`, at least 1).
+    pub target: usize,
+}
+
+/// One successful accurate simulation delivered to a job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeliveredSim {
+    /// Index of the design in the job's pool.
+    pub pool_index: usize,
+    /// The accurate simulation result.
+    pub result: SimulationResult,
+    /// Solver attempts the design took (cache hits replay the stored
+    /// count from the original run).
+    pub attempts: u32,
+    /// Whether the evaluation cache served this delivery.
+    pub from_cache: bool,
+}
+
+/// Per-job outcome of one scheduler pass, with the fault and ledger
+/// accounting [`IsopOutcome`](crate::pipeline::IsopOutcome) reports.
+#[derive(Debug, Clone, Default)]
+pub struct JobRollout {
+    /// Successful simulations in delivery order.
+    pub delivered: Vec<DeliveredSim>,
+    /// Charged EM seconds attributed to this job.
+    pub em_seconds: f64,
+    /// EM seconds the evaluation cache elided for this job.
+    pub em_seconds_saved: f64,
+    /// Re-issued attempts after transient failures.
+    pub em_retries: u64,
+    /// Transient failure events observed.
+    pub em_failures_transient: u64,
+    /// Designs abandoned for good (permanent failure, exhausted retry
+    /// budget, or geometry rejection).
+    pub em_failures_permanent: u64,
+    /// Pool entries drawn beyond the initial `target`-sized wave.
+    pub em_topped_up: u64,
+    /// Pool entries drawn in total.
+    pub drawn: usize,
+    /// Live batches this job had at least one slot in.
+    pub sched_batches: u64,
+}
+
+/// Shared engines and knobs of one scheduler pass. Jobs scheduled together
+/// (e.g. interleaved experiment trials) share all of these.
+pub struct SchedulerCtx<'a> {
+    /// The accurate simulator.
+    pub simulator: &'a dyn EmSimulator,
+    /// Parameter space (cache keys are grid coordinates in it).
+    pub space: &'a ParamSpace,
+    /// Accurate-EM result cache; hits deliver without occupying slots.
+    pub eval_cache: &'a EvalCache,
+    /// Telemetry handle for counters and both EM ledgers.
+    pub telemetry: &'a Telemetry,
+    /// Retry budget for transient failures.
+    pub retry: RetryPolicy,
+    /// Worker threads for the per-batch parallel section.
+    pub threads: usize,
+}
+
+/// Outcome of one fresh (uncached) roll-out evaluation: either the full
+/// retry chain of the synchronous schedule, or the accumulated attempts of
+/// one async flight.
+#[derive(Debug, Clone, Copy)]
+struct RolloutSim {
+    /// Final successful simulation, if any attempt succeeded.
+    result: Option<SimulationResult>,
+    /// Attempts issued, including the final one (0 when the design never
+    /// formed a valid layer).
+    attempts: u32,
+    /// Transient failures observed across the attempts.
+    transient_failures: u32,
+    /// The design never reached the solver: vector-to-layer conversion or
+    /// fail-fast geometry validation rejected it, so no solver time is
+    /// charged for the rejecting attempt.
+    geometry_rejected: bool,
+}
+
+/// One in-flight design of the async scheduler.
+struct Flight {
+    /// Owning job index.
+    job: usize,
+    /// Pool index within the job (admission rank).
+    rank: usize,
+    /// Completed solver attempts so far.
+    attempts: u32,
+    /// Transient failures observed so far.
+    transient_failures: u32,
+    /// Earliest tick this flight may occupy a batch slot.
+    ready_at: u64,
+    /// The validated layer the solver runs.
+    layer: DiffStripline,
+    /// Cache key for inserting a success (None when caching is disabled).
+    key: Option<crate::evalcache::DesignKey>,
+}
+
+/// Per-job admission state of the async scheduler.
+#[derive(Default, Clone, Copy)]
+struct JobState {
+    /// Next pool index to draw.
+    next: usize,
+    /// Successful deliveries so far.
+    delivered: usize,
+    /// Flights currently in the air.
+    active: usize,
+}
+
+/// Runs one design through the accurate simulator under `policy`:
+/// transient failures retry up to the attempt budget, permanent failures
+/// abort immediately (they would recur forever). Nothing sleeps here —
+/// backoff is charged as simulated seconds by the synchronous schedule's
+/// serial accounting section. The async schedule never calls this: each
+/// flight attempt is a single `simulate` call in its own batch slot.
+fn simulate_with_retry(sim: &dyn EmSimulator, x: &[f64], policy: RetryPolicy) -> RolloutSim {
+    let mut out = RolloutSim {
+        result: None,
+        attempts: 0,
+        transient_failures: 0,
+        geometry_rejected: false,
+    };
+    let Ok(layer) = DiffStripline::from_vector(x) else {
+        out.geometry_rejected = true;
+        return out;
+    };
+    let budget = policy.attempt_budget();
+    loop {
+        out.attempts += 1;
+        match sim.simulate(&layer) {
+            Ok(r) => {
+                out.result = Some(r);
+                return out;
+            }
+            Err(SimError::Transient(_)) => {
+                out.transient_failures += 1;
+                if out.attempts >= budget {
+                    return out;
+                }
+            }
+            Err(SimError::Permanent(p)) => {
+                out.geometry_rejected = matches!(p, PermanentFault::Geometry(_));
+                return out;
+            }
+        }
+    }
+}
+
+/// Folds a job's fresh-simulation records into its rollout accounting and
+/// the telemetry counters (serial, so totals are width-independent).
+fn fold_fault_accounting(out: &mut JobRollout, fresh: &[RolloutSim], ctx: &SchedulerCtx<'_>) {
+    out.em_retries = fresh
+        .iter()
+        .map(|r| u64::from(r.attempts.saturating_sub(1)))
+        .sum();
+    out.em_failures_transient = fresh.iter().map(|r| u64::from(r.transient_failures)).sum();
+    out.em_failures_permanent = fresh.iter().filter(|r| r.result.is_none()).count() as u64;
+    ctx.telemetry.add(Counter::EmRetries, out.em_retries);
+    ctx.telemetry
+        .add(Counter::EmFailuresTransient, out.em_failures_transient);
+    ctx.telemetry
+        .add(Counter::EmFailuresPermanent, out.em_failures_permanent);
+    ctx.telemetry.add(Counter::EmToppedUp, out.em_topped_up);
+}
+
+/// The classic synchronous wave schedule, bit-for-bit the pre-scheduler
+/// pipeline behavior: draw a wave, let every retry chain finish, charge
+/// one nominal per batch of three delivered designs plus the per-failure
+/// surcharge (failed attempts at nominal cost, re-issues at simulated
+/// backoff). Retained as the reference the async ledger is gated against.
+pub fn run_synchronous(job: RolloutJob<'_>, ctx: &SchedulerCtx<'_>) -> JobRollout {
+    let mut out = JobRollout::default();
+    let target = job.target.max(1);
+    let first_wave = target.min(job.pool.len());
+    let mut served_from_cache: Vec<bool> = Vec::new();
+    let mut fresh_records: Vec<RolloutSim> = Vec::new();
+    let mut next = 0usize;
+    let mut delivered = 0usize;
+    while delivered < target && next < job.pool.len() {
+        let take = (target - delivered).min(job.pool.len() - next);
+        let wave = &job.pool[next..next + take];
+        let wave_base = next;
+        next += take;
+        // Probe the evaluation cache serially, in draw order, before the
+        // parallel section — hit/miss counters come out identical at any
+        // thread width. Only successful simulations are ever cached, so a
+        // hit replays the simulator's counter footprint (attempted +
+        // succeeded) and the stored attempt count while bypassing the
+        // retry path entirely.
+        let probes: Vec<_> = wave
+            .iter()
+            .map(|e| ctx.eval_cache.probe(ctx.space, &e.values, ctx.telemetry))
+            .collect();
+        for p in &probes {
+            if p.hit.is_some() {
+                ctx.telemetry.incr(Counter::EmSimAttempted);
+                ctx.telemetry.incr(Counter::EmSimSucceeded);
+            }
+        }
+        // Simulate only the cache misses, concurrently — one worker owns a
+        // design's whole retry chain and results collect by index, so the
+        // merge below sees the same order at any thread count.
+        let miss_inputs: Vec<Vec<f64>> = wave
+            .iter()
+            .zip(&probes)
+            .filter(|(_, p)| p.hit.is_none())
+            .map(|(e, _)| e.values.clone())
+            .collect();
+        let miss_runs = par_map_indexed(ctx.threads, &miss_inputs, |_, x| {
+            simulate_with_retry(ctx.simulator, x, ctx.retry)
+        });
+        // Merge hits and fresh outcomes back into draw order; fresh
+        // successes enter the cache serially, after the parallel section.
+        let mut fresh = miss_runs.into_iter();
+        for (offset, probe) in probes.into_iter().enumerate() {
+            let pool_index = wave_base + offset;
+            let (sim, attempts, from_cache) = if let Some(hit) = probe.hit {
+                (Some(hit.result), hit.attempts, true)
+            } else {
+                let run = fresh.next().expect("one outcome per cache miss");
+                if let (Some(result), Some(key)) = (run.result, probe.key) {
+                    ctx.eval_cache.insert(
+                        key,
+                        CachedSim {
+                            result,
+                            attempts: run.attempts,
+                        },
+                    );
+                }
+                fresh_records.push(run);
+                (run.result, run.attempts, false)
+            };
+            let Some(sim) = sim else {
+                continue;
+            };
+            delivered += 1;
+            served_from_cache.push(from_cache);
+            out.delivered.push(DeliveredSim {
+                pool_index,
+                result: sim,
+                attempts,
+                from_cache,
+            });
+        }
+    }
+    out.drawn = next;
+    out.em_topped_up = (next - first_wave) as u64;
+    fold_fault_accounting(&mut out, &fresh_records, ctx);
+    // EM wall-clock: each batch of up to three *successful* simulations
+    // runs in parallel and occupies the wall-clock of a single run. Charge
+    // once per batch, not per run, and not for designs the simulator
+    // rejected. A batch served entirely from cache costs nothing — its
+    // wall-clock lands in the saved ledger instead, so charged + saved is
+    // invariant under toggling the cache.
+    for batch in served_from_cache.chunks(EM_BATCH_SLOTS) {
+        let nominal = ctx.simulator.nominal_seconds();
+        ctx.telemetry.incr(Counter::EmBatchesCharged);
+        if batch.iter().all(|&from_cache| from_cache) {
+            out.em_seconds_saved += nominal;
+            ctx.telemetry.save_em_seconds(nominal);
+        } else {
+            out.em_seconds += nominal;
+            ctx.telemetry.charge_em_seconds(nominal);
+        }
+    }
+    // Retry surcharge: every failed attempt that reached the tool costs
+    // one nominal run, and each re-issue waits out its exponential backoff
+    // — all charged as *simulated* seconds (no real sleeps). The final
+    // successful attempt is already covered by its batch charge above, and
+    // fail-fast geometry rejections never reach the solver. Accumulated
+    // serially in draw order so the f64 ledger is bit-identical at any
+    // thread width.
+    let nominal = ctx.simulator.nominal_seconds();
+    for r in &fresh_records {
+        let charged_runs = r
+            .attempts
+            .saturating_sub(u32::from(r.geometry_rejected))
+            .saturating_sub(u32::from(r.result.is_some()));
+        let surcharge = f64::from(charged_runs) * nominal + ctx.retry.total_backoff(r.attempts);
+        if surcharge > 0.0 {
+            out.em_seconds += surcharge;
+            ctx.telemetry.charge_em_seconds(surcharge);
+        }
+    }
+    out
+}
+
+/// The deterministic asynchronous batched scheduler. Runs every job's
+/// roll-out as one global batch stream (see the module docs for the tick
+/// loop and charging rules) and returns one [`JobRollout`] per job, in job
+/// order.
+pub fn run_async(jobs: &[RolloutJob<'_>], ctx: &SchedulerCtx<'_>) -> Vec<JobRollout> {
+    let nominal = ctx.simulator.nominal_seconds();
+    let n = jobs.len();
+    let mut out: Vec<JobRollout> = (0..n).map(|_| JobRollout::default()).collect();
+    let mut state: Vec<JobState> = vec![JobState::default(); n];
+    let mut flights: Vec<Flight> = Vec::new();
+    // Cache-hit attempt counts per job, in admission order — the replay
+    // pass re-schedules these after the live stream drains.
+    let mut hit_attempts: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut fresh_records: Vec<Vec<RolloutSim>> = vec![Vec::new(); n];
+    let mut tick: u64 = 0;
+    loop {
+        // --- 1. Admission (serial, job order): top every job up to
+        // `target` delivered-or-in-flight designs. Hits deliver instantly
+        // and never fly; geometry-invalid designs fail instantly.
+        for (j, job) in jobs.iter().enumerate() {
+            let target = job.target.max(1);
+            let s = &mut state[j];
+            while s.delivered + s.active < target && s.next < job.pool.len() {
+                let rank = s.next;
+                s.next += 1;
+                let entry = &job.pool[rank];
+                let probe = ctx
+                    .eval_cache
+                    .probe(ctx.space, &entry.values, ctx.telemetry);
+                if let Some(hit) = probe.hit {
+                    ctx.telemetry.incr(Counter::EmSimAttempted);
+                    ctx.telemetry.incr(Counter::EmSimSucceeded);
+                    s.delivered += 1;
+                    out[j].delivered.push(DeliveredSim {
+                        pool_index: rank,
+                        result: hit.result,
+                        attempts: hit.attempts,
+                        from_cache: true,
+                    });
+                    hit_attempts[j].push(hit.attempts);
+                    continue;
+                }
+                let Ok(layer) = DiffStripline::from_vector(&entry.values) else {
+                    fresh_records[j].push(RolloutSim {
+                        result: None,
+                        attempts: 0,
+                        transient_failures: 0,
+                        geometry_rejected: true,
+                    });
+                    continue;
+                };
+                flights.push(Flight {
+                    job: j,
+                    rank,
+                    attempts: 0,
+                    transient_failures: 0,
+                    ready_at: tick,
+                    layer,
+                    key: probe.key,
+                });
+                s.active += 1;
+            }
+        }
+        if flights.is_empty() {
+            break;
+        }
+        // --- 2. Batch selection (pure): ready flights by (job, rank), at
+        // most one flight per distinct design so per-design fault streams
+        // and cache inserts can never race inside the parallel section.
+        let mut order: Vec<usize> = (0..flights.len()).collect();
+        order.sort_unstable_by_key(|&i| (flights[i].job, flights[i].rank));
+        let mut batch: Vec<usize> = Vec::with_capacity(EM_BATCH_SLOTS);
+        for &i in &order {
+            if batch.len() == EM_BATCH_SLOTS {
+                break;
+            }
+            if flights[i].ready_at > tick {
+                continue;
+            }
+            let values = &jobs[flights[i].job].pool[flights[i].rank].values;
+            let dup = batch
+                .iter()
+                .any(|&b| &jobs[flights[b].job].pool[flights[b].rank].values == values);
+            if dup {
+                continue;
+            }
+            batch.push(i);
+        }
+        if batch.is_empty() {
+            // Every remaining flight was deferred past this tick; advance.
+            tick += 1;
+            continue;
+        }
+        // --- 3. Execution (parallel): one solver attempt per slot,
+        // collected by slot index.
+        let layers: Vec<DiffStripline> = batch.iter().map(|&i| flights[i].layer).collect();
+        let results = par_map_indexed(ctx.threads, &layers, |_, layer| {
+            ctx.simulator.simulate(layer)
+        });
+        // --- 4. Merge (serial, slot order) and charge the batch: one
+        // nominal, split across the participating jobs by slot share (a
+        // single-job batch charges that job exactly one nominal).
+        let occupied = batch.len();
+        ctx.telemetry.incr(Counter::EmBatchesCharged);
+        ctx.telemetry.incr(Counter::EmSchedBatches);
+        ctx.telemetry.add(
+            Counter::EmSchedSlackSlots,
+            (EM_BATCH_SLOTS - occupied) as u64,
+        );
+        ctx.telemetry.charge_em_seconds(nominal);
+        let mut slots_of: Vec<(usize, usize)> = Vec::with_capacity(occupied);
+        for &i in &batch {
+            match slots_of.iter_mut().find(|(j, _)| *j == flights[i].job) {
+                Some((_, c)) => *c += 1,
+                None => slots_of.push((flights[i].job, 1)),
+            }
+        }
+        if slots_of.len() > 1 {
+            ctx.telemetry.incr(Counter::EmSchedInterleaved);
+        }
+        for &(j, slots) in &slots_of {
+            out[j].em_seconds += nominal * (slots as f64 / occupied as f64);
+            out[j].sched_batches += 1;
+        }
+        let mut dead = vec![false; flights.len()];
+        for (slot, &i) in batch.iter().enumerate() {
+            let f = &mut flights[i];
+            f.attempts += 1;
+            match results[slot] {
+                Ok(result) => {
+                    if let Some(key) = f.key.clone() {
+                        ctx.eval_cache.insert(
+                            key,
+                            CachedSim {
+                                result,
+                                attempts: f.attempts,
+                            },
+                        );
+                    }
+                    state[f.job].active -= 1;
+                    state[f.job].delivered += 1;
+                    out[f.job].delivered.push(DeliveredSim {
+                        pool_index: f.rank,
+                        result,
+                        attempts: f.attempts,
+                        from_cache: false,
+                    });
+                    fresh_records[f.job].push(RolloutSim {
+                        result: Some(result),
+                        attempts: f.attempts,
+                        transient_failures: f.transient_failures,
+                        geometry_rejected: false,
+                    });
+                    dead[i] = true;
+                }
+                Err(SimError::Transient(_)) => {
+                    f.transient_failures += 1;
+                    if ctx.retry.retries_remaining(f.attempts) > 0 {
+                        f.ready_at = tick + 1;
+                    } else {
+                        state[f.job].active -= 1;
+                        fresh_records[f.job].push(RolloutSim {
+                            result: None,
+                            attempts: f.attempts,
+                            transient_failures: f.transient_failures,
+                            geometry_rejected: false,
+                        });
+                        dead[i] = true;
+                    }
+                }
+                Err(SimError::Permanent(ref p)) => {
+                    state[f.job].active -= 1;
+                    fresh_records[f.job].push(RolloutSim {
+                        result: None,
+                        attempts: f.attempts,
+                        transient_failures: f.transient_failures,
+                        geometry_rejected: matches!(p, PermanentFault::Geometry(_)),
+                    });
+                    dead[i] = true;
+                }
+            }
+        }
+        let mut idx = 0;
+        flights.retain(|_| {
+            let keep = !dead[idx];
+            idx += 1;
+            keep
+        });
+        tick += 1;
+    }
+    // --- Accounting and the cache-hit replay pass, per job in job order.
+    for (j, job) in jobs.iter().enumerate() {
+        let target = job.target.max(1);
+        out[j].drawn = state[j].next;
+        out[j].em_topped_up =
+            (state[j].next - target.min(job.pool.len()).min(state[j].next)) as u64;
+        let records = std::mem::take(&mut fresh_records[j]);
+        fold_fault_accounting(&mut out[j], &records, ctx);
+        // Replay: re-schedule the hits with oracle outcomes from their
+        // stored attempt counts — the batches the cache elided. Each
+        // replay batch books one nominal to the saved ledger and ticks
+        // `em.batches_charged` (never the live `em.sched.*` counters), so
+        // a fully-warm roll-out reports the same batch count and the same
+        // charged + saved total as its cold twin.
+        let mut remaining: Vec<u32> = hit_attempts[j].iter().map(|&a| a.max(1)).collect();
+        while !remaining.is_empty() {
+            let slots = remaining.len().min(EM_BATCH_SLOTS);
+            ctx.telemetry.incr(Counter::EmBatchesCharged);
+            ctx.telemetry.save_em_seconds(nominal);
+            out[j].em_seconds_saved += nominal;
+            for a in remaining.iter_mut().take(slots) {
+                *a -= 1;
+            }
+            remaining.retain(|&a| a > 0);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_serde_defaults_to_async() {
+        assert_eq!(RolloutSchedule::default(), RolloutSchedule::AsyncBatched);
+        let json = serde_json::to_string(&RolloutSchedule::AsyncBatched).expect("serializes");
+        assert_eq!(json, "\"AsyncBatched\"");
+        let back: RolloutSchedule = serde_json::from_str("\"Synchronous\"").expect("parses");
+        assert_eq!(back, RolloutSchedule::Synchronous);
+    }
+
+    #[test]
+    fn batch_width_matches_paper_charging_model() {
+        // The charging model divides PAPER_EM_BATCH_SECONDS across three
+        // concurrent runs; the scheduler must pack to the same width.
+        assert_eq!(EM_BATCH_SLOTS, 3);
+    }
+}

@@ -180,6 +180,15 @@ impl RetryPolicy {
         }
         total
     }
+
+    /// Retries still available to a flight that has already run `attempts`
+    /// attempts — the async scheduler's re-enqueue predicate. Zero means
+    /// the next transient failure is terminal (the design counts as a
+    /// permanent failure and the scheduler draws a top-up instead).
+    #[must_use]
+    pub fn retries_remaining(&self, attempts: u32) -> u32 {
+        self.attempt_budget().saturating_sub(attempts)
+    }
 }
 
 /// Fault rates and seed for a [`FaultInjector`].
@@ -382,6 +391,15 @@ mod tests {
         let g: SimError = geom.into();
         assert!(g.is_permanent());
         assert!(g.to_string().contains("trace_width"));
+    }
+
+    #[test]
+    fn retries_remaining_counts_down_to_zero() {
+        let p = RetryPolicy::default(); // attempt budget 3
+        assert_eq!(p.retries_remaining(0), 3);
+        assert_eq!(p.retries_remaining(1), 2);
+        assert_eq!(p.retries_remaining(3), 0);
+        assert_eq!(p.retries_remaining(99), 0);
     }
 
     #[test]

@@ -15,19 +15,19 @@
 //!   line constants;
 //! * [`abcd`] / [`sparams`] — frequency-domain network analysis;
 //! * [`sweep`] — batched structure-of-arrays frequency sweeps
-//!   ([`SweepPlan`][sweep::SweepPlan]) with interned RLGC/ABCD prototypes,
+//!   ([`SweepPlan`]) with interned RLGC/ABCD prototypes,
 //!   bit-identical to the scalar path at every lane width;
 //! * [`fft`] — the radix-2 inverse real FFT behind the eye-diagram
 //!   impulse response;
 //! * [`crosstalk`] — near-end crosstalk between adjacent pairs;
 //! * [`fdsolver`] — a 2-D finite-difference Laplace solver used as the
 //!   approximation-free reference engine;
-//! * [`simulator`] — the [`EmSimulator`][simulator::EmSimulator] facade the
+//! * [`simulator`] — the [`EmSimulator`] facade the
 //!   optimizer consumes;
 //! * [`fault`] — transient/permanent failure taxonomy
-//!   ([`SimError`][fault::SimError]), the seeded deterministic
-//!   [`FaultInjector`][fault::FaultInjector] decorator, and the
-//!   [`RetryPolicy`][fault::RetryPolicy] the roll-out applies.
+//!   ([`SimError`]), the seeded deterministic
+//!   [`FaultInjector`] decorator, and the
+//!   [`RetryPolicy`] the roll-out applies.
 //!
 //! ## Quick example
 //!

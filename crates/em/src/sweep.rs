@@ -11,7 +11,7 @@
 //!   `(layer, length)` segment and each distinct via are built once and
 //!   reused across elements, channels, and repeated sweeps;
 //! * **structure-of-arrays lanes** — all per-frequency complex state lives
-//!   in flat `Vec<f64>` re/im lanes ([`AbcdLanes`]), cascaded with an
+//!   in flat `Vec<f64>` re/im lanes (`AbcdLanes`), cascaded with an
 //!   explicit 4-wide unrolled kernel behind the `simd-lanes` feature;
 //! * **scratch arenas** — chain and S-parameter lanes are owned by the plan
 //!   and reused, so a warm plan allocates nothing per sweep.

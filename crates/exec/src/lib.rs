@@ -1,7 +1,10 @@
 //! Deterministic parallel execution for the workspace's embarrassingly
 //! parallel sections: the pipeline's stage-2 Adam refinements, stage-3
-//! roll-out and Hyperband fidelity replicas (via `isop-core`), and the
-//! surrogate zoo's data-parallel training engine (via `isop-ml`).
+//! roll-out and Hyperband fidelity replicas (via `isop-core`), the async
+//! batch scheduler's per-batch slot fan-out (`isop::scheduler`, which
+//! keeps admission and merge serial and parallelizes only the slot
+//! simulations through `par_map_indexed`), and the surrogate zoo's
+//! data-parallel training engine (via `isop-ml`).
 //!
 //! Built on `std::thread::scope` plus an `mpsc` channel — no external
 //! thread-pool crate. Determinism contract: every primitive here returns

@@ -9,6 +9,13 @@
 //! **sequential** — one sample per iteration — which is precisely why the
 //! paper's BO-1/BO-2 rows observe far fewer samples than Harmonica-based
 //! ISOP+ in matched wall-clock.
+//!
+//! [`Tpe::ask_batch`] adds q-point suggestion on top: one KDE build
+//! proposes `q` distinct points per refit, so a BO baseline driving a
+//! batched EM scheduler can fill all its batch slots without pretending
+//! the model saw results it does not have yet (a constant-liar-free
+//! variant of the q-EI batching in He et al.'s parallel PCB BO). With
+//! `batch_size = 1` the proposal stream is bit-identical to [`Tpe::ask`].
 
 use crate::budget::Budget;
 use crate::objective::DiscreteObjective;
@@ -28,6 +35,10 @@ pub struct TpeConfig {
     pub n_ei_candidates: usize,
     /// Additive smoothing weight on the categorical densities.
     pub prior_weight: f64,
+    /// Points proposed per KDE refit (`q`). `1` reproduces the classic
+    /// sequential loop bit for bit; the batched EM scheduler sets this to
+    /// its slot count so BO keeps the simulator's batches full.
+    pub batch_size: usize,
 }
 
 impl Default for TpeConfig {
@@ -37,6 +48,7 @@ impl Default for TpeConfig {
             gamma: 0.25,
             n_ei_candidates: 24,
             prior_weight: 1.0,
+            batch_size: 1,
         }
     }
 }
@@ -90,10 +102,27 @@ impl Tpe {
         self.observations.push(Observation { levels, value });
     }
 
-    /// Proposes the next point to evaluate.
+    /// Proposes the next point to evaluate. Equivalent to
+    /// `ask_batch(1, rng)` — same RNG stream, same winner.
     pub fn ask(&self, rng: &mut StdRng) -> Vec<usize> {
+        self.ask_batch(1, rng)
+            .pop()
+            .expect("ask_batch(1) yields one point")
+    }
+
+    /// Proposes up to `q` *distinct* points from one KDE build (q-point
+    /// batch suggestion). During the startup phase the points are plain
+    /// random samples. Afterwards one `l`/`g` density pair scores
+    /// `n_ei_candidates` draws, and the batch is filled by repeated
+    /// argmax over the still-unpicked draws (first-wins on score ties, so
+    /// `q = 1` is bit-identical to the sequential [`ask`](Self::ask) —
+    /// same RNG draws, same winner). Duplicates among the draws are
+    /// skipped, so the result can be shorter than `q` when the model's
+    /// proposal mass has collapsed onto fewer distinct points.
+    pub fn ask_batch(&self, q: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
+        let q = q.max(1);
         if self.observations.len() < self.cfg.n_startup {
-            return self.space.sample(rng);
+            return (0..q).map(|_| self.space.sample(rng)).collect();
         }
 
         // Split observations at the gamma quantile.
@@ -120,26 +149,53 @@ impl Tpe {
         let l = densities(good);
         let g = densities(bad);
 
-        // Draw candidates from l, keep the best density ratio.
-        let mut best_cand: Option<(Vec<usize>, f64)> = None;
-        for _ in 0..self.cfg.n_ei_candidates {
-            let cand: Vec<usize> = l
-                .iter()
-                .map(|probs| sample_categorical(probs, rng))
-                .collect();
-            let score: f64 = cand
-                .iter()
-                .enumerate()
-                .map(|(d, &lev)| (l[d][lev].max(1e-12) / g[d][lev].max(1e-12)).ln())
-                .sum();
-            if best_cand.as_ref().is_none_or(|(_, s)| score > *s) {
-                best_cand = Some((cand, score));
+        // Draw and score the candidate set from l — every RNG draw happens
+        // here, before selection, so the stream is independent of q.
+        let scored: Vec<(Vec<usize>, f64)> = (0..self.cfg.n_ei_candidates)
+            .map(|_| {
+                let cand: Vec<usize> = l
+                    .iter()
+                    .map(|probs| sample_categorical(probs, rng))
+                    .collect();
+                let score: f64 = cand
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &lev)| (l[d][lev].max(1e-12) / g[d][lev].max(1e-12)).ln())
+                    .sum();
+                (cand, score)
+            })
+            .collect();
+
+        // Fill the batch by repeated argmax over the unpicked, distinct
+        // draws (strictly-greater keeps the first of tied scores, matching
+        // the sequential loop's winner).
+        let mut picked = vec![false; scored.len()];
+        let mut out: Vec<Vec<usize>> = Vec::with_capacity(q);
+        while out.len() < q {
+            let mut best: Option<usize> = None;
+            for (i, (cand, score)) in scored.iter().enumerate() {
+                if picked[i] || out.contains(cand) {
+                    continue;
+                }
+                if best.is_none_or(|b| *score > scored[b].1) {
+                    best = Some(i);
+                }
             }
+            let Some(i) = best else {
+                break;
+            };
+            picked[i] = true;
+            out.push(scored[i].0.clone());
         }
-        best_cand.expect("at least one candidate").0
+        out
     }
 
-    /// Runs the full sequential loop until `iterations` or the budget stops.
+    /// Runs the full loop until `iterations` evaluations or the budget
+    /// stops. Proposals come `batch_size` at a time from one KDE build
+    /// ([`ask_batch`](Self::ask_batch)); every point is still evaluated
+    /// and told individually, so the observation/budget accounting is
+    /// identical to the sequential loop — batching only reduces KDE
+    /// refits. `batch_size = 1` reproduces the classic loop bit for bit.
     pub fn optimize(
         &mut self,
         obj: &mut dyn DiscreteObjective,
@@ -147,14 +203,25 @@ impl Tpe {
         budget: &mut Budget,
         rng: &mut StdRng,
     ) -> Option<Observation> {
-        for _ in 0..iterations {
+        let q = self.cfg.batch_size.max(1);
+        let mut evals = 0usize;
+        'outer: while evals < iterations {
             if budget.exhausted() {
                 break;
             }
-            let levels = self.ask(rng);
-            let value = obj.eval(&levels);
-            budget.record_samples(1);
-            self.tell(levels, value);
+            let batch = self.ask_batch(q.min(iterations - evals), rng);
+            if batch.is_empty() {
+                break;
+            }
+            for levels in batch {
+                if budget.exhausted() {
+                    break 'outer;
+                }
+                let value = obj.eval(&levels);
+                budget.record_samples(1);
+                self.tell(levels, value);
+                evals += 1;
+            }
         }
         self.best().cloned()
     }
@@ -254,6 +321,88 @@ mod tests {
         let mut budget = Budget::unlimited().with_samples(30);
         let _ = tpe.optimize(&mut obj, 1000, &mut budget, &mut rng);
         assert_eq!(tpe.observations().len(), 30);
+    }
+
+    /// `ask_batch(1)` must be the sequential `ask` exactly: same RNG
+    /// stream, same winner — so flipping a baseline to batched suggestion
+    /// cannot silently change the q = 1 comparison rows.
+    #[test]
+    fn ask_batch_of_one_is_bit_identical_to_ask() {
+        let space = DiscreteSpace::new(vec![10, 10, 10]);
+        let mut tpe = Tpe::new(space.clone(), TpeConfig::default());
+        let mut obj = quadratic_objective();
+        let mut seed_rng = StdRng::seed_from_u64(7);
+        for _ in 0..25 {
+            let x = space.sample(&mut seed_rng);
+            let v = obj.eval(&x);
+            tpe.tell(x, v);
+        }
+        for trial in 0..5 {
+            let mut rng_a = StdRng::seed_from_u64(100 + trial);
+            let mut rng_b = StdRng::seed_from_u64(100 + trial);
+            assert_eq!(tpe.ask(&mut rng_a), tpe.ask_batch(1, &mut rng_b)[0]);
+            // Both consumed the same number of draws.
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+        }
+    }
+
+    /// A q-point batch is distinct points in descending score order, drawn
+    /// from a single KDE build.
+    #[test]
+    fn ask_batch_proposes_distinct_points() {
+        let space = DiscreteSpace::new(vec![10, 10, 10]);
+        let mut tpe = Tpe::new(space.clone(), TpeConfig::default());
+        let mut obj = quadratic_objective();
+        let mut seed_rng = StdRng::seed_from_u64(9);
+        for _ in 0..30 {
+            let x = space.sample(&mut seed_rng);
+            let v = obj.eval(&x);
+            tpe.tell(x, v);
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        let batch = tpe.ask_batch(3, &mut rng);
+        assert!(!batch.is_empty() && batch.len() <= 3);
+        for (i, a) in batch.iter().enumerate() {
+            for b in &batch[i + 1..] {
+                assert_ne!(a, b, "batch must not repeat a point");
+            }
+        }
+        // The first batch point is the sequential ask's winner.
+        let mut rng2 = StdRng::seed_from_u64(11);
+        assert_eq!(batch[0], tpe.ask(&mut rng2));
+    }
+
+    /// Batched suggestion keeps total-evaluation semantics: the budget and
+    /// the iteration cap still count single evaluations, so a batched BO
+    /// baseline observes exactly as many samples as the sequential one.
+    #[test]
+    fn batched_optimize_respects_sample_budget() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let space = DiscreteSpace::new(vec![10, 10, 10]);
+        let mut tpe = Tpe::new(
+            space,
+            TpeConfig {
+                batch_size: 3,
+                ..TpeConfig::default()
+            },
+        );
+        let mut obj = quadratic_objective();
+        let mut budget = Budget::unlimited().with_samples(31);
+        let _ = tpe.optimize(&mut obj, 1000, &mut budget, &mut rng);
+        assert_eq!(tpe.observations().len(), 31);
+
+        let mut rng = StdRng::seed_from_u64(4);
+        let space = DiscreteSpace::new(vec![10, 10, 10]);
+        let mut tpe = Tpe::new(
+            space,
+            TpeConfig {
+                batch_size: 3,
+                ..TpeConfig::default()
+            },
+        );
+        let mut budget = Budget::unlimited();
+        let _ = tpe.optimize(&mut obj, 40, &mut budget, &mut rng);
+        assert_eq!(tpe.observations().len(), 40, "iteration cap is per eval");
     }
 
     #[test]

@@ -107,11 +107,22 @@ pub enum Counter {
     /// permanent roll-out failure, so the accurate simulator still sees
     /// `cand_num` successful evaluations whenever the pool allows.
     EmToppedUp,
+    /// Live EM batches formed by the async roll-out scheduler (batches that
+    /// actually ran fresh simulations; cache-hit replays never tick this).
+    EmSchedBatches,
+    /// Unused slots across all live scheduler batches: a batch of 3 with
+    /// only 2 flights ready contributes one slack slot. The async scheduler
+    /// exists to drive this toward zero.
+    EmSchedSlackSlots,
+    /// Live scheduler batches whose flights span more than one roll-out job
+    /// (retry chains riding with fresh candidates, or candidates from
+    /// different trials sharing a batch under interleaved experiment cells).
+    EmSchedInterleaved,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 27] = [
         Counter::EmSimAttempted,
         Counter::EmSimSucceeded,
         Counter::EmSimFailed,
@@ -136,6 +147,9 @@ impl Counter {
         Counter::EmFailuresTransient,
         Counter::EmFailuresPermanent,
         Counter::EmToppedUp,
+        Counter::EmSchedBatches,
+        Counter::EmSchedSlackSlots,
+        Counter::EmSchedInterleaved,
     ];
 
     /// Stable dotted label used in reports and threshold files.
@@ -166,6 +180,9 @@ impl Counter {
             Counter::EmFailuresTransient => "em.failures_transient",
             Counter::EmFailuresPermanent => "em.failures_permanent",
             Counter::EmToppedUp => "em.topped_up",
+            Counter::EmSchedBatches => "em.sched.batches",
+            Counter::EmSchedSlackSlots => "em.sched.slack_slots",
+            Counter::EmSchedInterleaved => "em.sched.interleaved",
         }
     }
 
@@ -662,6 +679,21 @@ mod tests {
         assert_eq!(report.counter("em.failures_transient"), 1);
         assert_eq!(report.counter("em.failures_permanent"), 1);
         assert_eq!(report.counter("em.topped_up"), 1);
+    }
+
+    #[test]
+    fn scheduler_counters_have_stable_labels() {
+        assert_eq!(Counter::EmSchedBatches.name(), "em.sched.batches");
+        assert_eq!(Counter::EmSchedSlackSlots.name(), "em.sched.slack_slots");
+        assert_eq!(Counter::EmSchedInterleaved.name(), "em.sched.interleaved");
+        let tele = Telemetry::enabled();
+        tele.add(Counter::EmSchedBatches, 4);
+        tele.incr(Counter::EmSchedSlackSlots);
+        tele.incr(Counter::EmSchedInterleaved);
+        let report = tele.run_report();
+        assert_eq!(report.counter("em.sched.batches"), 4);
+        assert_eq!(report.counter("em.sched.slack_slots"), 1);
+        assert_eq!(report.counter("em.sched.interleaved"), 1);
     }
 
     #[test]

@@ -20,6 +20,14 @@
 # a retry storm fails the gate. The phase has its own wall-clock budget
 # (max_fault_seconds).
 #
+# A scheduler smoke phase then gates the async batched roll-out: under a
+# fixed fault config the async schedule must deliver the synchronous
+# schedule's candidate set while charging strictly less EM time, and the
+# faulted async run must be bit-identical at 1 vs 4 threads. Its
+# em.sched.batches / em.sched.slack_slots / em.sched.interleaved counters
+# land in the counter budget, and the phase has its own wall-clock budget
+# (max_sched_seconds).
+#
 # A sweep smoke phase then gates the batched EM frequency sweep: the
 # structure-of-arrays SweepPlan must be bit-identical to the scalar
 # per-point ABCD chain over a fleet of link channels (and at lane width 1
@@ -34,5 +42,11 @@
 #                                    # (em.cache.misses over budget)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ ! -d results ]; then
+  echo "bench_gate: results/ is missing — run from a full checkout of the repo root" >&2
+  echo "bench_gate: (the gate writes results/BENCH_ci.json next to the checked-in baselines)" >&2
+  exit 1
+fi
 
 cargo run --release --offline -p isop-bench --bin bench_gate -- "$@"

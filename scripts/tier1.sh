@@ -5,6 +5,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+if [ ! -d results ]; then
+  echo "tier1: results/ is missing — run from a full checkout of the repo root" >&2
+  echo "tier1: (the checked-in bench artifacts under results/ are part of the tree)" >&2
+  exit 1
+fi
+
 cargo build --release --offline --workspace
 cargo test --offline --workspace -q
 cargo clippy --offline --workspace --all-targets -- -D warnings

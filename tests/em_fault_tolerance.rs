@@ -247,16 +247,42 @@ fn retries_rescue_flaky_designs_and_charge_simulated_time() {
     assert_eq!(flaky.em_failures_transient, 2 * n);
     assert_eq!(flaky.resolution, RolloutResolution::Full);
 
-    // The two failed tool runs per design each cost one nominal run plus
-    // the exponential backoff before attempts two and three, all charged
-    // as simulated seconds on top of the plain run's batch charges.
-    let policy = RetryPolicy::default();
+    // Async charging: the three designs retry *together*, so the whole
+    // roll-out is three full batches (attempt rounds) at one nominal each
+    // — no per-failure surcharge, no backoff billing. The ledger must be
+    // bit-exactly three nominals…
     let nominal = plain_sim.nominal_seconds();
-    let mut expected = plain.em_seconds;
+    assert_eq!(flaky.em_seconds.to_bits(), (3.0 * nominal).to_bits());
+
+    // …and strictly below what the synchronous wave schedule would have
+    // charged for the same candidates (per-failure nominals plus the
+    // exponential backoff before attempts two and three).
+    let policy = RetryPolicy::default();
+    let mut sync_expected = plain.em_seconds;
     for _ in 0..n {
-        expected += 2.0 * nominal + policy.total_backoff(3);
+        sync_expected += 2.0 * nominal + policy.total_backoff(3);
     }
-    assert_eq!(flaky.em_seconds.to_bits(), expected.to_bits());
+    assert!(
+        flaky.em_seconds < sync_expected,
+        "async ledger {} must undercut the synchronous schedule {}",
+        flaky.em_seconds,
+        sync_expected
+    );
+    let mut sync_cfg = smoke_config(2);
+    sync_cfg.schedule = isop::scheduler::RolloutSchedule::Synchronous;
+    let sync_tele = Telemetry::enabled();
+    let sync_sim = FailNth::new(AnalyticalSolver::new().with_telemetry(sync_tele.clone()), 2);
+    let space = isop::spaces::s1();
+    let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+    let sync = IsopOptimizer::new(&space, &surrogate, &sync_sim, sync_cfg)
+        .with_telemetry(sync_tele.clone())
+        .run(
+            isop::tasks::objective_for(TaskId::T1, vec![]),
+            Budget::unlimited(),
+            SEED,
+        );
+    assert_eq!(sync.candidates, flaky.candidates, "equal candidate quality");
+    assert_eq!(sync.em_seconds.to_bits(), sync_expected.to_bits());
 }
 
 #[test]

@@ -67,12 +67,19 @@ fn run_pair(
 }
 
 /// Strips the counters whose values legitimately depend on the cache being
-/// on (a disabled cache books every probe as a miss by design).
+/// on (a disabled cache books every probe as a miss by design, and the
+/// `em.sched.*` counters track *live* scheduler batches only — a warm
+/// roll-out served from cache forms none, its elided batches landing in
+/// the saved ledger via the replay pass instead).
 fn non_cache_counters(report: &RunReport) -> Vec<(String, u64)> {
     report
         .counters
         .iter()
-        .filter(|c| !c.name.starts_with("em.cache.") && !c.name.starts_with("surrogate.memo"))
+        .filter(|c| {
+            !c.name.starts_with("em.cache.")
+                && !c.name.starts_with("surrogate.memo")
+                && !c.name.starts_with("em.sched.")
+        })
         .map(|c| (c.name.clone(), c.value))
         .collect()
 }

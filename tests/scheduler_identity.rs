@@ -1,0 +1,299 @@
+//! Integration tests of the async roll-out scheduler's determinism
+//! contract: batch composition is a pure function of design identity and
+//! the logical tick clock, so candidates, both EM ledgers, and every
+//! telemetry counter are bit-identical at any thread width — with faults
+//! on; a fault-free async roll-out delivers the synchronous schedule's
+//! candidate set at a bit-identical charge; a warm-cache replay occupies
+//! zero live batch slots; a ragged final batch still charges a full
+//! nominal while booking its empty slots as slack; and interleaved
+//! experiment trials pack cross-trial batches without changing any
+//! trial's winner.
+
+use isop::evalcache::{EvalCache, SurrogateMemo};
+use isop::prelude::*;
+use isop_em::simulator::{AnalyticalSolver, EmSimulator};
+use isop_hpo::budget::Budget;
+use isop_hpo::harmonica::HarmonicaConfig;
+use isop_hpo::hyperband::HyperbandConfig;
+
+const SEED: u64 = 3;
+const FAULT_SEED: u64 = 2;
+
+fn smoke_config(threads: usize) -> IsopConfig {
+    IsopConfig {
+        harmonica: HarmonicaConfig {
+            stages: 2,
+            samples_per_stage: 120,
+            top_monomials: 6,
+            bits_per_stage: 8,
+            ..HarmonicaConfig::default()
+        },
+        hyperband: HyperbandConfig {
+            max_resource: 3.0,
+            eta: 3.0,
+        },
+        gd_candidates: 4,
+        gd_epochs: 25,
+        cand_num: 3,
+        parallelism: Parallelism::new(threads),
+        ..IsopConfig::default()
+    }
+}
+
+fn run_with(
+    simulator: &dyn EmSimulator,
+    config: IsopConfig,
+    telemetry: &Telemetry,
+    cache: &EvalCache,
+) -> isop::pipeline::IsopOutcome {
+    let space = isop::spaces::s1();
+    let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+    IsopOptimizer::new(&space, &surrogate, simulator, config)
+        .with_telemetry(telemetry.clone())
+        .with_eval_cache(cache.clone())
+        .run(
+            isop::tasks::objective_for(TaskId::T1, vec![]),
+            Budget::unlimited(),
+            SEED,
+        )
+}
+
+/// With faults on, retry chains and top-ups flow through the batch stream
+/// — and the whole thing must still be bit-identical at 1 vs 4 threads:
+/// candidates, both ledgers, and every counter including the three
+/// `em.sched.*` gauges.
+#[test]
+fn faulted_async_schedule_is_bit_identical_across_thread_widths() {
+    let fault = FaultConfig {
+        transient_rate: 0.35,
+        permanent_rate: 0.30,
+        seed: FAULT_SEED,
+    };
+    let run_at = |threads: usize| {
+        let telemetry = Telemetry::enabled();
+        let simulator = FaultInjector::new(
+            AnalyticalSolver::new().with_telemetry(telemetry.clone()),
+            fault,
+        )
+        .with_telemetry(telemetry.clone());
+        let outcome = run_with(
+            &simulator,
+            smoke_config(threads),
+            &telemetry,
+            &EvalCache::disabled(),
+        );
+        (outcome, telemetry)
+    };
+    let (serial, serial_tele) = run_at(1);
+    let (wide, wide_tele) = run_at(4);
+
+    assert_eq!(serial.candidates, wide.candidates);
+    assert_eq!(serial.resolution, wide.resolution);
+    assert_eq!(serial.em_seconds.to_bits(), wide.em_seconds.to_bits());
+    assert_eq!(
+        serial.em_seconds_saved.to_bits(),
+        wide.em_seconds_saved.to_bits()
+    );
+    for c in Counter::ALL {
+        assert_eq!(
+            serial_tele.counter(c),
+            wide_tele.counter(c),
+            "counter {} diverged between 1 and 4 threads",
+            c.name()
+        );
+    }
+    // The scenario exercised the scheduler for real: retry chains and
+    // top-up draws re-entered the batch stream across multiple ticks.
+    assert!(serial.em_retries > 0);
+    assert!(serial.em_topped_up > 0);
+    assert!(serial_tele.counter(Counter::EmSchedBatches) > 1);
+}
+
+/// At fault rate zero the async stream degenerates to the synchronous
+/// schedule: same candidate set, same attempt counts, and a bit-identical
+/// charged ledger (full batches, no surcharge on either side).
+#[test]
+fn fault_free_async_matches_synchronous_schedule_bit_exactly() {
+    let run_sched = |schedule: isop::scheduler::RolloutSchedule| {
+        let telemetry = Telemetry::enabled();
+        let simulator = AnalyticalSolver::new().with_telemetry(telemetry.clone());
+        let config = IsopConfig {
+            schedule,
+            ..smoke_config(2)
+        };
+        let outcome = run_with(&simulator, config, &telemetry, &EvalCache::disabled());
+        (outcome, telemetry)
+    };
+    let (sync, sync_tele) = run_sched(isop::scheduler::RolloutSchedule::Synchronous);
+    let (async_, async_tele) = run_sched(isop::scheduler::RolloutSchedule::AsyncBatched);
+
+    assert!(!sync.candidates.is_empty());
+    assert_eq!(sync.candidates, async_.candidates);
+    assert_eq!(sync.success, async_.success);
+    assert_eq!(sync.em_seconds.to_bits(), async_.em_seconds.to_bits());
+    assert_eq!(
+        sync_tele.counter(Counter::EmBatchesCharged),
+        async_tele.counter(Counter::EmBatchesCharged)
+    );
+    // Only the async run reports scheduler activity; the sync reference
+    // keeps the legacy counters at zero.
+    assert_eq!(sync_tele.counter(Counter::EmSchedBatches), 0);
+    assert!(async_tele.counter(Counter::EmSchedBatches) > 0);
+}
+
+/// A warm-cache replay delivers the whole roll-out without occupying a
+/// single live batch slot: `em.sched.batches` stays flat, the charged
+/// ledger stays at zero, and the elided batches land in the saved ledger
+/// with `em.batches_charged` unchanged from the cold run.
+#[test]
+fn warm_cache_replay_occupies_zero_batch_slots() {
+    let cache = EvalCache::new();
+    let cold_tele = Telemetry::enabled();
+    let cold_sim = AnalyticalSolver::new().with_telemetry(cold_tele.clone());
+    let cold = run_with(&cold_sim, smoke_config(2), &cold_tele, &cache);
+
+    let warm_tele = Telemetry::enabled();
+    let warm_sim = AnalyticalSolver::new().with_telemetry(warm_tele.clone());
+    let warm = run_with(&warm_sim, smoke_config(2), &warm_tele, &cache);
+
+    assert_eq!(cold.candidates, warm.candidates);
+    assert!(cold_tele.counter(Counter::EmSchedBatches) > 0);
+    assert_eq!(
+        warm_tele.counter(Counter::EmSchedBatches),
+        0,
+        "cache hits must not occupy live batch slots"
+    );
+    assert_eq!(warm_tele.counter(Counter::EmSchedSlackSlots), 0);
+    assert_eq!(warm.em_seconds, 0.0);
+    assert!(warm.em_seconds_saved > 0.0);
+    assert_eq!(
+        (warm.em_seconds + warm.em_seconds_saved).to_bits(),
+        cold.em_seconds.to_bits(),
+        "charged + saved must be invariant under the cache"
+    );
+    assert_eq!(
+        cold_tele.counter(Counter::EmBatchesCharged),
+        warm_tele.counter(Counter::EmBatchesCharged),
+        "replay books the same logical batches, just into the saved ledger"
+    );
+}
+
+/// Four candidates do not fit one batch: the stream charges two nominals
+/// (one full batch, one ragged) and books the ragged batch's two empty
+/// slots as slack — the exact waste the cross-trial interleaving exists
+/// to reclaim.
+#[test]
+fn ragged_final_batch_charges_full_nominal_and_books_slack() {
+    let telemetry = Telemetry::enabled();
+    let simulator = AnalyticalSolver::new().with_telemetry(telemetry.clone());
+    let config = IsopConfig {
+        gd_candidates: 6,
+        cand_num: 4,
+        ..smoke_config(2)
+    };
+    let outcome = run_with(&simulator, config, &telemetry, &EvalCache::disabled());
+
+    assert_eq!(
+        outcome.candidates.len(),
+        4,
+        "expected a full 4-way roll-out"
+    );
+    let nominal = simulator.nominal_seconds();
+    assert_eq!(
+        outcome.em_seconds.to_bits(),
+        (2.0 * nominal).to_bits(),
+        "3 + 1 designs = two charged batches"
+    );
+    assert_eq!(telemetry.counter(Counter::EmSchedBatches), 2);
+    assert_eq!(
+        telemetry.counter(Counter::EmSchedSlackSlots),
+        2,
+        "the ragged batch ran with two empty slots"
+    );
+}
+
+/// Cross-trial interleaving: three 2-candidate trials pack into two full
+/// batches instead of three ragged ones — strictly cheaper than the
+/// sequential cell — while every trial's winning design, metrics, and FoM
+/// stay exactly those of the sequential run, at any thread width.
+#[test]
+fn interleaved_trials_fill_ragged_batches_without_changing_winners() {
+    fn cell<'a>(
+        space: &'a ParamSpace,
+        surrogate: &'a dyn Surrogate,
+        simulator: &'a dyn EmSimulator,
+        threads: usize,
+        telemetry: &Telemetry,
+    ) -> isop::experiment::ExperimentContext<'a> {
+        isop::experiment::ExperimentContext {
+            space,
+            surrogate,
+            simulator,
+            isop_config: IsopConfig {
+                cand_num: 2,
+                ..smoke_config(threads)
+            },
+            n_trials: 3,
+            seed: SEED,
+            telemetry: telemetry.clone(),
+            eval_cache: EvalCache::disabled(),
+            surrogate_memo: SurrogateMemo::disabled(),
+        }
+    }
+    let space = isop::spaces::s1();
+    let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+    let objective = isop::tasks::objective_for(TaskId::T1, vec![]);
+
+    let seq_tele = Telemetry::enabled();
+    let seq_sim = AnalyticalSolver::new().with_telemetry(seq_tele.clone());
+    let sequential = cell(&space, &surrogate, &seq_sim, 2, &seq_tele).run_isop(&objective);
+
+    let inter_tele = Telemetry::enabled();
+    let inter_sim = AnalyticalSolver::new().with_telemetry(inter_tele.clone());
+    let interleaved =
+        cell(&space, &surrogate, &inter_sim, 2, &inter_tele).run_isop_interleaved(&objective);
+
+    // Same winners, metrics, FoM, and sample accounting per trial — only
+    // the batch packing (and with it the ledger) changed.
+    assert_eq!(sequential.results.len(), interleaved.results.len());
+    for (s, i) in sequential.results.iter().zip(&interleaved.results) {
+        assert_eq!(s.design, i.design);
+        assert_eq!(s.metrics, i.metrics);
+        assert_eq!(s.fom.to_bits(), i.fom.to_bits());
+        assert_eq!(s.success, i.success);
+        assert_eq!(s.samples_seen, i.samples_seen);
+    }
+    assert_eq!(sequential.degraded, interleaved.degraded);
+
+    // 3 trials x 2 candidates: sequential rolls three ragged batches,
+    // interleaving packs the same six flights into two full ones.
+    assert_eq!(seq_tele.counter(Counter::EmSchedBatches), 3);
+    assert_eq!(inter_tele.counter(Counter::EmSchedBatches), 2);
+    assert!(inter_tele.counter(Counter::EmSchedInterleaved) > 0);
+    assert!(
+        inter_tele.counter(Counter::EmSchedSlackSlots)
+            < seq_tele.counter(Counter::EmSchedSlackSlots)
+    );
+
+    // The interleaved pass is deterministic across thread widths too.
+    let wide_tele = Telemetry::enabled();
+    let wide_sim = AnalyticalSolver::new().with_telemetry(wide_tele.clone());
+    let wide = cell(&space, &surrogate, &wide_sim, 4, &wide_tele).run_isop_interleaved(&objective);
+    assert_eq!(interleaved.results.len(), wide.results.len());
+    for (a, b) in interleaved.results.iter().zip(&wide.results) {
+        // Everything but the real wall-clock is bit-identical.
+        assert_eq!(a.design, b.design);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.fom.to_bits(), b.fom.to_bits());
+        assert_eq!(a.success, b.success);
+        assert_eq!(a.samples_seen, b.samples_seen);
+    }
+    for c in Counter::ALL {
+        assert_eq!(
+            inter_tele.counter(c),
+            wide_tele.counter(c),
+            "interleaved counter {} diverged between 2 and 4 threads",
+            c.name()
+        );
+    }
+}
