@@ -60,6 +60,20 @@
 //! training speedup is only enforced on hosts with enough cores. The
 //! phase's wall-clock has its own budget (`max_sweep_seconds`).
 //!
+//! A warm-store smoke phase then gates the persistent evaluation store and
+//! the trained-model registry: the seeded pipeline runs cold against a
+//! fresh store directory, then warm from fresh handles at 1 and 4 threads.
+//! The warm runs must replay the cold candidates and ledger sum bit for
+//! bit while eliding at least 90% of the cold run's charged EM seconds
+//! (full-hit replay elides 100%), the two warm widths must agree on every
+//! counter, and a zoo surrogate fitted through the registry must reload
+//! warm with zero training work — no `ml.fit.*` span, `train.chunks` = 0 —
+//! and bit-identical predictions. The phase's wall-clock has its own
+//! budget (`max_store_seconds`), its serial handles' counters fold into
+//! the budgeted report so the `store.*` read/write volumes are gated, and
+//! the cold-vs-warm wall-clock comparison is written to `BENCH_pr8.json`
+//! next to the CI report.
+//!
 //! ```text
 //! bench_gate [--thresholds scripts/bench_thresholds.json]
 //!            [--out results/BENCH_ci.json] [--update] [--no-cache]
@@ -76,10 +90,13 @@ use isop_hpo::budget::Budget;
 use isop_hpo::harmonica::HarmonicaConfig;
 use isop_hpo::hyperband::HyperbandConfig;
 use isop_ml::models::{Mlp, MlpConfig, RandomForest, TreeConfig};
+use isop_ml::registry::ModelRegistry;
 use isop_ml::train::TrainContext;
 use isop_ml::Regressor;
+use isop_store::Store;
 use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Wall-clock headroom factor applied on top of the stored threshold.
@@ -113,6 +130,13 @@ const FAULT_SEED: u64 = 2;
 const MIN_SWEEP_SPEEDUP: f64 = 2.0;
 /// Frequency points of the sweep smoke grid.
 const SWEEP_POINTS: usize = 256;
+/// Fraction of the cold run's charged EM seconds the warm-store replay
+/// must elide (a full-hit replay elides 100%; 90% leaves room for a
+/// future smoke tweak that adds a handful of fresh designs).
+const STORE_MIN_ELIDED_FRACTION: f64 = 0.9;
+/// Registry key of the store smoke's zoo surrogate (any stable value —
+/// the registry only requires it to be consistent between cold and warm).
+const STORE_ZOO_SPACE_ID: u64 = 0x5105;
 
 /// The checked-in perf budget the gate compares against.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -138,8 +162,48 @@ struct GateThresholds {
     /// lane-width passes), seconds (compared with a [`WALL_MARGIN`]
     /// tolerance).
     max_sweep_seconds: f64,
+    /// Wall-clock budget for the warm-store smoke (cold run + two warm
+    /// replays + registry round-trip), seconds (compared with a
+    /// [`WALL_MARGIN`] tolerance).
+    max_store_seconds: f64,
     /// Exact counter budget, one entry per [`Counter`].
     counters: Vec<isop_telemetry::CounterEntry>,
+}
+
+/// Cold-vs-warm measurement of the warm-store smoke, written to
+/// `BENCH_pr8.json` next to the CI report so the cross-run speedup is a
+/// tracked artifact rather than a log line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StoreSmokeSummary {
+    /// Wall-clock of the cold pipeline run (store writes included), s.
+    cold_wall_seconds: f64,
+    /// Wall-clock of the warm serial replay (store reads included), s.
+    warm_wall_seconds: f64,
+    /// EM seconds the cold run charged.
+    cold_em_charged_seconds: f64,
+    /// EM seconds the warm replay still charged (0 at full hit rate).
+    warm_em_charged_seconds: f64,
+    /// EM seconds the warm replay served from the store.
+    warm_em_saved_seconds: f64,
+    /// Store records the warm replay was served from other "jobs".
+    warm_cross_job_hits: u64,
+    /// Wall-clock of the cold zoo fit (training + store write), s.
+    cold_fit_wall_seconds: f64,
+    /// Wall-clock of the warm zoo load (store read, zero training), s.
+    warm_fit_wall_seconds: f64,
+}
+
+/// Everything one full smoke pass measures: the budgeted report, each
+/// phase's wall-clock, and the store smoke's cold-vs-warm summary.
+struct SmokeMeasurement {
+    report: RunReport,
+    wall: f64,
+    train_wall: f64,
+    fault_wall: f64,
+    sched_wall: f64,
+    sweep_wall: f64,
+    store_wall: f64,
+    store: StoreSmokeSummary,
 }
 
 /// Fraction of total EM wall-clock the cache must elide over the two-run
@@ -263,7 +327,7 @@ fn smoke_config(threads: usize) -> IsopConfig {
     }
 }
 
-fn run_smoke(use_cache: bool) -> Result<(RunReport, f64, f64, f64, f64, f64), String> {
+fn run_smoke(use_cache: bool) -> Result<SmokeMeasurement, String> {
     let space = isop::spaces::s1();
     let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
     let telemetry = Telemetry::enabled();
@@ -343,6 +407,11 @@ fn run_smoke(use_cache: bool) -> Result<(RunReport, f64, f64, f64, f64, f64), St
     // Batched-sweep phase: pure-function identity checks, no telemetry.
     let sweep_wall = sweep_smoke()?;
 
+    // Warm-store phase: cold-vs-warm persistent replay plus the model
+    // registry round-trip, folding the store counters into the main
+    // handle so the `store.*` budgets are gated.
+    let (store_wall, store) = store_smoke(&telemetry)?;
+
     let mut report = telemetry.run_report();
     report.task = TaskId::T1.to_string();
     report.space = "s1".to_string();
@@ -353,7 +422,16 @@ fn run_smoke(use_cache: bool) -> Result<(RunReport, f64, f64, f64, f64, f64), St
     report.invalid_seen = first.invalid_seen + second.invalid_seen;
     report.algorithm_seconds = first.algorithm_seconds + second.algorithm_seconds;
     report.resolution = first.resolution.as_str().to_string();
-    Ok((report, wall, train_wall, fault_wall, sched_wall, sweep_wall))
+    Ok(SmokeMeasurement {
+        report,
+        wall,
+        train_wall,
+        fault_wall,
+        sched_wall,
+        sweep_wall,
+        store_wall,
+        store,
+    })
 }
 
 /// The fault-tolerant roll-out's smoke. Four pipeline runs on scratch
@@ -683,6 +761,223 @@ fn sweep_smoke() -> Result<f64, String> {
     Ok(t0.elapsed().as_secs_f64())
 }
 
+/// The persistent store's smoke: the seeded pipeline runs **cold**
+/// against a fresh store directory, then **warm** against the same
+/// directory from fresh handles at 1 and at 4 threads — a separate
+/// process would observe exactly the same bytes, so this is the
+/// cross-run warm-start contract:
+///
+/// 1. the warm candidates, success, and charged+saved ledger sum are
+///    bit-identical to the cold run's, with the replay eliding at least
+///    [`STORE_MIN_ELIDED_FRACTION`] of the cold charged EM seconds and
+///    at least one record served as a cross-job hit;
+/// 2. the two warm widths agree bit for bit — candidates, both ledgers,
+///    every counter (store hydration sits in the serial probe path, so
+///    thread width cannot reorder it);
+/// 3. a zoo surrogate fitted through the model registry reloads warm
+///    with **zero** training work — no `ml.fit.*` span, `train.chunks`
+///    still 0 on the warm handle — and predicts bit-identically.
+///
+/// Folds the cold and warm-serial handles' counters into `main` so the
+/// `store.*` read/write volumes (and the registry hit/miss split) are
+/// budgeted like any other counter. Returns the phase wall-clock and the
+/// cold-vs-warm summary for `BENCH_pr8.json`.
+fn store_smoke(main: &Telemetry) -> Result<(f64, StoreSmokeSummary), String> {
+    let space = isop::spaces::s1();
+    let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
+    let t0 = Instant::now();
+    let dir = std::env::temp_dir().join(format!("isop-bench-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let run = |threads: usize, telemetry: &Telemetry, persist: bool| {
+        let store = Arc::new(
+            Store::open(&dir)
+                .map_err(|e| format!("store smoke: open {}: {e}", dir.display()))?
+                .with_telemetry(telemetry.clone()),
+        );
+        let cache = EvalCache::with_store(Arc::clone(&store));
+        let solver = AnalyticalSolver::new().with_telemetry(telemetry.clone());
+        let outcome = IsopOptimizer::new(&space, &surrogate, &solver, smoke_config(threads))
+            .with_telemetry(telemetry.clone())
+            .with_eval_cache(cache.clone())
+            .run(
+                isop::tasks::objective_for(TaskId::T1, vec![]),
+                Budget::unlimited(),
+                SMOKE_SEED,
+            );
+        if persist {
+            cache
+                .persist()
+                .map_err(|e| format!("store smoke: flush: {e}"))?;
+        }
+        Ok::<_, String>(outcome)
+    };
+
+    let cold_tele = Telemetry::enabled();
+    let t_cold = Instant::now();
+    let cold = run(SMOKE_THREADS, &cold_tele, true)?;
+    let cold_wall = t_cold.elapsed().as_secs_f64();
+    if cold.em_seconds <= 0.0 {
+        return Err("store smoke inert: the cold run charged no EM seconds".into());
+    }
+
+    // Cold zoo fit through the registry, persisted next to the eval
+    // records (serial training context so the folded `train.*` counters
+    // stay host-independent).
+    let data = generate_dataset(&space, 300, &AnalyticalSolver::new(), SMOKE_SEED)
+        .map_err(|e| format!("store smoke dataset: {e:?}"))?;
+    let zoo_mlp = || {
+        Mlp::new(MlpConfig {
+            hidden: vec![16, 16],
+            epochs: 4,
+            seed: SMOKE_SEED,
+            ..MlpConfig::default()
+        })
+    };
+    let t_fit_cold = Instant::now();
+    let cold_pred = {
+        let store = Arc::new(
+            Store::open(&dir)
+                .map_err(|e| format!("store smoke: reopen for zoo: {e}"))?
+                .with_telemetry(cold_tele.clone()),
+        );
+        let zoo = isop::surrogate::ModelZoo::new(Parallelism::serial())
+            .with_telemetry(cold_tele.clone())
+            .with_registry(ModelRegistry::new(store).with_telemetry(cold_tele.clone()));
+        let (s, hit) = zoo
+            .fit_neural_registered(STORE_ZOO_SPACE_ID, zoo_mlp(), &data)
+            .map_err(|e| format!("store smoke: cold zoo fit: {e:?}"))?;
+        if hit {
+            return Err("store smoke: cold zoo fit was served from an empty store".into());
+        }
+        zoo.registry()
+            .expect("registry attached above")
+            .persist()
+            .map_err(|e| format!("store smoke: zoo flush: {e}"))?;
+        isop_ml::Regressor::predict(s.model(), &data.x).map_err(|e| format!("{e:?}"))?
+    };
+    let cold_fit_wall = t_fit_cold.elapsed().as_secs_f64();
+
+    // Warm replays from fresh handles (no persist: the store stays
+    // byte-identical between the two widths, and a full-hit replay has
+    // nothing new to write anyway).
+    let warm_tele = Telemetry::enabled();
+    let t_warm = Instant::now();
+    let warm = run(1, &warm_tele, false)?;
+    let warm_wall = t_warm.elapsed().as_secs_f64();
+    let wide_tele = Telemetry::enabled();
+    let wide = run(4, &wide_tele, false)?;
+
+    if warm.candidates != cold.candidates || warm.success != cold.success {
+        return Err("store replay violation: warm run diverged from the cold run".into());
+    }
+    if (warm.em_seconds + warm.em_seconds_saved).to_bits()
+        != (cold.em_seconds + cold.em_seconds_saved).to_bits()
+    {
+        return Err(
+            "store replay violation: charged + saved EM differs between cold and warm".into(),
+        );
+    }
+    let elided = 1.0 - warm.em_seconds / cold.em_seconds;
+    if elided < STORE_MIN_ELIDED_FRACTION {
+        return Err(format!(
+            "store replay ineffective: warm run still charged {:.2}s of {:.2}s cold EM \
+             ({:.0}% elided < {:.0}% required)",
+            warm.em_seconds,
+            cold.em_seconds,
+            elided * 100.0,
+            STORE_MIN_ELIDED_FRACTION * 100.0
+        ));
+    }
+    if warm_tele.counter(Counter::StoreCrossJobHits) == 0 {
+        return Err("store smoke inert: warm run observed no cross-job hits".into());
+    }
+    if warm.candidates != wide.candidates
+        || warm.em_seconds.to_bits() != wide.em_seconds.to_bits()
+        || warm.em_seconds_saved.to_bits() != wide.em_seconds_saved.to_bits()
+    {
+        return Err(
+            "store determinism violation: warm outcome diverged between 1 and 4 threads".into(),
+        );
+    }
+    for c in Counter::ALL {
+        if warm_tele.counter(c) != wide_tele.counter(c) {
+            return Err(format!(
+                "store determinism violation: counter {} diverged between 1 and 4 threads",
+                c.name()
+            ));
+        }
+    }
+
+    // Warm zoo load: zero training work, bit-identical predictions.
+    let zoo_tele = Telemetry::enabled();
+    let t_fit_warm = Instant::now();
+    {
+        let store = Arc::new(
+            Store::open(&dir)
+                .map_err(|e| format!("store smoke: reopen warm zoo: {e}"))?
+                .with_telemetry(zoo_tele.clone()),
+        );
+        let zoo = isop::surrogate::ModelZoo::new(Parallelism::serial())
+            .with_telemetry(zoo_tele.clone())
+            .with_registry(ModelRegistry::new(store).with_telemetry(zoo_tele.clone()));
+        let (s, hit) = zoo
+            .fit_neural_registered(STORE_ZOO_SPACE_ID, zoo_mlp(), &data)
+            .map_err(|e| format!("store smoke: warm zoo load: {e:?}"))?;
+        if !hit {
+            return Err("store registry violation: warm zoo fit retrained instead of loading".into());
+        }
+        let warm_pred =
+            isop_ml::Regressor::predict(s.model(), &data.x).map_err(|e| format!("{e:?}"))?;
+        for r in 0..cold_pred.rows() {
+            for (a, b) in cold_pred.row(r).iter().zip(warm_pred.row(r)) {
+                if a.to_bits() != b.to_bits() {
+                    return Err(
+                        "store registry violation: warm surrogate predictions diverged".into()
+                    );
+                }
+            }
+        }
+    }
+    let warm_fit_wall = t_fit_warm.elapsed().as_secs_f64();
+    let zoo_report = zoo_tele.run_report();
+    if zoo_report.counter("train.chunks") != 0
+        || zoo_report.spans.iter().any(|s| s.name.starts_with("ml.fit."))
+    {
+        return Err("store registry violation: warm zoo load performed training work".into());
+    }
+
+    for c in Counter::ALL {
+        main.add(c, cold_tele.counter(c));
+        main.add(c, warm_tele.counter(c));
+        main.add(c, zoo_tele.counter(c));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "bench_gate: store smoke: warm replay elided {:.0}% of {:.2}s cold EM \
+         ({} cross-job hits), zoo reload {:.3}s vs {:.3}s cold fit, \
+         1 vs 4 threads bit-identical",
+        elided * 100.0,
+        cold.em_seconds,
+        warm_tele.counter(Counter::StoreCrossJobHits),
+        warm_fit_wall,
+        cold_fit_wall,
+    );
+    Ok((
+        t0.elapsed().as_secs_f64(),
+        StoreSmokeSummary {
+            cold_wall_seconds: cold_wall,
+            warm_wall_seconds: warm_wall,
+            cold_em_charged_seconds: cold.em_seconds,
+            warm_em_charged_seconds: warm.em_seconds,
+            warm_em_saved_seconds: warm.em_seconds_saved,
+            warm_cross_job_hits: warm_tele.counter(Counter::StoreCrossJobHits),
+            cold_fit_wall_seconds: cold_fit_wall,
+            warm_fit_wall_seconds: warm_fit_wall,
+        },
+    ))
+}
+
 fn write_file(path: &str, contents: &str) -> Result<(), String> {
     if let Some(dir) = std::path::Path::new(path).parent() {
         if !dir.as_os_str().is_empty() {
@@ -698,12 +993,29 @@ fn gate(
     update: bool,
     use_cache: bool,
 ) -> Result<(), String> {
-    let (report, wall, train_wall, fault_wall, sched_wall, sweep_wall) = run_smoke(use_cache)?;
+    let SmokeMeasurement {
+        report,
+        wall,
+        train_wall,
+        fault_wall,
+        sched_wall,
+        sweep_wall,
+        store_wall,
+        store,
+    } = run_smoke(use_cache)?;
     write_file(out_path, &report.to_json().map_err(|e| format!("{e:?}"))?)?;
+    let pr8_path = std::path::Path::new(out_path)
+        .with_file_name("BENCH_pr8.json")
+        .to_string_lossy()
+        .into_owned();
+    write_file(
+        &pr8_path,
+        &serde_json::to_string(&store).map_err(|e| format!("{e:?}"))?,
+    )?;
     println!(
         "bench_gate: smoke run took {wall:.2}s (+{train_wall:.2}s training, \
-         +{fault_wall:.2}s faults, +{sched_wall:.2}s scheduler, +{sweep_wall:.2}s sweep), \
-         report at {out_path}"
+         +{fault_wall:.2}s faults, +{sched_wall:.2}s scheduler, +{sweep_wall:.2}s sweep, \
+         +{store_wall:.2}s store), report at {out_path}, cold-vs-warm at {pr8_path}"
     );
 
     if update {
@@ -715,6 +1027,7 @@ fn gate(
             max_fault_seconds: fault_wall * WALL_UPDATE_HEADROOM,
             max_sched_seconds: sched_wall * WALL_UPDATE_HEADROOM,
             max_sweep_seconds: sweep_wall * WALL_UPDATE_HEADROOM,
+            max_store_seconds: store_wall * WALL_UPDATE_HEADROOM,
             counters: report.counters.clone(),
         };
         let json = serde_json::to_string(&thresholds).map_err(|e| format!("{e:?}"))?;
@@ -810,6 +1123,18 @@ fn gate(
     } else {
         println!(
             "bench_gate: sweep-smoke wall-clock {sweep_wall:.2}s within {sweep_limit:.2}s limit"
+        );
+    }
+    let store_limit = thresholds.max_store_seconds * WALL_MARGIN;
+    if store_wall > store_limit {
+        failures.push(format!(
+            "store-smoke wall-clock regression: {store_wall:.2}s > {store_limit:.2}s \
+             ({:.2}s budget x {WALL_MARGIN} margin)",
+            thresholds.max_store_seconds
+        ));
+    } else {
+        println!(
+            "bench_gate: store-smoke wall-clock {store_wall:.2}s within {store_limit:.2}s limit"
         );
     }
 

@@ -22,15 +22,22 @@ fn main() {
     // One EM-result cache across every variant of every cell: the three
     // ablations of a task round to the same handful of grid designs, so
     // later variants replay earlier accurate simulations instead of
-    // re-running them. The spill carries the reuse across table7/table8
-    // invocations too (keys are fingerprinted per space, so mixing tasks
-    // in one file is safe). Outcomes are bit-identical with or without it.
-    let em_cache = isop::evalcache::EvalCache::new();
+    // re-running them. With ISOP_CACHE_DIR set the persistent sharded
+    // store carries the reuse across invocations (and processes); without
+    // it the legacy JSON spill does, as before. Outcomes are bit-identical
+    // with or without either.
+    let store = isop_bench::open_store(&cfg);
+    let em_cache = match &store {
+        Some(s) => isop::evalcache::EvalCache::with_store(std::sync::Arc::clone(s)),
+        None => isop::evalcache::EvalCache::new(),
+    };
     let spill = cfg.results_dir.join("em_cache.json");
-    match em_cache.load_json(&spill) {
-        Ok(n) if n > 0 => eprintln!("[isop-bench] em-cache: {n} spilled sims loaded"),
-        Ok(_) => {}
-        Err(e) => eprintln!("[isop-bench] em-cache: ignoring unreadable spill: {e}"),
+    if store.is_none() {
+        match em_cache.load_json(&spill) {
+            Ok(n) if n > 0 => eprintln!("[isop-bench] em-cache: {n} spilled sims loaded"),
+            Ok(_) => {}
+            Err(e) => eprintln!("[isop-bench] em-cache: ignoring unreadable spill: {e}"),
+        }
     }
 
     let mut rows: Vec<AblationRow> = Vec::new();
@@ -54,7 +61,11 @@ fn main() {
             }
         }
     }
-    if let Err(e) = em_cache.save_json(&spill) {
+    if store.is_some() {
+        if let Err(e) = em_cache.persist() {
+            eprintln!("[isop-bench] em-cache: store not flushed: {e}");
+        }
+    } else if let Err(e) = em_cache.save_json(&spill) {
         eprintln!("[isop-bench] em-cache: spill not written: {e}");
     }
     let table = render_ablation(&rows, false);

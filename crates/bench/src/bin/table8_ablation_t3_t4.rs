@@ -14,15 +14,22 @@ fn main() {
     let cnn = cnn_surrogate(&cfg, &data).expect("CNN trains");
     let mlp_xgb = mlp_xgb_surrogate(&cfg, &data).expect("MLP_XGB trains");
 
-    // Shared EM-result cache + JSON spill, exactly as in table7: variants
-    // of one task reuse each other's accurate sims, and the spill shares
-    // them across the two ablation binaries.
-    let em_cache = isop::evalcache::EvalCache::new();
+    // Shared EM-result cache, exactly as in table7: variants of one task
+    // reuse each other's accurate sims, and the persistent store
+    // (ISOP_CACHE_DIR) or legacy JSON spill shares them across the two
+    // ablation binaries.
+    let store = isop_bench::open_store(&cfg);
+    let em_cache = match &store {
+        Some(s) => isop::evalcache::EvalCache::with_store(std::sync::Arc::clone(s)),
+        None => isop::evalcache::EvalCache::new(),
+    };
     let spill = cfg.results_dir.join("em_cache.json");
-    match em_cache.load_json(&spill) {
-        Ok(n) if n > 0 => eprintln!("[isop-bench] em-cache: {n} spilled sims loaded"),
-        Ok(_) => {}
-        Err(e) => eprintln!("[isop-bench] em-cache: ignoring unreadable spill: {e}"),
+    if store.is_none() {
+        match em_cache.load_json(&spill) {
+            Ok(n) if n > 0 => eprintln!("[isop-bench] em-cache: {n} spilled sims loaded"),
+            Ok(_) => {}
+            Err(e) => eprintln!("[isop-bench] em-cache: ignoring unreadable spill: {e}"),
+        }
     }
 
     let mut rows: Vec<AblationRow> = Vec::new();
@@ -46,7 +53,11 @@ fn main() {
             }
         }
     }
-    if let Err(e) = em_cache.save_json(&spill) {
+    if store.is_some() {
+        if let Err(e) = em_cache.persist() {
+            eprintln!("[isop-bench] em-cache: store not flushed: {e}");
+        }
+    } else if let Err(e) = em_cache.save_json(&spill) {
         eprintln!("[isop-bench] em-cache: spill not written: {e}");
     }
     let table = render_ablation(&rows, true);

@@ -13,6 +13,7 @@
 //! | `ISOP_DATASET` | 32000 | surrogate-training samples (paper: 90 000) |
 //! | `ISOP_EPOCHS` | 60 | neural-surrogate training epochs |
 //! | `ISOP_RESULTS_DIR` | `results` | artifact output directory |
+//! | `ISOP_CACHE_DIR` | unset | persistent sharded eval-store directory; when set, the ablation bins read/write it instead of the legacy `em_cache.json` spill |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,6 +40,9 @@ pub struct BenchConfig {
     pub epochs: usize,
     /// Output directory for generated tables.
     pub results_dir: PathBuf,
+    /// Persistent sharded eval-store directory (`ISOP_CACHE_DIR`); `None`
+    /// keeps the legacy per-invocation JSON spill behavior.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for BenchConfig {
@@ -63,6 +67,7 @@ impl BenchConfig {
             results_dir: std::env::var("ISOP_RESULTS_DIR")
                 .unwrap_or_else(|_| "results".to_string())
                 .into(),
+            cache_dir: std::env::var("ISOP_CACHE_DIR").ok().map(PathBuf::from),
         }
     }
 
@@ -73,6 +78,7 @@ impl BenchConfig {
             dataset_size: 90_000,
             epochs: 40,
             results_dir: "results".into(),
+            cache_dir: None,
         }
     }
 }
@@ -113,6 +119,27 @@ pub fn training_dataset(cfg: &BenchConfig) -> Dataset {
 /// Cache file path under `target/isop-cache/`.
 pub fn cache_path(name: &str) -> PathBuf {
     PathBuf::from("target").join("isop-cache").join(name)
+}
+
+/// Opens the persistent eval store named by `ISOP_CACHE_DIR`, or `None`
+/// when the knob is unset or the directory is unusable (a warning is
+/// printed — persistence is always best-effort for the harnesses).
+pub fn open_store(cfg: &BenchConfig) -> Option<std::sync::Arc<isop_store::Store>> {
+    let dir = cfg.cache_dir.as_ref()?;
+    match isop_store::Store::open(dir) {
+        Ok(store) => {
+            eprintln!(
+                "[isop-bench] eval-store: {} ({} shards)",
+                dir.display(),
+                store.n_shards()
+            );
+            Some(std::sync::Arc::new(store))
+        }
+        Err(e) => {
+            eprintln!("[isop-bench] eval-store: ignoring unusable {}: {e}", dir.display());
+            None
+        }
+    }
 }
 
 /// The MLP surrogate configuration used across experiments.

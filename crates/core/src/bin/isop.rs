@@ -7,10 +7,19 @@
 //!               [--report] [--report-out results/run_report.json]
 //! isop spaces
 //! isop dataset --n 1000 --out dataset.json [--space training]
+//! isop cache stats|verify|compact --cache-dir results/eval_store
+//! isop cache export --cache-dir DIR --out em_cache.json
+//! isop cache import --cache-dir DIR --file em_cache.json
 //! ```
 //!
 //! Invoking `isop --flags...` without a subcommand runs `optimize` — so
 //! `isop --report --threads 4` is the canonical instrumented smoke run.
+//!
+//! `--cache-dir` (off by default) points `optimize` at a persistent sharded
+//! evaluation store: accurate EM results are served from records previous
+//! runs wrote (`store.cross_job_hits` in the report) and fresh ones are
+//! appended for the next run. `isop cache` administers such a store; the
+//! legacy whole-file JSON spill survives as its import/export format.
 //! `--report` attaches a telemetry handle to the pipeline and the verifying
 //! simulator, prints the per-stage span/counter table, and writes the
 //! machine-readable [`RunReport`] JSON for the CI bench gate.
@@ -30,11 +39,13 @@
 
 use isop::prelude::*;
 use isop_em::fdsolver::FdConfig;
-use isop_em::simulator::{AnalyticalSolver, EmSimulator, FieldSolver};
+use isop_em::simulator::{AnalyticalSolver, EmSimulator, FieldSolver, SimulationResult};
 use isop_em::stackup::DiffStripline;
 use isop_hpo::budget::Budget;
+use isop_store::Store;
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut map = HashMap::new();
@@ -165,6 +176,22 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
     } else {
         Box::new(solver)
     };
+    // Persistent cross-run cache (default off, so plain runs behave
+    // exactly as before): accurate EM results are hydrated from and
+    // appended to the sharded store at --cache-dir.
+    let store = match flags.get("cache-dir") {
+        Some(dir) => Some(Arc::new(
+            Store::open(std::path::Path::new(dir))
+                .map_err(|e| format!("cache-dir {dir}: {e}"))?
+                .with_telemetry(telemetry.clone()),
+        )),
+        None => None,
+    };
+    let eval_cache = match &store {
+        Some(s) => isop::evalcache::EvalCache::with_store(Arc::clone(s)),
+        None => isop::evalcache::EvalCache::disabled(),
+    };
+
     let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
     let mut best: Option<(f64, DesignCandidate, bool)> = None;
     let mut samples_seen = 0u64;
@@ -187,7 +214,8 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
             ..IsopConfig::default()
         };
         let optimizer = IsopOptimizer::new(&space, &surrogate, &*simulator, config)
-            .with_telemetry(telemetry.clone());
+            .with_telemetry(telemetry.clone())
+            .with_eval_cache(eval_cache.clone());
         let outcome = optimizer.run(
             isop::tasks::objective_for(task, ics.clone()),
             Budget::unlimited(),
@@ -216,6 +244,14 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
                 best = Some((c.g_exact, c.clone(), outcome.success));
             }
         }
+    }
+    if let Some(s) = &store {
+        eval_cache.persist().map_err(|e| e.to_string())?;
+        let stats = s.stats().map_err(|e| e.to_string())?;
+        eprintln!(
+            "eval-store: {} record(s) across {} shard(s), {} lifetime cross-job hit(s)",
+            stats.eval_records, stats.shards, stats.cross_job_hits
+        );
     }
     println!("task {task} on {space_name} (seed {seed}, {trials} trial(s))");
     if let Some((g, cand, success)) = &best {
@@ -332,6 +368,96 @@ fn cmd_dataset(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Administers a persistent evaluation store: inspect, checksum-verify,
+/// compact, and exchange records with the legacy JSON spill format.
+fn cmd_cache(action: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let dir = flags
+        .get("cache-dir")
+        .ok_or("cache requires --cache-dir DIR")?;
+    let path = std::path::Path::new(dir);
+    let store = Store::open(path).map_err(|e| format!("cache-dir {dir}: {e}"))?;
+    match action {
+        "stats" => {
+            let s = store.stats().map_err(|e| e.to_string())?;
+            println!("eval-store at {dir}");
+            println!("  shards           : {} file(s) of {}", s.shards, s.n_shards);
+            println!("  eval records     : {}", s.eval_records);
+            println!("  model records    : {}", s.model_records);
+            println!("  skipped records  : {}", s.skipped);
+            println!("  bytes on disk    : {}", s.bytes);
+            println!("  cross-job hits   : {}", s.cross_job_hits);
+            Ok(())
+        }
+        "verify" => {
+            let shards = store.verify().map_err(|e| e.to_string())?;
+            let mut skipped = 0u64;
+            for sh in &shards {
+                println!(
+                    "shard {:03}: {} valid record(s), {} skipped, {} byte(s)",
+                    sh.shard, sh.valid, sh.skipped, sh.bytes
+                );
+                skipped += sh.skipped;
+            }
+            if skipped > 0 {
+                Err(format!(
+                    "{skipped} corrupted record(s) skipped; run `isop cache compact` to drop them"
+                ))
+            } else {
+                println!("all records verify");
+                Ok(())
+            }
+        }
+        "compact" => {
+            let c = store.compact().map_err(|e| e.to_string())?;
+            println!(
+                "compacted {dir}: {} -> {} record(s)",
+                c.records_before, c.records_after
+            );
+            Ok(())
+        }
+        "export" => {
+            let out = flags.get("out").ok_or("export requires --out FILE")?;
+            let records = store.load_all_evals().map_err(|e| e.to_string())?;
+            let cache = isop::evalcache::EvalCache::new();
+            let n = records.len();
+            for rec in records {
+                cache.insert(
+                    isop::evalcache::DesignKey {
+                        space_id: rec.space_id,
+                        levels: rec.levels,
+                    },
+                    isop::evalcache::CachedSim {
+                        result: SimulationResult {
+                            z_diff: rec.metrics[0],
+                            insertion_loss: rec.metrics[1],
+                            next: rec.metrics[2],
+                        },
+                        attempts: rec.attempts,
+                    },
+                );
+            }
+            cache
+                .export_json(std::path::Path::new(out))
+                .map_err(|e| e.to_string())?;
+            println!("exported {n} record(s) to {out}");
+            Ok(())
+        }
+        "import" => {
+            let file = flags.get("file").ok_or("import requires --file FILE")?;
+            let cache = isop::evalcache::EvalCache::with_store(Arc::new(store));
+            let n = cache
+                .load_json(std::path::Path::new(file))
+                .map_err(|e| e.to_string())?;
+            cache.persist().map_err(|e| e.to_string())?;
+            println!("imported {n} record(s) from {file} into {dir}");
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown cache action '{other}' (use stats, verify, compact, export, import)"
+        )),
+    }
+}
+
 fn usage() {
     eprintln!(
         "isop — inverse stack-up optimization\n\n\
@@ -340,8 +466,12 @@ fn usage() {
          [--em-fault-rate 0.3] [--em-permanent-rate 0.05] [--em-retries 3]\n           \
          [--report] [--report-out results/run_report.json]\n  \
          isop spaces\n  \
-         isop dataset --n 1000 --out dataset.json [--space training]\n\n\
-         Bare flags default to optimize: `isop --report --threads 4`."
+         isop dataset --n 1000 --out dataset.json [--space training]\n  \
+         isop cache stats|verify|compact --cache-dir DIR\n  \
+         isop cache export --cache-dir DIR --out em_cache.json\n  \
+         isop cache import --cache-dir DIR --file em_cache.json\n\n\
+         Bare flags default to optimize: `isop --report --threads 4`.\n\
+         `optimize --cache-dir DIR` reuses accurate EM results across runs."
     );
 }
 
@@ -359,6 +489,22 @@ fn main() -> ExitCode {
         } else {
             (first.as_str(), &args[1..])
         };
+    // `cache` takes a positional action (`isop cache stats --cache-dir ...`)
+    // before the flags, which the generic flag parser would reject as stray.
+    if cmd == "cache" {
+        let Some(action) = flag_args.first() else {
+            usage();
+            return ExitCode::FAILURE;
+        };
+        let flags = parse_flags(&flag_args[1..]);
+        return match cmd_cache(action, &flags) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let flags = parse_flags(flag_args);
     let result = match cmd {
         "simulate" => cmd_simulate(&flags),

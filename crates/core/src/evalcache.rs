@@ -36,9 +36,11 @@ use crate::surrogate::Surrogate;
 use isop_em::simulator::SimulationResult;
 use isop_ml::linalg::Matrix;
 use isop_ml::MlError;
+use isop_store::{EvalRecord, Store};
 use isop_telemetry::{Counter, Telemetry};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// The canonical identity of a discrete design: one grid level per
@@ -128,12 +130,41 @@ struct SpillFile {
 /// v2: entries carry the attempt count of the original evaluation.
 const SPILL_SCHEMA_VERSION: u32 = 2;
 
+/// Where a cached entry came from: this process (`Local`) or a
+/// persistent-store record written by a previous one (`CrossJob`). Hits on
+/// `CrossJob` entries are the cross-run reuse the store accounts for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    Local,
+    CrossJob,
+}
+
+/// Shared state behind an enabled [`EvalCache`] handle.
+#[derive(Debug)]
+struct CacheInner {
+    map: Mutex<HashMap<DesignKey, (CachedSim, Origin)>>,
+    /// Set on `insert`, cleared on save/load — a warm [`EvalCache::save_json`]
+    /// with no new entries skips the disk entirely.
+    dirty: AtomicBool,
+    /// The persistent backing store, when attached.
+    store: Option<Arc<Store>>,
+    /// Space fingerprints already hydrated from the store (each shard read
+    /// happens at most once per space per cache).
+    hydrated: Mutex<HashSet<u64>>,
+}
+
 /// A thread-safe, seed-independent cache of accurate EM results keyed by
 /// [`DesignKey`]. Clones share one store; the default/`disabled` handle
 /// stores nothing and reports every probe as a miss.
+///
+/// With a persistent [`Store`] attached ([`EvalCache::with_store`]), probes
+/// lazily hydrate the probed space's shard, hits served from a previous
+/// process's records are reported to the store's cross-job ledger, and
+/// inserts are mirrored into the store's append buffer (persisted by
+/// [`EvalCache::persist`]).
 #[derive(Debug, Clone, Default)]
 pub struct EvalCache {
-    inner: Option<Arc<Mutex<HashMap<DesignKey, CachedSim>>>>,
+    inner: Option<Arc<CacheInner>>,
 }
 
 impl EvalCache {
@@ -141,7 +172,26 @@ impl EvalCache {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            inner: Some(Arc::new(Mutex::new(HashMap::new()))),
+            inner: Some(Arc::new(CacheInner {
+                map: Mutex::new(HashMap::new()),
+                dirty: AtomicBool::new(false),
+                store: None,
+                hydrated: Mutex::new(HashSet::new()),
+            })),
+        }
+    }
+
+    /// An empty cache backed by the persistent `store`: probes hydrate
+    /// per-space from its shards and inserts append to it.
+    #[must_use]
+    pub fn with_store(store: Arc<Store>) -> Self {
+        Self {
+            inner: Some(Arc::new(CacheInner {
+                map: Mutex::new(HashMap::new()),
+                dirty: AtomicBool::new(false),
+                store: Some(store),
+                hydrated: Mutex::new(HashSet::new()),
+            })),
         }
     }
 
@@ -158,12 +208,18 @@ impl EvalCache {
         self.inner.is_some()
     }
 
+    /// The attached persistent store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.inner.as_ref().and_then(|i| i.store.as_ref())
+    }
+
     /// Number of cached designs.
     #[must_use]
     pub fn len(&self) -> usize {
         self.inner
             .as_ref()
-            .map_or(0, |m| m.lock().expect("eval cache lock").len())
+            .map_or(0, |i| i.map.lock().expect("eval cache lock").len())
     }
 
     /// `true` when nothing is cached (always for a disabled handle).
@@ -189,14 +245,59 @@ impl EvalCache {
         })
     }
 
+    /// Merges the persistent store's records for `space_id` into the map
+    /// (insert-if-absent, tagged [`Origin::CrossJob`]); at most one shard
+    /// read per space per cache. Store read errors degrade to "no stored
+    /// entries" — corruption is already skip-counted inside the store.
+    fn hydrate(inner: &CacheInner, space_id: u64) {
+        let Some(store) = &inner.store else { return };
+        let mut hydrated = inner.hydrated.lock().expect("hydration lock");
+        if !hydrated.insert(space_id) {
+            return;
+        }
+        let Ok(records) = store.load_evals(space_id) else {
+            return;
+        };
+        let mut map = inner.map.lock().expect("eval cache lock");
+        for rec in records {
+            let [z_diff, insertion_loss, next] = rec.metrics;
+            map.entry(DesignKey {
+                space_id: rec.space_id,
+                levels: rec.levels,
+            })
+            .or_insert((
+                CachedSim {
+                    result: SimulationResult {
+                        z_diff,
+                        insertion_loss,
+                        next,
+                    },
+                    attempts: rec.attempts,
+                },
+                Origin::CrossJob,
+            ));
+        }
+    }
+
     /// Looks up `values` and ticks `em.cache.hits` / `em.cache.misses` on
     /// `telemetry`. Off-grid designs and every probe of a disabled cache
-    /// count as misses.
+    /// count as misses. With a store attached, the probed space's shard is
+    /// hydrated first, and a hit on a record written by a previous process
+    /// is additionally reported to the store's cross-job ledger.
     #[must_use]
     pub fn probe(&self, space: &ParamSpace, values: &[f64], telemetry: &Telemetry) -> CacheProbe {
         let key = Self::key_for(space, values);
         let hit = match (&self.inner, &key) {
-            (Some(map), Some(k)) => map.lock().expect("eval cache lock").get(k).copied(),
+            (Some(inner), Some(k)) => {
+                Self::hydrate(inner, k.space_id);
+                let hit = inner.map.lock().expect("eval cache lock").get(k).copied();
+                if let Some((_, Origin::CrossJob)) = hit {
+                    if let Some(store) = &inner.store {
+                        store.note_cross_job_hit();
+                    }
+                }
+                hit.map(|(sim, _)| sim)
+            }
             _ => None,
         };
         if hit.is_some() {
@@ -209,26 +310,77 @@ impl EvalCache {
 
     /// Stores a fresh accurate result under `key`. Only final successes
     /// reach this point — callers never cache failed attempts. No-op when
-    /// disabled.
+    /// disabled. Marks the cache dirty and, with a store attached, buffers
+    /// the record for the store's next flush.
     pub fn insert(&self, key: DesignKey, sim: CachedSim) {
-        if let Some(map) = &self.inner {
-            map.lock().expect("eval cache lock").insert(key, sim);
+        if let Some(inner) = &self.inner {
+            if let Some(store) = &inner.store {
+                store.append_eval(&EvalRecord {
+                    space_id: key.space_id,
+                    levels: key.levels.clone(),
+                    metrics: sim.result.to_array(),
+                    attempts: sim.attempts,
+                });
+            }
+            inner
+                .map
+                .lock()
+                .expect("eval cache lock")
+                .insert(key, (sim, Origin::Local));
+            inner.dirty.store(true, Ordering::Release);
         }
     }
 
-    /// Serializes every entry to `path` as schema-versioned JSON, creating
-    /// parent directories as needed. No-op (writing an empty spill) when
-    /// disabled.
+    /// Flushes buffered store appends (and the cross-job hit tally) to
+    /// disk. No-op without an attached store.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
-    pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let mut entries: Vec<SpillEntry> = self.inner.as_ref().map_or_else(Vec::new, |m| {
-            m.lock()
+    pub fn persist(&self) -> std::io::Result<()> {
+        if let Some(store) = self.store() {
+            store.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Serializes every entry to `path` as schema-versioned JSON — but only
+    /// when the cache is *dirty* (new entries since the last save/load).
+    /// A warm save with nothing new is a complete no-op that returns
+    /// `Ok(false)`; disabled handles never write. The write itself is
+    /// atomic: a temp file in the target directory is renamed into place,
+    /// so a killed run can never leave a torn spill.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<bool> {
+        let Some(inner) = &self.inner else {
+            return Ok(false);
+        };
+        if !inner.dirty.load(Ordering::Acquire) {
+            return Ok(false);
+        }
+        self.export_json(path)?;
+        inner.dirty.store(false, Ordering::Release);
+        Ok(true)
+    }
+
+    /// Unconditionally serializes every entry to `path` (the legacy JSON
+    /// spill shape, now the import/export format), atomically, creating
+    /// parent directories as needed. A disabled handle exports an empty
+    /// spill.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn export_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut entries: Vec<SpillEntry> = self.inner.as_ref().map_or_else(Vec::new, |i| {
+            i.map
+                .lock()
                 .expect("eval cache lock")
                 .iter()
-                .map(|(k, v)| SpillEntry {
+                .map(|(k, (v, _))| SpillEntry {
                     space_id: k.space_id,
                     levels: k.levels.clone(),
                     result: v.result,
@@ -249,7 +401,13 @@ impl EvalCache {
                 std::fs::create_dir_all(dir)?;
             }
         }
-        std::fs::write(path, json)
+        let file_name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("em_cache.json");
+        let tmp = path.with_file_name(format!("{file_name}.tmp"));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)
     }
 
     /// Merges entries from a spill file written by [`EvalCache::save_json`]
@@ -261,7 +419,7 @@ impl EvalCache {
     /// Returns an error on unreadable or malformed JSON, or on a spill
     /// schema mismatch.
     pub fn load_json(&self, path: &std::path::Path) -> std::io::Result<usize> {
-        let Some(map) = &self.inner else {
+        let Some(inner) = &self.inner else {
             return Ok(0);
         };
         let text = match std::fs::read_to_string(path) {
@@ -278,17 +436,32 @@ impl EvalCache {
             )));
         }
         let n = file.entries.len();
-        let mut guard = map.lock().expect("eval cache lock");
+        let mut guard = inner.map.lock().expect("eval cache lock");
         for e in file.entries {
+            // Imported entries mirror into an attached store (that is what
+            // `isop cache import` does with the legacy spill); they count as
+            // Local — this process put them there, not a previous run's
+            // shard record.
+            if let Some(store) = &inner.store {
+                store.append_eval(&EvalRecord {
+                    space_id: e.space_id,
+                    levels: e.levels.clone(),
+                    metrics: e.result.to_array(),
+                    attempts: e.attempts,
+                });
+            }
             guard.insert(
                 DesignKey {
                     space_id: e.space_id,
                     levels: e.levels,
                 },
-                CachedSim {
-                    result: e.result,
-                    attempts: e.attempts,
-                },
+                (
+                    CachedSim {
+                        result: e.result,
+                        attempts: e.attempts,
+                    },
+                    Origin::Local,
+                ),
             );
         }
         Ok(n)
@@ -544,6 +717,83 @@ mod tests {
         );
         // Missing files are an empty load, not an error.
         assert_eq!(fresh.load_json(&dir.join("absent.json")).expect("ok"), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warm_save_with_no_new_entries_is_a_noop() {
+        let space = s1();
+        let x = grid_design(&space);
+        let cache = EvalCache::new();
+        let tele = Telemetry::disabled();
+        let dir = std::env::temp_dir().join(format!("isop-dirty-{}", std::process::id()));
+        let path = dir.join("em_cache.json");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // A fresh cache is clean: saving writes nothing, not even an empty
+        // spill.
+        assert!(!cache.save_json(&path).expect("clean save"));
+        assert!(!path.exists());
+
+        let probe = cache.probe(&space, &x, &tele);
+        cache.insert(probe.key.expect("on grid"), simulate(&x));
+        assert!(cache.save_json(&path).expect("dirty save"), "first save writes");
+        let stamp = std::fs::metadata(&path).expect("exists").modified().ok();
+
+        // No inserts since: the warm save must not touch the file.
+        assert!(!cache.save_json(&path).expect("warm save"));
+        assert_eq!(std::fs::metadata(&path).expect("exists").modified().ok(), stamp);
+        // Re-inserting the same entry still marks dirty (by design — the
+        // flag tracks writes, not semantic novelty).
+        let probe = cache.probe(&space, &x, &tele);
+        cache.insert(probe.key.expect("on grid"), simulate(&x));
+        assert!(cache.save_json(&path).expect("re-dirty save"));
+        // A disabled handle never writes; export_json always does.
+        assert!(!EvalCache::disabled().save_json(&path).expect("disabled"));
+        cache.export_json(&path).expect("export");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_backed_cache_hydrates_and_counts_cross_job_hits() {
+        let space = s1();
+        let x = grid_design(&space);
+        let dir = std::env::temp_dir().join(format!("isop-ec-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let tele = Telemetry::enabled();
+
+        // "Previous process": populate the store through one cache, persist,
+        // drop every in-memory handle.
+        {
+            let store = Arc::new(isop_store::Store::open(&dir).expect("opens"));
+            let cache = EvalCache::with_store(Arc::clone(&store));
+            let probe = cache.probe(&space, &x, &tele);
+            assert!(probe.hit.is_none());
+            cache.insert(probe.key.expect("on grid"), simulate(&x));
+            // Inserts by this process are *not* cross-job hits.
+            assert!(cache.probe(&space, &x, &tele).hit.is_some());
+            cache.persist().expect("flushes");
+            assert_eq!(store.stats().expect("stats").cross_job_hits, 0);
+        }
+
+        // "Next process": a fresh store + cache over the same directory.
+        let store = Arc::new(
+            isop_store::Store::open(&dir)
+                .expect("reopens")
+                .with_telemetry(tele.clone()),
+        );
+        let warm = EvalCache::with_store(Arc::clone(&store));
+        let hit = warm.probe(&space, &x, &tele);
+        assert_eq!(
+            hit.hit.expect("served from disk"),
+            simulate(&x),
+            "hydrated entry must replay the stored simulation bit-exactly"
+        );
+        assert_eq!(tele.counter(Counter::StoreCrossJobHits), 1);
+        assert_eq!(tele.counter(Counter::StoreShardLoads), 1);
+        // The tally persists across the flush for `isop cache stats`.
+        warm.persist().expect("flushes");
+        assert_eq!(store.stats().expect("stats").cross_job_hits, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

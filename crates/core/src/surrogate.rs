@@ -19,9 +19,11 @@ use isop_exec::Parallelism;
 use isop_ml::dataset::Dataset;
 use isop_ml::linalg::Matrix;
 use isop_ml::models::{Cnn1d, Mlp, XgbRegressor};
+use isop_ml::registry::{self, ModelRegistry};
 use isop_ml::train::TrainContext;
 use isop_ml::{Differentiable, MlError, Regressor};
 use isop_telemetry::{Counter, Telemetry};
+use serde::{Deserialize, Serialize};
 
 /// Data-parallel training front end for the surrogate model zoo.
 ///
@@ -30,9 +32,15 @@ use isop_telemetry::{Counter, Telemetry};
 /// once instead of threading it through each training call. Training is
 /// bit-identical at any thread count for a fixed seed — the zoo only
 /// changes wall-clock, never results.
+/// With a [`ModelRegistry`] attached ([`ModelZoo::with_registry`]), the
+/// `*_registered` fits consult the persistent store first: a registry hit
+/// returns the previously trained model **without training** — zero
+/// `ml.fit.*` spans, zero `train.chunks` — and, thanks to the exact-f64
+/// store codec, predicts bit-identically to the cold-trained zoo.
 #[derive(Debug, Clone, Default)]
 pub struct ModelZoo {
     ctx: TrainContext,
+    registry: Option<ModelRegistry>,
 }
 
 impl ModelZoo {
@@ -41,6 +49,7 @@ impl ModelZoo {
     pub fn new(parallelism: Parallelism) -> Self {
         Self {
             ctx: TrainContext::new(parallelism),
+            registry: None,
         }
     }
 
@@ -56,6 +65,20 @@ impl ModelZoo {
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.ctx = self.ctx.with_telemetry(telemetry);
         self
+    }
+
+    /// Attaches a persistent trained-model registry: the `*_registered`
+    /// fits then reuse previously stored models instead of retraining.
+    #[must_use]
+    pub fn with_registry(mut self, registry: ModelRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// The attached registry, if any.
+    #[must_use]
+    pub fn registry(&self) -> Option<&ModelRegistry> {
+        self.registry.as_ref()
     }
 
     /// The training context handed to every fit.
@@ -97,6 +120,61 @@ impl ModelZoo {
         data: &Dataset,
     ) -> Result<MlpXgbSurrogate, MlError> {
         MlpXgbSurrogate::fit_with(mlp, xgb, data, &self.ctx)
+    }
+
+    /// [`ModelZoo::fit_neural`] through the registry, keyed by the space
+    /// fingerprint the surrogate will serve. Returns the surrogate plus
+    /// whether it was served from the store (`true` = no training
+    /// happened). Without an attached registry this is a plain cold fit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn fit_neural_registered<M>(
+        &self,
+        space_id: u64,
+        model: M,
+        data: &Dataset,
+    ) -> Result<(NeuralSurrogate<M>, bool), MlError>
+    where
+        M: Differentiable + Serialize + Deserialize,
+    {
+        let Some(reg) = &self.registry else {
+            return Ok((self.fit_neural(model, data)?, false));
+        };
+        let config_fp = registry::config_fingerprint(&model);
+        let name = model.name();
+        let (fitted, hit) = reg.fit_or_load(space_id, name, config_fp, data, move || {
+            let mut m = model;
+            m.fit_with(data, &self.ctx)?;
+            Ok(m)
+        })?;
+        Ok((NeuralSurrogate::new(fitted), hit))
+    }
+
+    /// [`ModelZoo::fit_mlp_xgb`] through the registry; the pair is keyed by
+    /// the combined fingerprint of both unfitted parts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures from either part.
+    pub fn fit_mlp_xgb_registered(
+        &self,
+        space_id: u64,
+        mlp: Mlp,
+        xgb: XgbRegressor,
+        data: &Dataset,
+    ) -> Result<(MlpXgbSurrogate, bool), MlError> {
+        let Some(reg) = &self.registry else {
+            return Ok((self.fit_mlp_xgb(mlp, xgb, data)?, false));
+        };
+        let config_fp = registry::combine_fingerprints(&[
+            registry::config_fingerprint(&mlp),
+            registry::config_fingerprint(&xgb),
+        ]);
+        reg.fit_or_load(space_id, "MLP_XGB", config_fp, data, move || {
+            MlpXgbSurrogate::fit_with(mlp, xgb, data, &self.ctx)
+        })
     }
 }
 
@@ -503,6 +581,63 @@ mod tests {
         assert_eq!(tele.counter(Counter::SurrogateJacobian), 1);
         assert_eq!(tele.counter(Counter::SurrogateJacobianBatch), 1);
         assert_eq!(tele.counter(Counter::SurrogateJacobianBatchRows), 2);
+    }
+
+    #[test]
+    fn zoo_registry_elides_training_and_replays_bits() {
+        use isop_ml::registry::ModelRegistry;
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join(format!("isop-zoo-reg-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let data = tiny_dataset(120);
+        let space_id = 0x1234;
+        let x = crate::manual::MANUAL_VECTOR;
+
+        // Cold: trains and records; without a registry the same zoo call is
+        // a plain fit.
+        let plain = ModelZoo::new(isop_exec::Parallelism::serial());
+        let (_, hit) = plain
+            .fit_neural_registered(space_id, tiny_mlp(), &data)
+            .expect("trains");
+        assert!(!hit, "no registry attached");
+
+        let cold_pred;
+        {
+            let store = Arc::new(isop_store::Store::open(&dir).expect("opens"));
+            let zoo = ModelZoo::new(isop_exec::Parallelism::serial())
+                .with_registry(ModelRegistry::new(Arc::clone(&store)));
+            let (s, hit) = zoo
+                .fit_neural_registered(space_id, tiny_mlp(), &data)
+                .expect("trains");
+            assert!(!hit, "cold run trains");
+            cold_pred = s.predict(&x).expect("predicts");
+            zoo.registry().expect("attached").persist().expect("flushes");
+        }
+
+        // Warm "process": training must be skipped entirely (no ml.fit.*
+        // span, no train.chunks) and predictions must replay bit-exactly.
+        let tele = Telemetry::enabled();
+        let store = Arc::new(isop_store::Store::open(&dir).expect("reopens"));
+        let zoo = ModelZoo::new(isop_exec::Parallelism::serial())
+            .with_telemetry(tele.clone())
+            .with_registry(ModelRegistry::new(store).with_telemetry(tele.clone()));
+        let (s, hit) = zoo
+            .fit_neural_registered(space_id, tiny_mlp(), &data)
+            .expect("loads");
+        assert!(hit, "warm run is served from the store");
+        let warm_pred = s.predict(&x).expect("predicts");
+        for (a, b) in cold_pred.iter().zip(&warm_pred) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit-identical warm surrogate");
+        }
+        let report = tele.run_report();
+        assert_eq!(report.counter("store.model_hits"), 1);
+        assert_eq!(report.counter("train.chunks"), 0, "zero training work");
+        assert!(
+            report.spans.iter().all(|s| !s.name.starts_with("ml.fit.")),
+            "warm run must record no ml.fit.* span"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod linalg;
 pub mod metrics;
 pub mod models;
 pub mod optim;
+pub mod registry;
 pub mod train;
 
 use dataset::Dataset;

@@ -1,0 +1,1045 @@
+//! # isop-store — append-only, sharded on-disk evaluation store
+//!
+//! The persistence layer that turns "one CLI run" into reusable shared
+//! state. Two kinds of facts are worth keeping across processes:
+//!
+//! * **Accurate EM evaluations** ([`EvalRecord`]) — the scarce resource
+//!   the whole pipeline economizes. A design simulated by yesterday's job
+//!   never needs to be simulated again.
+//! * **Trained surrogate models** ([`ModelRecord`]) — a zoo fitted for a
+//!   given `(space fingerprint, config fingerprint, data fingerprint)` is
+//!   bit-reusable by every subsequent run on that space.
+//!
+//! ## Layout
+//!
+//! A store is a directory of `shard_NNN.bin` files. Entries hash to a
+//! shard by `space_id % n_shards` (the 48-bit `DesignKey` space
+//! fingerprint), so one optimization run touches exactly the shards of the
+//! spaces it works on — loads are **lazy per fingerprint**, never
+//! whole-store. Each shard is:
+//!
+//! ```text
+//! header:  magic "ISOPSTR1" | schema u32 LE | n_shards u32 LE
+//! record*: payload_len u32 LE | kind u8 | fnv1a(payload) u64 LE | payload
+//! ```
+//!
+//! Records are **append-only**: a flush rewrites the shard as
+//! `existing valid records + pending appends` to a temp file and renames
+//! it into place, so a killed run can never leave a torn shard visible —
+//! readers at worst see the previous complete generation. Within a file,
+//! a checksum-failing record is *skipped and counted*
+//! (`store.records_skipped`), never fatal: one bad record costs itself,
+//! a torn tail costs only the tail (framing cannot resync past a bad
+//! length, which is exactly the case the atomic rename prevents).
+//!
+//! Duplicate records are legal — later appends supersede earlier ones at
+//! read time (last record wins). [`Store::compact`] drops the superseded
+//! generations; compaction is idempotent.
+//!
+//! ## Cross-job accounting
+//!
+//! Counters tick on the store's [`Telemetry`] handle: `store.shard_loads`,
+//! `store.records_loaded`, `store.records_skipped`,
+//! `store.records_written`. Hits served from records written by a
+//! *previous* process are the store's reason to exist, so they get
+//! first-class accounting: consumers report them via
+//! [`Store::note_cross_job_hit`], and each flush folds the tally into a
+//! persistent meta record that `stats` sums across all generations.
+//!
+//! Payloads use the exact-bit [`codec`]: every `f64` is stored as its raw
+//! bit pattern, which is what lets a warm run replay a cold run — cached
+//! metrics, attempt counts, and model weights — **bit for bit**.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+
+use codec::{fnv1a, read_varint, write_varint, CodecError};
+use isop_telemetry::{Counter, Telemetry};
+use serde::json::Value;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Shard-file magic, 8 bytes.
+pub const STORE_MAGIC: [u8; 8] = *b"ISOPSTR1";
+/// On-disk schema version; bump on breaking record-layout changes.
+pub const STORE_SCHEMA_VERSION: u32 = 1;
+/// Shard count of a freshly created store. Existing stores keep the count
+/// their shard headers declare.
+pub const DEFAULT_SHARDS: u32 = 8;
+
+const HEADER_LEN: usize = 16;
+/// Frame prefix: payload_len u32 | kind u8 | checksum u64.
+const FRAME_PREFIX: usize = 4 + 1 + 8;
+
+/// Typed record kinds of the shard frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RecordKind {
+    /// One accurate EM evaluation ([`EvalRecord`]).
+    Eval = 0,
+    /// One trained surrogate model ([`ModelRecord`]).
+    Model = 1,
+    /// Cross-job hit tally appended at flush ([`Store::note_cross_job_hit`]).
+    Meta = 2,
+}
+
+impl RecordKind {
+    fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(RecordKind::Eval),
+            1 => Some(RecordKind::Model),
+            2 => Some(RecordKind::Meta),
+            _ => None,
+        }
+    }
+}
+
+/// One cached accurate EM evaluation, keyed by the design's canonical
+/// identity (space fingerprint + grid levels). Metrics are `[Z, L, NEXT]`
+/// raw — this crate is a leaf and deliberately does not know the
+/// simulator's result type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRecord {
+    /// 48-bit space fingerprint of the defining parameter space.
+    pub space_id: u64,
+    /// Grid level of each parameter, in space order.
+    pub levels: Vec<u32>,
+    /// `[Z, L, NEXT]` of the successful simulation, exact bits.
+    pub metrics: [f64; 3],
+    /// Attempts the original evaluation took, including the final success.
+    pub attempts: u32,
+}
+
+impl EvalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 2 * self.levels.len() + 28);
+        out.extend_from_slice(&self.space_id.to_le_bytes());
+        write_varint(self.levels.len() as u64, &mut out);
+        for &level in &self.levels {
+            write_varint(u64::from(level), &mut out);
+        }
+        for m in self.metrics {
+            out.extend_from_slice(&m.to_bits().to_le_bytes());
+        }
+        write_varint(u64::from(self.attempts), &mut out);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut pos = 0;
+        let space_id = read_u64(bytes, &mut pos)?;
+        let n = read_varint(bytes, &mut pos)?;
+        let mut levels = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let level = read_varint(bytes, &mut pos)?;
+            levels.push(u32::try_from(level).map_err(|_| bad("level overflows u32"))?);
+        }
+        let mut metrics = [0.0f64; 3];
+        for m in &mut metrics {
+            *m = f64::from_bits(read_u64(bytes, &mut pos)?);
+        }
+        let attempts = read_varint(bytes, &mut pos)?;
+        let attempts = u32::try_from(attempts).map_err(|_| bad("attempts overflows u32"))?;
+        if pos != bytes.len() {
+            return Err(bad("trailing bytes in eval record"));
+        }
+        Ok(Self {
+            space_id,
+            levels,
+            metrics,
+            attempts,
+        })
+    }
+
+    /// Record identity for compaction: later records with the same key
+    /// supersede earlier ones.
+    fn identity(&self) -> Vec<u8> {
+        let mut id = self.space_id.to_le_bytes().to_vec();
+        for &level in &self.levels {
+            id.extend_from_slice(&level.to_le_bytes());
+        }
+        id
+    }
+}
+
+/// One trained surrogate model, keyed by the triple that makes retraining
+/// provably redundant: the space it serves, the fingerprint of its
+/// *unfitted* configuration, and the fingerprint of the training data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelRecord {
+    /// 48-bit space fingerprint the model was trained for.
+    pub space_id: u64,
+    /// FNV-1a over the canonical encoding of the unfitted model.
+    pub config_fp: u64,
+    /// FNV-1a over the training dataset's shape and exact f64 bits.
+    pub data_fp: u64,
+    /// Model name (e.g. `"MLPR"`), a human-readable disambiguator.
+    pub name: String,
+    /// The fitted model's serialized `Value` tree, exact f64 bits.
+    pub payload: Value,
+}
+
+impl ModelRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.name.len());
+        out.extend_from_slice(&self.space_id.to_le_bytes());
+        out.extend_from_slice(&self.config_fp.to_le_bytes());
+        out.extend_from_slice(&self.data_fp.to_le_bytes());
+        write_varint(self.name.len() as u64, &mut out);
+        out.extend_from_slice(self.name.as_bytes());
+        codec::encode_value(&self.payload, &mut out);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut pos = 0;
+        let space_id = read_u64(bytes, &mut pos)?;
+        let config_fp = read_u64(bytes, &mut pos)?;
+        let data_fp = read_u64(bytes, &mut pos)?;
+        let name_len = read_varint(bytes, &mut pos)? as usize;
+        let end = pos
+            .checked_add(name_len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| bad("truncated model name"))?;
+        let name = std::str::from_utf8(&bytes[pos..end])
+            .map_err(|_| bad("invalid UTF-8 model name"))?
+            .to_string();
+        pos = end;
+        let payload = codec::decode_value(bytes, &mut pos)?;
+        if pos != bytes.len() {
+            return Err(bad("trailing bytes in model record"));
+        }
+        Ok(Self {
+            space_id,
+            config_fp,
+            data_fp,
+            name,
+            payload,
+        })
+    }
+
+    fn identity(&self) -> Vec<u8> {
+        let mut id = Vec::with_capacity(24 + self.name.len());
+        id.extend_from_slice(&self.space_id.to_le_bytes());
+        id.extend_from_slice(&self.config_fp.to_le_bytes());
+        id.extend_from_slice(&self.data_fp.to_le_bytes());
+        id.extend_from_slice(self.name.as_bytes());
+        id
+    }
+}
+
+fn bad(msg: &str) -> CodecError {
+    CodecError::new(msg)
+}
+
+fn read_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let end = pos
+        .checked_add(8)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| bad("truncated u64"))?;
+    let raw: [u8; 8] = bytes[*pos..end].try_into().expect("8 bytes");
+    *pos = end;
+    Ok(u64::from_le_bytes(raw))
+}
+
+/// One raw record frame held in memory: the kind byte plus the payload
+/// bytes exactly as they sit (or will sit) on disk.
+#[derive(Debug, Clone)]
+struct RawRecord {
+    kind: RecordKind,
+    payload: Vec<u8>,
+}
+
+impl RawRecord {
+    /// Compaction identity: records with equal identity supersede each
+    /// other (last wins); `None` means the record never supersedes
+    /// (undecodable payloads are kept verbatim only until compaction).
+    fn identity(&self) -> Option<Vec<u8>> {
+        match self.kind {
+            RecordKind::Eval => EvalRecord::decode(&self.payload)
+                .ok()
+                .map(|r| r.identity()),
+            RecordKind::Model => ModelRecord::decode(&self.payload)
+                .ok()
+                .map(|r| r.identity()),
+            // Meta tallies are summed, not superseded.
+            RecordKind::Meta => None,
+        }
+    }
+}
+
+/// Per-shard in-memory state: disk records are read lazily, pending
+/// appends wait for the next flush.
+#[derive(Debug, Default)]
+struct ShardState {
+    loaded: bool,
+    /// Valid records read from disk, in file order.
+    records: Vec<RawRecord>,
+    /// Appends since the last flush.
+    pending: Vec<RawRecord>,
+}
+
+/// Aggregate result of one [`Store::flush`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushStats {
+    /// Pending records written.
+    pub records_written: u64,
+    /// Shard files rewritten (atomically, temp + rename).
+    pub shards_rewritten: u64,
+}
+
+/// Aggregate result of one [`Store::compact`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Records before compaction (across all shards, pending included).
+    pub records_before: u64,
+    /// Records after dropping superseded generations.
+    pub records_after: u64,
+}
+
+/// Per-shard outcome of one [`Store::verify`] scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardVerify {
+    /// Shard index.
+    pub shard: u32,
+    /// Records whose checksum and payload decoded cleanly.
+    pub valid: u64,
+    /// Records skipped: checksum mismatch, undecodable payload, or a
+    /// truncated tail.
+    pub skipped: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+/// Aggregate counts of one [`Store::stats`] scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Shard files present on disk.
+    pub shards: u32,
+    /// Shard count the store hashes over (files may not all exist yet).
+    pub n_shards: u32,
+    /// Valid evaluation records.
+    pub eval_records: u64,
+    /// Valid model records.
+    pub model_records: u64,
+    /// Records skipped during the scan.
+    pub skipped: u64,
+    /// Total bytes across shard files.
+    pub bytes: u64,
+    /// Cross-job hits accumulated by every past flush's meta tally.
+    pub cross_job_hits: u64,
+}
+
+/// The append-only, sharded evaluation store. Thread-safe: consumers share
+/// one instance behind an `Arc`.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    n_shards: u32,
+    telemetry: Telemetry,
+    shards: Mutex<Vec<ShardState>>,
+    /// Cross-job hits observed this process, folded into a meta record at
+    /// the next flush.
+    cross_job_hits: AtomicU64,
+}
+
+impl Store {
+    /// Opens (creating if absent) the store at `dir` with the default
+    /// shard count. An existing store keeps the shard count its headers
+    /// declare — the count is a property of the directory, not the caller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and header corruption (bad magic or a
+    /// schema-version mismatch).
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        Self::open_with_shards(dir, DEFAULT_SHARDS)
+    }
+
+    /// [`Store::open`] with an explicit shard count for new stores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and header corruption.
+    pub fn open_with_shards(dir: &Path, n_shards: u32) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let mut n_shards = n_shards.max(1);
+        // Adopt the shard count of the first existing shard header so two
+        // processes can never disagree on the hash ring.
+        let mut existing: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("shard_") && n.ends_with(".bin"))
+            })
+            .collect();
+        existing.sort();
+        if let Some(first) = existing.first() {
+            let header = read_header(first)?;
+            n_shards = header;
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            n_shards,
+            telemetry: Telemetry::disabled(),
+            shards: Mutex::new((0..n_shards).map(|_| ShardState::default()).collect()),
+            cross_job_hits: AtomicU64::new(0),
+        })
+    }
+
+    /// Routes `store.*` counters to `telemetry`.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Shard count of the hash ring.
+    #[must_use]
+    pub fn n_shards(&self) -> u32 {
+        self.n_shards
+    }
+
+    /// The shard a space fingerprint hashes to.
+    #[must_use]
+    pub fn shard_of(&self, space_id: u64) -> u32 {
+        (space_id % u64::from(self.n_shards)) as u32
+    }
+
+    fn shard_path(&self, shard: u32) -> PathBuf {
+        self.dir.join(format!("shard_{shard:03}.bin"))
+    }
+
+    /// Reads the shard file into `state.records` if not yet loaded,
+    /// skipping (and counting) corrupt records.
+    fn ensure_loaded(&self, state: &mut ShardState, shard: u32) -> io::Result<()> {
+        if state.loaded {
+            return Ok(());
+        }
+        state.loaded = true;
+        let path = self.shard_path(shard);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        self.telemetry.incr(Counter::StoreShardLoads);
+        let (records, skipped) = parse_shard(&bytes, &path)?;
+        self.telemetry
+            .add(Counter::StoreRecordsLoaded, records.len() as u64);
+        self.telemetry.add(Counter::StoreRecordsSkipped, skipped);
+        state.records = records;
+        Ok(())
+    }
+
+    /// Every stored evaluation for `space_id`, oldest first (pending
+    /// appends from this process included, so two caches sharing one store
+    /// see each other's flushed-or-not entries identically).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; corrupt records are skipped, not
+    /// fatal.
+    pub fn load_evals(&self, space_id: u64) -> io::Result<Vec<EvalRecord>> {
+        let shard = self.shard_of(space_id);
+        let mut shards = self.shards.lock().expect("store lock");
+        let state = &mut shards[shard as usize];
+        self.ensure_loaded(state, shard)?;
+        let mut out = Vec::new();
+        for rec in state.records.iter().chain(state.pending.iter()) {
+            if rec.kind != RecordKind::Eval {
+                continue;
+            }
+            if let Ok(eval) = EvalRecord::decode(&rec.payload) {
+                if eval.space_id == space_id {
+                    out.push(eval);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Every stored evaluation across every shard, shard-then-file order —
+    /// the bulk read behind `isop cache export`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; corrupt records are skipped.
+    pub fn load_all_evals(&self) -> io::Result<Vec<EvalRecord>> {
+        let mut shards = self.shards.lock().expect("store lock");
+        let mut out = Vec::new();
+        for shard in 0..self.n_shards {
+            let state = &mut shards[shard as usize];
+            self.ensure_loaded(state, shard)?;
+            for rec in state.records.iter().chain(state.pending.iter()) {
+                if rec.kind != RecordKind::Eval {
+                    continue;
+                }
+                if let Ok(eval) = EvalRecord::decode(&rec.payload) {
+                    out.push(eval);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Buffers one evaluation for the next [`Store::flush`].
+    pub fn append_eval(&self, record: &EvalRecord) {
+        let shard = self.shard_of(record.space_id);
+        let mut shards = self.shards.lock().expect("store lock");
+        shards[shard as usize].pending.push(RawRecord {
+            kind: RecordKind::Eval,
+            payload: record.encode(),
+        });
+    }
+
+    /// The latest stored model for the exact `(space, config, data, name)`
+    /// key, or `None`. Later records supersede earlier ones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; corrupt records are skipped.
+    pub fn get_model(
+        &self,
+        space_id: u64,
+        config_fp: u64,
+        data_fp: u64,
+        name: &str,
+    ) -> io::Result<Option<ModelRecord>> {
+        let shard = self.shard_of(space_id);
+        let mut shards = self.shards.lock().expect("store lock");
+        let state = &mut shards[shard as usize];
+        self.ensure_loaded(state, shard)?;
+        let mut found = None;
+        for rec in state.records.iter().chain(state.pending.iter()) {
+            if rec.kind != RecordKind::Model {
+                continue;
+            }
+            if let Ok(model) = ModelRecord::decode(&rec.payload) {
+                if model.space_id == space_id
+                    && model.config_fp == config_fp
+                    && model.data_fp == data_fp
+                    && model.name == name
+                {
+                    found = Some(model);
+                }
+            }
+        }
+        Ok(found)
+    }
+
+    /// Buffers one trained model for the next [`Store::flush`].
+    pub fn put_model(&self, record: &ModelRecord) {
+        let shard = self.shard_of(record.space_id);
+        let mut shards = self.shards.lock().expect("store lock");
+        shards[shard as usize].pending.push(RawRecord {
+            kind: RecordKind::Model,
+            payload: record.encode(),
+        });
+    }
+
+    /// Records one hit served from a record a previous process wrote
+    /// (ticks `store.cross_job_hits`; the tally persists at the next
+    /// flush).
+    pub fn note_cross_job_hit(&self) {
+        self.telemetry.incr(Counter::StoreCrossJobHits);
+        self.cross_job_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Writes every shard with pending records atomically (temp file +
+    /// rename), folding this process's cross-job hit tally into a meta
+    /// record on shard 0. A flush with nothing pending and no hits is a
+    /// complete no-op — no file is touched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn flush(&self) -> io::Result<FlushStats> {
+        let mut shards = self.shards.lock().expect("store lock");
+        let hits = self.cross_job_hits.swap(0, Ordering::Relaxed);
+        if hits > 0 {
+            let mut payload = Vec::new();
+            write_varint(hits, &mut payload);
+            shards[0].pending.push(RawRecord {
+                kind: RecordKind::Meta,
+                payload,
+            });
+        }
+        let mut stats = FlushStats::default();
+        for shard in 0..self.n_shards {
+            let state = &mut shards[shard as usize];
+            if state.pending.is_empty() {
+                continue;
+            }
+            // Appending rewrites the shard from its in-memory image, so
+            // load first: prior generations are preserved verbatim and a
+            // torn tail (if any) is healed by the rewrite.
+            self.ensure_loaded(state, shard)?;
+            let pending = std::mem::take(&mut state.pending);
+            stats.records_written += pending.len() as u64;
+            state.records.extend(pending);
+            self.write_shard(shard, &state.records)?;
+            stats.shards_rewritten += 1;
+        }
+        self.telemetry
+            .add(Counter::StoreRecordsWritten, stats.records_written);
+        Ok(stats)
+    }
+
+    /// Atomically replaces the shard file with `records`.
+    fn write_shard(&self, shard: u32, records: &[RawRecord]) -> io::Result<()> {
+        let mut bytes = Vec::with_capacity(HEADER_LEN);
+        bytes.extend_from_slice(&STORE_MAGIC);
+        bytes.extend_from_slice(&STORE_SCHEMA_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&self.n_shards.to_le_bytes());
+        for rec in records {
+            bytes.extend_from_slice(&(rec.payload.len() as u32).to_le_bytes());
+            bytes.push(rec.kind as u8);
+            bytes.extend_from_slice(&fnv1a(&rec.payload).to_le_bytes());
+            bytes.extend_from_slice(&rec.payload);
+        }
+        let path = self.shard_path(shard);
+        let tmp = self.dir.join(format!("shard_{shard:03}.bin.tmp"));
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Drops superseded record generations: within each shard, only the
+    /// last record per identity survives, and meta tallies collapse into
+    /// one summed record. Pending appends are flushed first. Idempotent —
+    /// compacting a compacted store rewrites nothing further.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn compact(&self) -> io::Result<CompactStats> {
+        self.flush()?;
+        let mut shards = self.shards.lock().expect("store lock");
+        let mut stats = CompactStats::default();
+        for shard in 0..self.n_shards {
+            let state = &mut shards[shard as usize];
+            self.ensure_loaded(state, shard)?;
+            stats.records_before += state.records.len() as u64;
+            let compacted = compact_records(&state.records);
+            stats.records_after += compacted.len() as u64;
+            if compacted.len() != state.records.len() {
+                state.records = compacted;
+                self.write_shard(shard, &state.records)?;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Re-scans every shard file from disk (ignoring in-memory state) and
+    /// reports per-shard valid/skipped/byte counts. Read-only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (a missing shard file is simply
+    /// absent, not an error).
+    pub fn verify(&self) -> io::Result<Vec<ShardVerify>> {
+        let mut out = Vec::new();
+        for shard in 0..self.n_shards {
+            let path = self.shard_path(shard);
+            let bytes = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            let (records, mut skipped) = parse_shard(&bytes, &path)?;
+            // verify decodes payloads too — a record whose checksum holds
+            // but whose payload no longer parses is as unusable as a torn
+            // one.
+            let mut valid = 0u64;
+            for rec in &records {
+                let ok = match rec.kind {
+                    RecordKind::Eval => EvalRecord::decode(&rec.payload).is_ok(),
+                    RecordKind::Model => ModelRecord::decode(&rec.payload).is_ok(),
+                    RecordKind::Meta => read_varint(&rec.payload, &mut 0).is_ok(),
+                };
+                if ok {
+                    valid += 1;
+                } else {
+                    skipped += 1;
+                }
+            }
+            out.push(ShardVerify {
+                shard,
+                valid,
+                skipped,
+                bytes: bytes.len() as u64,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Aggregate record counts from a fresh disk scan. Read-only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn stats(&self) -> io::Result<StoreStats> {
+        let mut stats = StoreStats {
+            n_shards: self.n_shards,
+            ..StoreStats::default()
+        };
+        for shard in 0..self.n_shards {
+            let path = self.shard_path(shard);
+            let bytes = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            stats.shards += 1;
+            stats.bytes += bytes.len() as u64;
+            let (records, skipped) = parse_shard(&bytes, &path)?;
+            stats.skipped += skipped;
+            for rec in &records {
+                match rec.kind {
+                    RecordKind::Eval => stats.eval_records += 1,
+                    RecordKind::Model => stats.model_records += 1,
+                    RecordKind::Meta => {
+                        stats.cross_job_hits += read_varint(&rec.payload, &mut 0).unwrap_or(0);
+                    }
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// Validates the header of `path` and returns its declared shard count.
+fn read_header(path: &Path) -> io::Result<u32> {
+    let bytes = std::fs::read(path)?;
+    parse_header(&bytes, path)
+}
+
+fn parse_header(bytes: &[u8], path: &Path) -> io::Result<u32> {
+    if bytes.len() < HEADER_LEN {
+        return Err(io::Error::other(format!(
+            "{}: truncated store header",
+            path.display()
+        )));
+    }
+    if bytes[..8] != STORE_MAGIC {
+        return Err(io::Error::other(format!(
+            "{}: not an isop store shard (bad magic)",
+            path.display()
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != STORE_SCHEMA_VERSION {
+        return Err(io::Error::other(format!(
+            "{}: store schema v{version} != supported v{STORE_SCHEMA_VERSION}",
+            path.display()
+        )));
+    }
+    let n_shards = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    if n_shards == 0 {
+        return Err(io::Error::other(format!(
+            "{}: store header declares zero shards",
+            path.display()
+        )));
+    }
+    Ok(n_shards)
+}
+
+/// Parses a shard file body: valid records in file order plus the skipped
+/// count. A checksum-failing record with intact framing is skipped alone;
+/// a torn frame (truncated length/payload or an unknown kind) ends the
+/// scan, costing one more skip for the tail.
+fn parse_shard(bytes: &[u8], path: &Path) -> io::Result<(Vec<RawRecord>, u64)> {
+    parse_header(bytes, path)?;
+    let mut records = Vec::new();
+    let mut skipped = 0u64;
+    let mut pos = HEADER_LEN;
+    while pos < bytes.len() {
+        if pos + FRAME_PREFIX > bytes.len() {
+            skipped += 1; // torn tail: partial frame prefix
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let kind = bytes[pos + 4];
+        let checksum = u64::from_le_bytes(bytes[pos + 5..pos + 13].try_into().expect("8 bytes"));
+        let body_start = pos + FRAME_PREFIX;
+        let Some(body_end) = body_start.checked_add(len).filter(|&e| e <= bytes.len()) else {
+            skipped += 1; // torn tail: payload runs past EOF
+            break;
+        };
+        let Some(kind) = RecordKind::from_u8(kind) else {
+            // An unknown kind byte means the frame stream itself is not
+            // trustworthy past this point.
+            skipped += 1;
+            break;
+        };
+        let payload = &bytes[body_start..body_end];
+        if fnv1a(payload) == checksum {
+            records.push(RawRecord {
+                kind,
+                payload: payload.to_vec(),
+            });
+        } else {
+            skipped += 1; // framing intact, payload corrupt: skip just it
+        }
+        pos = body_end;
+    }
+    Ok((records, skipped))
+}
+
+/// Keep-last-per-identity compaction, preserving first-appearance order of
+/// the survivors; meta tallies sum into a single record.
+fn compact_records(records: &[RawRecord]) -> Vec<RawRecord> {
+    let mut meta_total = 0u64;
+    let mut keep: Vec<(Option<Vec<u8>>, RawRecord)> = Vec::new();
+    for rec in records {
+        if rec.kind == RecordKind::Meta {
+            meta_total += read_varint(&rec.payload, &mut 0).unwrap_or(0);
+            continue;
+        }
+        let id = rec.identity();
+        match id
+            .as_ref()
+            .and_then(|id| keep.iter().position(|(k, _)| k.as_deref() == Some(id)))
+        {
+            Some(at) => keep[at].1 = rec.clone(),
+            None => keep.push((id, rec.clone())),
+        }
+    }
+    let mut out: Vec<RawRecord> = keep.into_iter().map(|(_, r)| r).collect();
+    if meta_total > 0 {
+        let mut payload = Vec::new();
+        write_varint(meta_total, &mut payload);
+        out.push(RawRecord {
+            kind: RecordKind::Meta,
+            payload,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("isop-store-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn eval(space_id: u64, level: u32, z: f64) -> EvalRecord {
+        EvalRecord {
+            space_id,
+            levels: vec![level, level + 1],
+            metrics: [z, -0.4, -3.25],
+            attempts: 2,
+        }
+    }
+
+    #[test]
+    fn evals_round_trip_across_reopen() {
+        let dir = temp_dir("reopen");
+        let store = Store::open(&dir).expect("opens");
+        store.append_eval(&eval(7, 0, 85.0));
+        store.append_eval(&eval(7, 1, f64::from_bits(0x8000_0000_0000_0000))); // -0.0
+        let flushed = store.flush().expect("flushes");
+        assert_eq!(flushed.records_written, 2);
+        drop(store);
+
+        let fresh = Store::open(&dir).expect("reopens");
+        let evals = fresh.load_evals(7).expect("loads");
+        assert_eq!(evals.len(), 2);
+        assert_eq!(evals[0], eval(7, 0, 85.0));
+        assert_eq!(
+            evals[1].metrics[0].to_bits(),
+            0x8000_0000_0000_0000,
+            "-0.0 must survive the disk round-trip bit-exactly"
+        );
+        // Other spaces on the same shard ring load nothing.
+        assert!(fresh.load_evals(7 + u64::from(fresh.n_shards())).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flush_with_nothing_pending_touches_no_file() {
+        let dir = temp_dir("noop");
+        let store = Store::open(&dir).expect("opens");
+        let stats = store.flush().expect("flushes");
+        assert_eq!(stats, FlushStats::default());
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_count_is_a_property_of_the_directory() {
+        let dir = temp_dir("ring");
+        let store = Store::open_with_shards(&dir, 3).expect("opens");
+        store.append_eval(&eval(5, 0, 80.0));
+        store.flush().expect("flushes");
+        drop(store);
+        // A reopen with a different requested count adopts the on-disk ring.
+        let fresh = Store::open_with_shards(&dir, 16).expect("reopens");
+        assert_eq!(fresh.n_shards(), 3);
+        assert_eq!(fresh.load_evals(5).expect("loads").len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn models_supersede_by_key_and_survive_reopen() {
+        let dir = temp_dir("model");
+        let store = Store::open(&dir).expect("opens");
+        let model = |w: f64| ModelRecord {
+            space_id: 11,
+            config_fp: 0xdead_beef_dead_beef, // full 64 bits, no JSON mantissa
+            data_fp: 42,
+            name: "MLPR".to_string(),
+            payload: Value::Arr(vec![Value::Num(w)]),
+        };
+        store.put_model(&model(1.0));
+        store.put_model(&model(2.0));
+        store.flush().expect("flushes");
+        drop(store);
+
+        let fresh = Store::open(&dir).expect("reopens");
+        let got = fresh
+            .get_model(11, 0xdead_beef_dead_beef, 42, "MLPR")
+            .expect("reads")
+            .expect("present");
+        assert_eq!(got.payload, Value::Arr(vec![Value::Num(2.0)]));
+        assert!(fresh
+            .get_model(11, 0xdead_beef_dead_beef, 43, "MLPR")
+            .expect("reads")
+            .is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped_not_fatal() {
+        let dir = temp_dir("corrupt");
+        let store = Store::open(&dir).expect("opens");
+        store.append_eval(&eval(3, 0, 85.0));
+        store.append_eval(&eval(3, 1, 86.0));
+        store.flush().expect("flushes");
+        let shard = store.shard_of(3);
+        let path = dir.join(format!("shard_{shard:03}.bin"));
+        drop(store);
+
+        // Flip one payload byte of the first record: checksum now fails.
+        let mut bytes = std::fs::read(&path).expect("reads");
+        bytes[HEADER_LEN + FRAME_PREFIX + 2] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("writes");
+
+        let tele = Telemetry::enabled();
+        let fresh = Store::open(&dir).expect("opens").with_telemetry(tele.clone());
+        let evals = fresh.load_evals(3).expect("loads");
+        assert_eq!(evals.len(), 1, "only the intact record survives");
+        assert_eq!(evals[0].metrics[0], 86.0);
+        assert_eq!(tele.counter(Counter::StoreRecordsSkipped), 1);
+        assert_eq!(tele.counter(Counter::StoreRecordsLoaded), 1);
+        assert_eq!(tele.counter(Counter::StoreShardLoads), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_tail_recovers_and_flush_heals_it() {
+        let dir = temp_dir("torn");
+        let store = Store::open(&dir).expect("opens");
+        store.append_eval(&eval(9, 0, 85.0));
+        store.append_eval(&eval(9, 1, 86.0));
+        store.flush().expect("flushes");
+        let shard = store.shard_of(9);
+        let path = dir.join(format!("shard_{shard:03}.bin"));
+        drop(store);
+
+        // Tear mid-way through the second record's payload.
+        let bytes = std::fs::read(&path).expect("reads");
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).expect("writes");
+
+        let fresh = Store::open(&dir).expect("opens");
+        assert_eq!(fresh.load_evals(9).expect("loads").len(), 1);
+        // A new append + flush rewrites the shard whole: the torn tail is
+        // gone and both the survivor and the new record verify clean.
+        fresh.append_eval(&eval(9, 2, 87.0));
+        fresh.flush().expect("flushes");
+        let verify = fresh.verify().expect("verifies");
+        let v = verify.iter().find(|v| v.shard == shard).expect("shard");
+        assert_eq!((v.valid, v.skipped), (2, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_drops_superseded_and_is_idempotent() {
+        let dir = temp_dir("compact");
+        let store = Store::open(&dir).expect("opens");
+        for attempt in 1..=3u32 {
+            store.append_eval(&EvalRecord {
+                attempts: attempt,
+                ..eval(4, 0, 85.0)
+            });
+        }
+        store.append_eval(&eval(4, 9, 90.0));
+        store.note_cross_job_hit();
+        store.note_cross_job_hit();
+        let first = store.compact().expect("compacts");
+        assert_eq!(first.records_before, 5); // 4 evals + 1 meta
+        assert_eq!(first.records_after, 3); // survivor + distinct + meta
+        // Last write wins.
+        let evals = store.load_evals(4).expect("loads");
+        assert_eq!(evals.iter().find(|e| e.levels[0] == 0).unwrap().attempts, 3);
+        let second = store.compact().expect("compacts again");
+        assert_eq!(second.records_before, second.records_after);
+        assert_eq!(store.stats().expect("stats").cross_job_hits, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_and_verify_report_disk_truth() {
+        let dir = temp_dir("stats");
+        let store = Store::open(&dir).expect("opens");
+        store.append_eval(&eval(1, 0, 85.0));
+        store.put_model(&ModelRecord {
+            space_id: 2,
+            config_fp: 1,
+            data_fp: 2,
+            name: "RFR".to_string(),
+            payload: Value::Null,
+        });
+        store.flush().expect("flushes");
+        let stats = store.stats().expect("stats");
+        assert_eq!(stats.eval_records, 1);
+        assert_eq!(stats.model_records, 1);
+        assert_eq!(stats.skipped, 0);
+        assert!(stats.bytes > 0);
+        assert!(stats.shards >= 1);
+        let verify = store.verify().expect("verifies");
+        assert_eq!(verify.iter().map(|v| v.valid).sum::<u64>(), 2);
+        assert_eq!(verify.iter().map(|v| v.skipped).sum::<u64>(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_explicit_error() {
+        let dir = temp_dir("schema");
+        let store = Store::open(&dir).expect("opens");
+        store.append_eval(&eval(0, 0, 85.0));
+        store.flush().expect("flushes");
+        let path = dir.join("shard_000.bin");
+        drop(store);
+        let mut bytes = std::fs::read(&path).expect("reads");
+        bytes[8] = 99; // version
+        std::fs::write(&path, &bytes).expect("writes");
+        assert!(Store::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

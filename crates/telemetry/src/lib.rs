@@ -118,11 +118,32 @@ pub enum Counter {
     /// (retry chains riding with fresh candidates, or candidates from
     /// different trials sharing a batch under interleaved experiment cells).
     EmSchedInterleaved,
+    /// Persistent-store shard files read from disk (each shard is loaded
+    /// lazily at most once per process, on the first probe that hashes to
+    /// it).
+    StoreShardLoads,
+    /// Valid records parsed from persistent-store shards.
+    StoreRecordsLoaded,
+    /// Records appended to the persistent store and flushed to disk.
+    StoreRecordsWritten,
+    /// Corrupt persistent-store records skipped at load: a checksum
+    /// mismatch costs the one record, a torn tail costs only the tail —
+    /// never the run.
+    StoreRecordsSkipped,
+    /// Evaluation-cache hits served from a persistent-store record written
+    /// by a *previous* process — the cross-run reuse the store exists for.
+    StoreCrossJobHits,
+    /// Surrogate models served from the persistent registry instead of
+    /// retrained (each one elides every `ml.fit.*` span of that model).
+    StoreModelHits,
+    /// Registry probes that fell through to a cold fit (the fitted model
+    /// is then recorded for future runs).
+    StoreModelMisses,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 34] = [
         Counter::EmSimAttempted,
         Counter::EmSimSucceeded,
         Counter::EmSimFailed,
@@ -150,6 +171,13 @@ impl Counter {
         Counter::EmSchedBatches,
         Counter::EmSchedSlackSlots,
         Counter::EmSchedInterleaved,
+        Counter::StoreShardLoads,
+        Counter::StoreRecordsLoaded,
+        Counter::StoreRecordsWritten,
+        Counter::StoreRecordsSkipped,
+        Counter::StoreCrossJobHits,
+        Counter::StoreModelHits,
+        Counter::StoreModelMisses,
     ];
 
     /// Stable dotted label used in reports and threshold files.
@@ -183,6 +211,13 @@ impl Counter {
             Counter::EmSchedBatches => "em.sched.batches",
             Counter::EmSchedSlackSlots => "em.sched.slack_slots",
             Counter::EmSchedInterleaved => "em.sched.interleaved",
+            Counter::StoreShardLoads => "store.shard_loads",
+            Counter::StoreRecordsLoaded => "store.records_loaded",
+            Counter::StoreRecordsWritten => "store.records_written",
+            Counter::StoreRecordsSkipped => "store.records_skipped",
+            Counter::StoreCrossJobHits => "store.cross_job_hits",
+            Counter::StoreModelHits => "store.model_hits",
+            Counter::StoreModelMisses => "store.model_misses",
         }
     }
 
@@ -694,6 +729,25 @@ mod tests {
         assert_eq!(report.counter("em.sched.batches"), 4);
         assert_eq!(report.counter("em.sched.slack_slots"), 1);
         assert_eq!(report.counter("em.sched.interleaved"), 1);
+    }
+
+    #[test]
+    fn store_counters_have_stable_labels() {
+        assert_eq!(Counter::StoreShardLoads.name(), "store.shard_loads");
+        assert_eq!(Counter::StoreRecordsLoaded.name(), "store.records_loaded");
+        assert_eq!(Counter::StoreRecordsWritten.name(), "store.records_written");
+        assert_eq!(Counter::StoreRecordsSkipped.name(), "store.records_skipped");
+        assert_eq!(Counter::StoreCrossJobHits.name(), "store.cross_job_hits");
+        assert_eq!(Counter::StoreModelHits.name(), "store.model_hits");
+        assert_eq!(Counter::StoreModelMisses.name(), "store.model_misses");
+        let tele = Telemetry::enabled();
+        tele.incr(Counter::StoreShardLoads);
+        tele.add(Counter::StoreRecordsLoaded, 5);
+        tele.incr(Counter::StoreCrossJobHits);
+        let report = tele.run_report();
+        assert_eq!(report.counter("store.shard_loads"), 1);
+        assert_eq!(report.counter("store.records_loaded"), 5);
+        assert_eq!(report.counter("store.cross_job_hits"), 1);
     }
 
     #[test]

@@ -35,6 +35,18 @@
 # must beat the scalar path by >= 2x. The phase has its own wall-clock
 # budget (max_sweep_seconds).
 #
+# A warm-store smoke phase then gates the persistent evaluation store and
+# the trained-model registry: the pipeline runs cold against a fresh
+# store directory, then warm from fresh handles at 1 and 4 threads. The
+# warm replays must be bit-identical to the cold run (candidates,
+# charged+saved ledger sum, every counter across widths) while eliding
+# >= 90% of the cold charged EM seconds, and a registry-fitted surrogate
+# must reload with zero training work (no ml.fit.* span, train.chunks
+# = 0) and bit-identical predictions. The store.* counters land in the
+# counter budget, the phase has its own wall-clock budget
+# (max_store_seconds), and the cold-vs-warm wall-clock comparison is
+# written to results/BENCH_pr8.json.
+#
 # Usage:
 #   scripts/bench_gate.sh            # gate against the checked-in budget
 #   scripts/bench_gate.sh --update   # refresh the budget from a local run
