@@ -74,6 +74,23 @@
 //! the cold-vs-warm wall-clock comparison is written to `BENCH_pr8.json`
 //! next to the CI report.
 //!
+//! A multi-job engine smoke phase then gates the shared-executor job
+//! scheduler: a four-job mixed-space batch (two tenants, each one fresh
+//! space and one rerun of it) runs once serially (one core permit, one
+//! wave slot) and once concurrently (host cores, two wave slots), each
+//! against its own fresh store. Always enforced: a job run **solo** is
+//! bit-identical — candidates, both EM ledgers, every per-job counter —
+//! to the same job running beside its wave neighbors, in both the serial
+//! and the concurrent batch; the rerun jobs elide their accurate EM time
+//! entirely through cross-job store hits; and the core budget's peak
+//! outstanding permits never exceed the grant. Only on hosts with at
+//! least [`ENGINE_SPEEDUP_CORES`] cores, the concurrent batch must beat
+//! the serial batch by [`MIN_ENGINE_SPEEDUP`]x wall-clock. The serial
+//! batch's per-job and engine counters fold into the budgeted report, the
+//! phase's wall-clock has its own budget (`max_engine_seconds`), and the
+//! serial-vs-concurrent comparison is written to `BENCH_pr9.json` next to
+//! the CI report.
+//!
 //! ```text
 //! bench_gate [--thresholds scripts/bench_thresholds.json]
 //!            [--out results/BENCH_ci.json] [--update] [--no-cache]
@@ -137,6 +154,14 @@ const STORE_MIN_ELIDED_FRACTION: f64 = 0.9;
 /// Registry key of the store smoke's zoo surrogate (any stable value —
 /// the registry only requires it to be consistent between cold and warm).
 const STORE_ZOO_SPACE_ID: u64 = 0x5105;
+/// Minimum serial-over-concurrent wall-clock speedup of the engine smoke's
+/// four-job batch, enforced only on hosts with at least
+/// [`ENGINE_SPEEDUP_CORES`] cores — solo-vs-concurrent bit-identity and
+/// the cross-job EM elision are enforced everywhere.
+const MIN_ENGINE_SPEEDUP: f64 = 1.5;
+/// Core count a host needs before the engine throughput ratio is enforced
+/// (two concurrent jobs x two leased threads each).
+const ENGINE_SPEEDUP_CORES: usize = 4;
 
 /// The checked-in perf budget the gate compares against.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -166,6 +191,10 @@ struct GateThresholds {
     /// replays + registry round-trip), seconds (compared with a
     /// [`WALL_MARGIN`] tolerance).
     max_store_seconds: f64,
+    /// Wall-clock budget for the multi-job engine smoke (solo reference +
+    /// serial batch + concurrent batch), seconds (compared with a
+    /// [`WALL_MARGIN`] tolerance).
+    max_engine_seconds: f64,
     /// Exact counter budget, one entry per [`Counter`].
     counters: Vec<isop_telemetry::CounterEntry>,
 }
@@ -193,8 +222,34 @@ struct StoreSmokeSummary {
     warm_fit_wall_seconds: f64,
 }
 
+/// Serial-vs-concurrent measurement of the multi-job engine smoke,
+/// written to `BENCH_pr9.json` next to the CI report so the batch
+/// throughput and cross-job-elision numbers are tracked artifacts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EngineSmokeSummary {
+    /// Cores the host reported (the concurrent batch's permit budget).
+    host_cores: usize,
+    /// Wall-clock of the four-job batch at one permit, one wave slot, s.
+    serial_wall_seconds: f64,
+    /// Wall-clock of the same batch at host cores, two wave slots, s.
+    concurrent_wall_seconds: f64,
+    /// `serial_wall_seconds / concurrent_wall_seconds` (enforced >=
+    /// [`MIN_ENGINE_SPEEDUP`] only at [`ENGINE_SPEEDUP_CORES`]+ cores).
+    speedup: f64,
+    /// Simulated EM seconds the concurrent batch charged.
+    em_seconds_charged: f64,
+    /// Simulated EM seconds the concurrent batch's rerun jobs elided.
+    em_seconds_saved: f64,
+    /// Store records the concurrent batch served across jobs.
+    cross_job_hits: u64,
+    /// Peak simultaneously leased core permits of the concurrent batch.
+    peak_core_permits: usize,
+    /// Admission waves of the concurrent batch.
+    waves: u64,
+}
+
 /// Everything one full smoke pass measures: the budgeted report, each
-/// phase's wall-clock, and the store smoke's cold-vs-warm summary.
+/// phase's wall-clock, and the store/engine smokes' summaries.
 struct SmokeMeasurement {
     report: RunReport,
     wall: f64,
@@ -204,6 +259,8 @@ struct SmokeMeasurement {
     sweep_wall: f64,
     store_wall: f64,
     store: StoreSmokeSummary,
+    engine_wall: f64,
+    engine: EngineSmokeSummary,
 }
 
 /// Fraction of total EM wall-clock the cache must elide over the two-run
@@ -412,6 +469,12 @@ fn run_smoke(use_cache: bool) -> Result<SmokeMeasurement, String> {
     // handle so the `store.*` budgets are gated.
     let (store_wall, store) = store_smoke(&telemetry)?;
 
+    // Multi-job engine phase: solo-vs-batched bit-identity, cross-job EM
+    // elision, and the serial-vs-concurrent throughput comparison, folding
+    // the serial batch's counters into the main handle so the `engine.*`
+    // budgets are gated.
+    let (engine_wall, engine) = engine_smoke(&telemetry)?;
+
     let mut report = telemetry.run_report();
     report.task = TaskId::T1.to_string();
     report.space = "s1".to_string();
@@ -431,6 +494,8 @@ fn run_smoke(use_cache: bool) -> Result<SmokeMeasurement, String> {
         sweep_wall,
         store_wall,
         store,
+        engine_wall,
+        engine,
     })
 }
 
@@ -925,7 +990,9 @@ fn store_smoke(main: &Telemetry) -> Result<(f64, StoreSmokeSummary), String> {
             .fit_neural_registered(STORE_ZOO_SPACE_ID, zoo_mlp(), &data)
             .map_err(|e| format!("store smoke: warm zoo load: {e:?}"))?;
         if !hit {
-            return Err("store registry violation: warm zoo fit retrained instead of loading".into());
+            return Err(
+                "store registry violation: warm zoo fit retrained instead of loading".into(),
+            );
         }
         let warm_pred =
             isop_ml::Regressor::predict(s.model(), &data.x).map_err(|e| format!("{e:?}"))?;
@@ -933,7 +1000,7 @@ fn store_smoke(main: &Telemetry) -> Result<(f64, StoreSmokeSummary), String> {
             for (a, b) in cold_pred.row(r).iter().zip(warm_pred.row(r)) {
                 if a.to_bits() != b.to_bits() {
                     return Err(
-                        "store registry violation: warm surrogate predictions diverged".into()
+                        "store registry violation: warm surrogate predictions diverged".into(),
                     );
                 }
             }
@@ -942,7 +1009,10 @@ fn store_smoke(main: &Telemetry) -> Result<(f64, StoreSmokeSummary), String> {
     let warm_fit_wall = t_fit_warm.elapsed().as_secs_f64();
     let zoo_report = zoo_tele.run_report();
     if zoo_report.counter("train.chunks") != 0
-        || zoo_report.spans.iter().any(|s| s.name.starts_with("ml.fit."))
+        || zoo_report
+            .spans
+            .iter()
+            .any(|s| s.name.starts_with("ml.fit."))
     {
         return Err("store registry violation: warm zoo load performed training work".into());
     }
@@ -978,6 +1048,182 @@ fn store_smoke(main: &Telemetry) -> Result<(f64, StoreSmokeSummary), String> {
     ))
 }
 
+/// Compares one job's outcome across two engine runs: candidates, both EM
+/// ledgers at exact bits, resolution, and every per-job counter.
+fn engine_jobs_identical(a: &isop::engine::JobResult, b: &isop::engine::JobResult) -> bool {
+    a.candidates == b.candidates
+        && a.em_seconds_charged.to_bits() == b.em_seconds_charged.to_bits()
+        && a.em_seconds_saved.to_bits() == b.em_seconds_saved.to_bits()
+        && a.success == b.success
+        && a.resolution == b.resolution
+        && a.report.counters == b.report.counters
+}
+
+/// The multi-job engine's smoke. A four-job mixed-space batch — tenants
+/// `acme` and `blue`, each submitting a fresh space and a rerun of it, so
+/// fair admission at two slots puts the fresh pair in wave 0 and the
+/// reruns in wave 1 — runs three ways against fresh store directories:
+///
+/// 1. job `acme-s1` **solo** (the reference the identity clause compares
+///    against);
+/// 2. the batch **serially**: one core permit, one wave slot;
+/// 3. the batch **concurrently**: host cores, two wave slots.
+///
+/// Always enforced: the solo job is bit-identical — candidates, ledgers,
+/// every per-job counter — to the same job inside both batches; the rerun
+/// jobs charge zero EM seconds (served entirely from wave 0's flushed
+/// records, observed as cross-job hits); and the permit high-water mark
+/// respects the budget. On hosts with at least [`ENGINE_SPEEDUP_CORES`]
+/// cores the concurrent batch must additionally beat the serial batch by
+/// [`MIN_ENGINE_SPEEDUP`]x wall-clock. Folds the serial batch's per-job
+/// and engine/store counters into `main` so the `engine.*` wave/job
+/// counts and the batch's EM volumes are budgeted. Returns the phase
+/// wall-clock and the serial-vs-concurrent summary for `BENCH_pr9.json`.
+fn engine_smoke(main: &Telemetry) -> Result<(f64, EngineSmokeSummary), String> {
+    use isop::engine::{Engine, EngineConfig};
+    use isop::jobs::{JobQueue, JobSpec};
+
+    let t0 = Instant::now();
+    let scratch = std::env::temp_dir().join(format!("isop-bench-engine-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    let spec = |id: &str, tenant: &str, space: &str| JobSpec {
+        id: id.to_string(),
+        tenant: tenant.to_string(),
+        space: space.to_string(),
+        seed: SMOKE_SEED,
+        threads: SMOKE_THREADS,
+        ..JobSpec::default()
+    };
+    let batch = [
+        spec("acme-s1", "acme", "s1"),
+        spec("acme-s1-rerun", "acme", "s1"),
+        spec("blue-s2", "blue", "s2"),
+        spec("blue-s2-rerun", "blue", "s2"),
+    ];
+    let run = |label: &str, specs: &[JobSpec], cores: usize, wave_slots: usize| {
+        let mut queue = JobQueue::new();
+        for s in specs {
+            queue.push(s.clone());
+        }
+        let telemetry = Telemetry::enabled();
+        let store = Arc::new(
+            Store::open(&scratch.join(label))
+                .map_err(|e| format!("engine smoke: open {label} store: {e}"))?
+                .with_telemetry(telemetry.clone()),
+        );
+        let report = Engine::new(EngineConfig {
+            cores,
+            wave_slots,
+            pipeline: smoke_config(SMOKE_THREADS),
+        })
+        .with_telemetry(telemetry.clone())
+        .with_store(store)
+        .run(&queue)
+        .map_err(|e| format!("engine smoke: {label} run: {e}"))?;
+        Ok::<_, String>((report, telemetry))
+    };
+
+    let (solo, _) = run("solo", &batch[..1], 1, 1)?;
+    let t_serial = Instant::now();
+    let (serial, serial_tele) = run("serial", &batch, 1, 1)?;
+    let serial_wall = t_serial.elapsed().as_secs_f64();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let t_conc = Instant::now();
+    let (concurrent, _) = run("concurrent", &batch, host_cores, 2)?;
+    let concurrent_wall = t_conc.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(&scratch).ok();
+
+    // Identity clause: the wave-0 job must not feel its batch at all.
+    let find = |rep: &isop::engine::EngineReport, id: &str| {
+        rep.jobs
+            .iter()
+            .find(|j| j.id == id)
+            .cloned()
+            .ok_or_else(|| format!("engine smoke: job '{id}' missing"))
+    };
+    let reference = find(&solo, "acme-s1")?;
+    for (label, rep) in [("serial", &serial), ("concurrent", &concurrent)] {
+        if !engine_jobs_identical(&reference, &find(rep, "acme-s1")?) {
+            return Err(format!(
+                "engine identity violation: acme-s1 in the {label} batch diverged from \
+                 running solo"
+            ));
+        }
+    }
+
+    // Elision clause: wave 1's reruns run entirely off wave 0's records.
+    if concurrent.waves != 2 {
+        return Err(format!(
+            "engine smoke: expected 2 admission waves, got {}",
+            concurrent.waves
+        ));
+    }
+    for id in ["acme-s1-rerun", "blue-s2-rerun"] {
+        let rerun = find(&concurrent, id)?;
+        if rerun.em_seconds_charged.to_bits() != 0f64.to_bits() || rerun.em_seconds_saved <= 0.0 {
+            return Err(format!(
+                "engine elision violation: {id} charged {:.2}s EM despite an identical \
+                 wave-0 predecessor (saved {:.2}s)",
+                rerun.em_seconds_charged, rerun.em_seconds_saved
+            ));
+        }
+    }
+    if concurrent.cross_job_hits == 0 {
+        return Err("engine smoke inert: concurrent batch observed no cross-job hits".into());
+    }
+    if concurrent.peak_core_permits > host_cores || serial.peak_core_permits > 1 {
+        return Err(format!(
+            "engine budget violation: peak permits {} (serial {}) exceeded the grant",
+            concurrent.peak_core_permits, serial.peak_core_permits
+        ));
+    }
+
+    // Throughput clause, only where the host can actually overlap jobs.
+    let speedup = serial_wall / concurrent_wall.max(1e-9);
+    if host_cores >= ENGINE_SPEEDUP_CORES && speedup < MIN_ENGINE_SPEEDUP {
+        return Err(format!(
+            "engine throughput regression: concurrent batch {speedup:.2}x < \
+             {MIN_ENGINE_SPEEDUP:.1}x over serial ({serial_wall:.2}s vs \
+             {concurrent_wall:.2}s on {host_cores} cores)"
+        ));
+    }
+
+    // Budget fold: the serial batch's engine handle (engine.* + store.*)
+    // plus each per-job report — all deterministic in serial admission.
+    for c in Counter::ALL {
+        main.add(c, serial_tele.counter(c));
+        for job in &serial.jobs {
+            main.add(c, job.report.counter(c.name()));
+        }
+    }
+    println!(
+        "bench_gate: engine smoke: 4-job batch serial {serial_wall:.2}s vs concurrent \
+         {concurrent_wall:.2}s ({speedup:.2}x{}); reruns elided {:.2}s EM via {} cross-job \
+         hits; solo == batched bit for bit",
+        if host_cores >= ENGINE_SPEEDUP_CORES {
+            ""
+        } else {
+            "; few cores — ratio not enforced"
+        },
+        concurrent.em_seconds_saved,
+        concurrent.cross_job_hits
+    );
+    Ok((
+        t0.elapsed().as_secs_f64(),
+        EngineSmokeSummary {
+            host_cores,
+            serial_wall_seconds: serial_wall,
+            concurrent_wall_seconds: concurrent_wall,
+            speedup,
+            em_seconds_charged: concurrent.em_seconds_charged,
+            em_seconds_saved: concurrent.em_seconds_saved,
+            cross_job_hits: concurrent.cross_job_hits,
+            peak_core_permits: concurrent.peak_core_permits,
+            waves: concurrent.waves,
+        },
+    ))
+}
+
 fn write_file(path: &str, contents: &str) -> Result<(), String> {
     if let Some(dir) = std::path::Path::new(path).parent() {
         if !dir.as_os_str().is_empty() {
@@ -1002,6 +1248,8 @@ fn gate(
         sweep_wall,
         store_wall,
         store,
+        engine_wall,
+        engine,
     } = run_smoke(use_cache)?;
     write_file(out_path, &report.to_json().map_err(|e| format!("{e:?}"))?)?;
     let pr8_path = std::path::Path::new(out_path)
@@ -1012,10 +1260,19 @@ fn gate(
         &pr8_path,
         &serde_json::to_string(&store).map_err(|e| format!("{e:?}"))?,
     )?;
+    let pr9_path = std::path::Path::new(out_path)
+        .with_file_name("BENCH_pr9.json")
+        .to_string_lossy()
+        .into_owned();
+    write_file(
+        &pr9_path,
+        &serde_json::to_string(&engine).map_err(|e| format!("{e:?}"))?,
+    )?;
     println!(
         "bench_gate: smoke run took {wall:.2}s (+{train_wall:.2}s training, \
          +{fault_wall:.2}s faults, +{sched_wall:.2}s scheduler, +{sweep_wall:.2}s sweep, \
-         +{store_wall:.2}s store), report at {out_path}, cold-vs-warm at {pr8_path}"
+         +{store_wall:.2}s store, +{engine_wall:.2}s engine), report at {out_path}, \
+         cold-vs-warm at {pr8_path}, serial-vs-concurrent at {pr9_path}"
     );
 
     if update {
@@ -1028,6 +1285,7 @@ fn gate(
             max_sched_seconds: sched_wall * WALL_UPDATE_HEADROOM,
             max_sweep_seconds: sweep_wall * WALL_UPDATE_HEADROOM,
             max_store_seconds: store_wall * WALL_UPDATE_HEADROOM,
+            max_engine_seconds: engine_wall * WALL_UPDATE_HEADROOM,
             counters: report.counters.clone(),
         };
         let json = serde_json::to_string(&thresholds).map_err(|e| format!("{e:?}"))?;
@@ -1135,6 +1393,18 @@ fn gate(
     } else {
         println!(
             "bench_gate: store-smoke wall-clock {store_wall:.2}s within {store_limit:.2}s limit"
+        );
+    }
+    let engine_limit = thresholds.max_engine_seconds * WALL_MARGIN;
+    if engine_wall > engine_limit {
+        failures.push(format!(
+            "engine-smoke wall-clock regression: {engine_wall:.2}s > {engine_limit:.2}s \
+             ({:.2}s budget x {WALL_MARGIN} margin)",
+            thresholds.max_engine_seconds
+        ));
+    } else {
+        println!(
+            "bench_gate: engine-smoke wall-clock {engine_wall:.2}s within {engine_limit:.2}s limit"
         );
     }
 

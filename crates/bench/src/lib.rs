@@ -136,7 +136,10 @@ pub fn open_store(cfg: &BenchConfig) -> Option<std::sync::Arc<isop_store::Store>
             Some(std::sync::Arc::new(store))
         }
         Err(e) => {
-            eprintln!("[isop-bench] eval-store: ignoring unusable {}: {e}", dir.display());
+            eprintln!(
+                "[isop-bench] eval-store: ignoring unusable {}: {e}",
+                dir.display()
+            );
             None
         }
     }

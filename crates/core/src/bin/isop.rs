@@ -10,6 +10,10 @@
 //! isop cache stats|verify|compact --cache-dir results/eval_store
 //! isop cache export --cache-dir DIR --out em_cache.json
 //! isop cache import --cache-dir DIR --file em_cache.json
+//! isop serve --jobs jobs.json [--cores 8] [--wave-slots 4] [--cache-dir DIR]
+//!            [--report-dir results/engine]
+//! isop engine bench [--seed 3] [--cores 8] [--report-dir results/engine]
+//! isop report --aggregate results/engine [--out results/engine/tenants.json]
 //! ```
 //!
 //! Invoking `isop --flags...` without a subcommand runs `optimize` — so
@@ -32,6 +36,18 @@
 //! `all_simulations_failed` resolution — and `--report` still writes the
 //! report, carrying that resolution, so the outage is never mistaken for
 //! an ordinary infeasible trial.
+//!
+//! `serve` runs a whole batch of optimization jobs through the multi-job
+//! engine: a JSON job file (array of `{id, tenant, task, space, seed,
+//! weight, threads}` specs, every field optional) is admitted in
+//! weighted-fair waves and executed concurrently under one shared core
+//! budget; with `--cache-dir` the jobs warm-start each other through the
+//! persistent store. `--report-dir` writes one tagged [`RunReport`] per
+//! job plus the aggregated `engine_report.json`. `engine bench` runs a
+//! built-in four-job demo batch (two tenants, each a fresh space and a
+//! rerun) serially and concurrently and prints the throughput and
+//! cross-job-elision numbers. `report --aggregate DIR` folds a directory
+//! of per-job reports into one per-tenant table.
 //!
 //! The CLI is intentionally dependency-free (hand-rolled flag parsing); it
 //! exists so the library is usable from shell workflows without writing
@@ -74,25 +90,9 @@ fn flag_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
-fn space_by_name(name: &str) -> Option<isop::params::ParamSpace> {
-    match name {
-        "s1" => Some(isop::spaces::s1()),
-        "s2" => Some(isop::spaces::s2()),
-        "s1p" | "s1'" | "s1prime" => Some(isop::spaces::s1_prime()),
-        "training" => Some(isop::spaces::training_space()),
-        _ => None,
-    }
-}
-
-fn task_by_name(name: &str) -> Option<TaskId> {
-    match name.to_lowercase().as_str() {
-        "t1" => Some(TaskId::T1),
-        "t2" => Some(TaskId::T2),
-        "t3" => Some(TaskId::T3),
-        "t4" => Some(TaskId::T4),
-        _ => None,
-    }
-}
+// Name lookups live in `isop::jobs` so the CLI and the job-file parser
+// agree on the same labels.
+use isop::jobs::{space_by_name, task_by_name};
 
 fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     let layer = DiffStripline::builder()
@@ -368,6 +368,290 @@ fn cmd_dataset(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs a JSON job file through the multi-job engine.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let jobs_file = flags.get("jobs").ok_or("serve requires --jobs FILE")?;
+    let text = std::fs::read_to_string(jobs_file).map_err(|e| format!("{jobs_file}: {e}"))?;
+    let queue = JobQueue::from_specs(isop::jobs::parse_jobs(&text)?);
+    let telemetry = Telemetry::enabled();
+    // The shared store carries the *engine's* telemetry handle: store
+    // traffic interleaves nondeterministically across concurrent jobs, so
+    // it must never land in a per-job report.
+    let store = match flags.get("cache-dir") {
+        Some(dir) => Some(Arc::new(
+            Store::open(std::path::Path::new(dir))
+                .map_err(|e| format!("cache-dir {dir}: {e}"))?
+                .with_telemetry(telemetry.clone()),
+        )),
+        None => None,
+    };
+    let mut engine = Engine::new(EngineConfig {
+        cores: flag_f64(flags, "cores", 0.0) as usize,
+        wave_slots: flag_f64(flags, "wave-slots", 4.0) as usize,
+        pipeline: IsopConfig::default(),
+    })
+    .with_telemetry(telemetry);
+    if let Some(s) = &store {
+        engine = engine.with_store(Arc::clone(s));
+    }
+    let report = engine.run(&queue)?;
+    print_engine_summary(&report);
+    if let Some(dir) = flags.get("report-dir") {
+        write_engine_reports(dir, &report)?;
+    }
+    Ok(())
+}
+
+/// Renders an engine run as a per-job table plus the headline totals.
+fn print_engine_summary(rep: &isop::engine::EngineReport) {
+    println!(
+        "engine: {} job(s) in {} wave(s) on {} core permit(s) (peak leased {}), wall {:.2}s",
+        rep.jobs.len(),
+        rep.waves,
+        rep.cores,
+        rep.peak_core_permits,
+        rep.wall_seconds
+    );
+    println!(
+        "charged EM {:.1}s, elided {:.1}s, {} cross-job hit(s)",
+        rep.em_seconds_charged, rep.em_seconds_saved, rep.cross_job_hits
+    );
+    let mut table = isop::report::Table::new(vec![
+        "job",
+        "tenant",
+        "task",
+        "space",
+        "wave",
+        "resolution",
+        "ok",
+        "charged s",
+        "saved s",
+    ]);
+    for j in &rep.jobs {
+        table.push_row(vec![
+            j.id.clone(),
+            j.tenant.clone(),
+            j.task.clone(),
+            j.space.clone(),
+            j.wave.to_string(),
+            j.resolution.clone(),
+            j.success.to_string(),
+            format!("{:.1}", j.em_seconds_charged),
+            format!("{:.1}", j.em_seconds_saved),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+}
+
+/// `job-{id}.json`, with anything filesystem-hostile in the id mapped
+/// to `-`.
+fn job_report_file_name(id: &str) -> String {
+    let safe: String = id
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    format!("job-{safe}.json")
+}
+
+/// Writes one tagged per-job report per job plus the aggregated engine
+/// report into `dir` — the layout `isop report --aggregate` consumes.
+fn write_engine_reports(dir: &str, rep: &isop::engine::EngineReport) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let base = std::path::Path::new(dir);
+    for job in &rep.jobs {
+        let path = base.join(job_report_file_name(&job.id));
+        let json = job.report.to_json().map_err(|e| format!("{e:?}"))?;
+        std::fs::write(&path, json).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    let path = base.join("engine_report.json");
+    let json = serde_json::to_string(rep).map_err(|e| format!("{e:?}"))?;
+    std::fs::write(&path, json).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!(
+        "wrote {} job report(s) + engine_report.json to {dir}",
+        rep.jobs.len()
+    );
+    Ok(())
+}
+
+/// A pipeline configuration sized for the demo batch — the bench-gate
+/// smoke shape, so `engine bench` finishes in seconds.
+fn demo_pipeline() -> IsopConfig {
+    IsopConfig {
+        harmonica: isop_hpo::harmonica::HarmonicaConfig {
+            stages: 2,
+            samples_per_stage: 120,
+            top_monomials: 6,
+            bits_per_stage: 8,
+            ..isop_hpo::harmonica::HarmonicaConfig::default()
+        },
+        hyperband: isop_hpo::hyperband::HyperbandConfig {
+            max_resource: 3.0,
+            eta: 3.0,
+        },
+        gd_candidates: 4,
+        gd_epochs: 25,
+        cand_num: 3,
+        ..IsopConfig::default()
+    }
+}
+
+/// The built-in four-job demo batch: two tenants, each submitting one
+/// fresh space and one rerun of it. Fair admission at two slots puts the
+/// fresh pair in wave 0 and the reruns in wave 1, so wave 1 runs almost
+/// entirely from the records wave 0 flushed.
+fn demo_queue(seed: u64) -> JobQueue {
+    let mut queue = JobQueue::new();
+    for (id, tenant, space) in [
+        ("acme-s1", "acme", "s1"),
+        ("acme-s1-rerun", "acme", "s1"),
+        ("blue-s2", "blue", "s2"),
+        ("blue-s2-rerun", "blue", "s2"),
+    ] {
+        queue.push(JobSpec {
+            id: id.to_string(),
+            tenant: tenant.to_string(),
+            space: space.to_string(),
+            seed,
+            threads: 2,
+            ..JobSpec::default()
+        });
+    }
+    queue
+}
+
+/// Runs the demo batch serially (one core permit, one wave slot) and
+/// concurrently, each against its own fresh store, and prints the
+/// throughput and cross-job-elision numbers side by side.
+fn cmd_engine_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed = flag_f64(flags, "seed", 3.0) as u64;
+    let cores = flag_f64(flags, "cores", 0.0) as usize;
+    let queue = demo_queue(seed);
+    let scratch = std::env::temp_dir().join(format!("isop-engine-bench-{}", std::process::id()));
+    let run = |label: &str, cores: usize, wave_slots: usize| -> Result<_, String> {
+        let dir = scratch.join(label);
+        let telemetry = Telemetry::enabled();
+        let store = Arc::new(
+            Store::open(&dir)
+                .map_err(|e| format!("{}: {e}", dir.display()))?
+                .with_telemetry(telemetry.clone()),
+        );
+        Engine::new(EngineConfig {
+            cores,
+            wave_slots,
+            pipeline: demo_pipeline(),
+        })
+        .with_telemetry(telemetry)
+        .with_store(store)
+        .run(&queue)
+    };
+    let serial = run("serial", 1, 1)?;
+    let concurrent = run("concurrent", cores, 2)?;
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!(
+        "serial    : wall {:.2}s ({} waves, 1 core permit)",
+        serial.wall_seconds, serial.waves
+    );
+    println!(
+        "concurrent: wall {:.2}s ({} waves, {} core permits, peak leased {})",
+        concurrent.wall_seconds, concurrent.waves, concurrent.cores, concurrent.peak_core_permits
+    );
+    println!(
+        "speedup {:.2}x; cross-job: {} hit(s), {:.1}s EM elided of {:.1}s charged + elided",
+        serial.wall_seconds / concurrent.wall_seconds.max(1e-9),
+        concurrent.cross_job_hits,
+        concurrent.em_seconds_saved,
+        concurrent.em_seconds_charged + concurrent.em_seconds_saved
+    );
+    print_engine_summary(&concurrent);
+    if let Some(dir) = flags.get("report-dir") {
+        write_engine_reports(dir, &concurrent)?;
+    }
+    Ok(())
+}
+
+fn cmd_engine(action: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    match action {
+        "bench" => cmd_engine_bench(flags),
+        other => Err(format!("unknown engine action '{other}' (use bench)")),
+    }
+}
+
+/// Folds a directory of per-job run reports into one per-tenant table.
+fn cmd_report(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dir = flags
+        .get("aggregate")
+        .ok_or("report requires --aggregate DIR")?;
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    let mut reports = Vec::new();
+    let mut skipped = 0usize;
+    for path in &paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        // Non-report JSON (e.g. the engine_report.json written alongside
+        // the per-job files) simply doesn't parse as a RunReport; skip it.
+        match RunReport::from_json(&text) {
+            Ok(rep) => reports.push(rep),
+            Err(_) => skipped += 1,
+        }
+    }
+    if reports.is_empty() {
+        return Err(format!("no run reports found in {dir}"));
+    }
+    let rows = isop::engine::aggregate_by_tenant(&reports);
+    println!(
+        "{} run report(s) in {dir} ({} non-report file(s) skipped)",
+        reports.len(),
+        skipped
+    );
+    let mut table = isop::report::Table::new(vec![
+        "tenant",
+        "jobs",
+        "ok",
+        "full",
+        "degraded",
+        "failed",
+        "charged s",
+        "saved s",
+        "hit rate",
+    ]);
+    for row in &rows {
+        table.push_row(vec![
+            row.tenant.clone(),
+            row.jobs.to_string(),
+            row.succeeded.to_string(),
+            row.full.to_string(),
+            row.degraded.to_string(),
+            row.failed.to_string(),
+            format!("{:.1}", row.em_seconds_charged),
+            format!("{:.1}", row.em_seconds_saved),
+            format!("{:.3}", row.cache_hit_rate()),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    if let Some(out) = flags.get("out") {
+        if let Some(parent) = std::path::Path::new(out).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+            }
+        }
+        let json = serde_json::to_string(&rows).map_err(|e| format!("{e:?}"))?;
+        std::fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote per-tenant aggregate to {out}");
+    }
+    Ok(())
+}
+
 /// Administers a persistent evaluation store: inspect, checksum-verify,
 /// compact, and exchange records with the legacy JSON spill format.
 fn cmd_cache(action: &str, flags: &HashMap<String, String>) -> Result<(), String> {
@@ -379,13 +663,50 @@ fn cmd_cache(action: &str, flags: &HashMap<String, String>) -> Result<(), String
     match action {
         "stats" => {
             let s = store.stats().map_err(|e| e.to_string())?;
+            // One table: per-space shard occupancy first (which shard each
+            // space hashes to, how many records it holds), then the
+            // store-wide tallies including the cross-job hit counter.
+            let records = store.load_all_evals().map_err(|e| e.to_string())?;
+            let mut by_space: std::collections::BTreeMap<u64, u64> =
+                std::collections::BTreeMap::new();
+            for rec in &records {
+                *by_space.entry(rec.space_id).or_insert(0) += 1;
+            }
             println!("eval-store at {dir}");
-            println!("  shards           : {} file(s) of {}", s.shards, s.n_shards);
-            println!("  eval records     : {}", s.eval_records);
-            println!("  model records    : {}", s.model_records);
-            println!("  skipped records  : {}", s.skipped);
-            println!("  bytes on disk    : {}", s.bytes);
-            println!("  cross-job hits   : {}", s.cross_job_hits);
+            let mut table = isop::report::Table::new(vec!["row", "shard", "value"]);
+            for (space_id, n) in &by_space {
+                table.push_row(vec![
+                    format!("space {space_id:#014x}"),
+                    format!("{:03}", store.shard_of(*space_id)),
+                    n.to_string(),
+                ]);
+            }
+            table.push_row(vec![
+                "eval records".to_string(),
+                format!("{}/{} file(s)", s.shards, s.n_shards),
+                s.eval_records.to_string(),
+            ]);
+            table.push_row(vec![
+                "model records".to_string(),
+                "-".to_string(),
+                s.model_records.to_string(),
+            ]);
+            table.push_row(vec![
+                "skipped records".to_string(),
+                "-".to_string(),
+                s.skipped.to_string(),
+            ]);
+            table.push_row(vec![
+                "bytes on disk".to_string(),
+                "-".to_string(),
+                s.bytes.to_string(),
+            ]);
+            table.push_row(vec![
+                "cross-job hits".to_string(),
+                "-".to_string(),
+                s.cross_job_hits.to_string(),
+            ]);
+            println!("{}", table.to_markdown());
             Ok(())
         }
         "verify" => {
@@ -469,9 +790,15 @@ fn usage() {
          isop dataset --n 1000 --out dataset.json [--space training]\n  \
          isop cache stats|verify|compact --cache-dir DIR\n  \
          isop cache export --cache-dir DIR --out em_cache.json\n  \
-         isop cache import --cache-dir DIR --file em_cache.json\n\n\
+         isop cache import --cache-dir DIR --file em_cache.json\n  \
+         isop serve --jobs jobs.json [--cores 8] [--wave-slots 4] [--cache-dir DIR]\n           \
+         [--report-dir results/engine]\n  \
+         isop engine bench [--seed 3] [--cores 8] [--report-dir results/engine]\n  \
+         isop report --aggregate results/engine [--out tenants.json]\n\n\
          Bare flags default to optimize: `isop --report --threads 4`.\n\
-         `optimize --cache-dir DIR` reuses accurate EM results across runs."
+         `optimize --cache-dir DIR` reuses accurate EM results across runs.\n\
+         `serve` runs many jobs concurrently over one shared core budget;\n\
+         with --cache-dir, same-space jobs warm-start each other."
     );
 }
 
@@ -489,15 +816,21 @@ fn main() -> ExitCode {
         } else {
             (first.as_str(), &args[1..])
         };
-    // `cache` takes a positional action (`isop cache stats --cache-dir ...`)
-    // before the flags, which the generic flag parser would reject as stray.
-    if cmd == "cache" {
+    // `cache` and `engine` take a positional action (`isop cache stats
+    // --cache-dir ...`) before the flags, which the generic flag parser
+    // would reject as stray.
+    if cmd == "cache" || cmd == "engine" {
         let Some(action) = flag_args.first() else {
             usage();
             return ExitCode::FAILURE;
         };
         let flags = parse_flags(&flag_args[1..]);
-        return match cmd_cache(action, &flags) {
+        let result = if cmd == "cache" {
+            cmd_cache(action, &flags)
+        } else {
+            cmd_engine(action, &flags)
+        };
+        return match result {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -514,6 +847,8 @@ fn main() -> ExitCode {
             Ok(())
         }
         "dataset" => cmd_dataset(&flags),
+        "serve" => cmd_serve(&flags),
+        "report" => cmd_report(&flags),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())

@@ -279,6 +279,23 @@ impl EvalCache {
         }
     }
 
+    /// Eagerly merges the persistent store's records for `space` into the
+    /// map, exactly as the first probe of that space would. No-op without a
+    /// store, and at most one store read per space per cache either way.
+    ///
+    /// This is the multi-job engine's determinism hook: because
+    /// [`Store::load_evals`] also surfaces *pending* (unflushed) appends,
+    /// lazily hydrating mid-run while a concurrent neighbor appends to the
+    /// shared store would make a job's cache contents timing-dependent.
+    /// Calling this at the engine's **serial admission point** freezes the
+    /// job's view of the store before any neighbor runs; the `hydrated`
+    /// guard then keeps the cache from ever re-reading the store mid-run.
+    pub fn hydrate_space(&self, space: &ParamSpace) {
+        if let Some(inner) = &self.inner {
+            Self::hydrate(inner, space_fingerprint(space));
+        }
+    }
+
     /// Looks up `values` and ticks `em.cache.hits` / `em.cache.misses` on
     /// `telemetry`. Off-grid designs and every probe of a disabled cache
     /// count as misses. With a store attached, the probed space's shard is
@@ -737,12 +754,18 @@ mod tests {
 
         let probe = cache.probe(&space, &x, &tele);
         cache.insert(probe.key.expect("on grid"), simulate(&x));
-        assert!(cache.save_json(&path).expect("dirty save"), "first save writes");
+        assert!(
+            cache.save_json(&path).expect("dirty save"),
+            "first save writes"
+        );
         let stamp = std::fs::metadata(&path).expect("exists").modified().ok();
 
         // No inserts since: the warm save must not touch the file.
         assert!(!cache.save_json(&path).expect("warm save"));
-        assert_eq!(std::fs::metadata(&path).expect("exists").modified().ok(), stamp);
+        assert_eq!(
+            std::fs::metadata(&path).expect("exists").modified().ok(),
+            stamp
+        );
         // Re-inserting the same entry still marks dirty (by design — the
         // flag tracks writes, not semantic novelty).
         let probe = cache.probe(&space, &x, &tele);

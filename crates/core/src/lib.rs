@@ -26,7 +26,10 @@
 //!   synchronous waves and the default async batch stream;
 //! * [`baselines`] / [`experiment`] — the SA/BO comparison protocol and
 //!   statistics of Tables IV/V/VII/VIII;
-//! * [`manual`] — the published Table IX reference designs.
+//! * [`manual`] — the published Table IX reference designs;
+//! * [`jobs`] / [`engine`] — the multi-job concurrent execution engine:
+//!   a weighted-fair job queue multiplexing many pipelines over one
+//!   shared core budget and one persistent store.
 //!
 //! ## Quickstart
 //!
@@ -63,9 +66,11 @@
 pub mod baselines;
 pub mod board;
 pub mod data;
+pub mod engine;
 pub mod evalcache;
 pub mod exec;
 pub mod experiment;
+pub mod jobs;
 pub mod manual;
 pub mod objective;
 pub mod params;
@@ -79,11 +84,15 @@ pub mod weights;
 
 /// Convenience re-exports for typical use.
 pub mod prelude {
+    pub use crate::engine::{
+        aggregate_by_tenant, Engine, EngineConfig, EngineReport, JobResult, TenantSummary,
+    };
     pub use crate::evalcache::{CachedSim, DesignKey, EvalCache, MemoizedSurrogate, SurrogateMemo};
-    pub use crate::exec::Parallelism;
+    pub use crate::exec::{CoreBudget, CoreLease, Parallelism};
     pub use crate::experiment::{
         ExperimentContext, IsopCellOutcome, MatchMode, TrialResult, TrialStats,
     };
+    pub use crate::jobs::{JobQueue, JobSpec};
     pub use crate::objective::{FomSpec, InputConstraint, Metric, Objective, OutputConstraint};
     pub use crate::params::{ParamDef, ParamSpace};
     pub use crate::pipeline::{

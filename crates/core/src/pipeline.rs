@@ -319,6 +319,21 @@ impl<'a> IsopOptimizer<'a> {
         self
     }
 
+    /// Overrides the parallelism knob after construction. This is the
+    /// leased-executor hook: the multi-job engine sizes it from a
+    /// [`CoreBudget`](crate::exec::CoreBudget) lease
+    /// ([`CoreLease::parallelism`](crate::exec::CoreLease::parallelism)),
+    /// and because every `par_map_*` call site in the pipeline — Hyperband
+    /// fidelity replicas, stage-2 Adam refinements, the roll-out
+    /// scheduler's slot fan-out — reads this one knob, the whole run stays
+    /// inside its lease. Clamping the width never changes the outcome: all
+    /// parallel sections are width-independent by construction.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.config.parallelism = parallelism;
+        self
+    }
+
     /// Runs the full three-stage pipeline on `objective`.
     ///
     /// `budget` bounds the global stage (samples and/or wall-clock); the

@@ -612,7 +612,10 @@ mod tests {
                 .expect("trains");
             assert!(!hit, "cold run trains");
             cold_pred = s.predict(&x).expect("predicts");
-            zoo.registry().expect("attached").persist().expect("flushes");
+            zoo.registry()
+                .expect("attached")
+                .persist()
+                .expect("flushes");
         }
 
         // Warm "process": training must be skipped entirely (no ml.fit.*

@@ -14,6 +14,14 @@
 //! outcomes to `threads = N` for a fixed seed, and the single-thread path
 //! runs inline with zero spawn overhead.
 //!
+//! For multi-job service workloads, [`CoreBudget`] / [`CoreLease`] add a
+//! global core-permit layer on top: every concurrently running pipeline
+//! takes a lease and sizes its [`Parallelism`] knob from it, so nested
+//! parallelism (job-level x stage-level) can never oversubscribe the
+//! machine — the sum of outstanding leases is bounded by the budget total,
+//! and clamping a width is bit-identity-safe because every primitive here
+//! is width-independent.
+//!
 //! This crate is a leaf: it depends only on the vendored `serde` so both
 //! `isop-core` (which re-exports it as `isop::exec` for API stability) and
 //! `isop-ml` (which cannot depend on core) can consume one executor.
@@ -24,7 +32,7 @@
 use serde::json::{Error, Value};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 
 /// Thread-count knob for the pipeline's parallel sections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -88,6 +96,149 @@ impl Deserialize for Parallelism {
                 Ok(Self::new(threads))
             }
         }
+    }
+}
+
+/// Shared mutable state behind a [`CoreBudget`].
+#[derive(Debug)]
+struct BudgetState {
+    /// Permits currently free to lease.
+    available: usize,
+    /// High-water mark of simultaneously outstanding permits — the
+    /// oversubscription regression tests assert this never exceeds the
+    /// budget's total.
+    peak_outstanding: usize,
+}
+
+#[derive(Debug)]
+struct BudgetInner {
+    total: usize,
+    state: Mutex<BudgetState>,
+    freed: Condvar,
+}
+
+/// A global core-permit budget shared by every concurrently running job.
+///
+/// When J jobs each configured for T threads run at once, naive nesting
+/// spawns J x T workers and oversubscribes the machine. Instead, each job
+/// takes a [`CoreLease`] before running and sizes its [`Parallelism`] knob
+/// from [`CoreLease::threads`]; every `par_map_*` section of that job then
+/// fans out at most `lease.threads()` workers (the coordinating caller
+/// blocks on the result channel, so it contributes no compute), and the sum
+/// of outstanding leases never exceeds [`CoreBudget::total`]. Clamping a
+/// job's width to its lease is **bit-identity-safe**: every primitive in
+/// this crate returns results in input order regardless of worker count.
+///
+/// Handles are cheap clones of one shared budget.
+#[derive(Debug, Clone)]
+pub struct CoreBudget {
+    inner: Arc<BudgetInner>,
+}
+
+impl CoreBudget {
+    /// A budget of `total` core permits (clamped to at least 1).
+    #[must_use]
+    pub fn new(total: usize) -> Self {
+        let total = total.max(1);
+        Self {
+            inner: Arc::new(BudgetInner {
+                total,
+                state: Mutex::new(BudgetState {
+                    available: total,
+                    peak_outstanding: 0,
+                }),
+                freed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// A budget sized to the host's available parallelism (at least 1).
+    #[must_use]
+    pub fn host() -> Self {
+        Self::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// Total permits this budget was created with.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.inner.total
+    }
+
+    /// Permits currently free to lease (a racy snapshot, for reporting).
+    #[must_use]
+    pub fn available(&self) -> usize {
+        self.inner.state.lock().expect("core budget lock").available
+    }
+
+    /// High-water mark of simultaneously outstanding permits. By
+    /// construction this never exceeds [`CoreBudget::total`]; the exec and
+    /// engine test suites assert exactly that after concurrent runs.
+    #[must_use]
+    pub fn peak_outstanding(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("core budget lock")
+            .peak_outstanding
+    }
+
+    /// Blocks until at least one permit is free, then leases
+    /// `min(want.max(1), available)` permits. Every caller is granted at
+    /// least one permit eventually (permits are returned on [`CoreLease`]
+    /// drop and the wait is woken on every return), so a fleet of jobs each
+    /// needing only one permit can never deadlock.
+    #[must_use]
+    pub fn lease(&self, want: usize) -> CoreLease {
+        let want = want.max(1);
+        let mut state = self.inner.state.lock().expect("core budget lock");
+        while state.available == 0 {
+            state = self.inner.freed.wait(state).expect("core budget lock");
+        }
+        let permits = want.min(state.available);
+        state.available -= permits;
+        let outstanding = self.inner.total - state.available;
+        state.peak_outstanding = state.peak_outstanding.max(outstanding);
+        drop(state);
+        CoreLease {
+            inner: Arc::clone(&self.inner),
+            permits,
+        }
+    }
+}
+
+/// A leased slice of a [`CoreBudget`], returned to the pool on drop.
+///
+/// The holder sizes its parallel sections from [`CoreLease::threads`] (or
+/// takes a ready-made knob from [`CoreLease::parallelism`]); as long as it
+/// does, its fan-out plus every concurrent holder's stays within the
+/// budget's total.
+#[derive(Debug)]
+pub struct CoreLease {
+    inner: Arc<BudgetInner>,
+    permits: usize,
+}
+
+impl CoreLease {
+    /// Worker threads this lease entitles the holder to (always >= 1).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.permits
+    }
+
+    /// A [`Parallelism`] knob sized to this lease — the one value a leased
+    /// pipeline should route every `par_map_*` call site through.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        Parallelism::new(self.permits)
+    }
+}
+
+impl Drop for CoreLease {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().expect("core budget lock");
+        state.available += self.permits;
+        drop(state);
+        self.inner.freed.notify_all();
     }
 }
 
@@ -388,6 +539,108 @@ mod tests {
         // suite does not set the variable, so only the fallback is asserted
         // (mutating the environment would race with other tests).
         assert!(Parallelism::from_env().threads >= 1);
+    }
+
+    #[test]
+    fn core_budget_clamps_grants_to_availability() {
+        let budget = CoreBudget::new(4);
+        assert_eq!(budget.total(), 4);
+        assert_eq!(budget.available(), 4);
+        let l1 = budget.lease(3);
+        assert_eq!(l1.threads(), 3);
+        assert_eq!(budget.available(), 1);
+        // More than remains: clamped to what is free, never blocking while
+        // at least one permit is available.
+        let l2 = budget.lease(5);
+        assert_eq!(l2.threads(), 1);
+        assert_eq!(budget.available(), 0);
+        drop(l1);
+        assert_eq!(budget.available(), 3);
+        let l3 = budget.lease(16);
+        assert_eq!(l3.threads(), 3);
+        assert_eq!(l3.parallelism(), Parallelism::new(3));
+        drop(l3);
+        drop(l2);
+        assert_eq!(budget.available(), 4);
+        assert_eq!(budget.peak_outstanding(), 4);
+        // Degenerate inputs clamp to one permit.
+        assert_eq!(CoreBudget::new(0).total(), 1);
+        assert_eq!(CoreBudget::new(2).lease(0).threads(), 1);
+        assert!(CoreBudget::host().total() >= 1);
+    }
+
+    /// The executor-oversubscription regression test: 8 concurrent "jobs",
+    /// each asking for 4 threads against a 3-permit budget, each running a
+    /// nested `par_map_indexed` sized from its lease. The number of
+    /// simultaneously *active workers* (observed from inside the closures)
+    /// must never exceed the budget total — before the lease API, this
+    /// workload would fan out up to 8 x 4 = 32 workers.
+    #[test]
+    fn leased_nested_parallelism_never_exceeds_the_core_budget() {
+        let budget = CoreBudget::new(3);
+        let active = AtomicUsize::new(0);
+        let peak_active = AtomicUsize::new(0);
+        let outputs: Vec<Vec<usize>> = {
+            let jobs: Vec<usize> = (0..8).collect();
+            // Run the jobs on dedicated threads (not through par_map, whose
+            // width is what is under test) so all 8 contend for leases.
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .iter()
+                    .map(|&job| {
+                        let budget = budget.clone();
+                        let active = &active;
+                        let peak_active = &peak_active;
+                        scope.spawn(move || {
+                            let lease = budget.lease(4);
+                            let items: Vec<usize> = (0..32).collect();
+                            par_map_indexed(lease.threads(), &items, |i, &x| {
+                                let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                                peak_active.fetch_max(now, Ordering::SeqCst);
+                                // Hold the slot long enough for overlap to be
+                                // observable if the cap were broken.
+                                std::hint::black_box((0..500).sum::<usize>());
+                                active.fetch_sub(1, Ordering::SeqCst);
+                                i + x + job
+                            })
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+        };
+        for (job, out) in outputs.iter().enumerate() {
+            let expect: Vec<usize> = (0..32).map(|i| 2 * i + job).collect();
+            assert_eq!(out, &expect, "job {job} result corrupted");
+        }
+        assert!(
+            budget.peak_outstanding() <= budget.total(),
+            "budget oversubscribed: {} permits outstanding of {}",
+            budget.peak_outstanding(),
+            budget.total()
+        );
+        assert!(
+            peak_active.load(Ordering::SeqCst) <= budget.total(),
+            "observed {} active workers over the {}-core budget",
+            peak_active.load(Ordering::SeqCst),
+            budget.total()
+        );
+        assert_eq!(budget.available(), budget.total(), "permits leaked");
+    }
+
+    /// Clamping a job's width to whatever its lease granted cannot change
+    /// results: the primitives reassemble by index, so any width produces
+    /// the serial output bit for bit.
+    #[test]
+    fn lease_width_does_not_change_results() {
+        let items: Vec<u64> = (0..101).collect();
+        let serial = par_map_indexed(1, &items, |i, &x| x * 31 + i as u64);
+        let budget = CoreBudget::new(4);
+        for want in [1, 2, 4, 16] {
+            let lease = budget.lease(want);
+            let leased = par_map_indexed(lease.threads(), &items, |i, &x| x * 31 + i as u64);
+            assert_eq!(leased, serial, "want = {want}");
+        }
     }
 
     #[test]

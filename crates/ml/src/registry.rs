@@ -199,7 +199,10 @@ mod tests {
         perturbed.x[(0, 0)] += 1e-12;
         assert_ne!(fp, data_fingerprint(&perturbed), "bit-sensitive");
 
-        assert_ne!(combine_fingerprints(&[a, fp]), combine_fingerprints(&[fp, a]));
+        assert_ne!(
+            combine_fingerprints(&[a, fp]),
+            combine_fingerprints(&[fp, a])
+        );
     }
 
     #[test]

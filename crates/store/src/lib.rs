@@ -260,9 +260,7 @@ impl RawRecord {
     /// (undecodable payloads are kept verbatim only until compaction).
     fn identity(&self) -> Option<Vec<u8>> {
         match self.kind {
-            RecordKind::Eval => EvalRecord::decode(&self.payload)
-                .ok()
-                .map(|r| r.identity()),
+            RecordKind::Eval => EvalRecord::decode(&self.payload).ok().map(|r| r.identity()),
             RecordKind::Model => ModelRecord::decode(&self.payload)
                 .ok()
                 .map(|r| r.identity()),
@@ -867,7 +865,10 @@ mod tests {
             "-0.0 must survive the disk round-trip bit-exactly"
         );
         // Other spaces on the same shard ring load nothing.
-        assert!(fresh.load_evals(7 + u64::from(fresh.n_shards())).unwrap().is_empty());
+        assert!(fresh
+            .load_evals(7 + u64::from(fresh.n_shards()))
+            .unwrap()
+            .is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -941,7 +942,9 @@ mod tests {
         std::fs::write(&path, &bytes).expect("writes");
 
         let tele = Telemetry::enabled();
-        let fresh = Store::open(&dir).expect("opens").with_telemetry(tele.clone());
+        let fresh = Store::open(&dir)
+            .expect("opens")
+            .with_telemetry(tele.clone());
         let evals = fresh.load_evals(3).expect("loads");
         assert_eq!(evals.len(), 1, "only the intact record survives");
         assert_eq!(evals[0].metrics[0], 86.0);
@@ -994,7 +997,7 @@ mod tests {
         let first = store.compact().expect("compacts");
         assert_eq!(first.records_before, 5); // 4 evals + 1 meta
         assert_eq!(first.records_after, 3); // survivor + distinct + meta
-        // Last write wins.
+                                            // Last write wins.
         let evals = store.load_evals(4).expect("loads");
         assert_eq!(evals.iter().find(|e| e.levels[0] == 0).unwrap().attempts, 3);
         let second = store.compact().expect("compacts again");

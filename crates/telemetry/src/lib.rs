@@ -139,11 +139,19 @@ pub enum Counter {
     /// Registry probes that fell through to a cold fit (the fitted model
     /// is then recorded for future runs).
     StoreModelMisses,
+    /// Jobs the multi-job engine ran to completion (every admitted job
+    /// completes — a degraded or failed roll-out still counts, its
+    /// resolution lands in the per-job report).
+    EngineJobsCompleted,
+    /// Admission waves the engine executed. Wave composition is a pure
+    /// function of the queue and the fairness weights, so this is exact at
+    /// any core-permit width.
+    EngineWaves,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 34] = [
+    pub const ALL: [Counter; 36] = [
         Counter::EmSimAttempted,
         Counter::EmSimSucceeded,
         Counter::EmSimFailed,
@@ -178,6 +186,8 @@ impl Counter {
         Counter::StoreCrossJobHits,
         Counter::StoreModelHits,
         Counter::StoreModelMisses,
+        Counter::EngineJobsCompleted,
+        Counter::EngineWaves,
     ];
 
     /// Stable dotted label used in reports and threshold files.
@@ -218,6 +228,8 @@ impl Counter {
             Counter::StoreCrossJobHits => "store.cross_job_hits",
             Counter::StoreModelHits => "store.model_hits",
             Counter::StoreModelMisses => "store.model_misses",
+            Counter::EngineJobsCompleted => "engine.jobs_completed",
+            Counter::EngineWaves => "engine.waves",
         }
     }
 
@@ -483,6 +495,12 @@ pub struct RunReport {
     pub task: String,
     /// Space label (e.g. `"s1"`), empty when not applicable.
     pub space: String,
+    /// Job id the report belongs to (multi-job engine runs tag every
+    /// per-job report), empty for standalone runs.
+    pub job: String,
+    /// Tenant the job was admitted under, empty for standalone runs. The
+    /// `isop report --aggregate` dashboard folds reports by this field.
+    pub tenant: String,
     /// RNG seed of the run.
     pub seed: u64,
     /// Worker-thread width the run used.
@@ -514,8 +532,9 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    /// Current schema version.
-    pub const SCHEMA_VERSION: u32 = 3;
+    /// Current schema version. v4: per-job `job` / `tenant` tags and the
+    /// `engine.*` counters.
+    pub const SCHEMA_VERSION: u32 = 4;
 
     /// A report with zeroed metrics and empty metadata.
     #[must_use]
@@ -524,6 +543,8 @@ impl RunReport {
             schema_version: Self::SCHEMA_VERSION,
             task: String::new(),
             space: String::new(),
+            job: String::new(),
+            tenant: String::new(),
             seed: 0,
             threads: 1,
             success: false,
@@ -748,6 +769,29 @@ mod tests {
         assert_eq!(report.counter("store.shard_loads"), 1);
         assert_eq!(report.counter("store.records_loaded"), 5);
         assert_eq!(report.counter("store.cross_job_hits"), 1);
+    }
+
+    #[test]
+    fn engine_counters_have_stable_labels() {
+        assert_eq!(Counter::EngineJobsCompleted.name(), "engine.jobs_completed");
+        assert_eq!(Counter::EngineWaves.name(), "engine.waves");
+        let tele = Telemetry::enabled();
+        tele.add(Counter::EngineJobsCompleted, 4);
+        tele.incr(Counter::EngineWaves);
+        let report = tele.run_report();
+        assert_eq!(report.counter("engine.jobs_completed"), 4);
+        assert_eq!(report.counter("engine.waves"), 1);
+    }
+
+    #[test]
+    fn run_report_carries_job_and_tenant_tags() {
+        let mut report = Telemetry::enabled().run_report();
+        assert!(report.job.is_empty() && report.tenant.is_empty());
+        report.job = "job-7".to_string();
+        report.tenant = "team-si".to_string();
+        let back = RunReport::from_json(&report.to_json().expect("serializes")).expect("parses");
+        assert_eq!(back.job, "job-7");
+        assert_eq!(back.tenant, "team-si");
     }
 
     #[test]

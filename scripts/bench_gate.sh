@@ -47,6 +47,19 @@
 # (max_store_seconds), and the cold-vs-warm wall-clock comparison is
 # written to results/BENCH_pr8.json.
 #
+# A multi-job engine smoke phase then gates the shared-executor job
+# scheduler: a four-job mixed-space batch (two tenants, each one fresh
+# space and one rerun) runs serially (one core permit, one wave slot) and
+# concurrently (host cores, two wave slots). A job run solo must be
+# bit-identical — candidates, both EM ledgers, every per-job counter — to
+# the same job inside both batches, the wave-1 reruns must charge zero EM
+# seconds (full cross-job elision from wave 0's flushed records), and the
+# core budget's peak outstanding permits must respect the grant. On hosts
+# with >= 4 cores the concurrent batch must beat the serial batch >= 1.5x
+# wall-clock. The engine.* counters land in the counter budget, the phase
+# has its own wall-clock budget (max_engine_seconds), and the
+# serial-vs-concurrent comparison is written to results/BENCH_pr9.json.
+#
 # Usage:
 #   scripts/bench_gate.sh            # gate against the checked-in budget
 #   scripts/bench_gate.sh --update   # refresh the budget from a local run
