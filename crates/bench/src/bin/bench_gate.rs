@@ -91,6 +91,21 @@
 //! serial-vs-concurrent comparison is written to `BENCH_pr9.json` next to
 //! the CI report.
 //!
+//! A daemon smoke phase finally gates the live optimization daemon: a
+//! real [`Daemon`] serves the four-job demo over a loopback TCP socket
+//! (NDJSON submit/status/shutdown) until every job's `Finished` frame
+//! lands in the journal; then a second daemon is deterministically killed
+//! mid-epoch — right after wave 1's safe-point journal flush, via the
+//! chaos knob — restarted on the same store directory, and must replay
+//! the finished jobs and resume the interrupted wave to results
+//! bit-identical to a never-killed daemon: candidates, both EM ledgers,
+//! and every per-job counter, with the journal holding exactly one
+//! `Finished` frame per job (zero double-charged EM seconds). The
+//! synchronous legs' counters fold into the budgeted report, so the
+//! `daemon.*` volumes are gated, the phase's wall-clock has its own
+//! budget (`max_daemon_seconds`), and the kill-vs-calm comparison is
+//! written to `BENCH_pr10.json` next to the CI report.
+//!
 //! ```text
 //! bench_gate [--thresholds scripts/bench_thresholds.json]
 //!            [--out results/BENCH_ci.json] [--update] [--no-cache]
@@ -195,6 +210,10 @@ struct GateThresholds {
     /// serial batch + concurrent batch), seconds (compared with a
     /// [`WALL_MARGIN`] tolerance).
     max_engine_seconds: f64,
+    /// Wall-clock budget for the daemon smoke (TCP demo + kill/restart
+    /// replay + calm reference), seconds (compared with a [`WALL_MARGIN`]
+    /// tolerance).
+    max_daemon_seconds: f64,
     /// Exact counter budget, one entry per [`Counter`].
     counters: Vec<isop_telemetry::CounterEntry>,
 }
@@ -248,8 +267,33 @@ struct EngineSmokeSummary {
     waves: u64,
 }
 
+/// Kill-vs-calm measurement of the daemon smoke, written to
+/// `BENCH_pr10.json` next to the CI report so the journal-replay and
+/// crash-recovery numbers are tracked artifacts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DaemonSmokeSummary {
+    /// Wall-clock of the live TCP leg (serve + stream + drain), s.
+    tcp_wall_seconds: f64,
+    /// Jobs the TCP daemon finished and journaled.
+    tcp_jobs_finished: u64,
+    /// Wall-clock of the kill + recover + resume leg, s.
+    recovery_wall_seconds: f64,
+    /// Finished jobs the restarted daemon replayed from the journal.
+    jobs_replayed: u64,
+    /// Interrupted jobs the restarted daemon re-ran in place.
+    jobs_resumed: u64,
+    /// EM seconds the never-killed reference daemon charged.
+    calm_em_charged_seconds: f64,
+    /// EM seconds the killed + restarted daemon charged in total (journal
+    /// replay + resumed wave; must equal the calm ledger bit for bit).
+    recovered_em_charged_seconds: f64,
+    /// `Finished` journal frames after recovery (one per job — more would
+    /// mean a double-charged EM second).
+    finished_frames: u64,
+}
+
 /// Everything one full smoke pass measures: the budgeted report, each
-/// phase's wall-clock, and the store/engine smokes' summaries.
+/// phase's wall-clock, and the store/engine/daemon smokes' summaries.
 struct SmokeMeasurement {
     report: RunReport,
     wall: f64,
@@ -261,6 +305,8 @@ struct SmokeMeasurement {
     store: StoreSmokeSummary,
     engine_wall: f64,
     engine: EngineSmokeSummary,
+    daemon_wall: f64,
+    daemon: DaemonSmokeSummary,
 }
 
 /// Fraction of total EM wall-clock the cache must elide over the two-run
@@ -384,7 +430,7 @@ fn smoke_config(threads: usize) -> IsopConfig {
     }
 }
 
-fn run_smoke(use_cache: bool) -> Result<SmokeMeasurement, String> {
+fn run_smoke(use_cache: bool, journal_dir: &std::path::Path) -> Result<SmokeMeasurement, String> {
     let space = isop::spaces::s1();
     let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
     let telemetry = Telemetry::enabled();
@@ -475,6 +521,12 @@ fn run_smoke(use_cache: bool) -> Result<SmokeMeasurement, String> {
     // budgets are gated.
     let (engine_wall, engine) = engine_smoke(&telemetry)?;
 
+    // Daemon phase: a live TCP round-trip plus the deterministic
+    // kill-mid-epoch / journal-replay contract, folding the synchronous
+    // legs' counters into the main handle so the `daemon.*` budgets are
+    // gated.
+    let (daemon_wall, daemon) = daemon_smoke(&telemetry, journal_dir)?;
+
     let mut report = telemetry.run_report();
     report.task = TaskId::T1.to_string();
     report.space = "s1".to_string();
@@ -496,6 +548,8 @@ fn run_smoke(use_cache: bool) -> Result<SmokeMeasurement, String> {
         store,
         engine_wall,
         engine,
+        daemon_wall,
+        daemon,
     })
 }
 
@@ -1224,6 +1278,306 @@ fn engine_smoke(main: &Telemetry) -> Result<(f64, EngineSmokeSummary), String> {
     ))
 }
 
+/// The live daemon's smoke, in two legs.
+///
+/// **TCP leg**: a real [`Daemon`] serves a loopback socket; the four-job
+/// demo streams in as NDJSON `submit` lines, `status` is polled until all
+/// four jobs finish, and `shutdown` drains the daemon. Proves the wire
+/// path end to end — every response must be `"ok":true` and the journal
+/// must hold a `Finished` frame per job. (Epoch composition on this leg
+/// depends on request timing, so it asserts liveness, not bit-identity.)
+///
+/// **Kill/restart leg**, driven synchronously so the epoch layout is
+/// deterministic: a victim daemon takes the same four jobs in one
+/// two-wave epoch and dies mid-epoch via the chaos knob — immediately
+/// after wave 1's safe-point journal flush, the worst crash window the
+/// safety invariant allows. A restarted daemon on the same store must
+/// recover exactly two replayed and two resumed jobs and finish the epoch
+/// bit-identically to a never-killed reference daemon — candidates, both
+/// EM ledgers, every per-job counter — with exactly one `Finished` frame
+/// per job in the journal, i.e. zero double-charged EM seconds. Folds the
+/// synchronous legs' counters into `main` so the `daemon.*` volumes are
+/// budgeted, and copies the recovered journal's shards into `journal_dir`
+/// so CI can upload the exact frames the replay identity was proven from.
+/// Returns the phase wall-clock and the `BENCH_pr10.json` summary.
+fn daemon_smoke(
+    main: &Telemetry,
+    journal_dir: &std::path::Path,
+) -> Result<(f64, DaemonSmokeSummary), String> {
+    use isop::jobs::JobSpec;
+    use isop_store::JobState;
+    use serde::json::Value;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    let t0 = Instant::now();
+    let scratch = std::env::temp_dir().join(format!("isop-bench-daemon-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+
+    let spec = |id: &str, tenant: &str, space: &str| JobSpec {
+        id: id.to_string(),
+        tenant: tenant.to_string(),
+        space: space.to_string(),
+        seed: SMOKE_SEED,
+        threads: SMOKE_THREADS,
+        ..JobSpec::default()
+    };
+    let demo = [
+        spec("acme-s1", "acme", "s1"),
+        spec("acme-s1-rerun", "acme", "s1"),
+        spec("blue-s2", "blue", "s2"),
+        spec("blue-s2-rerun", "blue", "s2"),
+    ];
+    let build = |label: &str, chaos: u64, telemetry: &Telemetry| -> Result<Daemon, String> {
+        let store = Arc::new(
+            Store::open(&scratch.join(label))
+                .map_err(|e| format!("daemon smoke: open {label} store: {e}"))?
+                .with_telemetry(telemetry.clone()),
+        );
+        Ok(Daemon::new(DaemonConfig {
+            engine: isop::engine::EngineConfig {
+                cores: SMOKE_THREADS,
+                wave_slots: 2,
+                pipeline: smoke_config(SMOKE_THREADS),
+            },
+            chaos_crash_after_waves: chaos,
+            ..DaemonConfig::default()
+        })
+        .with_store(store)
+        .with_telemetry(telemetry.clone()))
+    };
+
+    // TCP leg: stream the demo over a real socket and drain it.
+    let t_tcp = Instant::now();
+    let tcp_tele = Telemetry::enabled();
+    let tcp_daemon = Arc::new(build("live", 0, &tcp_tele)?);
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("daemon smoke: bind: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("daemon smoke: local addr: {e}"))?;
+    std::thread::scope(|scope| -> Result<(), String> {
+        let server = {
+            let daemon = Arc::clone(&tcp_daemon);
+            scope.spawn(move || daemon.serve(listener))
+        };
+        let stream = TcpStream::connect(addr).map_err(|e| format!("daemon smoke: connect: {e}"))?;
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| format!("daemon smoke: clone stream: {e}"))?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        let mut ask = |request: &str| -> Result<Value, String> {
+            writer
+                .write_all(request.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .map_err(|e| format!("daemon smoke: send: {e}"))?;
+            line.clear();
+            reader
+                .read_line(&mut line)
+                .map_err(|e| format!("daemon smoke: read: {e}"))?;
+            let value = Value::parse(line.trim())
+                .map_err(|e| format!("daemon smoke: bad response '{}': {e}", line.trim()))?;
+            let ok = matches!(
+                value.as_obj().map(|o| Value::field(o, "ok")),
+                Some(Value::Bool(true))
+            );
+            if !ok {
+                return Err(format!("daemon smoke: refused: {}", line.trim()));
+            }
+            Ok(value)
+        };
+        for s in &demo {
+            ask(&format!(
+                r#"{{"op":"submit","job":{}}}"#,
+                s.to_value().to_json_string()
+            ))?;
+        }
+        loop {
+            let status = ask(r#"{"op":"status"}"#)?;
+            let finished = status
+                .as_obj()
+                .and_then(|o| match Value::field(o, "finished") {
+                    Value::Num(n) => Some(*n),
+                    _ => None,
+                })
+                .unwrap_or(0.0);
+            if finished as usize >= demo.len() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        ask(r#"{"op":"shutdown"}"#)?;
+        drop(writer);
+        drop(reader);
+        server
+            .join()
+            .map_err(|_| "daemon smoke: server thread panicked".to_string())?
+            .map_err(|e| format!("daemon smoke: serve: {e}"))
+    })?;
+    drop(tcp_daemon);
+    let tcp_frames = Store::open(&scratch.join("live"))
+        .map_err(|e| format!("daemon smoke: reopen live store: {e}"))?
+        .load_jobs()
+        .map_err(|e| format!("daemon smoke: live journal: {e}"))?;
+    let tcp_finished = tcp_frames
+        .iter()
+        .filter(|f| f.state == JobState::Finished)
+        .count() as u64;
+    if tcp_finished != demo.len() as u64 {
+        return Err(format!(
+            "daemon smoke: TCP leg journaled {tcp_finished} Finished frames, expected {}",
+            demo.len()
+        ));
+    }
+    let tcp_wall = t_tcp.elapsed().as_secs_f64();
+
+    // Kill/restart leg: deterministic single epoch, crash after wave 1.
+    let t_recovery = Instant::now();
+    let victim_tele = Telemetry::enabled();
+    let victim = build("crash", 1, &victim_tele)?;
+    for s in &demo {
+        let response = victim.handle_request(Request::Submit(s.clone()));
+        if let Some(kind) = response.error_kind() {
+            return Err(format!("daemon smoke: victim refused '{}': {kind}", s.id));
+        }
+    }
+    match victim.run_next_epoch() {
+        Err(e) if e.contains("chaos") => {}
+        other => {
+            return Err(format!(
+                "daemon smoke: victim survived the chaos crash: {other:?}"
+            ))
+        }
+    }
+    drop(victim);
+
+    let revived_tele = Telemetry::enabled();
+    let revived = build("crash", 0, &revived_tele)?;
+    let recovery = revived
+        .recover()
+        .map_err(|e| format!("daemon smoke: recover: {e}"))?;
+    if recovery.epochs_pending != 1 || recovery.jobs_replayed != 2 || recovery.jobs_resumed != 2 {
+        return Err(format!(
+            "daemon smoke: unexpected recovery {recovery:?} (want 1 epoch, 2 replayed, 2 resumed)"
+        ));
+    }
+    let mut revived_jobs = Vec::new();
+    while let Some((_, report)) = revived
+        .run_next_epoch()
+        .map_err(|e| format!("daemon smoke: resumed epoch: {e}"))?
+    {
+        revived_jobs.extend(report.jobs);
+    }
+    let recovery_wall = t_recovery.elapsed().as_secs_f64();
+
+    // Reference: the same epoch on a daemon that was never killed.
+    let calm_tele = Telemetry::enabled();
+    let calm = build("calm", 0, &calm_tele)?;
+    for s in &demo {
+        let response = calm.handle_request(Request::Submit(s.clone()));
+        if let Some(kind) = response.error_kind() {
+            return Err(format!("daemon smoke: calm refused '{}': {kind}", s.id));
+        }
+    }
+    let mut calm_jobs = Vec::new();
+    while let Some((_, report)) = calm
+        .run_next_epoch()
+        .map_err(|e| format!("daemon smoke: calm epoch: {e}"))?
+    {
+        calm_jobs.extend(report.jobs);
+    }
+
+    let find = |jobs: &[isop::engine::JobResult], id: &str| {
+        jobs.iter()
+            .find(|j| j.id == id)
+            .cloned()
+            .ok_or_else(|| format!("daemon smoke: job '{id}' missing"))
+    };
+    for s in &demo {
+        let replayed = find(&revived_jobs, &s.id)?;
+        let reference = find(&calm_jobs, &s.id)?;
+        if !engine_jobs_identical(&replayed, &reference)
+            || replayed.disposition != reference.disposition
+        {
+            return Err(format!(
+                "daemon replay violation: job '{}' after kill + restart diverged from the \
+                 never-killed daemon",
+                s.id
+            ));
+        }
+    }
+    let crash_frames = Store::open(&scratch.join("crash"))
+        .map_err(|e| format!("daemon smoke: reopen crash store: {e}"))?
+        .load_jobs()
+        .map_err(|e| format!("daemon smoke: crash journal: {e}"))?;
+    let mut finished_frames = 0u64;
+    for s in &demo {
+        let per_job = crash_frames
+            .iter()
+            .filter(|f| f.state == JobState::Finished && f.job_id == s.id)
+            .count() as u64;
+        if per_job != 1 {
+            return Err(format!(
+                "daemon double-charge violation: job '{}' has {per_job} Finished frames",
+                s.id
+            ));
+        }
+        finished_frames += per_job;
+    }
+    let charged =
+        |jobs: &[isop::engine::JobResult]| jobs.iter().map(|j| j.em_seconds_charged).sum::<f64>();
+    let calm_charged = charged(&calm_jobs);
+    let recovered_charged = charged(&revived_jobs);
+    if calm_charged.to_bits() != recovered_charged.to_bits() {
+        return Err(format!(
+            "daemon double-charge violation: recovered run charged {recovered_charged:.3}s \
+             vs calm {calm_charged:.3}s"
+        ));
+    }
+
+    for c in Counter::ALL {
+        main.add(c, victim_tele.counter(c));
+        main.add(c, revived_tele.counter(c));
+        main.add(c, calm_tele.counter(c));
+    }
+    // Preserve the proven journal as a CI artifact before the scratch
+    // directory goes away.
+    std::fs::create_dir_all(journal_dir)
+        .map_err(|e| format!("daemon smoke: create {}: {e}", journal_dir.display()))?;
+    for entry in std::fs::read_dir(scratch.join("crash"))
+        .map_err(|e| format!("daemon smoke: list crash store: {e}"))?
+    {
+        let entry = entry.map_err(|e| format!("daemon smoke: list crash store: {e}"))?;
+        if entry.path().is_file() {
+            std::fs::copy(entry.path(), journal_dir.join(entry.file_name()))
+                .map_err(|e| format!("daemon smoke: export journal: {e}"))?;
+        }
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+    println!(
+        "bench_gate: daemon smoke: TCP leg drained {} jobs in {tcp_wall:.2}s; kill at wave 1 \
+         replayed {} + resumed {} jobs bit-identically in {recovery_wall:.2}s \
+         ({finished_frames} Finished frames, {recovered_charged:.2}s EM charged == calm)",
+        demo.len(),
+        recovery.jobs_replayed,
+        recovery.jobs_resumed,
+    );
+    Ok((
+        t0.elapsed().as_secs_f64(),
+        DaemonSmokeSummary {
+            tcp_wall_seconds: tcp_wall,
+            tcp_jobs_finished: tcp_finished,
+            recovery_wall_seconds: recovery_wall,
+            jobs_replayed: recovery.jobs_replayed,
+            jobs_resumed: recovery.jobs_resumed,
+            calm_em_charged_seconds: calm_charged,
+            recovered_em_charged_seconds: recovered_charged,
+            finished_frames,
+        },
+    ))
+}
+
 fn write_file(path: &str, contents: &str) -> Result<(), String> {
     if let Some(dir) = std::path::Path::new(path).parent() {
         if !dir.as_os_str().is_empty() {
@@ -1250,7 +1604,12 @@ fn gate(
         store,
         engine_wall,
         engine,
-    } = run_smoke(use_cache)?;
+        daemon_wall,
+        daemon,
+    } = run_smoke(
+        use_cache,
+        &std::path::Path::new(out_path).with_file_name("daemon_journal"),
+    )?;
     write_file(out_path, &report.to_json().map_err(|e| format!("{e:?}"))?)?;
     let pr8_path = std::path::Path::new(out_path)
         .with_file_name("BENCH_pr8.json")
@@ -1268,11 +1627,20 @@ fn gate(
         &pr9_path,
         &serde_json::to_string(&engine).map_err(|e| format!("{e:?}"))?,
     )?;
+    let pr10_path = std::path::Path::new(out_path)
+        .with_file_name("BENCH_pr10.json")
+        .to_string_lossy()
+        .into_owned();
+    write_file(
+        &pr10_path,
+        &serde_json::to_string(&daemon).map_err(|e| format!("{e:?}"))?,
+    )?;
     println!(
         "bench_gate: smoke run took {wall:.2}s (+{train_wall:.2}s training, \
          +{fault_wall:.2}s faults, +{sched_wall:.2}s scheduler, +{sweep_wall:.2}s sweep, \
-         +{store_wall:.2}s store, +{engine_wall:.2}s engine), report at {out_path}, \
-         cold-vs-warm at {pr8_path}, serial-vs-concurrent at {pr9_path}"
+         +{store_wall:.2}s store, +{engine_wall:.2}s engine, +{daemon_wall:.2}s daemon), \
+         report at {out_path}, cold-vs-warm at {pr8_path}, serial-vs-concurrent at \
+         {pr9_path}, kill-vs-calm at {pr10_path}"
     );
 
     if update {
@@ -1286,6 +1654,7 @@ fn gate(
             max_sweep_seconds: sweep_wall * WALL_UPDATE_HEADROOM,
             max_store_seconds: store_wall * WALL_UPDATE_HEADROOM,
             max_engine_seconds: engine_wall * WALL_UPDATE_HEADROOM,
+            max_daemon_seconds: daemon_wall * WALL_UPDATE_HEADROOM,
             counters: report.counters.clone(),
         };
         let json = serde_json::to_string(&thresholds).map_err(|e| format!("{e:?}"))?;
@@ -1405,6 +1774,18 @@ fn gate(
     } else {
         println!(
             "bench_gate: engine-smoke wall-clock {engine_wall:.2}s within {engine_limit:.2}s limit"
+        );
+    }
+    let daemon_limit = thresholds.max_daemon_seconds * WALL_MARGIN;
+    if daemon_wall > daemon_limit {
+        failures.push(format!(
+            "daemon-smoke wall-clock regression: {daemon_wall:.2}s > {daemon_limit:.2}s \
+             ({:.2}s budget x {WALL_MARGIN} margin)",
+            thresholds.max_daemon_seconds
+        ));
+    } else {
+        println!(
+            "bench_gate: daemon-smoke wall-clock {daemon_wall:.2}s within {daemon_limit:.2}s limit"
         );
     }
 

@@ -12,6 +12,8 @@
 //! isop cache import --cache-dir DIR --file em_cache.json
 //! isop serve --jobs jobs.json [--cores 8] [--wave-slots 4] [--cache-dir DIR]
 //!            [--report-dir results/engine]
+//! isop daemon --listen 127.0.0.1:7878 [--cache-dir DIR] [--cores 8] [--wave-slots 4]
+//!             [--quota-em SECONDS] [--quota-window EPOCHS]
 //! isop engine bench [--seed 3] [--cores 8] [--report-dir results/engine]
 //! isop report --aggregate results/engine [--out results/engine/tenants.json]
 //! ```
@@ -48,6 +50,13 @@
 //! rerun) serially and concurrently and prints the throughput and
 //! cross-job-elision numbers. `report --aggregate DIR` folds a directory
 //! of per-job reports into one per-tenant table.
+//!
+//! `daemon` keeps the engine running as a service: it listens for
+//! newline-delimited JSON requests (`submit` / `cancel` / `status` /
+//! `report` / `shutdown`) on a TCP socket, admits submissions in streamed
+//! epochs, enforces rolling per-tenant EM-seconds quotas, and journals
+//! every job state transition into `--cache-dir` so a killed daemon
+//! resumes on restart, replaying finished jobs bit-identically.
 //!
 //! The CLI is intentionally dependency-free (hand-rolled flag parsing); it
 //! exists so the library is usable from shell workflows without writing
@@ -399,6 +408,56 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(dir) = flags.get("report-dir") {
         write_engine_reports(dir, &report)?;
     }
+    Ok(())
+}
+
+/// Runs the live optimization daemon on a TCP listen address.
+fn cmd_daemon(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags
+        .get("listen")
+        .ok_or("daemon requires --listen ADDR (e.g. 127.0.0.1:7878)")?;
+    let telemetry = Telemetry::enabled();
+    let store = match flags.get("cache-dir") {
+        Some(dir) => Some(Arc::new(
+            Store::open(std::path::Path::new(dir))
+                .map_err(|e| format!("cache-dir {dir}: {e}"))?
+                .with_telemetry(telemetry.clone()),
+        )),
+        None => None,
+    };
+    let mut daemon = isop::daemon::Daemon::new(isop::daemon::DaemonConfig {
+        engine: EngineConfig {
+            cores: flag_f64(flags, "cores", 0.0) as usize,
+            wave_slots: flag_f64(flags, "wave-slots", 4.0) as usize,
+            pipeline: IsopConfig::default(),
+        },
+        quota_em_seconds: flag_f64(flags, "quota-em", 0.0),
+        quota_window_epochs: flag_f64(flags, "quota-window", 4.0) as u64,
+        chaos_crash_after_waves: 0,
+    })
+    .with_telemetry(telemetry.clone());
+    if let Some(s) = &store {
+        daemon = daemon.with_store(Arc::clone(s));
+        let recovery = daemon.recover()?;
+        if recovery.jobs_replayed + recovery.jobs_resumed > 0 {
+            println!(
+                "daemon: recovered journal — {} finished job(s) replayed, \
+                 {} job(s) resuming across {} epoch(s)",
+                recovery.jobs_replayed, recovery.jobs_resumed, recovery.epochs_pending
+            );
+        }
+    }
+    let listener =
+        std::net::TcpListener::bind(addr.as_str()).map_err(|e| format!("listen {addr}: {e}"))?;
+    println!("daemon: listening on {addr} (NDJSON; ops: submit, cancel, status, report, shutdown)");
+    let daemon = Arc::new(daemon);
+    daemon.serve(listener).map_err(|e| e.to_string())?;
+    println!(
+        "daemon: drained and stopped — {} epoch(s), {} job(s) submitted, {} refused by quota",
+        telemetry.counter(Counter::DaemonEpochs),
+        telemetry.counter(Counter::DaemonJobsSubmitted),
+        telemetry.counter(Counter::QuotaRefusals)
+    );
     Ok(())
 }
 
@@ -793,12 +852,16 @@ fn usage() {
          isop cache import --cache-dir DIR --file em_cache.json\n  \
          isop serve --jobs jobs.json [--cores 8] [--wave-slots 4] [--cache-dir DIR]\n           \
          [--report-dir results/engine]\n  \
+         isop daemon --listen 127.0.0.1:7878 [--cache-dir DIR] [--cores 8] [--wave-slots 4]\n           \
+         [--quota-em SECONDS] [--quota-window EPOCHS]\n  \
          isop engine bench [--seed 3] [--cores 8] [--report-dir results/engine]\n  \
          isop report --aggregate results/engine [--out tenants.json]\n\n\
          Bare flags default to optimize: `isop --report --threads 4`.\n\
          `optimize --cache-dir DIR` reuses accurate EM results across runs.\n\
          `serve` runs many jobs concurrently over one shared core budget;\n\
-         with --cache-dir, same-space jobs warm-start each other."
+         with --cache-dir, same-space jobs warm-start each other.\n\
+         `daemon` serves NDJSON submit/cancel/status/report over TCP with a\n\
+         crash-safe job journal in --cache-dir."
     );
 }
 
@@ -848,6 +911,7 @@ fn main() -> ExitCode {
         }
         "dataset" => cmd_dataset(&flags),
         "serve" => cmd_serve(&flags),
+        "daemon" => cmd_daemon(&flags),
         "report" => cmd_report(&flags),
         "help" | "--help" | "-h" => {
             usage();

@@ -44,7 +44,7 @@
 //! `tests/engine_concurrency.rs` and the bench-gate engine smoke.
 
 use crate::evalcache::EvalCache;
-use crate::exec::CoreBudget;
+use crate::exec::{ControlState, CoreBudget, RunControl};
 use crate::jobs::{JobQueue, JobSpec};
 use crate::pipeline::{DesignCandidate, IsopConfig, IsopOptimizer};
 use crate::surrogate::OracleSurrogate;
@@ -101,6 +101,11 @@ pub struct JobResult {
     pub wave: usize,
     /// Whether the best verified design satisfied every constraint.
     pub success: bool,
+    /// How the job left the engine: `completed` (ran to the end),
+    /// `cancelled` (its control token was cancelled), `deadline_expired`
+    /// (its deadline passed at a wave-admission or stage-boundary check),
+    /// or `failed` (the worker panicked; contained to this job).
+    pub disposition: String,
     /// Roll-out resolution label (`full` / `degraded` /
     /// `all_simulations_failed`).
     pub resolution: String,
@@ -228,6 +233,24 @@ struct AdmittedJob {
     spec: JobSpec,
     cache: EvalCache,
     telemetry: Telemetry,
+    control: RunControl,
+}
+
+/// Per-job execution controls a service layer hands
+/// [`Engine::run_with`]: live cancellation tokens and already-finished
+/// results to replay instead of re-running.
+#[derive(Debug, Default)]
+pub struct JobControls {
+    /// Cancellation tokens by job id. A job without a token gets a fresh
+    /// one (armed with the spec's `deadline_seconds`, if any); a job with
+    /// one shares it, so the daemon can cancel mid-epoch.
+    pub tokens: std::collections::BTreeMap<String, RunControl>,
+    /// Finished results by job id, replayed **verbatim** in place of
+    /// running the job — the journal-replay half of crash recovery. A
+    /// replayed job is never spawned, charges nothing, and keeps its
+    /// original wave tag, so a restarted epoch reproduces the
+    /// uninterrupted run bit for bit.
+    pub completed: std::collections::BTreeMap<String, JobResult>,
 }
 
 /// The multi-job engine. Construct with [`Engine::new`], optionally attach
@@ -281,6 +304,32 @@ impl Engine {
     /// queue is validated up front — nothing runs on a partially valid
     /// batch).
     pub fn run(&self, queue: &JobQueue) -> Result<EngineReport, String> {
+        self.run_with(queue, None, |_, _| Ok(()))
+    }
+
+    /// [`Engine::run`] with service hooks: per-job [`JobControls`]
+    /// (cancellation tokens, deadline arming, journal-replayed results)
+    /// and an `on_wave` callback invoked after each wave's store flush
+    /// with the wave's **newly produced** results (replays excluded) — the
+    /// daemon journals `Finished` frames there, so evaluations always hit
+    /// disk before the journal marks their job done.
+    ///
+    /// Control tokens are polled at wave admission and at pipeline stage
+    /// boundaries only; a cancelled or expired job reports its disposition
+    /// without ever tearing down wave neighbors, and a panicking job is
+    /// contained to a `failed` disposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a spec names an unknown task or space (the
+    /// queue is validated up front), on a store flush failure, or when
+    /// `on_wave` fails.
+    pub fn run_with(
+        &self,
+        queue: &JobQueue,
+        controls: Option<&JobControls>,
+        mut on_wave: impl FnMut(usize, &[JobResult]) -> Result<(), String>,
+    ) -> Result<EngineReport, String> {
         for spec in queue.jobs() {
             if spec.task_id().is_none() {
                 return Err(format!("job '{}': unknown task '{}'", spec.id, spec.task));
@@ -302,32 +351,61 @@ impl Engine {
         for (wave_idx, wave) in waves.iter().enumerate() {
             // Serial admission: private telemetry + cache per job, the
             // cache pre-hydrated for the job's space so its view of the
-            // shared store is frozen before any neighbor runs.
-            let admitted: Vec<AdmittedJob> = wave
-                .iter()
-                .map(|&queue_index| {
-                    let spec = queue.jobs()[queue_index].clone();
-                    let cache = match &self.store {
-                        Some(store) => {
-                            let cache = EvalCache::with_store(Arc::clone(store));
-                            let space = spec.param_space().expect("validated above");
-                            cache.hydrate_space(&space);
-                            cache
-                        }
-                        None => EvalCache::new(),
-                    };
-                    AdmittedJob {
-                        queue_index,
-                        wave: wave_idx,
-                        spec,
-                        cache,
-                        telemetry: Telemetry::enabled(),
+            // shared store is frozen before any neighbor runs. Replayed
+            // and already-stopped jobs are settled here without spawning.
+            let mut replayed: Vec<bool> = vec![false; wave.len()];
+            let mut admitted: Vec<AdmittedJob> = Vec::new();
+            for (slot, &queue_index) in wave.iter().enumerate() {
+                let spec = queue.jobs()[queue_index].clone();
+                if let Some(done) = controls.and_then(|c| c.completed.get(&spec.id)) {
+                    replayed[slot] = true;
+                    results[queue_index] = Some(done.clone());
+                    continue;
+                }
+                let control = controls
+                    .and_then(|c| c.tokens.get(&spec.id).cloned())
+                    .unwrap_or_default();
+                if spec.deadline_seconds > 0.0 {
+                    control.arm_deadline(spec.deadline_seconds);
+                }
+                // Wave-admission control check: a job cancelled (or
+                // already past its deadline) before admission never
+                // hydrates a cache or leases a core.
+                match control.state() {
+                    ControlState::Cancelled => {
+                        results[queue_index] = Some(stub_result(&spec, wave_idx, "cancelled"));
+                        continue;
                     }
-                })
-                .collect();
+                    ControlState::Expired => {
+                        results[queue_index] =
+                            Some(stub_result(&spec, wave_idx, "deadline_expired"));
+                        continue;
+                    }
+                    ControlState::Live => {}
+                }
+                let cache = match &self.store {
+                    Some(store) => {
+                        let cache = EvalCache::with_store(Arc::clone(store));
+                        let space = spec.param_space().expect("validated above");
+                        cache.hydrate_space(&space);
+                        cache
+                    }
+                    None => EvalCache::new(),
+                };
+                admitted.push(AdmittedJob {
+                    queue_index,
+                    wave: wave_idx,
+                    spec,
+                    cache,
+                    telemetry: Telemetry::enabled(),
+                    control,
+                });
+            }
 
             // Concurrent execution: one thread per admitted job, each
-            // leasing its width from the shared budget.
+            // leasing its width from the shared budget. A panicking job is
+            // caught on its own thread and reported as `failed` — the
+            // neighbors, the wave, and the store never see the unwind.
             let (tx, rx) = mpsc::channel::<(usize, JobResult)>();
             std::thread::scope(|scope| {
                 for job in admitted {
@@ -335,7 +413,10 @@ impl Engine {
                     let budget = budget.clone();
                     let pipeline = self.config.pipeline.clone();
                     scope.spawn(move || {
-                        let result = run_job(&job, &budget, pipeline);
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_job(&job, &budget, pipeline)
+                        }))
+                        .unwrap_or_else(|_| stub_result(&job.spec, job.wave, "failed"));
                         // Receiver outlives the scope; a send cannot fail.
                         let _ = tx.send((job.queue_index, result));
                     });
@@ -345,6 +426,18 @@ impl Engine {
             for (queue_index, result) in rx {
                 results[queue_index] = Some(result);
             }
+            // Newly produced results (stubs included, replays excluded) in
+            // wave order, so `on_wave` consumers journal deterministically.
+            let fresh: Vec<JobResult> = wave
+                .iter()
+                .enumerate()
+                .filter(|&(slot, _)| !replayed[slot])
+                .map(|(_, &queue_index)| {
+                    results[queue_index]
+                        .clone()
+                        .expect("every non-replayed wave job settled above")
+                })
+                .collect();
 
             // Publish the wave's evaluations before the next wave hydrates:
             // later waves warm-start deterministically from completed ones.
@@ -356,6 +449,7 @@ impl Engine {
             self.telemetry.incr(Counter::EngineWaves);
             self.telemetry
                 .add(Counter::EngineJobsCompleted, wave.len() as u64);
+            on_wave(wave_idx, &fresh)?;
         }
         let wall_seconds = t0.elapsed().as_secs_f64();
         let jobs: Vec<JobResult> = results
@@ -385,6 +479,9 @@ fn run_job(job: &AdmittedJob, budget: &CoreBudget, pipeline: IsopConfig) -> JobR
     let spec = &job.spec;
     let space = spec.param_space().expect("validated at run start");
     let task = spec.task_id().expect("validated at run start");
+    if spec.chaos_panic {
+        panic!("chaos: job '{}' panicked by request", spec.id);
+    }
     let lease = budget.lease(spec.threads);
     let surrogate = OracleSurrogate::new(AnalyticalSolver::new());
     let solver = AnalyticalSolver::new().with_telemetry(job.telemetry.clone());
@@ -408,12 +505,22 @@ fn run_job(job: &AdmittedJob, budget: &CoreBudget, pipeline: IsopConfig) -> JobR
         .with_parallelism(lease.parallelism())
         .with_telemetry(job.telemetry.clone())
         .with_eval_cache(job.cache.clone())
+        .with_control(job.control.clone())
         .run(
             crate::tasks::objective_for(task, vec![]),
             Budget::unlimited(),
             spec.seed,
         );
     drop(lease);
+    // A stop observed at a stage boundary surfaces as the disposition; a
+    // run that went the distance is `completed` even if its token fires
+    // the instant after (the work is done — report it).
+    let disposition = match job.control.state() {
+        _ if !outcome.candidates.is_empty() => "completed",
+        ControlState::Cancelled => "cancelled",
+        ControlState::Expired => "deadline_expired",
+        ControlState::Live => "completed",
+    };
 
     let mut report = job.telemetry.run_report();
     report.task = task.to_string();
@@ -437,10 +544,39 @@ fn run_job(job: &AdmittedJob, budget: &CoreBudget, pipeline: IsopConfig) -> JobR
         seed: spec.seed,
         wave: job.wave,
         success: outcome.success,
+        disposition: disposition.to_string(),
         resolution: outcome.resolution.as_str().to_string(),
         em_seconds_charged: outcome.em_seconds,
         em_seconds_saved: outcome.em_seconds_saved,
         candidates: outcome.candidates,
+        report,
+    }
+}
+
+/// A zero-work [`JobResult`] for a job that never ran (cancelled or
+/// expired at wave admission) or whose worker panicked: empty candidates,
+/// zero ledgers, an empty tagged report, and the telling `disposition`.
+fn stub_result(spec: &JobSpec, wave: usize, disposition: &str) -> JobResult {
+    let mut report = RunReport::empty();
+    report.task = spec.task.clone();
+    report.space = spec.space.clone();
+    report.job = spec.id.clone();
+    report.tenant = spec.tenant.clone();
+    report.seed = spec.seed;
+    report.threads = spec.threads;
+    JobResult {
+        id: spec.id.clone(),
+        tenant: spec.tenant.clone(),
+        task: spec.task.clone(),
+        space: spec.space.clone(),
+        seed: spec.seed,
+        wave,
+        success: false,
+        disposition: disposition.to_string(),
+        resolution: String::new(),
+        em_seconds_charged: 0.0,
+        em_seconds_saved: 0.0,
+        candidates: Vec::new(),
         report,
     }
 }
@@ -515,6 +651,71 @@ mod tests {
         // Engine-level charged EM is the per-job sum.
         let sum: f64 = report.jobs.iter().map(|j| j.em_seconds_charged).sum();
         assert!((report.em_seconds_charged - sum).abs() < 1e-12);
+    }
+
+    /// One wave holding a healthy job, a panicking job, an
+    /// already-expired deadline, and a pre-cancelled token: each stopped
+    /// job reports its own disposition with zero ledgers while the healthy
+    /// neighbor completes normally — nothing tears down the wave.
+    #[test]
+    fn controls_surface_dispositions_without_touching_neighbors() {
+        let mut queue = JobQueue::new();
+        queue.push(spec("ok", "t", 1));
+        queue.push(JobSpec {
+            chaos_panic: true,
+            ..spec("boom", "t", 2)
+        });
+        queue.push(JobSpec {
+            deadline_seconds: 1e-9,
+            ..spec("late", "t", 3)
+        });
+        queue.push(spec("gone", "t", 4));
+        let mut controls = JobControls::default();
+        let token = RunControl::none();
+        token.cancel();
+        controls.tokens.insert("gone".to_string(), token);
+        let engine = Engine::new(EngineConfig {
+            cores: 2,
+            wave_slots: 4,
+            pipeline: tiny_pipeline(),
+        });
+        let report = engine
+            .run_with(&queue, Some(&controls), |_, _| Ok(()))
+            .expect("engine run");
+        let by = |id: &str| {
+            report
+                .jobs
+                .iter()
+                .find(|j| j.id == id)
+                .unwrap_or_else(|| panic!("job {id}"))
+        };
+        assert_eq!(by("ok").disposition, "completed");
+        assert!(!by("ok").candidates.is_empty());
+        assert_eq!(by("boom").disposition, "failed");
+        assert_eq!(by("late").disposition, "deadline_expired");
+        assert_eq!(by("gone").disposition, "cancelled");
+        for id in ["boom", "late", "gone"] {
+            assert!(by(id).candidates.is_empty(), "{id} must produce nothing");
+            assert_eq!(by(id).em_seconds_charged, 0.0, "{id} must charge nothing");
+            assert!(!by(id).success);
+        }
+
+        // Journal-replay half: hand the healthy job's finished result back
+        // as `completed` — it is replayed verbatim (same wave tag, same
+        // bits) and excluded from the on_wave "fresh" stream.
+        let mut replay = JobControls::default();
+        replay.completed.insert("ok".to_string(), by("ok").clone());
+        let mut fresh_ids: Vec<String> = Vec::new();
+        let rerun = engine
+            .run_with(&queue, Some(&replay), |_, fresh| {
+                fresh_ids.extend(fresh.iter().map(|j| j.id.clone()));
+                Ok(())
+            })
+            .expect("replay run");
+        let ok = rerun.jobs.iter().find(|j| j.id == "ok").expect("ok");
+        assert_eq!(ok, by("ok"), "replayed result must be verbatim");
+        assert!(!fresh_ids.contains(&"ok".to_string()));
+        assert!(fresh_ids.contains(&"boom".to_string()));
     }
 
     #[test]

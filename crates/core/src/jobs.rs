@@ -6,10 +6,14 @@
 //! requested threads) the engine admits it by. A [`JobQueue`] holds a batch
 //! of specs and partitions them into deterministic **admission waves** via
 //! weighted deficit round-robin across tenants ([`JobQueue::fair_waves`]):
-//! every wave, each backlogged tenant accrues credits proportional to its
-//! weight and spends one credit per admitted job, so over a backlog the
-//! admitted share converges to the weight ratio while submission order is
-//! preserved within a tenant. Wave composition is a pure function of the
+//! a round-robin pointer visits backlogged tenants in first-submission
+//! order, each visit grants exactly one quantum of credit (= the tenant's
+//! weight, never banked across visits) and admits one job per credit, and
+//! the resulting admission stream is chunked into `wave_slots`-sized
+//! waves. Over a backlog the admitted share converges to the weight ratio
+//! while submission order is preserved within a tenant, and a light tenant
+//! is never starved behind a heavy one's banked burst. Wave composition is
+//! a pure function of the
 //! queue contents — never of thread timing — which is the first half of
 //! the engine's concurrent-neighbor bit-identity argument (see
 //! [`engine`](crate::engine) for the second half).
@@ -78,6 +82,15 @@ pub struct JobSpec {
     pub em_fault_rate: f64,
     /// Permanent ("doomed design") EM fault rate of the fault layer.
     pub em_permanent_rate: f64,
+    /// Wall-clock deadline in seconds from the moment the engine starts
+    /// the batch/epoch (0 = no deadline). Checked at wave admission and
+    /// between pipeline stages; an expired job reports the
+    /// `deadline_expired` disposition without touching its neighbors.
+    pub deadline_seconds: f64,
+    /// Test/chaos knob: the job's worker panics mid-run instead of
+    /// optimizing. The engine must contain the panic as a `failed`
+    /// disposition rather than unwind through the wave.
+    pub chaos_panic: bool,
 }
 
 impl Default for JobSpec {
@@ -92,6 +105,8 @@ impl Default for JobSpec {
             threads: 1,
             em_fault_rate: 0.0,
             em_permanent_rate: 0.0,
+            deadline_seconds: 0.0,
+            chaos_panic: false,
         }
     }
 }
@@ -135,6 +150,8 @@ impl Deserialize for JobSpec {
             threads: opt_field::<usize>(obj, "threads", d.threads)?.max(1),
             em_fault_rate: opt_field(obj, "em_fault_rate", d.em_fault_rate)?,
             em_permanent_rate: opt_field(obj, "em_permanent_rate", d.em_permanent_rate)?,
+            deadline_seconds: opt_field(obj, "deadline_seconds", d.deadline_seconds)?,
+            chaos_panic: opt_field(obj, "chaos_panic", d.chaos_panic)?,
         })
     }
 }
@@ -222,14 +239,18 @@ impl JobQueue {
     /// Partitions the queue into admission waves of at most `wave_slots`
     /// jobs by weighted deficit round-robin across tenants.
     ///
-    /// Tenants are visited in order of first submission. Every wave, each
-    /// tenant with pending jobs accrues credits equal to its weight (the
-    /// maximum weight over its jobs) and spends one credit per admitted
-    /// job; when every credit is spent but slots remain, the wave tops up
-    /// round-robin so it is work-conserving. Within a tenant, jobs are
-    /// admitted in submission order. The result depends only on the queue
-    /// contents — the returned indices into [`JobQueue::jobs`] are what
-    /// the engine executes wave by wave.
+    /// A round-robin pointer visits tenants in order of first submission.
+    /// On arrival at a backlogged tenant the pointer grants exactly one
+    /// quantum of credit — the tenant's weight (the maximum weight over
+    /// its jobs) — and admits one queued job per credit, FIFO within the
+    /// tenant; unspent credit is discarded when the pointer moves on, so
+    /// no tenant banks credit across visits and a light tenant is admitted
+    /// every round-robin cycle even under `wave_slots = 1`. The admission
+    /// stream is then chunked into `wave_slots`-sized waves, which makes
+    /// every wave but the last full (work-conserving) by construction.
+    /// The result depends only on the queue contents — the returned
+    /// indices into [`JobQueue::jobs`] are what the engine executes wave
+    /// by wave.
     #[must_use]
     pub fn fair_waves(&self, wave_slots: usize) -> Vec<Vec<usize>> {
         let wave_slots = wave_slots.max(1);
@@ -247,63 +268,28 @@ impl JobQueue {
             *w = (*w).max(job.weight.max(1));
         }
 
-        let mut credits: BTreeMap<&str, u64> = BTreeMap::new();
-        let mut waves = Vec::new();
+        let mut stream = Vec::with_capacity(self.jobs.len());
         let mut remaining = self.jobs.len();
         while remaining > 0 {
-            // Accrue credits for backlogged tenants only (an idle tenant
-            // must not bank a burst).
             for &t in &tenant_order {
-                if pending[t].is_empty() {
-                    credits.insert(t, 0);
-                } else {
-                    *credits.entry(t).or_insert(0) += weight[t];
+                let queue = pending.get_mut(t).expect("pending entry");
+                if queue.is_empty() {
+                    continue;
+                }
+                // One quantum per visit, never carried: the deficit
+                // round-robin cap that keeps a tenant throttled by tight
+                // wave_slots from banking credits and monopolizing later
+                // admission.
+                let mut credit = weight[t];
+                while credit >= 1 {
+                    let Some(idx) = queue.pop_front() else { break };
+                    stream.push(idx);
+                    credit -= 1;
+                    remaining -= 1;
                 }
             }
-            let mut wave = Vec::new();
-            // Credit-paid admission passes.
-            loop {
-                let mut progressed = false;
-                for &t in &tenant_order {
-                    if wave.len() == wave_slots {
-                        break;
-                    }
-                    let c = credits.get_mut(t).expect("credit entry");
-                    if *c >= 1 {
-                        if let Some(idx) = pending.get_mut(t).expect("pending entry").pop_front() {
-                            wave.push(idx);
-                            *c -= 1;
-                            progressed = true;
-                        } else {
-                            *c = 0;
-                        }
-                    }
-                }
-                if wave.len() == wave_slots || !progressed {
-                    break;
-                }
-            }
-            // Work-conserving top-up: free slots go round-robin to any
-            // pending job regardless of credits.
-            loop {
-                let mut progressed = false;
-                for &t in &tenant_order {
-                    if wave.len() == wave_slots {
-                        break;
-                    }
-                    if let Some(idx) = pending.get_mut(t).expect("pending entry").pop_front() {
-                        wave.push(idx);
-                        progressed = true;
-                    }
-                }
-                if wave.len() == wave_slots || !progressed {
-                    break;
-                }
-            }
-            remaining -= wave.len();
-            waves.push(wave);
         }
-        waves
+        stream.chunks(wave_slots).map(<[usize]>::to_vec).collect()
     }
 }
 
@@ -397,6 +383,36 @@ mod tests {
         let mut all: Vec<usize> = waves.into_iter().flatten().collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    /// Regression: under `wave_slots = 1` the old per-wave accrual banked
+    /// the heavy tenant's unspent credits, so it kept winning the first
+    /// admission pass wave after wave and the light tenant was starved
+    /// until the heavy backlog drained entirely
+    /// (`[h0][h1][h2][l0][l1][l2]`). Capping credit at one quantum per
+    /// pointer visit admits the light tenant every round-robin cycle.
+    #[test]
+    fn fair_waves_do_not_starve_a_light_tenant_under_tight_slots() {
+        let mut q = JobQueue::new();
+        for i in 0..3 {
+            q.push(job(&format!("h{i}"), "heavy", 2));
+        }
+        for i in 0..3 {
+            q.push(job(&format!("l{i}"), "light", 1));
+        }
+        let waves = q.fair_waves(1);
+        let order: Vec<&str> = waves
+            .iter()
+            .flatten()
+            .map(|&i| q.jobs()[i].id.as_str())
+            .collect();
+        assert_eq!(order, ["h0", "h1", "l0", "h2", "l1", "l2"]);
+        let first_light = order.iter().position(|id| id.starts_with('l')).unwrap();
+        assert!(
+            first_light <= 2,
+            "light tenant must be admitted within the first round-robin \
+             cycle, got wave {first_light}"
+        );
     }
 
     #[test]

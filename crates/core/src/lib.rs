@@ -29,7 +29,10 @@
 //! * [`manual`] — the published Table IX reference designs;
 //! * [`jobs`] / [`engine`] — the multi-job concurrent execution engine:
 //!   a weighted-fair job queue multiplexing many pipelines over one
-//!   shared core budget and one persistent store.
+//!   shared core budget and one persistent store;
+//! * [`daemon`] — the live optimization daemon: streamed epoch admission
+//!   over NDJSON/TCP, cancellation and deadlines, rolling tenant quotas,
+//!   and a crash-safe job journal with bit-identical restart replay.
 //!
 //! ## Quickstart
 //!
@@ -65,6 +68,7 @@
 
 pub mod baselines;
 pub mod board;
+pub mod daemon;
 pub mod data;
 pub mod engine;
 pub mod evalcache;
@@ -84,11 +88,13 @@ pub mod weights;
 
 /// Convenience re-exports for typical use.
 pub mod prelude {
+    pub use crate::daemon::{Daemon, DaemonConfig, Request, Response};
     pub use crate::engine::{
-        aggregate_by_tenant, Engine, EngineConfig, EngineReport, JobResult, TenantSummary,
+        aggregate_by_tenant, Engine, EngineConfig, EngineReport, JobControls, JobResult,
+        TenantSummary,
     };
     pub use crate::evalcache::{CachedSim, DesignKey, EvalCache, MemoizedSurrogate, SurrogateMemo};
-    pub use crate::exec::{CoreBudget, CoreLease, Parallelism};
+    pub use crate::exec::{ControlState, CoreBudget, CoreLease, Parallelism, RunControl};
     pub use crate::experiment::{
         ExperimentContext, IsopCellOutcome, MatchMode, TrialResult, TrialStats,
     };

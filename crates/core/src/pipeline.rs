@@ -21,7 +21,7 @@
 //!    all simulations failed).
 
 use crate::evalcache::{EvalCache, MemoizedSurrogate, SurrogateMemo};
-use crate::exec::{par_map_indexed, Parallelism};
+use crate::exec::{par_map_indexed, Parallelism, RunControl};
 use crate::objective::Objective;
 use crate::params::ParamSpace;
 use crate::scheduler::{self, JobRollout, PoolEntry, RolloutJob, RolloutSchedule, SchedulerCtx};
@@ -225,6 +225,7 @@ pub struct IsopOptimizer<'a> {
     telemetry: Telemetry,
     eval_cache: EvalCache,
     surrogate_memo: SurrogateMemo,
+    control: RunControl,
 }
 
 /// Binary objective bridging bits -> design values -> surrogate -> `g_hat`,
@@ -283,6 +284,7 @@ impl<'a> IsopOptimizer<'a> {
             telemetry: Telemetry::disabled(),
             eval_cache: EvalCache::disabled(),
             surrogate_memo: SurrogateMemo::disabled(),
+            control: RunControl::none(),
         }
     }
 
@@ -319,6 +321,19 @@ impl<'a> IsopOptimizer<'a> {
         self
     }
 
+    /// Attaches a cancellation/deadline token. The pipeline polls it only
+    /// at **stage boundaries** — before stages 1–2 and before the
+    /// accurate-simulator roll-out — never inside a parallel section, so a
+    /// stop lands at a deterministic point: a stopped run skips whole
+    /// stages and reports empty candidates through the normal
+    /// [`finalize`](Self::finalize) path, and everything a completed stage
+    /// recorded stays bit-identical to an uninterrupted run.
+    #[must_use]
+    pub fn with_control(mut self, control: RunControl) -> Self {
+        self.control = control;
+        self
+    }
+
     /// Overrides the parallelism knob after construction. This is the
     /// leased-executor hook: the multi-job engine sizes it from a
     /// [`CoreBudget`](crate::exec::CoreBudget) lease
@@ -343,8 +358,25 @@ impl<'a> IsopOptimizer<'a> {
     /// several trials into one scheduler pass call the pieces directly.
     pub fn run(&self, objective: Objective, budget: Budget, seed: u64) -> IsopOutcome {
         let t0 = Instant::now();
+        // Stage-boundary control polls: a stop observed here skips the
+        // remaining stages entirely and flows an empty roll-out through
+        // `finalize`, so the outcome shape (and ledgers: all zero for the
+        // skipped work) is the same as any other run.
+        if self.control.should_stop() {
+            let prep = PreparedRollout {
+                pool: Vec::new(),
+                final_objective: objective,
+                samples_seen: 0,
+                invalid_seen: 0,
+            };
+            return self.finalize(prep, JobRollout::default(), t0.elapsed().as_secs_f64());
+        }
         let prep = self.prepare(objective, budget, seed);
-        let rollout = self.roll_out(&prep);
+        let rollout = if self.control.should_stop() {
+            JobRollout::default()
+        } else {
+            self.roll_out(&prep)
+        };
         self.finalize(prep, rollout, t0.elapsed().as_secs_f64())
     }
 

@@ -31,8 +31,9 @@
 
 use serde::json::{Error, Value};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Thread-count knob for the pipeline's parallel sections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -96,6 +97,122 @@ impl Deserialize for Parallelism {
                 Ok(Self::new(threads))
             }
         }
+    }
+}
+
+/// Why a [`RunControl`] wants its run stopped — or that it doesn't.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlState {
+    /// Keep going.
+    Live,
+    /// [`RunControl::cancel`] was called.
+    Cancelled,
+    /// The deadline passed.
+    Expired,
+}
+
+#[derive(Debug)]
+struct ControlInner {
+    cancelled: AtomicBool,
+    // Mutex (not a frozen field): the engine arms a job's spec deadline on
+    // a token the daemon created earlier, at batch start. Polls only
+    // happen at stage boundaries, so the lock is uncontended in practice;
+    // a poisoning panic elsewhere must not take the token down with it.
+    deadline: Mutex<Option<Instant>>,
+}
+
+/// A cooperative cancellation/deadline token for a long-running job.
+///
+/// Clones share one flag, so a service thread can [`RunControl::cancel`] a
+/// token whose other clone sits inside a running pipeline. The pipeline
+/// polls [`RunControl::state`] **only at stage boundaries** (between
+/// Harmonica, Hyperband, refinement, and roll-out) and at wave admission —
+/// never inside a parallel section — so a stop is observed at a
+/// deterministic point: which stages ran depends only on when the flag was
+/// set relative to those serial checks, and everything a completed stage
+/// recorded stays bit-identical to an uninterrupted run of that stage.
+///
+/// The default token (`RunControl::none()`) never stops anything and costs
+/// one relaxed atomic load per check.
+#[derive(Debug, Clone)]
+pub struct RunControl {
+    inner: Arc<ControlInner>,
+}
+
+impl RunControl {
+    /// A token that never fires: no deadline, cancellable only explicitly.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            inner: Arc::new(ControlInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// A token that expires `seconds` from now. `seconds <= 0` builds a
+    /// token that is already expired at the first check — the deterministic
+    /// way to exercise the deadline path in tests.
+    #[must_use]
+    pub fn with_deadline(seconds: f64) -> Self {
+        let control = Self::none();
+        control.arm_deadline(seconds);
+        control
+    }
+
+    /// Arms (or re-arms) the deadline `seconds` from now on an existing
+    /// token, so a creator that only knows about cancellation (the daemon)
+    /// and a runner that knows the spec's deadline (the engine) can share
+    /// one token. `seconds <= 0` expires the token at the next check.
+    pub fn arm_deadline(&self, seconds: f64) {
+        let now = Instant::now();
+        let deadline = if seconds <= 0.0 {
+            now
+        } else {
+            now + std::time::Duration::from_secs_f64(seconds)
+        };
+        *self
+            .inner
+            .deadline
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(deadline);
+    }
+
+    /// Requests a cooperative stop; the run winds down at its next stage
+    /// boundary. Idempotent, callable from any thread.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Current verdict. Cancellation wins over an elapsed deadline, so a
+    /// job cancelled after expiry still reports what the caller asked for.
+    #[must_use]
+    pub fn state(&self) -> ControlState {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return ControlState::Cancelled;
+        }
+        let deadline = *self
+            .inner
+            .deadline
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match deadline {
+            Some(deadline) if Instant::now() >= deadline => ControlState::Expired,
+            _ => ControlState::Live,
+        }
+    }
+
+    /// True when [`RunControl::state`] is anything but [`ControlState::Live`].
+    #[must_use]
+    pub fn should_stop(&self) -> bool {
+        self.state() != ControlState::Live
+    }
+}
+
+impl Default for RunControl {
+    fn default() -> Self {
+        Self::none()
     }
 }
 
@@ -641,6 +758,28 @@ mod tests {
             let leased = par_map_indexed(lease.threads(), &items, |i, &x| x * 31 + i as u64);
             assert_eq!(leased, serial, "want = {want}");
         }
+    }
+
+    #[test]
+    fn run_control_reports_cancel_and_deadline() {
+        let live = RunControl::none();
+        assert_eq!(live.state(), ControlState::Live);
+        assert!(!live.should_stop());
+
+        let cancelled = RunControl::none();
+        let clone = cancelled.clone();
+        clone.cancel();
+        assert_eq!(cancelled.state(), ControlState::Cancelled);
+        assert!(cancelled.should_stop());
+
+        let expired = RunControl::with_deadline(0.0);
+        assert_eq!(expired.state(), ControlState::Expired);
+        let generous = RunControl::with_deadline(3600.0);
+        assert_eq!(generous.state(), ControlState::Live);
+        // Cancellation wins over an elapsed deadline.
+        expired.cancel();
+        assert_eq!(expired.state(), ControlState::Cancelled);
+        assert_eq!(RunControl::default().state(), ControlState::Live);
     }
 
     #[test]

@@ -85,6 +85,8 @@ pub enum RecordKind {
     Model = 1,
     /// Cross-job hit tally appended at flush ([`Store::note_cross_job_hit`]).
     Meta = 2,
+    /// One daemon job-journal state transition ([`JobRecord`]).
+    Job = 3,
 }
 
 impl RecordKind {
@@ -93,6 +95,7 @@ impl RecordKind {
             0 => Some(RecordKind::Eval),
             1 => Some(RecordKind::Model),
             2 => Some(RecordKind::Meta),
+            3 => Some(RecordKind::Job),
             _ => None,
         }
     }
@@ -232,6 +235,99 @@ impl ModelRecord {
     }
 }
 
+/// Lifecycle state a [`JobRecord`] frame records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum JobState {
+    /// The daemon accepted the submission into an epoch queue; the payload
+    /// is the full job spec, so a restart can rebuild the frozen queue.
+    Submitted = 0,
+    /// The job's epoch began executing.
+    Started = 1,
+    /// The job resolved; the payload is the full job result, so a restart
+    /// replays it verbatim instead of re-running.
+    Finished = 2,
+}
+
+impl JobState {
+    fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(JobState::Submitted),
+            1 => Some(JobState::Started),
+            2 => Some(JobState::Finished),
+            _ => None,
+        }
+    }
+}
+
+/// One job-journal state transition: a daemon appends `Submitted` /
+/// `Started` / `Finished` frames as a job moves through its epoch, and a
+/// restarted daemon replays the frames (in file order) to resume exactly
+/// where the killed process stopped. Payloads are opaque `Value` trees —
+/// the store stays a leaf and does not know the job spec/result types.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Streaming-admission epoch the job was frozen into.
+    pub epoch: u64,
+    /// Which transition this frame records.
+    pub state: JobState,
+    /// The job's submission id (unique across the daemon's lifetime).
+    pub job_id: String,
+    /// Spec (`Submitted`), empty (`Started`), or result (`Finished`) tree,
+    /// exact f64 bits through the binary codec.
+    pub payload: Value,
+}
+
+impl JobRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.job_id.len());
+        write_varint(self.epoch, &mut out);
+        out.push(self.state as u8);
+        write_varint(self.job_id.len() as u64, &mut out);
+        out.extend_from_slice(self.job_id.as_bytes());
+        codec::encode_value(&self.payload, &mut out);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut pos = 0;
+        let epoch = read_varint(bytes, &mut pos)?;
+        let state = *bytes.get(pos).ok_or_else(|| bad("truncated job state"))?;
+        pos += 1;
+        let state = JobState::from_u8(state).ok_or_else(|| bad("unknown job state"))?;
+        let id_len = read_varint(bytes, &mut pos)? as usize;
+        let end = pos
+            .checked_add(id_len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| bad("truncated job id"))?;
+        let job_id = std::str::from_utf8(&bytes[pos..end])
+            .map_err(|_| bad("invalid UTF-8 job id"))?
+            .to_string();
+        pos = end;
+        let payload = codec::decode_value(bytes, &mut pos)?;
+        if pos != bytes.len() {
+            return Err(bad("trailing bytes in job record"));
+        }
+        Ok(Self {
+            epoch,
+            state,
+            job_id,
+            payload,
+        })
+    }
+
+    /// Identity is the full `(epoch, state, job_id)` transition, so a
+    /// duplicated frame collapses under compaction while the three
+    /// transitions of one job all survive as distinct records.
+    fn identity(&self) -> Vec<u8> {
+        let mut id = Vec::with_capacity(10 + self.job_id.len());
+        id.extend_from_slice(&self.epoch.to_le_bytes());
+        id.push(self.state as u8);
+        id.extend_from_slice(self.job_id.as_bytes());
+        id
+    }
+}
+
 fn bad(msg: &str) -> CodecError {
     CodecError::new(msg)
 }
@@ -264,6 +360,7 @@ impl RawRecord {
             RecordKind::Model => ModelRecord::decode(&self.payload)
                 .ok()
                 .map(|r| r.identity()),
+            RecordKind::Job => JobRecord::decode(&self.payload).ok().map(|r| r.identity()),
             // Meta tallies are summed, not superseded.
             RecordKind::Meta => None,
         }
@@ -324,6 +421,8 @@ pub struct StoreStats {
     pub eval_records: u64,
     /// Valid model records.
     pub model_records: u64,
+    /// Valid job-journal records.
+    pub job_records: u64,
     /// Records skipped during the scan.
     pub skipped: u64,
     /// Total bytes across shard files.
@@ -419,6 +518,19 @@ impl Store {
         self.dir.join(format!("shard_{shard:03}.bin"))
     }
 
+    /// Locks the shard table, recovering from poisoning: a job thread that
+    /// panicked while holding the lock must not turn every later probe and
+    /// flush into a panic cascade (fatal for a daemon). Recovery is sound
+    /// because the in-memory image is only ever *extended* under the lock
+    /// (loaded flag, record/pending pushes) and the next flush rewrites the
+    /// shard from that image — disk state heals whatever a torn in-memory
+    /// update left behind.
+    fn lock_shards(&self) -> std::sync::MutexGuard<'_, Vec<ShardState>> {
+        self.shards
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Reads the shard file into `state.records` if not yet loaded,
     /// skipping (and counting) corrupt records.
     fn ensure_loaded(&self, state: &mut ShardState, shard: u32) -> io::Result<()> {
@@ -451,7 +563,7 @@ impl Store {
     /// fatal.
     pub fn load_evals(&self, space_id: u64) -> io::Result<Vec<EvalRecord>> {
         let shard = self.shard_of(space_id);
-        let mut shards = self.shards.lock().expect("store lock");
+        let mut shards = self.lock_shards();
         let state = &mut shards[shard as usize];
         self.ensure_loaded(state, shard)?;
         let mut out = Vec::new();
@@ -475,7 +587,7 @@ impl Store {
     ///
     /// Propagates filesystem errors; corrupt records are skipped.
     pub fn load_all_evals(&self) -> io::Result<Vec<EvalRecord>> {
-        let mut shards = self.shards.lock().expect("store lock");
+        let mut shards = self.lock_shards();
         let mut out = Vec::new();
         for shard in 0..self.n_shards {
             let state = &mut shards[shard as usize];
@@ -495,7 +607,7 @@ impl Store {
     /// Buffers one evaluation for the next [`Store::flush`].
     pub fn append_eval(&self, record: &EvalRecord) {
         let shard = self.shard_of(record.space_id);
-        let mut shards = self.shards.lock().expect("store lock");
+        let mut shards = self.lock_shards();
         shards[shard as usize].pending.push(RawRecord {
             kind: RecordKind::Eval,
             payload: record.encode(),
@@ -516,7 +628,7 @@ impl Store {
         name: &str,
     ) -> io::Result<Option<ModelRecord>> {
         let shard = self.shard_of(space_id);
-        let mut shards = self.shards.lock().expect("store lock");
+        let mut shards = self.lock_shards();
         let state = &mut shards[shard as usize];
         self.ensure_loaded(state, shard)?;
         let mut found = None;
@@ -540,11 +652,45 @@ impl Store {
     /// Buffers one trained model for the next [`Store::flush`].
     pub fn put_model(&self, record: &ModelRecord) {
         let shard = self.shard_of(record.space_id);
-        let mut shards = self.shards.lock().expect("store lock");
+        let mut shards = self.lock_shards();
         shards[shard as usize].pending.push(RawRecord {
             kind: RecordKind::Model,
             payload: record.encode(),
         });
+    }
+
+    /// Buffers one job-journal transition for the next [`Store::flush`].
+    /// Journal frames all live on shard 0, so their relative order — the
+    /// order replay depends on — is exactly file order.
+    pub fn append_job(&self, record: &JobRecord) {
+        let mut shards = self.lock_shards();
+        shards[0].pending.push(RawRecord {
+            kind: RecordKind::Job,
+            payload: record.encode(),
+        });
+    }
+
+    /// Every journal transition in file order (pending appends included),
+    /// the order a restarted daemon replays.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; corrupt records are skipped, not
+    /// fatal.
+    pub fn load_jobs(&self) -> io::Result<Vec<JobRecord>> {
+        let mut shards = self.lock_shards();
+        let state = &mut shards[0];
+        self.ensure_loaded(state, 0)?;
+        let mut out = Vec::new();
+        for rec in state.records.iter().chain(state.pending.iter()) {
+            if rec.kind != RecordKind::Job {
+                continue;
+            }
+            if let Ok(job) = JobRecord::decode(&rec.payload) {
+                out.push(job);
+            }
+        }
+        Ok(out)
     }
 
     /// Records one hit served from a record a previous process wrote
@@ -564,7 +710,7 @@ impl Store {
     ///
     /// Propagates filesystem errors.
     pub fn flush(&self) -> io::Result<FlushStats> {
-        let mut shards = self.shards.lock().expect("store lock");
+        let mut shards = self.lock_shards();
         let hits = self.cross_job_hits.swap(0, Ordering::Relaxed);
         if hits > 0 {
             let mut payload = Vec::new();
@@ -623,7 +769,7 @@ impl Store {
     /// Propagates filesystem errors.
     pub fn compact(&self) -> io::Result<CompactStats> {
         self.flush()?;
-        let mut shards = self.shards.lock().expect("store lock");
+        let mut shards = self.lock_shards();
         let mut stats = CompactStats::default();
         for shard in 0..self.n_shards {
             let state = &mut shards[shard as usize];
@@ -665,6 +811,7 @@ impl Store {
                     RecordKind::Eval => EvalRecord::decode(&rec.payload).is_ok(),
                     RecordKind::Model => ModelRecord::decode(&rec.payload).is_ok(),
                     RecordKind::Meta => read_varint(&rec.payload, &mut 0).is_ok(),
+                    RecordKind::Job => JobRecord::decode(&rec.payload).is_ok(),
                 };
                 if ok {
                     valid += 1;
@@ -707,6 +854,7 @@ impl Store {
                 match rec.kind {
                     RecordKind::Eval => stats.eval_records += 1,
                     RecordKind::Model => stats.model_records += 1,
+                    RecordKind::Job => stats.job_records += 1,
                     RecordKind::Meta => {
                         stats.cross_job_hits += read_varint(&rec.payload, &mut 0).unwrap_or(0);
                     }
@@ -1028,6 +1176,79 @@ mod tests {
         let verify = store.verify().expect("verifies");
         assert_eq!(verify.iter().map(|v| v.valid).sum::<u64>(), 2);
         assert_eq!(verify.iter().map(|v| v.skipped).sum::<u64>(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn job_journal_round_trips_in_file_order() {
+        let dir = temp_dir("journal");
+        let store = Store::open(&dir).expect("opens");
+        let frame = |epoch: u64, state: JobState, id: &str, v: f64| JobRecord {
+            epoch,
+            state,
+            job_id: id.to_string(),
+            payload: Value::Obj(vec![("em".to_string(), Value::Num(v))]),
+        };
+        store.append_job(&frame(0, JobState::Submitted, "a", -0.0));
+        store.append_job(&frame(0, JobState::Submitted, "b", 1.5));
+        store.append_job(&frame(0, JobState::Started, "a", 0.0));
+        store.append_job(&frame(0, JobState::Finished, "a", 42.25));
+        // Pending frames are visible before the flush, same as evals.
+        assert_eq!(store.load_jobs().expect("loads pending").len(), 4);
+        store.flush().expect("flushes");
+        drop(store);
+
+        let fresh = Store::open(&dir).expect("reopens");
+        let jobs = fresh.load_jobs().expect("loads");
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(
+            jobs.iter()
+                .map(|j| (j.state, j.job_id.as_str()))
+                .collect::<Vec<_>>(),
+            vec![
+                (JobState::Submitted, "a"),
+                (JobState::Submitted, "b"),
+                (JobState::Started, "a"),
+                (JobState::Finished, "a"),
+            ],
+            "replay order must be submission/transition order"
+        );
+        // -0.0 survives the payload round-trip bit-exactly.
+        let Value::Obj(entries) = &jobs[0].payload else {
+            panic!("payload shape")
+        };
+        let Value::Num(em) = entries[0].1 else {
+            panic!("payload field")
+        };
+        assert_eq!(em.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(fresh.stats().expect("stats").job_records, 4);
+        // A duplicated transition collapses under compaction; the three
+        // distinct transitions of job "a" all survive.
+        fresh.append_job(&frame(0, JobState::Finished, "a", 42.25));
+        fresh.compact().expect("compacts");
+        assert_eq!(fresh.load_jobs().expect("after compact").len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// One panicking job thread must not poison the store for everyone
+    /// else: a lock held across a panic recovers, and the next flush still
+    /// lands its records.
+    #[test]
+    fn poisoned_store_lock_recovers() {
+        let dir = temp_dir("poison");
+        let store = std::sync::Arc::new(Store::open(&dir).expect("opens"));
+        store.append_eval(&eval(3, 0, 85.0));
+        let poisoner = std::sync::Arc::clone(&store);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.shards.lock().expect("first lock is clean");
+            panic!("poison the shard table");
+        })
+        .join();
+        assert!(store.shards.lock().is_err(), "lock should be poisoned");
+        store.append_eval(&eval(3, 1, 86.0));
+        let flushed = store.flush().expect("flush survives poisoning");
+        assert_eq!(flushed.records_written, 2);
+        assert_eq!(store.load_evals(3).expect("load survives").len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -147,11 +147,29 @@ pub enum Counter {
     /// function of the queue and the fairness weights, so this is exact at
     /// any core-permit width.
     EngineWaves,
+    /// Streaming-admission epochs the daemon executed (each epoch freezes
+    /// its queue, then runs it through the engine verbatim).
+    DaemonEpochs,
+    /// Requests the daemon parsed off its socket (well-formed or not).
+    DaemonRequests,
+    /// Job submissions the daemon admitted into an epoch queue.
+    DaemonJobsSubmitted,
+    /// Jobs resolved as `cancelled` — withdrawn before their wave ran.
+    DaemonJobsCancelled,
+    /// Jobs resolved as `deadline_expired` at a wave-admission or stage
+    /// boundary.
+    DaemonJobsExpired,
+    /// Finished jobs replayed verbatim from the journal after a restart
+    /// (their results are never recomputed).
+    DaemonJobsReplayed,
+    /// Submissions refused because the tenant's rolling charged-EM-seconds
+    /// budget was exhausted.
+    QuotaRefusals,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 36] = [
+    pub const ALL: [Counter; 43] = [
         Counter::EmSimAttempted,
         Counter::EmSimSucceeded,
         Counter::EmSimFailed,
@@ -188,6 +206,13 @@ impl Counter {
         Counter::StoreModelMisses,
         Counter::EngineJobsCompleted,
         Counter::EngineWaves,
+        Counter::DaemonEpochs,
+        Counter::DaemonRequests,
+        Counter::DaemonJobsSubmitted,
+        Counter::DaemonJobsCancelled,
+        Counter::DaemonJobsExpired,
+        Counter::DaemonJobsReplayed,
+        Counter::QuotaRefusals,
     ];
 
     /// Stable dotted label used in reports and threshold files.
@@ -230,6 +255,13 @@ impl Counter {
             Counter::StoreModelMisses => "store.model_misses",
             Counter::EngineJobsCompleted => "engine.jobs_completed",
             Counter::EngineWaves => "engine.waves",
+            Counter::DaemonEpochs => "daemon.epochs",
+            Counter::DaemonRequests => "daemon.requests",
+            Counter::DaemonJobsSubmitted => "daemon.submitted",
+            Counter::DaemonJobsCancelled => "daemon.cancelled",
+            Counter::DaemonJobsExpired => "daemon.expired",
+            Counter::DaemonJobsReplayed => "daemon.replayed",
+            Counter::QuotaRefusals => "quota.refusals",
         }
     }
 
@@ -350,16 +382,21 @@ impl Telemetry {
     /// Adds `seconds` to the charged-EM-seconds ledger.
     pub fn charge_em_seconds(&self, seconds: f64) {
         if let Some(inner) = &self.inner {
-            *inner.em_seconds.lock().expect("em ledger lock") += seconds;
+            *inner
+                .em_seconds
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) += seconds;
         }
     }
 
     /// Total charged EM seconds so far (0 when disabled).
     #[must_use]
     pub fn em_seconds(&self) -> f64 {
-        self.inner
-            .as_ref()
-            .map_or(0.0, |i| *i.em_seconds.lock().expect("em ledger lock"))
+        self.inner.as_ref().map_or(0.0, |i| {
+            *i.em_seconds
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
     }
 
     /// Adds `seconds` to the seconds-saved ledger: EM wall-clock that
@@ -367,16 +404,21 @@ impl Telemetry {
     /// the result.
     pub fn save_em_seconds(&self, seconds: f64) {
         if let Some(inner) = &self.inner {
-            *inner.em_seconds_saved.lock().expect("em ledger lock") += seconds;
+            *inner
+                .em_seconds_saved
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) += seconds;
         }
     }
 
     /// Total EM seconds elided by cache hits so far (0 when disabled).
     #[must_use]
     pub fn em_seconds_saved(&self) -> f64 {
-        self.inner
-            .as_ref()
-            .map_or(0.0, |i| *i.em_seconds_saved.lock().expect("em ledger lock"))
+        self.inner.as_ref().map_or(0.0, |i| {
+            *i.em_seconds_saved
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
     }
 
     /// Starts a wall-clock span; elapsed time is recorded under `label`
@@ -408,7 +450,10 @@ impl Telemetry {
             })
             .collect();
         if let Some(inner) = &self.inner {
-            let spans = inner.spans.lock().expect("span registry lock");
+            let spans = inner
+                .spans
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             report.spans = spans
                 .iter()
                 .map(|(label, s)| SpanEntry {
@@ -436,7 +481,12 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some((inner, label, start)) = self.active.take() {
             let seconds = start.elapsed().as_secs_f64();
-            let mut spans = inner.spans.lock().expect("span registry lock");
+            // A panicking worker must not poison the whole registry: span
+            // stats are self-consistent per entry, so recover the guard.
+            let mut spans = inner
+                .spans
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             spans
                 .entry(label)
                 .and_modify(|s| s.record(seconds))
@@ -781,6 +831,57 @@ mod tests {
         let report = tele.run_report();
         assert_eq!(report.counter("engine.jobs_completed"), 4);
         assert_eq!(report.counter("engine.waves"), 1);
+    }
+
+    #[test]
+    fn daemon_counters_have_stable_labels() {
+        assert_eq!(Counter::DaemonEpochs.name(), "daemon.epochs");
+        assert_eq!(Counter::DaemonRequests.name(), "daemon.requests");
+        assert_eq!(Counter::DaemonJobsSubmitted.name(), "daemon.submitted");
+        assert_eq!(Counter::DaemonJobsCancelled.name(), "daemon.cancelled");
+        assert_eq!(Counter::DaemonJobsExpired.name(), "daemon.expired");
+        assert_eq!(Counter::DaemonJobsReplayed.name(), "daemon.replayed");
+        assert_eq!(Counter::QuotaRefusals.name(), "quota.refusals");
+        let tele = Telemetry::enabled();
+        tele.incr(Counter::DaemonEpochs);
+        tele.add(Counter::DaemonJobsSubmitted, 3);
+        tele.incr(Counter::QuotaRefusals);
+        let report = tele.run_report();
+        assert_eq!(report.counter("daemon.epochs"), 1);
+        assert_eq!(report.counter("daemon.submitted"), 3);
+        assert_eq!(report.counter("quota.refusals"), 1);
+    }
+
+    /// A worker panicking while holding a ledger or span lock must not turn
+    /// every later recording into a poison panic — fatal for a daemon that
+    /// outlives individual jobs.
+    #[test]
+    fn poisoned_ledger_and_span_locks_recover() {
+        let tele = Telemetry::enabled();
+        tele.charge_em_seconds(2.0);
+        {
+            let _g = tele.span("daemon.poison");
+        }
+        let inner = Arc::clone(tele.inner.as_ref().expect("enabled"));
+        let _ = std::thread::spawn(move || {
+            let _ledger = inner.em_seconds.lock().expect("first lock is clean");
+            let _saved = inner.em_seconds_saved.lock().expect("first lock is clean");
+            let _spans = inner.spans.lock().expect("first lock is clean");
+            panic!("poison every registry lock");
+        })
+        .join();
+        tele.charge_em_seconds(4.0);
+        tele.save_em_seconds(0.5);
+        {
+            let _g = tele.span("daemon.poison");
+        }
+        assert_eq!(tele.em_seconds(), 6.0);
+        assert_eq!(tele.em_seconds_saved(), 0.5);
+        let report = tele.run_report();
+        assert_eq!(
+            report.span("daemon.poison").expect("span survives").count,
+            2
+        );
     }
 
     #[test]

@@ -60,6 +60,20 @@
 # has its own wall-clock budget (max_engine_seconds), and the
 # serial-vs-concurrent comparison is written to results/BENCH_pr9.json.
 #
+# A daemon smoke phase finally gates the live optimization daemon: a real
+# Daemon serves the four-job demo over a loopback TCP socket (NDJSON
+# submit/status/shutdown) until every job's Finished frame reaches the
+# journal, then a second daemon is deterministically killed mid-epoch —
+# right after wave 1's safe-point journal flush — restarted on the same
+# store directory, and must replay + resume to results bit-identical to a
+# never-killed daemon (candidates, both EM ledgers, every per-job counter)
+# with exactly one Finished frame per job, i.e. zero double-charged EM
+# seconds. The daemon.* counters land in the counter budget, the phase has
+# its own wall-clock budget (max_daemon_seconds), the kill-vs-calm
+# comparison is written to results/BENCH_pr10.json, and the recovered
+# journal's shards are exported to results/daemon_journal/ for the CI
+# artifact.
+#
 # Usage:
 #   scripts/bench_gate.sh            # gate against the checked-in budget
 #   scripts/bench_gate.sh --update   # refresh the budget from a local run
